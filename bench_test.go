@@ -1,0 +1,304 @@
+// Package mssr_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md's experiment
+// index) plus the ablation studies DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment per iteration and reports
+// the experiment's headline effect sizes as custom metrics (percentages),
+// so regressions in either simulation speed or reproduction shape are
+// visible from the bench output alone. The rendered tables themselves are
+// produced by cmd/msrbench and recorded in EXPERIMENTS.md.
+package mssr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mssr/internal/core"
+	"mssr/internal/experiments"
+	"mssr/internal/reuse"
+	"mssr/internal/stats"
+	"mssr/internal/storage"
+	"mssr/internal/synth"
+	"mssr/internal/workloads"
+)
+
+// benchScale keeps bench iterations affordable while exercising the full
+// standard workloads.
+const benchScale = 1
+
+// BenchmarkTable1 regenerates the microbenchmark comparison (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Speedup["nested-mispred"]["rgid-4"], "%nested-rgid4")
+		b.ReportMetric(100*r.Speedup["nested-mispred"]["rgid-1"], "%nested-rgid1")
+		b.ReportMetric(100*r.Speedup["nested-mispred"]["ri-4w"], "%nested-ri4w")
+	}
+}
+
+// BenchmarkTable2 evaluates the storage model (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bits := storage.Compute(storage.Default()).Total()
+		b.ReportMetric(storage.KB(bits), "KB")
+	}
+}
+
+// BenchmarkTable4 evaluates the synthesis model (Table 4).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := synth.Reconvergence(4, 64)
+		b.ReportMetric(float64(r.LogicLevels), "levels-4x64")
+		b.ReportMetric(r.AreaUm2, "um2-4x64")
+	}
+}
+
+// BenchmarkFigure3 regenerates the RI replacement-frequency study.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Total("nested-mispred", 1)), "repl-1way")
+		b.ReportMetric(float64(r.Total("nested-mispred", 4)), "repl-4way")
+	}
+}
+
+// BenchmarkFigure4 regenerates the reconvergence-type breakdown.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ms float64
+		for _, w := range r.Workloads {
+			ms += r.MultiStreamFraction(w)
+		}
+		b.ReportMetric(100*ms/float64(len(r.Workloads)), "%multi-stream-avg")
+	}
+}
+
+// BenchmarkFigure10 regenerates the stream-configuration sweep.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Average("4x64", "gap"), "%gap-4x64")
+		b.ReportMetric(100*r.Average("4x64", "spec2006"), "%spec06-4x64")
+		b.ReportMetric(100*r.Average("1x16", "gap"), "%gap-1x16")
+	}
+}
+
+// BenchmarkFigure11 regenerates the stream-distance profile.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var within1, within3 float64
+		var n int
+		for _, w := range r.Workloads {
+			if r.Cumulative(w, 1) == 0 && r.Cumulative(w, 8) == 0 {
+				continue // no reconvergence observed
+			}
+			within1 += r.Cumulative(w, 1)
+			within3 += r.Cumulative(w, 3)
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(100*within1/float64(n), "%within-1")
+			b.ReportMetric(100*within3/float64(n), "%within-3")
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates the RGID-vs-RI GAP comparison.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rgid, ri float64
+		for _, w := range r.Workloads {
+			rgid += r.Improvement[w]["rgid-2x64"]
+			ri += r.Improvement[w]["ri-64s2w"]
+		}
+		n := float64(len(r.Workloads))
+		b.ReportMetric(100*rgid/n, "%rgid-2x64")
+		b.ReportMetric(100*ri/n, "%ri-64s2w")
+	}
+}
+
+// runPair measures one workload under baseline and cfg, reporting speedup.
+func runPair(b *testing.B, name string, cfg core.Config) {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.BuildScaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		base := core.New(p, core.DefaultConfig())
+		if err := base.Run(); err != nil {
+			b.Fatal(err)
+		}
+		c := core.New(p, cfg)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*stats.Speedup(base.Stats, c.Stats), "%speedup")
+		b.ReportMetric(c.Stats.IPC(), "IPC")
+	}
+}
+
+// --- Ablations (DESIGN.md §6) -------------------------------------------
+
+// BenchmarkAblationVPN compares full-width vs VPN-restricted
+// reconvergence detection.
+func BenchmarkAblationVPN(b *testing.B) {
+	for _, restrict := range []bool{true, false} {
+		name := "restricted"
+		if !restrict {
+			name = "full-width"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.MS.VPNRestrict = restrict
+			runPair(b, "nested-mispred", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationLoadPolicy compares the reused-load protection schemes
+// on cc, whose frequent label stores make reused loads hazardous.
+func BenchmarkAblationLoadPolicy(b *testing.B) {
+	for _, pol := range []reuse.LoadPolicy{reuse.LoadVerify, reuse.LoadBloom, reuse.LoadNoReuse} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.MS.LoadPolicy = pol
+			runPair(b, "cc", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationRGIDWidth sweeps the generation-tag width: narrow tags
+// saturate quickly and trigger the global reset protocol, throttling
+// stream capture.
+func BenchmarkAblationRGIDWidth(b *testing.B) {
+	for _, bits := range []int{4, 6, 8, 12} {
+		bits := bits
+		b.Run(fmt.Sprintf("%dbits", bits), func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.RGIDBits = bits
+			runPair(b, "nested-mispred", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationTimeout sweeps the WPB no-reconvergence timeout.
+func BenchmarkAblationTimeout(b *testing.B) {
+	for _, timeout := range []int{128, 1024, 8192} {
+		timeout := timeout
+		b.Run(fmt.Sprintf("%dinstrs", timeout), func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.MS.TimeoutInstrs = timeout
+			runPair(b, "bfs", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationMultiBlockFetch measures the §3.9.1 multiple-block
+// fetching extension.
+func BenchmarkAblationMultiBlockFetch(b *testing.B) {
+	for _, blocks := range []int{1, 2} {
+		b.Run([]string{"", "one-block", "two-block"}[blocks], func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.BlocksPerCycle = blocks
+			runPair(b, "astar", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationCheckpoints sweeps the rename-checkpoint budget: zero
+// forces a full rollback walk on every flush, the Table 2 budget of 32
+// makes recovery single-cycle for nearly all branches.
+func BenchmarkAblationCheckpoints(b *testing.B) {
+	for _, n := range []int{0, 4, 32} {
+		n := n
+		b.Run(fmt.Sprintf("%dckpts", n), func(b *testing.B) {
+			cfg := core.MultiStreamConfig(4, 64)
+			cfg.RATCheckpoints = n
+			runPair(b, "gobmk", cfg)
+		})
+	}
+}
+
+// BenchmarkAblationRISerialization measures what Register Integration
+// loses when its table accesses serialize (§3.7.3): the idealized model
+// completes all 8 integration tests per cycle, a realistic one only a
+// couple. The RGID reuse test parallelizes (§3.5) and needs no such cap.
+func BenchmarkAblationRISerialization(b *testing.B) {
+	for _, tests := range []int{0, 2, 1} {
+		tests := tests
+		name := fmt.Sprintf("%d-per-cycle", tests)
+		if tests == 0 {
+			name = "ideal"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.RIConfigOf(64, 4)
+			cfg.RITestsPerCycle = tests
+			runPair(b, "nested-mispred", cfg)
+		})
+	}
+}
+
+// BenchmarkBaselines compares all engines (DIR value/name, RI, RGID) on
+// the nested microbenchmark.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Baselines(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Improvement["nested-mispred"]["rgid-4x64"], "%rgid")
+		b.ReportMetric(100*r.Improvement["nested-mispred"]["dir-value"], "%dir-value")
+		b.ReportMetric(100*r.Improvement["nested-mispred"]["ri-64s4w"], "%ri")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// cycles and instructions per wall second).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workloads.ByName("gobmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.BuildScaled(benchScale)
+	cfg := core.MultiStreamConfig(4, 64)
+	var cycles, instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.New(p, cfg)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cycles += c.Stats.Cycles
+		instrs += c.Stats.Retired
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(cycles)/sec, "sim-cycles/s")
+		b.ReportMetric(float64(instrs)/sec, "sim-instrs/s")
+	}
+}

@@ -1,0 +1,97 @@
+// Command msrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	msrbench                      # run everything at standard scale
+//	msrbench -exp table1,fig10    # run a subset
+//	msrbench -scale 2             # larger workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mssr/internal/experiments"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines or all")
+		scale = flag.Int("scale", 1, "workload scale factor")
+		asCSV = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	list := []experiment{
+		{"table1", func() (string, error) {
+			r, err := experiments.Table1(*scale)
+			if err != nil {
+				return "", err
+			}
+			if *asCSV {
+				return r.CSV(), nil
+			}
+			return r.Render(), nil
+		}},
+		{"table2", func() (string, error) { return experiments.Table2(), nil }},
+		{"table3", func() (string, error) { return experiments.Table3(), nil }},
+		{"table4", func() (string, error) { return experiments.Table4(), nil }},
+		{"fig3", func() (string, error) { r, err := experiments.Figure3(*scale); return render(r, err) }},
+		{"fig4", func() (string, error) { r, err := experiments.Figure4(*scale); return render(r, err) }},
+		{"fig10", func() (string, error) {
+			r, err := experiments.Figure10(*scale)
+			if err != nil {
+				return "", err
+			}
+			if *asCSV {
+				return r.CSV(), nil
+			}
+			return r.Render(), nil
+		}},
+		{"fig11", func() (string, error) { r, err := experiments.Figure11(*scale); return render(r, err) }},
+		{"fig12", func() (string, error) { r, err := experiments.Figure12(*scale); return render(r, err) }},
+		{"baselines", func() (string, error) { r, err := experiments.Baselines(*scale); return render(r, err) }},
+	}
+
+	ran := 0
+	for _, e := range list {
+		if !sel(e.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msrbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "msrbench: no experiment selected by -exp %q\n", *exps)
+		os.Exit(1)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,160 @@
+// Command msrsim runs one workload on the out-of-order core under a chosen
+// squash-reuse engine and prints the headline statistics.
+//
+// Usage:
+//
+//	msrsim -workload bfs -engine rgid -streams 4 -entries 64
+//	msrsim -workload nested-mispred -engine ri -sets 64 -ways 4
+//	msrsim -list
+//	msrsim -asm prog.s            # run an assembly file instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mssr/internal/asm"
+	"mssr/internal/core"
+	"mssr/internal/emu"
+	"mssr/internal/isa"
+	"mssr/internal/reuse"
+	"mssr/internal/stats"
+	"mssr/internal/trace"
+	"mssr/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "nested-mispred", "workload name (see -list)")
+		asmFile  = flag.String("asm", "", "run an assembly file instead of a named workload")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		engine   = flag.String("engine", "rgid", "reuse engine: none, rgid, ri")
+		streams  = flag.Int("streams", 4, "rgid: squashed streams tracked (N)")
+		entries  = flag.Int("entries", 64, "rgid: squash log entries per stream (P)")
+		sets     = flag.Int("sets", 64, "ri: reuse table sets")
+		ways     = flag.Int("ways", 4, "ri: reuse table ways")
+		loadPol  = flag.String("loads", "verify", "reused-load policy: verify, bloom, none")
+		check    = flag.Bool("check", false, "run the lockstep functional checker")
+		verbose  = flag.Bool("v", false, "print the full counter set")
+		traceN   = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-16s %-9s %s\n", w.Name, w.Suite, w.Description)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*asmFile, *workload, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg, err := buildConfig(*engine, *streams, *entries, *sets, *ways, *loadPol)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.DebugCheck = *check
+	var pipe *trace.Pipeline
+	if *traceN > 0 {
+		pipe = trace.NewPipeline(*traceN)
+		cfg.Tracer = pipe
+	}
+
+	c := core.New(prog, cfg)
+	if err := c.Run(); err != nil {
+		fatal(err)
+	}
+	st := c.Stats
+	fmt.Printf("%s on %s (%s)\n", prog.Name, cfg.Reuse, c.EngineName())
+	fmt.Printf("  %s\n", st)
+	if *verbose {
+		printVerbose(st)
+	}
+	if pipe != nil {
+		fmt.Printf("pipeline diagram (last %d instructions):\n%s", *traceN, pipe.Render(*traceN))
+	}
+
+	// Cross-check the final state against the functional emulator.
+	want, err := emu.RunProgram(prog, 1<<40)
+	if err != nil {
+		fatal(fmt.Errorf("emulator: %w", err))
+	}
+	if got := c.Result(); got != want {
+		fatal(fmt.Errorf("ARCHITECTURAL MISMATCH:\ncore: %+v\nemu:  %+v", got, want))
+	}
+	fmt.Println("  architectural state verified against the functional emulator")
+}
+
+func loadProgram(asmFile, workload string, scale int) (*isa.Program, error) {
+	if asmFile != "" {
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(asmFile, string(src))
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	return w.BuildScaled(scale), nil
+}
+
+func buildConfig(engine string, streams, entries, sets, ways int, loadPol string) (core.Config, error) {
+	var lp reuse.LoadPolicy
+	switch loadPol {
+	case "verify":
+		lp = reuse.LoadVerify
+	case "bloom":
+		lp = reuse.LoadBloom
+	case "none":
+		lp = reuse.LoadNoReuse
+	default:
+		return core.Config{}, fmt.Errorf("unknown load policy %q", loadPol)
+	}
+	switch engine {
+	case "none":
+		return core.DefaultConfig(), nil
+	case "rgid":
+		cfg := core.MultiStreamConfig(streams, entries)
+		cfg.MS.LoadPolicy = lp
+		return cfg, nil
+	case "ri":
+		cfg := core.RIConfigOf(sets, ways)
+		cfg.RI.LoadPolicy = lp
+		return cfg, nil
+	case "dir-value", "dir":
+		cfg := core.DIRConfigOf(sets, ways, reuse.DIRValue)
+		cfg.DIR.LoadPolicy = lp
+		return cfg, nil
+	case "dir-name":
+		cfg := core.DIRConfigOf(sets, ways, reuse.DIRName)
+		cfg.DIR.LoadPolicy = lp
+		return cfg, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown engine %q (none, rgid, ri, dir-value, dir-name)", engine)
+}
+
+func printVerbose(st *stats.Stats) {
+	fmt.Printf("  fetched=%d flushes=%d branches=%d mispredicts=%d (%.2f%%) jumps-mispredicted=%d MPKI=%.2f\n",
+		st.Fetched, st.Flushes, st.Branches, st.BranchMispredicts, 100*st.MispredictRate(), st.JumpMispredicts, st.MPKI())
+	fmt.Printf("  streams=%d reconvergences=%d (simple=%d sw=%d hw=%d) timeouts=%d divergences=%d\n",
+		st.SquashedStreams, st.Reconvergences,
+		st.ReconvByType[stats.ReconvSimple], st.ReconvByType[stats.ReconvSoftware], st.ReconvByType[stats.ReconvHardware],
+		st.StreamTimeouts, st.Divergences)
+	fmt.Printf("  reuse: tests=%d hits=%d loads=%d failRGID=%d failNotDone=%d failKind=%d bloomRejects=%d\n",
+		st.ReuseTests, st.ReuseHits, st.ReusedLoads, st.ReuseFailRGID, st.ReuseFailNotDone, st.ReuseFailKind, st.BloomFilterRejects)
+	fmt.Printf("  memory: verifications=%d violations=%d  rgidResets=%d  riHits=%d riInvalidates=%d\n",
+		st.LoadVerifications, st.MemOrderViolations, st.RGIDResets, st.RIHits, st.RIInvalidates)
+	fmt.Printf("  distance histogram: %v\n", st.ReconvDistance)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msrsim:", err)
+	os.Exit(1)
+}

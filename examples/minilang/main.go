@@ -1,0 +1,68 @@
+// Minilang shows the structured workload-authoring layer: a branchy
+// histogram kernel written with minic's expressions and statements instead
+// of hand-allocated assembly, then run under the paper's mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mssr/internal/core"
+	"mssr/internal/emu"
+	"mssr/internal/minic"
+	"mssr/internal/stats"
+)
+
+func main() {
+	p := minic.NewProgram("histogram")
+	data := p.Array(0, randomWords(512))
+	hist := p.Array(0x90000, make([]uint64, 16))
+	i := p.Var("i")
+	v := p.Var("v")
+	rounds := p.Var("rounds")
+
+	p.For(rounds, minic.Int(0), minic.Int(20), func() {
+		p.For(i, minic.Int(0), minic.Int(512), func() {
+			p.Assign(v, data.At(i))
+			// The bucket choice is data dependent and hard to predict;
+			// the histogram update after it is control independent.
+			p.IfElse(minic.Eq(minic.And(v, minic.Int(1)), minic.Int(0)),
+				func() { p.Assign(v, minic.And(minic.Shr(v, minic.Int(3)), minic.Int(7))) },
+				func() { p.Assign(v, minic.Add(minic.And(minic.Shr(v, minic.Int(7)), minic.Int(7)), minic.Int(8))) })
+			p.SetAt(hist, v, minic.Add(hist.At(v), minic.Int(1)))
+		})
+	})
+	p.Return(hist.At(minic.Int(3)))
+	prog := p.MustBuild()
+
+	e := emu.New(prog)
+	if err := e.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("histogram kernel: %d instructions, hist[3] = %d\n",
+		e.Retired, e.Mem.Read(minic.ResultAddr))
+
+	base := core.New(prog, core.DefaultConfig())
+	if err := base.Run(); err != nil {
+		log.Fatal(err)
+	}
+	c := core.New(prog, core.MultiStreamConfig(4, 64))
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %s\n", base.Stats)
+	fmt.Printf("rgid:     %s\n", c.Stats)
+	fmt.Printf("speedup:  %+.1f%%\n", 100*stats.Speedup(base.Stats, c.Stats))
+}
+
+func randomWords(n int) []uint64 {
+	out := make([]uint64, n)
+	x := uint64(0x243f6a8885a308d3)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module mssr
+
+go 1.22

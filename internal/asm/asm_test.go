@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mssr/internal/isa"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("basic")
+	b.Li(isa.T0, 10)
+	b.Label("loop")
+	b.Addi(isa.T0, isa.T0, -1)
+	b.Bnez(isa.T0, "loop")
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("code length = %d", len(p.Code))
+	}
+	if p.Symbols["loop"] != p.Base+4 {
+		t.Errorf("loop = %#x, want %#x", p.Symbols["loop"], p.Base+4)
+	}
+	if p.Code[2].Target != p.Base+4 {
+		t.Errorf("branch target = %#x", p.Code[2].Target)
+	}
+}
+
+func TestBuilderAllHelpers(t *testing.T) {
+	b := NewBuilder("all")
+	b.Label("top")
+	b.Add(1, 2, 3).Sub(1, 2, 3).And(1, 2, 3).Or(1, 2, 3).Xor(1, 2, 3)
+	b.Sll(1, 2, 3).Srl(1, 2, 3).Sra(1, 2, 3).Slt(1, 2, 3).Sltu(1, 2, 3)
+	b.Mul(1, 2, 3).Div(1, 2, 3).Rem(1, 2, 3).Min(1, 2, 3).Max(1, 2, 3)
+	b.Addi(1, 2, 5).Andi(1, 2, 5).Ori(1, 2, 5).Xori(1, 2, 5)
+	b.Slli(1, 2, 5).Srli(1, 2, 5).Srai(1, 2, 5).Slti(1, 2, 5)
+	b.Li(1, 99).Mv(4, 1).Nop()
+	b.Ld(1, 8, 2).St(1, 8, 2)
+	b.Beq(1, 2, "top").Bne(1, 2, "top").Blt(1, 2, "top").Bge(1, 2, "top")
+	b.Bltu(1, 2, "top").Bgeu(1, 2, "top").Beqz(1, "top").Bnez(1, "top")
+	b.J("top").Jal(isa.RA, "top").Jalr(isa.Zero, isa.RA, 0).Ret()
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU,
+		isa.MUL, isa.DIV, isa.REM, isa.MIN, isa.MAX,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI,
+		isa.LI, isa.ADDI, isa.NOP,
+		isa.LD, isa.ST,
+		isa.BEQ, isa.BNE, isa.BLT, isa.BGE,
+		isa.BLTU, isa.BGEU, isa.BEQ, isa.BNE,
+		isa.JAL, isa.JAL, isa.JALR, isa.JALR,
+		isa.HALT,
+	}
+	if len(p.Code) != len(wantOps) {
+		t.Fatalf("code length = %d, want %d", len(p.Code), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Code[i].Op != op {
+			t.Errorf("insn %d op = %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	b = NewBuilder("undef")
+	b.J("nowhere").Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b = NewBuilder("late-base")
+	b.Nop()
+	b.SetBase(0x4000)
+	if _, err := b.Program(); err == nil {
+		t.Error("SetBase after emit accepted")
+	}
+}
+
+func TestBuilderMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram on bad builder should panic")
+		}
+	}()
+	NewBuilder("bad").J("missing").MustProgram()
+}
+
+func TestBuilderData(t *testing.T) {
+	p := NewBuilder("d").Data(0x2000, 1, 2, 3).Halt().MustProgram()
+	if len(p.Data) != 1 || p.Data[0].Addr != 0x2000 || len(p.Data[0].Words) != 3 {
+		t.Fatalf("data = %+v", p.Data)
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+# count down from 5, accumulating into a0
+.base 0x2000
+.data 0x8000 7 11
+    li   t0, 5
+    li   a0, 0
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ld   t1, 0(s0)
+    st   t1, 8(s0)
+    j    done
+    nop
+done:
+    halt
+`
+	p, err := Assemble("roundtrip", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x2000 {
+		t.Errorf("base = %#x", p.Base)
+	}
+	if len(p.Data) != 1 || p.Data[0].Words[1] != 11 {
+		t.Errorf("data = %+v", p.Data)
+	}
+	if p.Symbols["done"] != p.Base+9*isa.InstrBytes {
+		t.Errorf("done = %#x", p.Symbols["done"])
+	}
+	// The j at index 8 targets done.
+	if p.Code[7].Op != isa.JAL || p.Code[7].Target != p.Symbols["done"] {
+		t.Errorf("jump = %v", p.Code[7])
+	}
+	text := Listing(p)
+	if !strings.Contains(text, "loop:") || !strings.Contains(text, "halt") {
+		t.Errorf("listing missing content:\n%s", text)
+	}
+}
+
+func TestAssembleInstructionForms(t *testing.T) {
+	src := `
+start:
+  add x1, x2, x3
+  addi x1, x2, 0x10
+  mul a0, a1, a2
+  ld t0, -8(sp)
+  st t0, (sp)
+  beq x1, x2, start
+  jal start
+  jal t0, start
+  jalr ra, t0, 4
+  ret
+  mv a0, a1
+  halt
+`
+	p, err := Assemble("forms", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Imm != 16 {
+		t.Errorf("hex imm = %d", p.Code[1].Imm)
+	}
+	if p.Code[3].Imm != -8 || p.Code[3].Rs1 != isa.SP {
+		t.Errorf("ld operand = %+v", p.Code[3])
+	}
+	if p.Code[4].Imm != 0 {
+		t.Errorf("st with empty offset = %+v", p.Code[4])
+	}
+	if p.Code[6].Rd != isa.RA {
+		t.Errorf("jal default link = %v", p.Code[6].Rd)
+	}
+	if p.Code[9].Op != isa.JALR || p.Code[9].Rs1 != isa.RA {
+		t.Errorf("ret = %+v", p.Code[9])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus x1, x2",
+		"add x1, x2",
+		"add x1, x2, x99",
+		"addi x1, x2, zz",
+		"ld x1, 8[x2]",
+		"beq x1, x2",
+		"li x1",
+		": halt",
+		"jalr ra",
+		".data",
+		"j",
+		"mv a0",
+		"beqz a0",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src+"\nhalt\n"); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble on bad source should panic")
+		}
+	}()
+	MustAssemble("bad", "frobnicate x1\nhalt")
+}

@@ -1,0 +1,249 @@
+// Package asm provides two ways to construct isa.Programs: a fluent Builder
+// API used by the synthetic workloads, and a small text assembler (see
+// Assemble) for hand-written kernels and examples. Both resolve symbolic
+// labels to absolute PCs and validate the result.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"mssr/internal/isa"
+)
+
+// fixup records a forward reference from the instruction at index to a
+// label that sets Instruction.Target once resolved.
+type fixup struct {
+	index int
+	label string
+}
+
+// Builder incrementally assembles a program. Methods append instructions;
+// Label defines a target at the current position; Program resolves labels
+// and returns the finished program. All errors are deferred and reported by
+// Program so call sites stay unconditional.
+type Builder struct {
+	name   string
+	base   uint64
+	code   []isa.Instruction
+	labels map[string]int // label -> instruction index
+	fixups []fixup
+	data   []isa.DataSegment
+	errs   []error
+}
+
+// NewBuilder returns a Builder for a program named name based at
+// isa.DefaultCodeBase.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, base: isa.DefaultCodeBase, labels: make(map[string]int)}
+}
+
+// SetBase overrides the code base address. It must be called before any
+// instruction is appended.
+func (b *Builder) SetBase(base uint64) *Builder {
+	if len(b.code) > 0 {
+		b.errs = append(b.errs, fmt.Errorf("SetBase after code emitted"))
+		return b
+	}
+	b.base = base
+	return b
+}
+
+// PC returns the address the next appended instruction will occupy.
+func (b *Builder) PC() uint64 { return b.base + uint64(len(b.code))*isa.InstrBytes }
+
+// Label defines name at the current position. Redefinition is an error.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("label %q redefined", name))
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// Data initializes a run of 64-bit words at addr in data memory.
+func (b *Builder) Data(addr uint64, words ...uint64) *Builder {
+	seg := isa.DataSegment{Addr: addr, Words: append([]uint64(nil), words...)}
+	b.data = append(b.data, seg)
+	return b
+}
+
+func (b *Builder) emit(in isa.Instruction) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+func (b *Builder) emitTo(in isa.Instruction, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{index: len(b.code), label: label})
+	return b.emit(in)
+}
+
+// R-type ALU operations.
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.ADD, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.SUB, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.AND, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder   { return b.op3(isa.OR, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.XOR, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.SLL, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.SRL, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.SRA, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.SLT, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) *Builder { return b.op3(isa.SLTU, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.MUL, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.DIV, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.REM, rd, rs1, rs2) }
+func (b *Builder) Min(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.MIN, rd, rs1, rs2) }
+func (b *Builder) Max(rd, rs1, rs2 isa.Reg) *Builder  { return b.op3(isa.MAX, rd, rs1, rs2) }
+
+func (b *Builder) op3(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I-type ALU operations.
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.ADDI, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.ANDI, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) *Builder  { return b.opi(isa.ORI, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.XORI, rd, rs1, imm) }
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.SLLI, rd, rs1, imm) }
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.SRLI, rd, rs1, imm) }
+func (b *Builder) Srai(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.SRAI, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) *Builder { return b.opi(isa.SLTI, rd, rs1, imm) }
+
+func (b *Builder) opi(op isa.Op, rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads a 64-bit literal into rd.
+func (b *Builder) Li(rd isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LI, Rd: rd, Imm: imm})
+}
+
+// Mv copies rs into rd.
+func (b *Builder) Mv(rd, rs isa.Reg) *Builder { return b.Addi(rd, rs, 0) }
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Instruction{Op: isa.NOP}) }
+
+// Memory operations.
+
+// Ld loads the 64-bit word at off(base) into rd.
+func (b *Builder) Ld(rd isa.Reg, off int64, base isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LD, Rd: rd, Rs1: base, Imm: off})
+}
+
+// St stores src to off(base).
+func (b *Builder) St(src isa.Reg, off int64, base isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.ST, Rs1: base, Rs2: src, Imm: off})
+}
+
+// Control flow. Branches target labels resolved by Program.
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BEQ, rs1, rs2, label)
+}
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BNE, rs1, rs2, label)
+}
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BLT, rs1, rs2, label)
+}
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BGE, rs1, rs2, label)
+}
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BLTU, rs1, rs2, label)
+}
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.br(isa.BGEU, rs1, rs2, label)
+}
+
+func (b *Builder) br(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitTo(isa.Instruction{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Beqz branches to label when rs == 0.
+func (b *Builder) Beqz(rs isa.Reg, label string) *Builder { return b.Beq(rs, isa.Zero, label) }
+
+// Bnez branches to label when rs != 0.
+func (b *Builder) Bnez(rs isa.Reg, label string) *Builder { return b.Bne(rs, isa.Zero, label) }
+
+// J jumps unconditionally to label without linking.
+func (b *Builder) J(label string) *Builder { return b.Jal(isa.Zero, label) }
+
+// Jal jumps to label, writing the return address to rd.
+func (b *Builder) Jal(rd isa.Reg, label string) *Builder {
+	return b.emitTo(isa.Instruction{Op: isa.JAL, Rd: rd}, label)
+}
+
+// Jalr jumps to (rs1+imm), writing the return address to rd.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ret returns via the RA register.
+func (b *Builder) Ret() *Builder { return b.Jalr(isa.Zero, isa.RA, 0) }
+
+// Halt appends the architectural end of the program.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Instruction{Op: isa.HALT}) }
+
+// Program resolves all labels and returns the validated program.
+func (b *Builder) Program() (*isa.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &isa.Program{
+		Name:    b.name,
+		Base:    b.base,
+		Code:    append([]isa.Instruction(nil), b.code...),
+		Data:    b.data,
+		Symbols: make(map[string]uint64, len(b.labels)),
+	}
+	for name, idx := range b.labels {
+		p.Symbols[name] = b.base + uint64(idx)*isa.InstrBytes
+	}
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %q: undefined label %q", b.name, f.label)
+		}
+		p.Code[f.index].Target = b.base + uint64(idx)*isa.InstrBytes
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program but panics on error; workload constructors use it
+// because a build failure there is a programming bug in this repository.
+func (b *Builder) MustProgram() *isa.Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Listing renders the program as annotated assembly text, one instruction
+// per line with PCs and label names, for debugging and documentation.
+func Listing(p *isa.Program) string {
+	byPC := make(map[uint64][]string)
+	for name, pc := range p.Symbols {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	for _, names := range byPC {
+		sort.Strings(names)
+	}
+	var out []byte
+	for i, in := range p.Code {
+		pc := p.Base + uint64(i)*isa.InstrBytes
+		for _, name := range byPC[pc] {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("  0x%06x  %v\n", pc, in)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,49 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"mssr/internal/asm"
+	"mssr/internal/emu"
+	"mssr/internal/isa"
+)
+
+// Assemble a small loop and execute it on the functional emulator.
+func ExampleAssemble() {
+	prog, err := asm.Assemble("triangle", `
+    li   t0, 10      # n
+    li   a0, 0       # sum
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := emu.RunProgram(prog, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum(1..10) =", res.Regs[isa.A0])
+	// Output: sum(1..10) = 55
+}
+
+// Build the same program through the fluent Builder API.
+func ExampleBuilder() {
+	b := asm.NewBuilder("triangle")
+	b.Li(isa.T0, 10)
+	b.Li(isa.A0, 0)
+	b.Label("loop")
+	b.Add(isa.A0, isa.A0, isa.T0)
+	b.Addi(isa.T0, isa.T0, -1)
+	b.Bnez(isa.T0, "loop")
+	b.Halt()
+	res, err := emu.RunProgram(b.MustProgram(), 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum(1..10) =", res.Regs[isa.A0])
+	// Output: sum(1..10) = 55
+}

@@ -1,0 +1,48 @@
+package asm
+
+import (
+	"testing"
+
+	"mssr/internal/emu"
+)
+
+// FuzzAssemble checks the text assembler never panics and that every
+// program it accepts validates and (if it halts quickly) executes without
+// faulting the emulator.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nhalt",
+		".base 0x4000\n.data 0x8000 1 2 3\nld a0, 0(s0)\nst a0, 8(s0)\nhalt",
+		"add x1, x2, x3\nbeq x1, x2, nowhere",
+		"jalr ra, t0, 4\nret\nj done\ndone: halt",
+		": bad",
+		"li x99, 1",
+		"addi x1, x2, 0xzz",
+		".data\nhalt",
+		"label: label2: halt",
+		"mul a0, a1, a2 # comment ; another",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Assemble accepted a program that fails Validate: %v", verr)
+		}
+		// Execute with a small budget; nontermination is fine, faults not.
+		e := emu.New(p)
+		for i := 0; i < 10000 && !e.Halted; i++ {
+			if !p.Contains(e.PC) {
+				// Running off the program is a program bug the assembler
+				// cannot prevent (e.g. missing halt); stop gracefully.
+				return
+			}
+			e.Step()
+		}
+	})
+}

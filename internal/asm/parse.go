@@ -1,0 +1,350 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mssr/internal/isa"
+)
+
+// Assemble parses assembly text into a program. The dialect is a small
+// RISC-V-like syntax:
+//
+//	# comment
+//	.base 0x10000          # optional, before any instruction
+//	.data 0x2000 1 2 3     # initialize words at an address
+//	loop:                  # labels end with a colon
+//	  addi x1, x1, -1
+//	  ld   x2, 8(x3)
+//	  st   x2, 0(x4)
+//	  bne  x1, zero, loop
+//	  halt
+//
+// Registers are written x0..x31 or by ABI name (zero, ra, sp, t0..t6,
+// a0..a7, s0..s11). Immediates accept decimal and 0x hex.
+func Assemble(name, src string) (*isa.Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(b, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+		}
+	}
+	return b.Program()
+}
+
+// MustAssemble is Assemble but panics on error.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func assembleLine(b *Builder, line string) error {
+	// Labels, possibly followed by an instruction on the same line.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if label == "" || strings.ContainsAny(label, " \t,()") {
+			return fmt.Errorf("bad label %q", label)
+		}
+		b.Label(label)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	args := splitArgs(strings.TrimSpace(line[len(fields[0]):]))
+
+	switch mnemonic {
+	case ".base":
+		v, err := parseImm(args, 0)
+		if err != nil {
+			return err
+		}
+		b.SetBase(uint64(v))
+		return nil
+	case ".data":
+		if len(args) < 1 {
+			return fmt.Errorf(".data needs an address")
+		}
+		addr, err := parseImm(args, 0)
+		if err != nil {
+			return err
+		}
+		words := make([]uint64, 0, len(args)-1)
+		for i := 1; i < len(args); i++ {
+			w, err := parseImm(args, i)
+			if err != nil {
+				return err
+			}
+			words = append(words, uint64(w))
+		}
+		b.Data(uint64(addr), words...)
+		return nil
+	}
+
+	if op, ok := r3ops[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs rd, rs1, rs2", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.op3(op, rd, rs1, rs2)
+		return nil
+	}
+	if op, ok := iops[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs rd, rs1, imm", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args, 2)
+		if err != nil {
+			return err
+		}
+		b.opi(op, rd, rs1, imm)
+		return nil
+	}
+	if op, ok := brops[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs rs1, rs2, label", mnemonic)
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.br(op, rs1, rs2, args[2])
+		return nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		b.Nop()
+	case "halt":
+		b.Halt()
+	case "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li needs rd, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args, 1)
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+	case "mv":
+		if len(args) != 2 {
+			return fmt.Errorf("mv needs rd, rs")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Mv(rd, rs)
+	case "ld", "st":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs reg, off(base)", mnemonic)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "ld" {
+			b.Ld(r, off, base)
+		} else {
+			b.St(r, off, base)
+		}
+	case "beqz", "bnez":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs rs, label", mnemonic)
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "beqz" {
+			b.Beqz(rs, args[1])
+		} else {
+			b.Bnez(rs, args[1])
+		}
+	case "j":
+		if len(args) != 1 {
+			return fmt.Errorf("j needs a label")
+		}
+		b.J(args[0])
+	case "jal":
+		switch len(args) {
+		case 1:
+			b.Jal(isa.RA, args[0])
+		case 2:
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			b.Jal(rd, args[1])
+		default:
+			return fmt.Errorf("jal needs [rd,] label")
+		}
+	case "jalr":
+		if len(args) != 3 {
+			return fmt.Errorf("jalr needs rd, rs1, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args, 2)
+		if err != nil {
+			return err
+		}
+		b.Jalr(rd, rs1, imm)
+	case "ret":
+		b.Ret()
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+var r3ops = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "and": isa.AND, "or": isa.OR,
+	"xor": isa.XOR, "sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA,
+	"slt": isa.SLT, "sltu": isa.SLTU, "mul": isa.MUL, "div": isa.DIV,
+	"rem": isa.REM, "min": isa.MIN, "max": isa.MAX,
+}
+
+var iops = map[string]isa.Op{
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI, "slti": isa.SLTI,
+}
+
+var brops = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+}
+
+var abiRegs = map[string]isa.Reg{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+	"a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+	"s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	args := make([]string, 0, len(parts))
+	for _, p := range parts {
+		for _, f := range strings.Fields(p) {
+			args = append(args, f)
+		}
+	}
+	return args
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := abiRegs[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumArchRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(args[i]), 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex literals.
+		u, uerr := strconv.ParseUint(strings.TrimSpace(args[i]), 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", args[i])
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseMem parses "off(base)" operands.
+func parseMem(s string) (int64, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var off int64
+	if t := strings.TrimSpace(s[:open]); t != "" {
+		v, err := strconv.ParseInt(t, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}

@@ -1,0 +1,362 @@
+// Package bpred implements the branch prediction substrate of the simulated
+// frontend: a TAGE-style conditional direction predictor over a bimodal
+// base (standing in for the paper's TAGE-SC-L 64K), a return address stack
+// with single-entry repair, and a last-target indirect predictor. The
+// predictor is deliberately good on pattern-following branches and poor on
+// data-dependent ones — the property that creates the hard-to-predict
+// branches the paper's mechanism exploits.
+package bpred
+
+// Config parameterizes the predictor. Use DefaultConfig unless a test needs
+// something smaller.
+type Config struct {
+	// BimodalBits is log2 of the bimodal table size.
+	BimodalBits int
+	// TableBits is log2 of each tagged table's size.
+	TableBits int
+	// TagBits is the tag width of tagged-table entries.
+	TagBits int
+	// HistLengths is the geometric history-length series, shortest first
+	// (one tagged table per entry, max 128 bits).
+	HistLengths []int
+	// RASSize is the return-address-stack depth.
+	RASSize int
+	// IndirectBits is log2 of the indirect target table size.
+	IndirectBits int
+	// UsefulResetPeriod is the number of updates between usefulness
+	// counter decays.
+	UsefulResetPeriod uint64
+}
+
+// DefaultConfig returns the configuration used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		BimodalBits:       13,
+		TableBits:         10,
+		TagBits:           9,
+		HistLengths:       []int{4, 8, 16, 32, 64, 128},
+		RASSize:           32,
+		IndirectBits:      9,
+		UsefulResetPeriod: 1 << 18,
+	}
+}
+
+// Snapshot captures the speculative predictor state that must be repaired
+// on a pipeline flush: the global history register and the RAS repair pair.
+// It is also the key under which TAGE retraining recomputes its indices, so
+// every in-flight control instruction carries the Snapshot taken just
+// before it was predicted.
+type Snapshot struct {
+	HistLo, HistHi uint64
+	RASTop         uint64
+	RASSP          int32
+}
+
+type tagEntry struct {
+	tag uint16
+	ctr int8  // 3-bit signed counter, taken when >= 0
+	u   uint8 // 2-bit usefulness
+}
+
+type tagTable struct {
+	hist    int
+	entries []tagEntry
+}
+
+// Unit is the branch prediction unit.
+type Unit struct {
+	cfg     Config
+	bimodal []int8 // 2-bit counters, taken when >= 2
+	tables  []tagTable
+
+	histLo, histHi uint64 // global history, bit 0 = most recent
+
+	ras   []uint64
+	rasSP int32
+
+	indTags    []uint32
+	indTargets []uint64
+
+	updates uint64
+	lfsr    uint32 // allocation tie-breaking
+}
+
+// New builds a predictor.
+func New(cfg Config) *Unit {
+	u := &Unit{
+		cfg:        cfg,
+		bimodal:    make([]int8, 1<<cfg.BimodalBits),
+		ras:        make([]uint64, cfg.RASSize),
+		indTags:    make([]uint32, 1<<cfg.IndirectBits),
+		indTargets: make([]uint64, 1<<cfg.IndirectBits),
+		lfsr:       0xace1,
+	}
+	for i := range u.bimodal {
+		u.bimodal[i] = 1 // weakly not-taken
+	}
+	for _, h := range cfg.HistLengths {
+		u.tables = append(u.tables, tagTable{
+			hist:    h,
+			entries: make([]tagEntry, 1<<cfg.TableBits),
+		})
+	}
+	return u
+}
+
+// Snapshot captures the current speculative state.
+func (u *Unit) Snapshot() Snapshot {
+	s := Snapshot{HistLo: u.histLo, HistHi: u.histHi, RASSP: u.rasSP}
+	if len(u.ras) > 0 {
+		s.RASTop = u.ras[u.topIndex()]
+	}
+	return s
+}
+
+// Restore rewinds the speculative state to s (on a flush) — the global
+// history and the RAS pointer plus its top entry.
+func (u *Unit) Restore(s Snapshot) {
+	u.histLo, u.histHi = s.HistLo, s.HistHi
+	u.rasSP = s.RASSP
+	if len(u.ras) > 0 {
+		u.ras[u.topIndex()] = s.RASTop
+	}
+}
+
+func (u *Unit) topIndex() int {
+	n := int32(len(u.ras))
+	return int(((u.rasSP-1)%n + n) % n)
+}
+
+// PushRAS records a call's return address.
+func (u *Unit) PushRAS(ret uint64) {
+	u.ras[int(u.rasSP)%len(u.ras)] = ret
+	u.rasSP++
+}
+
+// PopRAS predicts a return target.
+func (u *Unit) PopRAS() uint64 {
+	t := u.ras[u.topIndex()]
+	u.rasSP--
+	return t
+}
+
+// ShiftHistory appends a conditional-branch direction to the speculative
+// global history. PredictBranch does this itself; Resolve re-applies the
+// correct direction after a restore.
+func (u *Unit) ShiftHistory(taken bool) {
+	u.histHi = u.histHi<<1 | u.histLo>>63
+	u.histLo <<= 1
+	if taken {
+		u.histLo |= 1
+	}
+}
+
+// foldedHistory xor-folds the first length bits of the snapshot history
+// into bits chunks.
+func foldedHistory(lo, hi uint64, length, bits int) uint64 {
+	var h uint64
+	if length >= 64 {
+		h = lo
+		rest := hi
+		if length < 128 {
+			rest &= (1 << uint(length-64)) - 1
+		}
+		// Stagger the upper half so bit i of hi does not simply cancel
+		// against bit i of lo under the fold.
+		h ^= rest<<7 | rest>>(64-7)
+	} else {
+		h = lo & ((1 << uint(length)) - 1)
+	}
+	var f uint64
+	for h != 0 {
+		f ^= h & ((1 << uint(bits)) - 1)
+		h >>= uint(bits)
+	}
+	return f
+}
+
+func (u *Unit) tableIndex(t int, pc uint64, s Snapshot) int {
+	bits := u.cfg.TableBits
+	h := foldedHistory(s.HistLo, s.HistHi, u.tables[t].hist, bits)
+	idx := (pc >> 2) ^ (pc >> uint(bits+2)) ^ h ^ uint64(t)*0x9e3779b1
+	return int(idx & uint64(len(u.tables[t].entries)-1))
+}
+
+func (u *Unit) tableTag(t int, pc uint64, s Snapshot) uint16 {
+	bits := u.cfg.TagBits
+	h := foldedHistory(s.HistLo, s.HistHi, u.tables[t].hist, bits-1)
+	tag := (pc >> 2) ^ (pc >> uint(bits+4)) ^ h<<1 ^ uint64(t)*0x85ebca6b
+	return uint16(tag & ((1 << uint(bits)) - 1))
+}
+
+func (u *Unit) bimodalIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(len(u.bimodal)-1))
+}
+
+// lookup finds the provider (longest-history hit) and the alternate
+// prediction for pc under snapshot s. provider == -1 means bimodal.
+func (u *Unit) lookup(pc uint64, s Snapshot) (provider int, pred, altPred bool) {
+	provider = -1
+	alt := -1
+	for t := len(u.tables) - 1; t >= 0; t-- {
+		e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
+		if e.tag == u.tableTag(t, pc, s) {
+			if provider < 0 {
+				provider = t
+			} else {
+				alt = t
+				break
+			}
+		}
+	}
+	bimodalPred := u.bimodal[u.bimodalIndex(pc)] >= 2
+	altPred = bimodalPred
+	if alt >= 0 {
+		altPred = u.tables[alt].entries[u.tableIndex(alt, pc, s)].ctr >= 0
+	}
+	pred = bimodalPred
+	if provider >= 0 {
+		pred = u.tables[provider].entries[u.tableIndex(provider, pc, s)].ctr >= 0
+	}
+	return provider, pred, altPred
+}
+
+// PredictBranch predicts the direction of the conditional branch at pc and
+// speculatively shifts the prediction into the global history. Callers must
+// take a Snapshot first (for repair and training).
+func (u *Unit) PredictBranch(pc uint64, s Snapshot) bool {
+	_, pred, _ := u.lookup(pc, s)
+	u.ShiftHistory(pred)
+	return pred
+}
+
+// Train updates the predictor with the resolved direction of the branch at
+// pc, using the history snapshot taken when it was predicted (the paper
+// trains on retired/deallocated FTQ entries; the core calls this at
+// retirement).
+func (u *Unit) Train(pc uint64, s Snapshot, taken bool) {
+	u.updates++
+	if u.cfg.UsefulResetPeriod > 0 && u.updates%u.cfg.UsefulResetPeriod == 0 {
+		for t := range u.tables {
+			for i := range u.tables[t].entries {
+				u.tables[t].entries[i].u >>= 1
+			}
+		}
+	}
+
+	provider, pred, altPred := u.lookup(pc, s)
+
+	// Update the provider's counter (or the bimodal base).
+	if provider >= 0 {
+		e := &u.tables[provider].entries[u.tableIndex(provider, pc, s)]
+		e.ctr = bump3(e.ctr, taken)
+		if pred != altPred {
+			if pred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		// Keep the base table warm too when the provider is freshly
+		// allocated and weak.
+		if e.ctr == 0 || e.ctr == -1 {
+			bi := u.bimodalIndex(pc)
+			u.bimodal[bi] = bump2(u.bimodal[bi], taken)
+		}
+	} else {
+		bi := u.bimodalIndex(pc)
+		u.bimodal[bi] = bump2(u.bimodal[bi], taken)
+	}
+
+	// Allocate a longer-history entry on misprediction.
+	if pred != taken && provider < len(u.tables)-1 {
+		u.allocate(provider+1, pc, s, taken)
+	}
+}
+
+func (u *Unit) allocate(from int, pc uint64, s Snapshot, taken bool) {
+	// Gather candidate tables with a dead (u == 0) entry.
+	var candidates []int
+	for t := from; t < len(u.tables); t++ {
+		e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
+		if e.u == 0 {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		// Age everything so allocation succeeds eventually.
+		for t := from; t < len(u.tables); t++ {
+			e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+		return
+	}
+	// Prefer shorter histories, with a pseudo-random skip so a single hot
+	// branch does not always claim the same table.
+	pick := candidates[0]
+	if len(candidates) > 1 && u.nextRand()&3 == 0 {
+		pick = candidates[1]
+	}
+	e := &u.tables[pick].entries[u.tableIndex(pick, pc, s)]
+	e.tag = u.tableTag(pick, pc, s)
+	e.u = 0
+	if taken {
+		e.ctr = 0
+	} else {
+		e.ctr = -1
+	}
+}
+
+func (u *Unit) nextRand() uint32 {
+	// 16-bit Fibonacci LFSR; deterministic across runs.
+	bit := (u.lfsr>>0 ^ u.lfsr>>2 ^ u.lfsr>>3 ^ u.lfsr>>5) & 1
+	u.lfsr = u.lfsr>>1 | bit<<15
+	return u.lfsr
+}
+
+func bump3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+func bump2(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// PredictIndirect predicts the target of an indirect jump at pc; ok is
+// false when the table has never seen this PC.
+func (u *Unit) PredictIndirect(pc uint64) (target uint64, ok bool) {
+	i := int((pc >> 2) & uint64(len(u.indTargets)-1))
+	if u.indTags[i] == uint32(pc>>2) && u.indTargets[i] != 0 {
+		return u.indTargets[i], true
+	}
+	return 0, false
+}
+
+// TrainIndirect records the resolved target of the indirect jump at pc.
+func (u *Unit) TrainIndirect(pc, target uint64) {
+	i := int((pc >> 2) & uint64(len(u.indTargets)-1))
+	u.indTags[i] = uint32(pc >> 2)
+	u.indTargets[i] = target
+}

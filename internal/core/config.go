@@ -1,0 +1,203 @@
+// Package core implements the execution-driven out-of-order superscalar
+// timing model: an 8-wide fetch/rename/commit pipeline with a 256-entry
+// ROB, unified physical register file, reservation stations, a load-store
+// queue with store-to-load forwarding and violation detection, and real
+// wrong-path execution — the substrate the paper's squash-reuse mechanisms
+// require (Table 3 configuration).
+//
+// The core executes speculatively down predicted paths with renamed
+// registers and speculative load data, exactly like gem5's execution-driven
+// O3 model; on a branch misprediction it captures the squashed stream into
+// the configured reuse engine, rolls the RAT (with RGIDs) back, and
+// redirects fetch. Reuse grants complete instructions at rename.
+package core
+
+import (
+	"mssr/internal/bpred"
+	"mssr/internal/mem"
+	"mssr/internal/reuse"
+	"mssr/internal/trace"
+)
+
+// ReuseKind selects the squash-reuse engine.
+type ReuseKind int
+
+// Reuse engine kinds.
+const (
+	// ReuseNone is the baseline without squash reuse.
+	ReuseNone ReuseKind = iota
+	// ReuseMultiStream is the paper's RGID-based multi-stream mechanism.
+	// Configured with MS.Streams == 1 it models Dynamic Control
+	// Independence (DCI), as in the paper's comparison.
+	ReuseMultiStream
+	// ReuseRI is the Register Integration table baseline.
+	ReuseRI
+	// ReuseDIR is the Dynamic Instruction Reuse baseline (value or name
+	// scheme, §3.7.1).
+	ReuseDIR
+)
+
+func (k ReuseKind) String() string {
+	switch k {
+	case ReuseNone:
+		return "none"
+	case ReuseMultiStream:
+		return "rgid"
+	case ReuseRI:
+		return "ri"
+	case ReuseDIR:
+		return "dir"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the core. DefaultConfig reproduces the paper's
+// Table 3.
+type Config struct {
+	// BlocksPerCycle is the number of prediction blocks fetched per cycle
+	// (2 models the multiple-block fetching extension of §3.9.1).
+	BlocksPerCycle int
+	// RenameWidth is the decode/rename width.
+	RenameWidth int
+	// CommitWidth is the retirement width.
+	CommitWidth int
+	// FrontendDelay is the fetch-to-rename latency in cycles (the paper's
+	// 5-stage frontend).
+	FrontendDelay uint64
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// PhysRegs is the physical register file size.
+	PhysRegs int
+	// IQSize is the ALU/BRU reservation station capacity.
+	IQSize int
+	// MemIQSize is the LSU reservation station capacity.
+	MemIQSize int
+	// LoadQueue and StoreQueue are the LSQ capacities.
+	LoadQueue  int
+	StoreQueue int
+	// ALUs, BRUs and LSUs are per-cycle issue ports per class.
+	ALUs int
+	BRUs int
+	LSUs int
+	// MulLat and DivLat are multiply/divide latencies.
+	MulLat uint64
+	DivLat uint64
+	// FwdLat is the store-to-load forwarding latency.
+	FwdLat uint64
+	// FetchQueue bounds fetched-but-not-renamed instructions.
+	FetchQueue int
+
+	// Mem configures the data-cache hierarchy; BP the branch predictors.
+	Mem mem.Config
+	BP  bpred.Config
+
+	// RATCheckpoints bounds the rename checkpoints available for branch
+	// recovery (Table 2 uses 32). A mispredicting branch holding a
+	// checkpoint recovers the RAT+RGID state in one cycle; without one,
+	// recovery walks the squashed ROB entries at rename width (the
+	// paper's checkpoint-plus-rollback scheme, §3.1). Zero disables
+	// checkpoints entirely (pure rollback).
+	RATCheckpoints int
+	// RGIDBits is the generation tag width (the paper's Table 2 uses 6).
+	RGIDBits int
+	// OverflowResetThreshold triggers a global RGID reset after this many
+	// counter wrap events (the paper uses 8).
+	OverflowResetThreshold int
+
+	// Reuse selects the engine; MS, RI and DIR configure it.
+	Reuse ReuseKind
+	MS    reuse.MultiStreamConfig
+	RI    reuse.RIConfig
+	DIR   reuse.DIRConfig
+	// RITestsPerCycle bounds how many Register Integration tests can run
+	// per rename cycle (0 = idealized/unlimited). The paper's §3.7.3
+	// shows RI's table accesses serialize through the rename dependency
+	// chain, so a real implementation completes only a few per cycle;
+	// this knob measures what that costs. It does not apply to the RGID
+	// engine, whose reuse test §3.5 parallelizes.
+	RITestsPerCycle int
+
+	// Tracer, when set, receives pipeline events (see internal/trace);
+	// nil disables tracing.
+	Tracer trace.Tracer
+	// DebugCheck runs a functional emulator in lockstep at commit and
+	// panics on any architectural divergence. Tests enable it; benchmarks
+	// do not.
+	DebugCheck bool
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's Table 3 baseline with squash reuse
+// disabled.
+func DefaultConfig() Config {
+	return Config{
+		BlocksPerCycle: 1,
+		RenameWidth:    8,
+		CommitWidth:    8,
+		FrontendDelay:  4, // 5 pipeline stages fetch->rename
+		ROBSize:        256,
+		PhysRegs:       256,
+		IQSize:         64,
+		MemIQSize:      64,
+		LoadQueue:      96,
+		StoreQueue:     96,
+		ALUs:           4,
+		BRUs:           2,
+		LSUs:           2,
+		MulLat:         3,
+		DivLat:         12,
+		FwdLat:         3,
+		FetchQueue:     64,
+		Mem:            mem.DefaultConfig(),
+		BP:             bpred.DefaultConfig(),
+		// The paper's Table 2 uses 6-bit RGIDs over 64 architectural
+		// registers and SPEC-sized loop bodies. Our synthetic kernels are
+		// far smaller (tight loops over ~15 registers), so per-register
+		// counters saturate orders of magnitude faster; 12-bit tags keep
+		// the overflow/reset rate comparable to the paper's regime. The
+		// storage model still reports the 6-bit configuration, and a
+		// bench sweeps the width (see bench_test.go ablations).
+		RATCheckpoints:         32,
+		RGIDBits:               12,
+		OverflowResetThreshold: 8,
+		Reuse:                  ReuseNone,
+		MS:                     reuse.DefaultMultiStreamConfig(),
+		RI:                     reuse.DefaultRIConfig(),
+		DIR:                    reuse.DefaultDIRConfig(),
+		MaxCycles:              2_000_000_000,
+	}
+}
+
+// MultiStreamConfig returns the Table 3 core with the paper's mechanism at
+// the given stream count and squash-log depth (WPB block entries sized at
+// one quarter of the log, as in §4.1.2).
+func MultiStreamConfig(streams, logEntries int) Config {
+	cfg := DefaultConfig()
+	cfg.Reuse = ReuseMultiStream
+	cfg.MS.Streams = streams
+	cfg.MS.LogEntries = logEntries
+	cfg.MS.WPBEntries = max(1, logEntries/4)
+	return cfg
+}
+
+// RIConfigOf returns the Table 3 core with the Register Integration
+// baseline at the given geometry.
+func RIConfigOf(sets, ways int) Config {
+	cfg := DefaultConfig()
+	cfg.Reuse = ReuseRI
+	cfg.RI.Sets = sets
+	cfg.RI.Ways = ways
+	return cfg
+}
+
+// DIRConfigOf returns the Table 3 core with the Dynamic Instruction Reuse
+// baseline at the given geometry and scheme.
+func DIRConfigOf(sets, ways int, scheme reuse.DIRScheme) Config {
+	cfg := DefaultConfig()
+	cfg.Reuse = ReuseDIR
+	cfg.DIR.Sets = sets
+	cfg.DIR.Ways = ways
+	cfg.DIR.Scheme = scheme
+	return cfg
+}

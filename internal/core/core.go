@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mssr/internal/bpred"
+	"mssr/internal/emu"
+	"mssr/internal/frontend"
+	"mssr/internal/isa"
+	"mssr/internal/mem"
+	"mssr/internal/rename"
+	"mssr/internal/reuse"
+	"mssr/internal/stats"
+	"mssr/internal/trace"
+)
+
+// ErrCycleLimit is returned by Run when MaxCycles elapses before HALT
+// commits.
+var ErrCycleLimit = errors.New("core: cycle limit exceeded")
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq   uint64 // rename-order sequence (contiguous in the ROB)
+	fseq  uint64 // fetch-order sequence (matches reuse.Request.Seq)
+	pc    uint64
+	instr isa.Instruction
+
+	// Prediction metadata.
+	predTaken bool
+	predNext  uint64
+	snapshot  bpred.Snapshot
+	isCall    bool
+	isReturn  bool
+
+	// Rename metadata.
+	hasDest  bool
+	destPreg rename.PhysReg
+	destGen  rename.RGID
+	oldMap   rename.Mapping
+	srcPregs [2]rename.PhysReg
+	srcGens  [2]rename.RGID
+	nsrc     int
+
+	// Status.
+	inIQ          bool
+	issued        bool
+	executed      bool
+	completed     bool
+	doneAt        uint64
+	reused        bool
+	verifPending  bool
+	verifOK       bool
+	mispredicted  bool
+	hasCheckpoint bool
+
+	// Execution results.
+	result   uint64
+	taken    bool
+	nextPC   uint64 // resolved next PC for control instructions
+	memAddr  uint64
+	memValue uint64
+	fwdFrom  uint64 // seq of the forwarding store; 0 = memory
+	halt     bool
+}
+
+// lsqEntry is one load- or store-queue entry.
+type lsqEntry struct {
+	seq      uint64
+	addr     uint64
+	value    uint64
+	executed bool
+	fwdFrom  uint64 // loads: forwarding store seq, 0 = memory
+	reused   bool
+}
+
+// Core is the out-of-order processor model executing one program.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+
+	// Substrates.
+	bp      *bpred.Unit
+	fu      *frontend.Unit
+	hier    *mem.Hierarchy
+	rat     *rename.RAT
+	alloc   *rename.Allocator
+	tracker *rename.Tracker
+	engine  reuse.Engine
+	Stats   *stats.Stats
+
+	// Physical register file.
+	prf      []uint64
+	prfReady []bool
+
+	// ROB ring buffer.
+	rob     []robEntry
+	headIdx int
+	count   int
+	headSeq uint64 // seq of the head entry
+	nextSeq uint64 // next rename seq
+
+	// Fetch.
+	fseq            uint64
+	fetchQ          []fetchedEntry
+	lastRedirectSeq uint64
+
+	// Rename checkpoints (Table 2's 32-checkpoint budget) and the
+	// recovery stall modelling checkpoint-miss rollback walks.
+	checkpointsInFlight int
+	renameBlockedUntil  uint64
+
+	// Scheduler.
+	iq        []uint64 // ALU/BRU reservation station (rename seqs, in order)
+	memIQ     []uint64 // LSU reservation station
+	executing []uint64 // issued, completing at doneAt
+	verifQ    []uint64 // reused loads awaiting verification issue
+
+	// LSQ.
+	loadQ  []lsqEntry
+	storeQ []lsqEntry
+
+	// Committed architectural memory.
+	mem *emu.Memory
+
+	// RGID reset protocol (§3.3.2).
+	suspendCommits int // stream capture suspended until this many commits
+
+	// Run state.
+	cycle  uint64
+	halted bool
+
+	tracer trace.Tracer
+
+	// Debug lockstep checker.
+	checker *emu.Emulator
+}
+
+type fetchedEntry struct {
+	fi      frontend.FetchedInstr
+	fseq    uint64
+	readyAt uint64
+}
+
+// New builds a core for prog under cfg.
+func New(prog *isa.Program, cfg Config) *Core {
+	c := &Core{
+		cfg:      cfg,
+		prog:     prog,
+		bp:       bpred.New(cfg.BP),
+		hier:     mem.NewHierarchy(cfg.Mem),
+		rat:      rename.NewRAT(),
+		alloc:    rename.NewAllocator(cfg.RGIDBits),
+		tracker:  rename.NewTracker(cfg.PhysRegs, isa.NumArchRegs),
+		Stats:    &stats.Stats{},
+		prf:      make([]uint64, cfg.PhysRegs),
+		prfReady: make([]bool, cfg.PhysRegs),
+		rob:      make([]robEntry, cfg.ROBSize),
+		mem:      emu.NewMemory(),
+		nextSeq:  1,
+		headSeq:  1,
+	}
+	c.fu = frontend.New(prog, c.bp)
+	c.mem.Load(prog)
+	for i := range c.prfReady[:isa.NumArchRegs] {
+		c.prfReady[i] = true // initial architectural mappings
+	}
+	switch cfg.Reuse {
+	case ReuseMultiStream:
+		c.engine = reuse.NewMultiStream(cfg.MS, (*kernel)(c), c.Stats)
+	case ReuseRI:
+		c.engine = reuse.NewRegisterIntegration(cfg.RI, (*kernel)(c), c.Stats)
+		c.tracker.OnFree = func(p rename.PhysReg) { c.engine.OnPregFreed(p) }
+	case ReuseDIR:
+		c.engine = reuse.NewDIR(cfg.DIR, (*kernel)(c), c.Stats)
+	default:
+		c.engine = reuse.NewNone()
+	}
+	if cfg.DebugCheck {
+		c.checker = emu.New(prog)
+	}
+	c.tracer = cfg.Tracer
+	return c
+}
+
+// emitTrace sends a pipeline event for e at the current cycle.
+func (c *Core) emitTrace(kind trace.Kind, e *robEntry, note string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Emit(trace.Event{
+		Cycle: c.cycle, Kind: kind,
+		Seq: e.seq, Fseq: e.fseq, PC: e.pc, Instr: e.instr, Note: note,
+	})
+}
+
+// kernel adapts Core to reuse.Kernel without exporting the methods on Core.
+type kernel Core
+
+func (k *kernel) HoldPreg(p rename.PhysReg)    { k.tracker.Hold(p) }
+func (k *kernel) ReleasePreg(p rename.PhysReg) { k.tracker.Release(p) }
+func (k *kernel) PregLive(p rename.PhysReg) bool {
+	return k.tracker.IsLive(p)
+}
+func (k *kernel) PregValue(p rename.PhysReg) (uint64, bool) {
+	return k.prf[p], k.prfReady[p]
+}
+
+// entry returns the ROB entry with the given rename seq.
+func (c *Core) entry(seq uint64) *robEntry {
+	if seq < c.headSeq || seq >= c.headSeq+uint64(c.count) {
+		panic(fmt.Sprintf("core: seq %d outside ROB [%d, %d)", seq, c.headSeq, c.headSeq+uint64(c.count)))
+	}
+	return &c.rob[(c.headIdx+int(seq-c.headSeq))%len(c.rob)]
+}
+
+func (c *Core) tailSeq() uint64 { return c.headSeq + uint64(c.count) }
+
+// Run simulates until the program halts, returning ErrCycleLimit if it
+// does not.
+func (c *Core) Run() error {
+	for !c.halted {
+		if c.cycle >= c.cfg.MaxCycles {
+			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.cycle, c.Stats.Retired)
+		}
+		c.cycle++
+		c.commit()
+		if c.halted {
+			break
+		}
+		c.writeback()
+		c.issue()
+		c.renameStage()
+		c.fetch()
+	}
+	c.Stats.Cycles = c.cycle
+	return nil
+}
+
+// Result returns the final architectural state in the same form as the
+// functional emulator, enabling direct equivalence checks.
+func (c *Core) Result() emu.Result {
+	var r emu.Result
+	for i := 0; i < isa.NumArchRegs; i++ {
+		r.Regs[i] = c.prf[c.rat.Get(isa.Reg(i)).Preg]
+	}
+	r.Regs[isa.Zero] = 0
+	r.MemDigest = c.mem.Digest()
+	r.Retired = c.Stats.Retired
+	return r
+}
+
+// Cycles reports the simulated cycle count so far.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// CommittedMemory exposes the architectural memory (read-only use).
+func (c *Core) CommittedMemory() *emu.Memory { return c.mem }
+
+// EngineName reports the active reuse engine for diagnostics.
+func (c *Core) EngineName() string { return c.engine.Name() }
+
+// AuditRegisters verifies the physical-register partition invariant
+// (used by tests after a run).
+func (c *Core) AuditRegisters() error { return c.tracker.Audit() }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"mssr/internal/asm"
+	"mssr/internal/emu"
+	"mssr/internal/isa"
+	"mssr/internal/reuse"
+)
+
+// testConfigs returns the engine configurations every equivalence test
+// runs under.
+func testConfigs() map[string]Config {
+	rgidBloom := MultiStreamConfig(4, 64)
+	rgidBloom.MS.LoadPolicy = reuse.LoadBloom
+	rgidNoLd := MultiStreamConfig(4, 64)
+	rgidNoLd.MS.LoadPolicy = reuse.LoadNoReuse
+	tinyRGID := MultiStreamConfig(4, 64)
+	tinyRGID.RGIDBits = 3 // forces frequent overflow resets
+	return map[string]Config{
+		"none":        DefaultConfig(),
+		"rgid-1x64":   MultiStreamConfig(1, 64), // DCI-equivalent
+		"rgid-2x64":   MultiStreamConfig(2, 64),
+		"rgid-4x64":   MultiStreamConfig(4, 64),
+		"rgid-4x16":   MultiStreamConfig(4, 16),
+		"rgid-bloom":  rgidBloom,
+		"rgid-noload": rgidNoLd,
+		"rgid-tiny":   tinyRGID,
+		"ri-64x4":     RIConfigOf(64, 4),
+		"ri-64x1":     RIConfigOf(64, 1),
+		"dir-value":   DIRConfigOf(64, 4, reuse.DIRValue),
+		"dir-name":    DIRConfigOf(64, 4, reuse.DIRName),
+	}
+}
+
+// runEquiv runs p on the core under cfg with the lockstep checker enabled
+// and verifies the final state matches the functional emulator.
+func runEquiv(t *testing.T, name string, p *isa.Program, cfg Config) *Core {
+	t.Helper()
+	cfg.DebugCheck = true
+	cfg.MaxCycles = 50_000_000
+	c := New(p, cfg)
+	if err := c.Run(); err != nil {
+		t.Fatalf("%s/%s: %v", p.Name, name, err)
+	}
+	want, err := emu.RunProgram(p, 500_000_000)
+	if err != nil {
+		t.Fatalf("%s: emulator: %v", p.Name, err)
+	}
+	got := c.Result()
+	if got != want {
+		t.Fatalf("%s/%s: architectural divergence:\ncore: %+v\nemu:  %+v", p.Name, name, got, want)
+	}
+	if err := c.AuditRegisters(); err != nil {
+		t.Fatalf("%s/%s: register audit: %v", p.Name, name, err)
+	}
+	return c
+}
+
+// hashyProgram builds a loop with a data-dependent (hard-to-predict)
+// branch followed by a control-independent tail — the Listing 1 idiom.
+func hashyProgram(iters int64) *isa.Program {
+	b := asm.NewBuilder("hashy")
+	b.Data(0x8000, 7, 13, 21, 9)
+	b.Li(isa.S0, 0x8000)
+	b.Li(isa.S1, iters) // loop counter
+	b.Li(isa.A0, 0)     // accumulator
+	b.Li(isa.A1, 0)     // i
+	b.Label("loop")
+	// data1 = hash(i): two multiply-xor-shift rounds (splitmix-style), so
+	// the branch bit is effectively random and defeats TAGE.
+	b.Li(isa.T0, -0x61c8864680b583eb) // 0x9e3779b97f4a7c15
+	b.Mul(isa.T1, isa.A1, isa.T0)
+	b.Srli(isa.T2, isa.T1, 30)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Li(isa.T0, -0x40a7b892e31b1a47) // 0xbf58476d1ce4e5b9
+	b.Mul(isa.T1, isa.T1, isa.T0)
+	b.Srli(isa.T2, isa.T1, 27)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Andi(isa.T2, isa.T1, 1)
+	b.Beqz(isa.T2, "else")
+	// then: modify a2-analogue
+	b.Addi(isa.A2, isa.A2, 3)
+	b.Mul(isa.A2, isa.A2, isa.T0)
+	b.J("merge")
+	b.Label("else")
+	b.Addi(isa.A2, isa.A2, 5)
+	b.Label("merge")
+	// CI tail: depends only on i and memory, reusable on mispredicts.
+	b.Ld(isa.T3, 0, isa.S0)
+	b.Add(isa.T4, isa.A1, isa.T3)
+	b.Mul(isa.T5, isa.T4, isa.T4)
+	b.Add(isa.A0, isa.A0, isa.T5)
+	b.Xor(isa.A0, isa.A0, isa.A2)
+	b.Addi(isa.A1, isa.A1, 1)
+	b.Addi(isa.S1, isa.S1, -1)
+	b.Bnez(isa.S1, "loop")
+	b.Halt()
+	return b.MustProgram()
+}
+
+// aliasProgram builds a loop whose CI tail loads an address that the
+// previous iteration stored to — exercising memory-order hazards for
+// reused loads (§3.8).
+func aliasProgram(iters int64) *isa.Program {
+	b := asm.NewBuilder("alias")
+	b.Data(0x8000, 100)
+	b.Li(isa.S0, 0x8000)
+	b.Li(isa.S1, iters)
+	b.Li(isa.A1, 1)
+	b.Label("loop")
+	b.Li(isa.T0, 0x45d9f3b)
+	b.Mul(isa.T1, isa.A1, isa.T0)
+	b.Srli(isa.T2, isa.T1, 11)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Andi(isa.T2, isa.T1, 1)
+	b.Beqz(isa.T2, "skip")
+	b.Addi(isa.A2, isa.A2, 1)
+	b.Label("skip")
+	// CI load of a location the loop itself stores to.
+	b.Ld(isa.T3, 0, isa.S0)
+	b.Add(isa.T3, isa.T3, isa.A1)
+	b.St(isa.T3, 0, isa.S0)
+	b.Addi(isa.A1, isa.A1, 1)
+	b.Addi(isa.S1, isa.S1, -1)
+	b.Bnez(isa.S1, "loop")
+	b.Ld(isa.A0, 0, isa.S0)
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestCountdownAllConfigs(t *testing.T) {
+	p := asm.MustAssemble("countdown", `
+    li   t0, 50
+    li   a0, 0
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+`)
+	for name, cfg := range testConfigs() {
+		runEquiv(t, name, p, cfg)
+	}
+}
+
+func TestHashyBranchAllConfigs(t *testing.T) {
+	p := hashyProgram(300)
+	var noneCycles, rgidCycles uint64
+	for name, cfg := range testConfigs() {
+		c := runEquiv(t, name, p, cfg)
+		switch name {
+		case "none":
+			noneCycles = c.Stats.Cycles
+		case "rgid-4x64":
+			rgidCycles = c.Stats.Cycles
+			if c.Stats.BranchMispredicts < 50 {
+				t.Errorf("expected frequent mispredicts, got %d", c.Stats.BranchMispredicts)
+			}
+			if c.Stats.Reconvergences == 0 {
+				t.Error("expected reconvergences on the hashy loop")
+			}
+			if c.Stats.ReuseHits == 0 {
+				t.Error("expected squash reuse hits on the CI tail")
+			}
+		}
+	}
+	if rgidCycles == 0 || noneCycles == 0 {
+		t.Fatal("missing configs")
+	}
+	// Shape check: reuse must not be slower by more than noise.
+	if float64(rgidCycles) > 1.05*float64(noneCycles) {
+		t.Errorf("rgid (%d cycles) much slower than baseline (%d)", rgidCycles, noneCycles)
+	}
+}
+
+func TestMemoryAliasingAllConfigs(t *testing.T) {
+	p := aliasProgram(200)
+	for name, cfg := range testConfigs() {
+		c := runEquiv(t, name, p, cfg)
+		if name == "rgid-4x64" && c.Stats.ReuseHits == 0 {
+			t.Error("expected some reuse on the alias loop")
+		}
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	p := asm.MustAssemble("calls", `
+    li   s1, 40
+    li   a0, 0
+loop:
+    mv   a1, s1
+    jal  fn
+    add  a0, a0, a2
+    addi s1, s1, -1
+    bnez s1, loop
+    halt
+fn:
+    andi t0, a1, 1
+    beqz t0, even
+    slli a2, a1, 1
+    ret
+even:
+    addi a2, a1, 7
+    ret
+`)
+	for name, cfg := range testConfigs() {
+		runEquiv(t, name, p, cfg)
+	}
+}
+
+func TestIndirectJumps(t *testing.T) {
+	// A two-target computed jump driven by a hash: exercises the indirect
+	// predictor and JALR mispredictions. Two-pass build: the first pass
+	// resolves the jump-table base label, the second bakes it into the li
+	// (the instruction count is identical, so addresses are stable).
+	build := func(t0case int64) *isa.Program {
+		b := asm.NewBuilder("indirect")
+		b.Li(isa.T3, t0case)
+		b.Li(isa.S1, 60)
+		b.Li(isa.A0, 0)
+		b.Li(isa.A1, 0)
+		b.Label("loop")
+		b.Li(isa.T0, 0x2545f491)
+		b.Mul(isa.T1, isa.A1, isa.T0)
+		b.Srli(isa.T1, isa.T1, 17)
+		b.Andi(isa.T1, isa.T1, 1)
+		b.Slli(isa.T1, isa.T1, 3) // 0 or 8 bytes: selects one of two cases
+		b.Add(isa.T2, isa.T1, isa.T3)
+		b.Jalr(isa.Zero, isa.T2, 0)
+		b.Label("t0case")
+		b.Addi(isa.A0, isa.A0, 1)
+		b.J("cont")
+		b.Label("t1case")
+		b.Addi(isa.A0, isa.A0, 100)
+		b.Label("cont")
+		b.Addi(isa.A1, isa.A1, 1)
+		b.Addi(isa.S1, isa.S1, -1)
+		b.Bnez(isa.S1, "loop")
+		b.Halt()
+		return b.MustProgram()
+	}
+	p := build(0)
+	p = build(int64(p.Symbols["t0case"]))
+	for name, cfg := range testConfigs() {
+		runEquiv(t, name, p, cfg)
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+	"mssr/internal/randprog"
+	"mssr/internal/trace"
+)
+
+// TestStoreToLoadForwarding checks a dependent store->load chain computes
+// correctly through the store queue (the load must see the in-flight
+// store's data, not stale memory).
+func TestStoreToLoadForwarding(t *testing.T) {
+	p := asm.MustAssemble("fwd", `
+.data 0x8000 5
+    li   s0, 0x8000
+    li   t0, 41
+    addi t0, t0, 1
+    st   t0, 0(s0)
+    ld   a0, 0(s0)
+    addi a0, a0, 1
+    st   a0, 8(s0)
+    ld   a1, 8(s0)
+    halt
+`)
+	c := runEquiv(t, "none", p, DefaultConfig())
+	if got := c.Result().Regs[isa.A1]; got != 43 {
+		t.Errorf("a1 = %d, want 43", got)
+	}
+}
+
+// TestMemOrderViolationDetected builds the classic violation: an older
+// store whose address resolves late (behind a divide chain) while a
+// younger load to the same address executes early with stale data. The
+// store-side scan must flush and replay the load.
+func TestMemOrderViolationDetected(t *testing.T) {
+	// The store address is computed through a divide so it resolves late,
+	// while the younger load's address is ready immediately: the load
+	// speculates past the store and must be caught and replayed.
+	p := asm.MustAssemble("violation", `
+.data 0x8000 111
+    li   s0, 0x8000
+    li   t0, 640
+    li   t1, 10
+    div  t2, t0, t1      # 64, slowly
+    add  t3, s0, t2      # 0x8040, late
+    li   t4, 999
+    st   t4, 0(t3)       # store to 0x8040, address late
+    ld   a0, 0x40(s0)    # younger load to 0x8040, address early -> speculates
+    add  a1, a0, a0
+    halt
+`)
+	c := runEquiv(t, "none", p, DefaultConfig())
+	if c.Stats.MemOrderViolations == 0 {
+		t.Error("expected a store-to-load violation and replay")
+	}
+	if got := c.Result().Regs[isa.A0]; got != 999 {
+		t.Errorf("a0 = %d, want the store's 999 after replay", got)
+	}
+}
+
+// TestRegisterPressureReclaim shrinks the physical register file so the
+// squash-reuse holds exhaust the free list, forcing the §3.3.2
+// condition-5 reclaim path — correctness must be unaffected.
+func TestRegisterPressureReclaim(t *testing.T) {
+	cfg := MultiStreamConfig(4, 64)
+	cfg.PhysRegs = isa.NumArchRegs + 24 // very tight
+	cfg.ROBSize = 64
+	p := hashyProgram(300)
+	runEquiv(t, "tight-prf", p, cfg)
+}
+
+// TestTinyStructures runs with minimal queues and widths: stalls on every
+// structural resource, still architecturally exact.
+func TestTinyStructures(t *testing.T) {
+	cfg := MultiStreamConfig(2, 16)
+	cfg.RenameWidth = 2
+	cfg.CommitWidth = 2
+	cfg.ROBSize = 16
+	cfg.PhysRegs = isa.NumArchRegs + 16
+	cfg.IQSize = 4
+	cfg.MemIQSize = 4
+	cfg.LoadQueue = 4
+	cfg.StoreQueue = 4
+	cfg.ALUs = 1
+	cfg.BRUs = 1
+	cfg.LSUs = 1
+	cfg.FetchQueue = 16
+	for seed := int64(0); seed < 3; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultConfig())
+		runEquiv(t, "tiny", p, cfg)
+	}
+}
+
+// TestCommitOrder verifies retirement is strictly in program order and
+// cycle-monotonic using the tracer.
+func TestCommitOrder(t *testing.T) {
+	p := hashyProgram(100)
+	ct := &commitOrderTracer{t: t}
+	cfg := MultiStreamConfig(4, 64)
+	cfg.Tracer = ct
+	c := New(p, cfg)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.commits == 0 {
+		t.Fatal("no commits observed")
+	}
+}
+
+type commitOrderTracer struct {
+	t        *testing.T
+	lastFseq uint64
+	lastCyc  uint64
+	commits  int
+}
+
+func (ct *commitOrderTracer) Emit(e trace.Event) {
+	if e.Kind != trace.KindCommit {
+		return
+	}
+	ct.commits++
+	if e.Fseq <= ct.lastFseq {
+		ct.t.Errorf("commit order violated: fseq %d after %d", e.Fseq, ct.lastFseq)
+	}
+	if e.Cycle < ct.lastCyc {
+		ct.t.Errorf("commit cycle went backwards: %d after %d", e.Cycle, ct.lastCyc)
+	}
+	ct.lastFseq, ct.lastCyc = e.Fseq, e.Cycle
+}
+
+// TestDeepCallChain exercises the RAS through nested calls (with real
+// stack spills of the return address) under every engine.
+func TestDeepCallChain(t *testing.T) {
+	p2 := asm.MustAssemble("deepcalls", `
+    li   sp, 0x7100
+    li   s1, 30
+    li   a0, 0
+loop:
+    mv   a1, s1
+    jal  f1
+    add  a0, a0, a2
+    addi s1, s1, -1
+    bnez s1, loop
+    halt
+f1:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    jal  f2
+    addi a2, a2, 1
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+f2:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    jal  f3
+    slli a2, a2, 1
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+f3:
+    andi a2, a1, 7
+    ret
+`)
+	for name, cfg := range testConfigs() {
+		runEquiv(t, name, p2, cfg)
+	}
+}
+
+// TestRGIDSuspensionThrottlesCapture verifies the reset protocol actually
+// suspends stream capture: with very narrow tags, captured streams per
+// mispredict drop measurably.
+func TestRGIDSuspensionThrottlesCapture(t *testing.T) {
+	p := hashyProgram(2000)
+	wide := MultiStreamConfig(4, 64)
+	cWide := New(p, wide)
+	if err := cWide.Run(); err != nil {
+		t.Fatal(err)
+	}
+	narrow := MultiStreamConfig(4, 64)
+	narrow.RGIDBits = 4
+	cNarrow := New(p, narrow)
+	if err := cNarrow.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cNarrow.Stats.RGIDResets == 0 {
+		t.Fatal("narrow tags should trigger resets")
+	}
+	if cNarrow.Stats.SquashedStreams >= cWide.Stats.SquashedStreams {
+		t.Errorf("suspension should reduce captured streams: narrow %d vs wide %d",
+			cNarrow.Stats.SquashedStreams, cWide.Stats.SquashedStreams)
+	}
+	if cNarrow.Stats.ReuseHits >= cWide.Stats.ReuseHits {
+		t.Errorf("narrow tags should reduce reuse: %d vs %d",
+			cNarrow.Stats.ReuseHits, cWide.Stats.ReuseHits)
+	}
+}
+
+// TestMultiBlockFetchEquivalence checks the §3.9.1 extension.
+func TestMultiBlockFetchEquivalence(t *testing.T) {
+	cfg := MultiStreamConfig(4, 64)
+	cfg.BlocksPerCycle = 2
+	for seed := int64(0); seed < 3; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultConfig())
+		runEquiv(t, "two-block", p, cfg)
+	}
+}
+
+// TestCheckpointRecoveryTiming verifies the checkpoint budget matters:
+// with zero checkpoints every mispredict pays a rollback walk, so the same
+// program takes strictly more cycles than with the Table 2 budget of 32.
+func TestCheckpointRecoveryTiming(t *testing.T) {
+	p := hashyProgram(500)
+	with := DefaultConfig()
+	cWith := New(p, with)
+	if err := cWith.Run(); err != nil {
+		t.Fatal(err)
+	}
+	without := DefaultConfig()
+	without.RATCheckpoints = 0
+	cWithout := New(p, without)
+	if err := cWithout.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cWithout.Stats.Cycles <= cWith.Stats.Cycles {
+		t.Errorf("pure rollback (%d cycles) should be slower than checkpointed recovery (%d)",
+			cWithout.Stats.Cycles, cWith.Stats.Cycles)
+	}
+	// Both remain architecturally exact.
+	runEquiv(t, "no-checkpoints", p, without)
+}
+
+// TestRISerializationCost verifies the §3.7.3 knob: limiting RI's
+// integration tests per cycle reduces its reuse, while leaving
+// architectural behaviour exact.
+func TestRISerializationCost(t *testing.T) {
+	p := hashyProgram(2000)
+	ideal := RIConfigOf(64, 4)
+	cIdeal := New(p, ideal)
+	if err := cIdeal.Run(); err != nil {
+		t.Fatal(err)
+	}
+	limited := RIConfigOf(64, 4)
+	limited.RITestsPerCycle = 1
+	cLim := runEquiv(t, "ri-serialized", p, limited)
+	if cLim.Stats.ReuseHits >= cIdeal.Stats.ReuseHits {
+		t.Errorf("serialized RI should reuse less: %d vs %d",
+			cLim.Stats.ReuseHits, cIdeal.Stats.ReuseHits)
+	}
+	if cLim.Stats.Cycles < cIdeal.Stats.Cycles {
+		t.Errorf("serialized RI should not be faster: %d vs %d cycles",
+			cLim.Stats.Cycles, cIdeal.Stats.Cycles)
+	}
+}
+
+// TestSimulationDeterminism: identical runs must produce identical
+// statistics — the property every experiment in this repository rests on.
+func TestSimulationDeterminism(t *testing.T) {
+	p := hashyProgram(500)
+	cfg := MultiStreamConfig(4, 64)
+	a := New(p, cfg)
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(p, cfg)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := *a.Stats, *b.Stats
+	sa.RIReplacements, sb.RIReplacements = nil, nil
+	if fmt.Sprintf("%+v", sa) != fmt.Sprintf("%+v", sb) {
+		t.Errorf("simulation not deterministic:\n%+v\n%+v", sa, sb)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"mssr/internal/randprog"
+)
+
+// TestRandomProgramsEquivalence is the repository's central property test:
+// random programs full of nested data-dependent branches, loops, loads and
+// stores must produce identical architectural results on the timing core —
+// under every reuse engine — as on the functional emulator, with the
+// lockstep checker armed the whole way.
+func TestRandomProgramsEquivalence(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	cfgs := testConfigs()
+	for seed := int64(0); seed < seeds; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultConfig())
+		for name, cfg := range cfgs {
+			runEquiv(t, name, p, cfg)
+		}
+	}
+}
+
+// TestRandomProgramsDeepNesting uses deeper nesting and more statements so
+// multi-level mispredictions (the multi-stream case) occur.
+func TestRandomProgramsDeepNesting(t *testing.T) {
+	cfg := randprog.DefaultConfig()
+	cfg.MaxDepth = 4
+	cfg.MaxStmts = 8
+	cfg.MaxLoopIters = 8
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		p := randprog.Generate(seed, cfg)
+		for name, c := range testConfigs() {
+			runEquiv(t, name, p, c)
+		}
+	}
+}
+
+// TestRGIDResetsHappenWithNarrowTags forces the overflow/reset protocol to
+// run and verifies it preserves correctness.
+func TestRGIDResetsHappenWithNarrowTags(t *testing.T) {
+	cfg := MultiStreamConfig(4, 64)
+	cfg.RGIDBits = 3
+	p := randprog.Generate(7, randprog.DefaultConfig())
+	c := runEquiv(t, "rgid-tiny", p, cfg)
+	if c.Stats.RGIDResets == 0 {
+		t.Error("3-bit RGIDs should force at least one global reset")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/reuse"
+	"mssr/internal/trace"
+)
+
+// mispredictFlush handles a resolved branch misprediction: repair the
+// predictor, capture the squashed stream into the reuse engine (the
+// paper's FTQ-to-WPB dump plus ROB-to-Squash-Log population), roll the
+// rename state back and redirect fetch.
+func (c *Core) mispredictFlush(e *robEntry) {
+	// Predictor repair: restore the pre-prediction state, then re-apply
+	// the resolved outcome.
+	c.bp.Restore(e.snapshot)
+	if e.instr.IsBranch() {
+		c.bp.ShiftHistory(e.taken)
+	}
+	if e.isCall {
+		c.bp.PushRAS(e.pc + isa.InstrBytes)
+	}
+	if e.isReturn {
+		c.bp.PopRAS()
+	}
+
+	// Capture the wrong path (younger than the branch) in program order.
+	// Stream acceptance is suspended during the RGID reset drain window
+	// (§3.3.2).
+	// Stream identity uses the fetch sequence: rename sequences are
+	// recycled after a squash, fetch sequences are globally unique.
+	if c.suspendCommits == 0 {
+		// Destination registers of the squash set: source mappings that
+		// point at one of these do not survive the rollback (needed by
+		// name-keyed reuse schemes).
+		squashedDests := make(map[rename.PhysReg]bool)
+		for s := e.seq + 1; s < c.tailSeq(); s++ {
+			if se := c.entry(s); se.hasDest {
+				squashedDests[se.destPreg] = true
+			}
+		}
+		c.engine.BeginStream(e.fseq)
+		for s := e.seq + 1; s < c.tailSeq(); s++ {
+			c.engine.Capture(c.squashedInstr(c.entry(s), squashedDests))
+		}
+		c.engine.EndStream()
+	} else {
+		c.engine.AbortWalk()
+	}
+
+	target := e.nextPC
+	branchFseq := e.fseq
+	if c.tracer != nil {
+		c.emitTrace(trace.KindRedirect, e, fmt.Sprintf("mispredict -> %#x", target))
+	}
+	// Recovery timing: a checkpointed branch restores the RAT in one
+	// cycle; otherwise the rollback walks the squashed entries at rename
+	// width (checkpoint + rollback, §3.1/§3.3.2).
+	if !e.hasCheckpoint {
+		walked := c.tailSeq() - e.seq - 1
+		c.renameBlockedUntil = c.cycle + 1 + walked/uint64(c.cfg.RenameWidth)
+	}
+	c.squashFrom(e.seq + 1)
+	c.fu.Redirect(target)
+	c.lastRedirectSeq = branchFseq
+	c.Stats.Flushes++
+}
+
+// violationFlush squashes from the offending load (inclusive) after a
+// memory-order violation: either a store-side scan hit or a reused-load
+// verification mismatch. Verification mismatches additionally invalidate
+// all reuse state, as the paper specifies (§3.8.3).
+func (c *Core) violationFlush(loadSeq uint64, fromReuseVerify bool) {
+	e := c.entry(loadSeq)
+	pc := e.pc
+	c.bp.Restore(e.snapshot)
+	c.engine.AbortWalk()
+	if fromReuseVerify {
+		c.engine.InvalidateAll()
+	}
+	fseq := e.fseq
+	if c.tracer != nil {
+		c.emitTrace(trace.KindRedirect, e, fmt.Sprintf("memory-order violation, replay %#x", pc))
+	}
+	// Loads carry no checkpoints: violation recovery always pays the
+	// rollback walk.
+	walked := c.tailSeq() - loadSeq
+	c.renameBlockedUntil = c.cycle + 1 + walked/uint64(c.cfg.RenameWidth)
+	c.squashFrom(loadSeq)
+	c.fu.Redirect(pc)
+	c.lastRedirectSeq = fseq
+	c.Stats.MemOrderViolations++
+	c.Stats.Flushes++
+}
+
+// squashedInstr converts a ROB entry into the engine capture record.
+// squashedDests is the destination-register set of the squash region,
+// used to mark which source mappings survive the rollback.
+func (c *Core) squashedInstr(e *robEntry, squashedDests map[rename.PhysReg]bool) reuse.SquashedInstr {
+	si := reuse.SquashedInstr{
+		Seq:      e.seq,
+		PC:       e.pc,
+		Instr:    e.instr,
+		Executed: e.executed,
+		DestPreg: rename.NoPreg,
+		DestGen:  rename.NullRGID,
+		SrcGens:  e.srcGens,
+		SrcPregs: e.srcPregs,
+		MemAddr:  e.memAddr,
+		Result:   e.result,
+	}
+	for i := 0; i < e.nsrc; i++ {
+		si.SrcSurvives[i] = !squashedDests[e.srcPregs[i]]
+	}
+	if e.hasDest {
+		si.DestPreg = e.destPreg
+		si.DestGen = e.destGen
+	}
+	return si
+}
+
+// squashFrom removes every instruction with seq >= firstSeq: the RAT (with
+// RGIDs) is rolled back youngest-first, destination registers die (held
+// ones survive in the reuse structures), and all scheduler and LSQ state
+// younger than the boundary is dropped. The fetch queue is always entirely
+// younger than the ROB, so it clears completely.
+func (c *Core) squashFrom(firstSeq uint64) {
+	for s := c.tailSeq(); s > firstSeq; s-- {
+		e := c.entry(s - 1)
+		c.emitTrace(trace.KindSquash, e, "")
+		if e.hasCheckpoint {
+			c.checkpointsInFlight--
+		}
+		if e.hasDest {
+			c.rat.Set(e.instr.Rd, e.oldMap)
+			c.tracker.Unlive(e.destPreg)
+		}
+	}
+	c.count = int(firstSeq - c.headSeq)
+	c.nextSeq = firstSeq
+
+	c.iq = filterSeqs(c.iq, firstSeq)
+	c.memIQ = filterSeqs(c.memIQ, firstSeq)
+	c.executing = filterSeqs(c.executing, firstSeq)
+	c.verifQ = filterSeqs(c.verifQ, firstSeq)
+	c.loadQ = filterLSQ(c.loadQ, firstSeq)
+	c.storeQ = filterLSQ(c.storeQ, firstSeq)
+	c.fetchQ = c.fetchQ[:0]
+}
+
+func filterSeqs(q []uint64, firstSeq uint64) []uint64 {
+	out := q[:0]
+	for _, s := range q {
+		if s < firstSeq {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func filterLSQ(q []lsqEntry, firstSeq uint64) []lsqEntry {
+	out := q[:0]
+	for _, e := range q {
+		if e.seq < firstSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// maybeRGIDReset runs the global RGID reset protocol (§3.3.2): triggered
+// when overflow events exceed the threshold, or opportunistically when the
+// squash logs are unoccupied after any overflow. The reset clears every
+// reuse structure, nulls the generation tags of all in-flight state (so
+// rollbacks can never resurrect pre-reset tags), restarts the RAT tags and
+// counters, and suspends new stream capture until a ROB's worth of
+// instructions has committed.
+func (c *Core) maybeRGIDReset() {
+	if c.cfg.Reuse != ReuseMultiStream {
+		return
+	}
+	over := c.alloc.Overflows
+	if over == 0 {
+		return
+	}
+	if over <= c.cfg.OverflowResetThreshold && c.engine.Occupied() {
+		return
+	}
+	c.engine.InvalidateAll()
+	for s := c.headSeq; s < c.tailSeq(); s++ {
+		e := c.entry(s)
+		e.srcGens = [2]rename.RGID{rename.NullRGID, rename.NullRGID}
+		e.destGen = rename.NullRGID
+		e.oldMap.Gen = rename.NullRGID
+	}
+	for r := 1; r < isa.NumArchRegs; r++ {
+		m := c.rat.Get(isa.Reg(r))
+		c.rat.Set(isa.Reg(r), rename.Mapping{Preg: m.Preg, Gen: 0})
+	}
+	c.alloc.Reset()
+	c.suspendCommits = c.cfg.ROBSize
+	c.Stats.RGIDResets++
+}

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"fmt"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/reuse"
+	"mssr/internal/trace"
+)
+
+// fetch forms up to BlocksPerCycle prediction blocks and enqueues their
+// instructions toward rename, feeding each block to the reuse engine's
+// fetch-side reconvergence detection.
+func (c *Core) fetch() {
+	for b := 0; b < c.cfg.BlocksPerCycle; b++ {
+		if len(c.fetchQ)+isa.FetchBlockInstrs > c.cfg.FetchQueue {
+			return
+		}
+		blk, ok := c.fu.NextBlock()
+		if !ok {
+			return
+		}
+		firstFseq := c.fseq + 1
+		for _, fi := range blk.Instrs {
+			c.fseq++
+			c.fetchQ = append(c.fetchQ, fetchedEntry{
+				fi:      fi,
+				fseq:    c.fseq,
+				readyAt: c.cycle + c.cfg.FrontendDelay,
+			})
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindFetch, Fseq: c.fseq, PC: fi.PC, Instr: fi.Instr})
+			}
+		}
+		before := c.Stats.Reconvergences
+		c.engine.ObserveBlock(blk.StartPC, blk.EndPC, firstFseq, len(blk.Instrs), c.lastRedirectSeq)
+		if c.tracer != nil && c.Stats.Reconvergences > before {
+			c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindReconverge, PC: blk.StartPC,
+				Note: fmt.Sprintf("block %#x..%#x", blk.StartPC, blk.EndPC)})
+		}
+	}
+}
+
+// renameStage renames and dispatches up to RenameWidth instructions,
+// performing the squash-reuse test for each one in program order.
+func (c *Core) renameStage() {
+	if c.cycle < c.renameBlockedUntil {
+		return // RAT recovery (rollback walk) in progress
+	}
+	riTests := 0
+	for n := 0; n < c.cfg.RenameWidth; n++ {
+		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.cycle {
+			break
+		}
+		if c.count == c.cfg.ROBSize {
+			break
+		}
+		fe := c.fetchQ[0]
+		in := fe.fi.Instr
+		cls := in.Class()
+
+		// Structural hazards: verify every resource this instruction will
+		// take before consuming the reuse-engine walk state.
+		switch cls {
+		case isa.ClassLoad:
+			if len(c.loadQ) >= c.cfg.LoadQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+				break
+			}
+		case isa.ClassStore:
+			if len(c.storeQ) >= c.cfg.StoreQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+				break
+			}
+		case isa.ClassBranch, isa.ClassJumpR:
+			if len(c.iq) >= c.cfg.IQSize {
+				break
+			}
+		case isa.ClassNop, isa.ClassHalt, isa.ClassJump:
+			// No issue resources needed.
+		default:
+			if len(c.iq) >= c.cfg.IQSize {
+				break
+			}
+		}
+		if in.HasDest() && c.tracker.FreeCount() == 0 {
+			// Free-list pressure: reclaim squash-reuse reservations
+			// (§3.3.2 condition 5), then stall if still dry.
+			for c.tracker.FreeCount() == 0 && c.engine.Reclaim() {
+			}
+			if c.tracker.FreeCount() == 0 {
+				break
+			}
+		}
+
+		// Commit to renaming this instruction.
+		c.fetchQ = c.fetchQ[1:]
+		seq := c.nextSeq
+		c.nextSeq++
+		pos := (c.headIdx + c.count) % len(c.rob)
+		c.count++
+		e := &c.rob[pos]
+		*e = robEntry{
+			seq:       seq,
+			fseq:      fe.fseq,
+			pc:        fe.fi.PC,
+			instr:     in,
+			predTaken: fe.fi.PredTaken,
+			predNext:  fe.fi.PredNextPC,
+			snapshot:  fe.fi.Snapshot,
+			isCall:    fe.fi.IsCall,
+			isReturn:  fe.fi.IsReturn,
+			destPreg:  rename.NoPreg,
+			destGen:   rename.NullRGID,
+			nsrc:      in.NumSources(),
+		}
+		for i := 0; i < e.nsrc; i++ {
+			m := c.rat.Get(in.Src(i))
+			e.srcPregs[i] = m.Preg
+			e.srcGens[i] = m.Gen
+		}
+		c.Stats.Fetched++
+
+		var grant reuse.Grant
+		var granted bool
+		// Serialized RI table access (§3.7.3): beyond the per-cycle test
+		// budget, instructions rename without an integration attempt.
+		riLimited := c.cfg.Reuse == ReuseRI && c.cfg.RITestsPerCycle > 0 &&
+			riTests >= c.cfg.RITestsPerCycle
+		if !riLimited {
+			if c.cfg.Reuse == ReuseRI {
+				riTests++
+			}
+			grant, granted = c.engine.TryReuse(reuse.Request{
+				Seq:      fe.fseq,
+				PC:       e.pc,
+				Instr:    in,
+				SrcGens:  e.srcGens,
+				SrcPregs: e.srcPregs,
+			})
+		}
+		if granted && !in.HasDest() {
+			panic(fmt.Sprintf("core: engine granted reuse for %v without destination", in))
+		}
+
+		if in.HasDest() {
+			e.hasDest = true
+			switch {
+			case granted && grant.ByValue:
+				// Value-carrying grant (DIR): allocate a fresh register
+				// and deposit the stored result.
+				p, ok := c.tracker.Alloc()
+				if !ok {
+					panic("core: free list empty after pressure check")
+				}
+				c.prf[p] = grant.Value
+				c.prfReady[p] = true
+				e.destPreg = p
+				e.destGen = c.alloc.Alloc(in.Rd)
+				e.result = grant.Value
+				e.reused = true
+				e.executed = true
+				e.completed = true
+			case granted:
+				p := grant.DestPreg
+				// Re-adopt the held register: it becomes this
+				// instruction's destination and the engine's reservation
+				// is consumed.
+				c.tracker.Revive(p)
+				c.tracker.Release(p)
+				if !c.prfReady[p] {
+					panic(fmt.Sprintf("core: granted p%d has no value", p))
+				}
+				e.destPreg = p
+				e.destGen = grant.DestGen
+				if e.destGen == rename.NullRGID {
+					e.destGen = c.alloc.Alloc(in.Rd)
+				}
+				e.result = c.prf[p]
+				e.reused = true
+				e.executed = true
+				e.completed = true
+			default:
+				p, ok := c.tracker.Alloc()
+				if !ok {
+					panic("core: free list empty after pressure check")
+				}
+				c.prfReady[p] = false
+				e.destPreg = p
+				e.destGen = c.alloc.Alloc(in.Rd)
+			}
+			e.oldMap = c.rat.Set(in.Rd, rename.Mapping{Preg: e.destPreg, Gen: e.destGen})
+		}
+
+		switch cls {
+		case isa.ClassNop:
+			e.executed, e.completed = true, true
+		case isa.ClassHalt:
+			e.executed, e.completed, e.halt = true, true, true
+			e.nextPC = e.pc
+		case isa.ClassJump:
+			// JAL: target is static and the link value is known here.
+			e.executed, e.completed = true, true
+			e.taken, e.nextPC = true, in.Target
+			if e.hasDest {
+				e.result = e.pc + isa.InstrBytes
+				c.prf[e.destPreg] = e.result
+				c.prfReady[e.destPreg] = true
+			}
+		case isa.ClassLoad:
+			c.loadQ = append(c.loadQ, lsqEntry{seq: seq})
+			if e.reused {
+				// Reused load: consumers are unblocked now, but the value
+				// must be verified by re-execution before commit (§3.8.3).
+				e.memAddr = grant.MemAddr
+				e.memValue = e.result
+				lq := &c.loadQ[len(c.loadQ)-1]
+				lq.addr = grant.MemAddr
+				lq.value = e.result
+				lq.executed = true
+				lq.reused = true
+				e.completed = false
+				e.verifPending = true
+				c.verifQ = append(c.verifQ, seq)
+			} else {
+				c.memIQ = append(c.memIQ, seq)
+				e.inIQ = true
+			}
+		case isa.ClassStore:
+			c.storeQ = append(c.storeQ, lsqEntry{seq: seq})
+			c.memIQ = append(c.memIQ, seq)
+			e.inIQ = true
+		case isa.ClassBranch, isa.ClassJumpR:
+			if c.checkpointsInFlight < c.cfg.RATCheckpoints {
+				e.hasCheckpoint = true
+				c.checkpointsInFlight++
+			}
+			c.iq = append(c.iq, seq)
+			e.inIQ = true
+		default:
+			if !e.reused {
+				c.iq = append(c.iq, seq)
+				e.inIQ = true
+			}
+		}
+		if c.tracer != nil {
+			if e.reused {
+				c.emitTrace(trace.KindReuse, e, "")
+			} else {
+				c.emitTrace(trace.KindRename, e, "")
+			}
+		}
+	}
+	c.maybeRGIDReset()
+}
+
+// issue selects ready instructions within the cycle's functional-unit
+// budgets, executes them, and schedules their completion.
+func (c *Core) issue() {
+	alu, bru, lsu := c.cfg.ALUs, c.cfg.BRUs, c.cfg.LSUs
+
+	// Verification accesses for reused loads share the LSU ports.
+	for len(c.verifQ) > 0 && lsu > 0 {
+		seq := c.verifQ[0]
+		c.verifQ = c.verifQ[1:]
+		lsu--
+		e := c.entry(seq)
+		val, _, lat := c.readForLoad(seq, e.memAddr)
+		e.verifOK = val == e.result
+		e.doneAt = c.cycle + 1 + lat
+		e.issued = true
+		c.executing = append(c.executing, seq)
+	}
+
+	// Memory reservation station: loads and stores on the LSU ports.
+	for i := 0; i < len(c.memIQ) && lsu > 0; {
+		seq := c.memIQ[i]
+		e := c.entry(seq)
+		if !c.sourcesReady(e) {
+			i++
+			continue
+		}
+		lsu--
+		c.execute(e)
+		c.memIQ = append(c.memIQ[:i], c.memIQ[i+1:]...)
+	}
+
+	// ALU/BRU reservation station.
+	for i := 0; i < len(c.iq) && (alu > 0 || bru > 0); {
+		seq := c.iq[i]
+		e := c.entry(seq)
+		isBRU := e.instr.Class() == isa.ClassBranch || e.instr.Class() == isa.ClassJumpR
+		if isBRU && bru == 0 || !isBRU && alu == 0 {
+			i++
+			continue
+		}
+		if !c.sourcesReady(e) {
+			i++
+			continue
+		}
+		if isBRU {
+			bru--
+		} else {
+			alu--
+		}
+		c.execute(e)
+		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+	}
+}
+
+func (c *Core) sourcesReady(e *robEntry) bool {
+	for i := 0; i < e.nsrc; i++ {
+		if !c.prfReady[e.srcPregs[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// execute computes an instruction's architectural outcome and schedules
+// its writeback.
+func (c *Core) execute(e *robEntry) {
+	var rs1v, rs2v uint64
+	if e.nsrc > 0 {
+		rs1v = c.prf[e.srcPregs[0]]
+	}
+	if e.nsrc > 1 {
+		rs2v = c.prf[e.srcPregs[1]]
+	}
+	out := isa.Evaluate(e.instr, e.pc, rs1v, rs2v)
+	switch e.instr.Class() {
+	case isa.ClassMul:
+		e.result = out.Result
+		e.doneAt = c.cycle + c.cfg.MulLat
+	case isa.ClassDiv:
+		e.result = out.Result
+		e.doneAt = c.cycle + c.cfg.DivLat
+	case isa.ClassBranch:
+		e.taken = out.Taken
+		if out.Taken {
+			e.nextPC = out.Target
+		} else {
+			e.nextPC = e.pc + isa.InstrBytes
+		}
+		e.doneAt = c.cycle + 1
+	case isa.ClassJumpR:
+		e.taken = true
+		e.nextPC = out.Target
+		e.result = out.Result
+		e.doneAt = c.cycle + 1
+	case isa.ClassLoad:
+		e.memAddr = out.MemAddr
+		val, fwd, lat := c.readForLoad(e.seq, e.memAddr)
+		e.result = val
+		e.memValue = val
+		e.fwdFrom = fwd
+		e.doneAt = c.cycle + 1 + lat
+		lq := c.lsqFind(c.loadQ, e.seq)
+		lq.addr = e.memAddr
+		lq.value = val
+		lq.fwdFrom = fwd
+		lq.executed = true
+	case isa.ClassStore:
+		e.memAddr = out.MemAddr
+		e.memValue = out.Result
+		e.doneAt = c.cycle + 1
+	default:
+		e.result = out.Result
+		e.doneAt = c.cycle + 1
+	}
+	e.issued = true
+	e.inIQ = false
+	c.executing = append(c.executing, e.seq)
+	c.emitTrace(trace.KindIssue, e, "")
+}
+
+// readForLoad resolves a load's value: store-to-load forwarding from the
+// youngest older executed store with a matching address, else committed
+// memory through the cache hierarchy. It returns the value, the forwarding
+// store's seq (0 = memory), and the access latency.
+func (c *Core) readForLoad(loadSeq, addr uint64) (uint64, uint64, uint64) {
+	a := addr &^ 7
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		s := &c.storeQ[i]
+		if s.seq >= loadSeq {
+			continue
+		}
+		if s.executed && s.addr&^7 == a {
+			return s.value, s.seq, c.cfg.FwdLat
+		}
+	}
+	return c.mem.Read(a), 0, c.hier.Access(a)
+}
+
+// lsqFind locates the LSQ entry for seq.
+func (c *Core) lsqFind(q []lsqEntry, seq uint64) *lsqEntry {
+	for i := range q {
+		if q[i].seq == seq {
+			return &q[i]
+		}
+	}
+	panic(fmt.Sprintf("core: LSQ entry for seq %d missing", seq))
+}
+
+// writeback retires execution results into the PRF, resolves branches
+// (flushing on mispredictions), performs store-side violation checks and
+// completes reused-load verification.
+func (c *Core) writeback() {
+	for {
+		// Pick the oldest finished instruction; flushes triggered by one
+		// writeback remove squashed entries from c.executing, so
+		// re-scanning after each step is required for correctness.
+		best := -1
+		for i, seq := range c.executing {
+			if c.entry(seq).doneAt > c.cycle {
+				continue
+			}
+			if best < 0 || seq < c.executing[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		seq := c.executing[best]
+		c.executing = append(c.executing[:best], c.executing[best+1:]...)
+		e := c.entry(seq)
+
+		if e.verifPending {
+			// Reused-load verification result (§3.8.3).
+			c.Stats.LoadVerifications++
+			if e.verifOK {
+				e.verifPending = false
+				e.completed = true
+			} else {
+				c.violationFlush(seq, true)
+			}
+			continue
+		}
+
+		if e.hasDest {
+			c.prf[e.destPreg] = e.result
+			c.prfReady[e.destPreg] = true
+		}
+		e.executed = true
+		e.completed = true
+		c.emitTrace(trace.KindWriteback, e, "")
+
+		switch e.instr.Class() {
+		case isa.ClassStore:
+			s := c.lsqFind(c.storeQ, seq)
+			s.addr = e.memAddr
+			s.value = e.memValue
+			s.executed = true
+			c.engine.NoteStore(e.memAddr)
+			if victim, ok := c.storeViolationScan(e); ok {
+				c.violationFlush(victim, false)
+			}
+		case isa.ClassBranch, isa.ClassJumpR:
+			if e.nextPC != e.predNext {
+				e.mispredicted = true
+				c.mispredictFlush(e)
+			}
+		}
+	}
+}
+
+// storeViolationScan implements the store-side load-queue search: a
+// younger executed load with a matching address that did not get its data
+// from this store (or a younger one) read stale data.
+func (c *Core) storeViolationScan(st *robEntry) (uint64, bool) {
+	a := st.memAddr &^ 7
+	for i := range c.loadQ {
+		l := &c.loadQ[i]
+		if l.seq <= st.seq || !l.executed {
+			continue
+		}
+		if l.addr&^7 == a && l.fwdFrom < st.seq {
+			return l.seq, true
+		}
+	}
+	return 0, false
+}
+
+// commit retires up to CommitWidth completed instructions from the ROB
+// head, writing stores to memory, training the predictors, freeing
+// previous mappings and running the lockstep checker.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		e := &c.rob[c.headIdx]
+		if !e.completed {
+			return
+		}
+		if c.checker != nil {
+			c.debugCheck(e)
+		}
+		switch e.instr.Class() {
+		case isa.ClassBranch:
+			c.Stats.Branches++
+			if e.mispredicted {
+				c.Stats.BranchMispredicts++
+			}
+			c.bp.Train(e.pc, e.snapshot, e.taken)
+		case isa.ClassJumpR:
+			if e.mispredicted {
+				c.Stats.JumpMispredicts++
+			}
+			if !e.isReturn {
+				c.bp.TrainIndirect(e.pc, e.nextPC)
+			}
+		case isa.ClassLoad:
+			if len(c.loadQ) == 0 || c.loadQ[0].seq != e.seq {
+				panic("core: load queue out of sync at commit")
+			}
+			c.loadQ = c.loadQ[1:]
+		case isa.ClassStore:
+			if len(c.storeQ) == 0 || c.storeQ[0].seq != e.seq {
+				panic("core: store queue out of sync at commit")
+			}
+			c.mem.Write(e.memAddr, e.memValue)
+			c.hier.Access(e.memAddr)
+			c.storeQ = c.storeQ[1:]
+		}
+		if e.hasCheckpoint {
+			c.checkpointsInFlight--
+		}
+		if e.hasDest {
+			// The previous mapping of the destination register is now
+			// unreachable; free it (unless a squash log holds it).
+			c.tracker.Unlive(e.oldMap.Preg)
+		}
+		c.emitTrace(trace.KindCommit, e, "")
+		c.Stats.Retired++
+		if c.suspendCommits > 0 {
+			c.suspendCommits--
+		}
+		halt := e.halt
+		c.headIdx = (c.headIdx + 1) % len(c.rob)
+		c.count--
+		c.headSeq++
+		if halt {
+			c.halted = true
+			return
+		}
+	}
+}
+
+// debugCheck compares one committing instruction against the lockstep
+// functional emulator and panics on divergence — the repository's golden
+// invariant that squash reuse never changes architectural behaviour.
+func (c *Core) debugCheck(e *robEntry) {
+	info := c.checker.Step()
+	fail := func(what string, got, want interface{}) {
+		panic(fmt.Sprintf("core: lockstep divergence at pc=0x%x seq=%d (%v): %s = %v, emulator has %v",
+			e.pc, e.seq, e.instr, what, got, want))
+	}
+	if info.PC != e.pc {
+		fail("pc", fmt.Sprintf("0x%x", e.pc), fmt.Sprintf("0x%x", info.PC))
+	}
+	if e.hasDest {
+		if want := c.checker.Regs[e.instr.Rd]; e.result != want {
+			fail("result", e.result, want)
+		}
+	}
+	if e.instr.IsStore() {
+		if e.memAddr != info.Outcome.MemAddr || e.memValue != info.Outcome.Result {
+			fail("store", fmt.Sprintf("[0x%x]=%d", e.memAddr, e.memValue),
+				fmt.Sprintf("[0x%x]=%d", info.Outcome.MemAddr, info.Outcome.Result))
+		}
+	}
+	if e.instr.IsControl() && !e.halt {
+		if e.nextPC != info.NextPC {
+			fail("nextPC", fmt.Sprintf("0x%x", e.nextPC), fmt.Sprintf("0x%x", info.NextPC))
+		}
+	}
+}

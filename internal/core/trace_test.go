@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mssr/internal/trace"
+)
+
+// TestTraceIntegration runs the hashy workload with a pipeline tracer and
+// checks the core emits the full event vocabulary: fetch through commit,
+// squashes, redirects, reconvergence and reuse.
+func TestTraceIntegration(t *testing.T) {
+	p := hashyProgram(100)
+	pipe := trace.NewPipeline(64)
+	counts := &countingTracer{}
+	cfg := MultiStreamConfig(4, 64)
+	cfg.Tracer = trace.Multi{pipe, counts}
+	cfg.DebugCheck = true
+	c := New(p, cfg)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []trace.Kind{
+		trace.KindFetch, trace.KindRename, trace.KindIssue,
+		trace.KindWriteback, trace.KindCommit, trace.KindSquash,
+		trace.KindRedirect, trace.KindReuse, trace.KindReconverge,
+	} {
+		if counts.n[k] == 0 {
+			t.Errorf("no %v events emitted", k)
+		}
+	}
+	if counts.n[trace.KindCommit] != int(c.Stats.Retired) {
+		t.Errorf("commit events = %d, retired = %d", counts.n[trace.KindCommit], c.Stats.Retired)
+	}
+	if counts.n[trace.KindReuse] != int(c.Stats.ReuseHits) {
+		t.Errorf("reuse events = %d, hits = %d", counts.n[trace.KindReuse], c.Stats.ReuseHits)
+	}
+	out := pipe.Render(32)
+	if !strings.Contains(out, "mispredict") {
+		t.Error("pipeline render missing redirect notes")
+	}
+}
+
+type countingTracer struct {
+	n [32]int
+}
+
+func (c *countingTracer) Emit(e trace.Event) { c.n[e.Kind]++ }
+
+// TestTracingDoesNotPerturbTiming verifies tracing is observation-only.
+func TestTracingDoesNotPerturbTiming(t *testing.T) {
+	p := hashyProgram(200)
+	plain := New(p, MultiStreamConfig(4, 64))
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiStreamConfig(4, 64)
+	cfg.Tracer = trace.NewPipeline(16)
+	traced := New(p, cfg)
+	if err := traced.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Cycles != traced.Stats.Cycles || plain.Stats.ReuseHits != traced.Stats.ReuseHits {
+		t.Errorf("tracing changed behaviour: %v vs %v cycles", plain.Stats.Cycles, traced.Stats.Cycles)
+	}
+}

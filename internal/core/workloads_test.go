@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"mssr/internal/emu"
+	"mssr/internal/workloads"
+)
+
+// TestWorkloadsEquivalence runs every evaluation workload (tiny scale)
+// under a representative set of reuse engines with the lockstep checker
+// armed, and verifies the final architectural state against the
+// functional emulator. Combined with the workloads package's own tests
+// against independent Go references, this closes the loop:
+// Go reference == emulator == timing core under every engine.
+func TestWorkloadsEquivalence(t *testing.T) {
+	cfgNames := []string{"none", "rgid-4x64", "rgid-1x64", "ri-64x4", "rgid-bloom"}
+	if testing.Short() {
+		cfgNames = []string{"rgid-4x64"}
+	}
+	cfgs := testConfigs()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.BuildScaled(0) // tiny validation scale
+			for _, name := range cfgNames {
+				c := runEquiv(t, name, p, cfgs[name])
+				_ = c
+			}
+		})
+	}
+}
+
+// TestWorkloadChecksumOnCore spot-checks that the core's committed memory
+// holds the reference checksum (exercising the Result path end to end).
+func TestWorkloadChecksumOnCore(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.BuildScaled(0)
+	cfg := MultiStreamConfig(4, 64)
+	cfg.DebugCheck = true
+	c := New(p, cfg)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(p)
+	if err := e.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.CommittedMemory().Read(workloads.CheckAddr()), e.Mem.Read(workloads.CheckAddr()); got != want {
+		t.Fatalf("checksum = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"mssr/internal/isa"
+)
+
+// ErrInstructionLimit is returned by Run when the program has not halted
+// within the allowed number of instructions.
+var ErrInstructionLimit = errors.New("emu: instruction limit exceeded")
+
+// Emulator executes a program at architectural (ISA) level, one instruction
+// per Step, with no timing. It is the semantic oracle for the repository.
+type Emulator struct {
+	Prog *isa.Program
+	Regs [isa.NumArchRegs]uint64
+	Mem  *Memory
+	PC   uint64
+	// Halted reports that a HALT instruction has retired.
+	Halted bool
+	// Retired counts architecturally executed instructions.
+	Retired uint64
+}
+
+// New returns an emulator with the program's data segments loaded and the
+// PC at the program base.
+func New(p *isa.Program) *Emulator {
+	e := &Emulator{Prog: p, Mem: NewMemory(), PC: p.Base}
+	e.Mem.Load(p)
+	return e
+}
+
+// StepInfo describes one architecturally executed instruction; the timing
+// simulators' built-in retirement checkers compare against it.
+type StepInfo struct {
+	PC      uint64
+	Instr   isa.Instruction
+	Outcome isa.Outcome
+	NextPC  uint64
+}
+
+// Step executes the instruction at the current PC. Calling Step on a halted
+// emulator is a no-op that returns the final state of the HALT.
+func (e *Emulator) Step() StepInfo {
+	if e.Halted {
+		return StepInfo{PC: e.PC, Instr: isa.Instruction{Op: isa.HALT}, NextPC: e.PC}
+	}
+	in := e.Prog.MustAt(e.PC)
+	var rs1v, rs2v uint64
+	if n := in.NumSources(); n > 0 {
+		rs1v = e.Regs[in.Src(0)]
+		if n > 1 {
+			rs2v = e.Regs[in.Src(1)]
+		}
+	}
+	out := isa.Evaluate(in, e.PC, rs1v, rs2v)
+	switch {
+	case in.IsLoad():
+		out.Result = e.Mem.Read(out.MemAddr)
+	case in.IsStore():
+		e.Mem.Write(out.MemAddr, out.Result)
+	}
+	if in.HasDest() {
+		e.Regs[in.Rd] = out.Result
+	}
+	info := StepInfo{PC: e.PC, Instr: in, Outcome: out}
+	switch {
+	case out.Halt:
+		e.Halted = true
+		info.NextPC = e.PC
+	case out.Taken:
+		e.PC = out.Target
+		info.NextPC = out.Target
+	default:
+		e.PC += isa.InstrBytes
+		info.NextPC = e.PC
+	}
+	e.Retired++
+	return info
+}
+
+// Run executes until HALT or until maxInstrs instructions have retired,
+// returning ErrInstructionLimit in the latter case.
+func (e *Emulator) Run(maxInstrs uint64) error {
+	for !e.Halted {
+		if e.Retired >= maxInstrs {
+			return fmt.Errorf("%w (%d instructions, PC=0x%x)", ErrInstructionLimit, maxInstrs, e.PC)
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// Result is the final architectural state in comparable form.
+type Result struct {
+	Regs      [isa.NumArchRegs]uint64
+	MemDigest uint64
+	Retired   uint64
+}
+
+// Result captures the current architectural state.
+func (e *Emulator) Result() Result {
+	return Result{Regs: e.Regs, MemDigest: e.Mem.Digest(), Retired: e.Retired}
+}
+
+// RunProgram is a convenience wrapper: execute p to completion and return
+// the final state.
+func RunProgram(p *isa.Program, maxInstrs uint64) (Result, error) {
+	e := New(p)
+	if err := e.Run(maxInstrs); err != nil {
+		return Result{}, err
+	}
+	return e.Result(), nil
+}

@@ -1,0 +1,209 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+func TestMemoryBasics(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0x100) != 0 {
+		t.Error("unwritten memory should read zero")
+	}
+	m.Write(0x100, 42)
+	if m.Read(0x100) != 42 {
+		t.Error("readback failed")
+	}
+	// Aligned-down semantics.
+	m.Write(0x105, 7)
+	if m.Read(0x100) != 7 {
+		t.Error("write should align down to 8 bytes")
+	}
+	if m.Read(0x107) != 7 {
+		t.Error("read should align down to 8 bytes")
+	}
+	m.Write(0x100, 0)
+	if m.Len() != 0 {
+		t.Error("writing zero should erase the entry")
+	}
+}
+
+func TestMemoryDigestAndEqual(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	for i := uint64(0); i < 64; i++ {
+		a.Write(i*8, i+1)
+	}
+	for i := int64(63); i >= 0; i-- {
+		b.Write(uint64(i)*8, uint64(i)+1)
+	}
+	if a.Digest() != b.Digest() || !a.Equal(b) {
+		t.Error("identical contents must digest equal regardless of write order")
+	}
+	b.Write(8, 99)
+	if a.Digest() == b.Digest() || a.Equal(b) {
+		t.Error("different contents must differ")
+	}
+	b.Write(8, 2)
+	b.Write(0x9999999, 1)
+	if a.Equal(b) {
+		t.Error("extra word must differ")
+	}
+	c := a.Clone()
+	c.Write(0, 123)
+	if a.Read(0) == 123 {
+		t.Error("clone must not alias")
+	}
+}
+
+func TestEmulatorCountdown(t *testing.T) {
+	p := asm.MustAssemble("countdown", `
+    li   t0, 5
+    li   a0, 0
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+`)
+	res, err := RunProgram(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[isa.A0] != 15 {
+		t.Errorf("a0 = %d, want 15", res.Regs[isa.A0])
+	}
+	// 2 setup + 5 iterations x 3 + halt
+	if res.Retired != 2+15+1 {
+		t.Errorf("retired = %d", res.Retired)
+	}
+}
+
+func TestEmulatorMemoryOps(t *testing.T) {
+	p := asm.MustAssemble("memops", `
+.data 0x4000 10 20 30
+    li   s0, 0x4000
+    ld   t0, 0(s0)
+    ld   t1, 8(s0)
+    add  t2, t0, t1
+    st   t2, 16(s0)
+    ld   a0, 16(s0)
+    halt
+`)
+	e := New(p)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.Regs[isa.A0] != 30 {
+		t.Errorf("a0 = %d, want 30", e.Regs[isa.A0])
+	}
+	if e.Mem.Read(0x4010) != 30 {
+		t.Errorf("mem[0x4010] = %d", e.Mem.Read(0x4010))
+	}
+}
+
+func TestEmulatorJalr(t *testing.T) {
+	p := asm.MustAssemble("call", `
+    li   a0, 1
+    jal  ra, fn
+    addi a0, a0, 100
+    halt
+fn:
+    addi a0, a0, 10
+    ret
+`)
+	res, err := RunProgram(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[isa.A0] != 111 {
+		t.Errorf("a0 = %d, want 111", res.Regs[isa.A0])
+	}
+}
+
+func TestEmulatorZeroRegister(t *testing.T) {
+	p := asm.MustAssemble("zero", `
+    li   x0, 77
+    addi x0, x0, 5
+    add  a0, x0, x0
+    halt
+`)
+	res, err := RunProgram(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[isa.Zero] != 0 || res.Regs[isa.A0] != 0 {
+		t.Errorf("x0 must stay zero: x0=%d a0=%d", res.Regs[isa.Zero], res.Regs[isa.A0])
+	}
+}
+
+func TestEmulatorInstructionLimit(t *testing.T) {
+	p := asm.MustAssemble("spin", "loop: j loop\nhalt")
+	_, err := RunProgram(p, 100)
+	if !errors.Is(err, ErrInstructionLimit) {
+		t.Errorf("err = %v, want instruction limit", err)
+	}
+}
+
+func TestEmulatorStepAfterHalt(t *testing.T) {
+	p := asm.MustAssemble("h", "halt")
+	e := New(p)
+	e.Step()
+	if !e.Halted {
+		t.Fatal("should halt")
+	}
+	retired := e.Retired
+	info := e.Step()
+	if e.Retired != retired || info.Instr.Op != isa.HALT {
+		t.Error("step after halt must be a no-op")
+	}
+}
+
+func TestEmulatorStepInfo(t *testing.T) {
+	p := asm.MustAssemble("s", `
+    li t0, 1
+    beqz t0, skip
+    li a0, 2
+skip:
+    halt
+`)
+	e := New(p)
+	i1 := e.Step()
+	if i1.PC != p.Base || i1.NextPC != p.Base+4 {
+		t.Errorf("step1 %+v", i1)
+	}
+	i2 := e.Step()
+	if i2.Outcome.Taken {
+		t.Error("beqz with t0=1 should not take")
+	}
+	if i2.NextPC != p.Base+8 {
+		t.Errorf("fallthrough NextPC = %#x", i2.NextPC)
+	}
+}
+
+// Property: the emulator is deterministic — running the same program twice
+// yields identical results.
+func TestEmulatorDeterminism(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := int64(seed%97) + 1
+		b := asm.NewBuilder("det")
+		b.Li(isa.T0, n)
+		b.Li(isa.A0, 1)
+		b.Label("loop")
+		b.Mul(isa.A0, isa.A0, isa.T0)
+		b.Andi(isa.A0, isa.A0, 0xffff)
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bnez(isa.T0, "loop")
+		b.Halt()
+		p := b.MustProgram()
+		r1, err1 := RunProgram(p, 100000)
+		r2, err2 := RunProgram(p, 100000)
+		return err1 == nil && err2 == nil && r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

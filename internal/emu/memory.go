@@ -1,0 +1,93 @@
+// Package emu implements the functional (ISA-level) emulator used as the
+// golden reference: every timing simulation must retire the same dynamic
+// instruction stream and produce the same final architectural state as this
+// emulator, regardless of which squash-reuse mechanism is enabled.
+package emu
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"mssr/internal/isa"
+)
+
+// Memory is a sparse 64-bit word-addressable data memory. Accesses are
+// aligned down to 8-byte boundaries; unwritten locations read as zero.
+// The same type backs both the functional emulator's architectural memory
+// and the timing core's committed memory, which guarantees identical
+// semantics on both sides of the equivalence tests.
+type Memory struct {
+	words map[uint64]uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{words: make(map[uint64]uint64)} }
+
+// Load loads the initialized data segments of p.
+func (m *Memory) Load(p *isa.Program) {
+	for _, seg := range p.Data {
+		for i, w := range seg.Words {
+			m.Write(seg.Addr+uint64(i)*8, w)
+		}
+	}
+}
+
+// Read returns the word at addr (aligned down to 8 bytes).
+func (m *Memory) Read(addr uint64) uint64 { return m.words[addr&^7] }
+
+// Write stores val at addr (aligned down to 8 bytes). Writing zero erases
+// the backing entry so memories that have converged compare equal.
+func (m *Memory) Write(addr, val uint64) {
+	a := addr &^ 7
+	if val == 0 {
+		delete(m.words, a)
+		return
+	}
+	m.words[a] = val
+}
+
+// Len reports how many non-zero words the memory holds.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Clone returns a deep copy of the memory.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for a, v := range m.words {
+		c.words[a] = v
+	}
+	return c
+}
+
+// Digest returns an order-independent-stable FNV-1a hash of memory
+// contents, used by equivalence tests to compare final states cheaply.
+func (m *Memory) Digest() uint64 {
+	addrs := make([]uint64, 0, len(m.words))
+	for a := range m.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, a := range addrs {
+		v := m.words[a]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(a >> (8 * i))
+			buf[8+i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.words) != len(o.words) {
+		return false
+	}
+	for a, v := range m.words {
+		if o.words[a] != v {
+			return false
+		}
+	}
+	return true
+}

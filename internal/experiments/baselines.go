@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mssr/internal/core"
+	"mssr/internal/reuse"
+	"mssr/internal/workloads"
+)
+
+// BaselinesResult compares all four squash-reuse mechanisms discussed by
+// the paper — no reuse, Dynamic Instruction Reuse (both schemes),
+// Register Integration and the RGID multi-stream mechanism — at matched
+// capacities (256 reuse entries), across the microbenchmarks and a
+// representative workload subset. This extends the paper's §3.7
+// qualitative comparison with measured numbers.
+type BaselinesResult struct {
+	Workloads []string
+	Engines   []string
+	// Improvement[workload][engine] over the no-reuse baseline.
+	Improvement map[string]map[string]float64
+	// ReuseHits[workload][engine].
+	ReuseHits map[string]map[string]uint64
+}
+
+// baselineWorkloads picks the comparison set.
+func baselineWorkloads() []string {
+	return []string{"nested-mispred", "linear-mispred", "astar", "gobmk", "bfs", "sssp"}
+}
+
+// Baselines runs the engine comparison.
+func Baselines(scale int) (*BaselinesResult, error) {
+	engines := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"dir-value", core.DIRConfigOf(64, 4, reuse.DIRValue)},
+		{"dir-name", core.DIRConfigOf(64, 4, reuse.DIRName)},
+		{"ri-64s4w", core.RIConfigOf(64, 4)},
+		{"rgid-4x64", msConfig(4, 64)},
+	}
+	r := &BaselinesResult{
+		Workloads:   baselineWorkloads(),
+		Improvement: map[string]map[string]float64{},
+		ReuseHits:   map[string]map[string]uint64{},
+	}
+	for _, e := range engines {
+		r.Engines = append(r.Engines, e.name)
+	}
+	var jobs []job
+	for _, name := range r.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p := w.BuildScaled(scale)
+		jobs = append(jobs, job{name + "/baseline", p, core.DefaultConfig()})
+		for _, e := range engines {
+			jobs = append(jobs, job{name + "/" + e.name, p, e.cfg})
+		}
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range r.Workloads {
+		base := res[name+"/baseline"]
+		r.Improvement[name] = map[string]float64{}
+		r.ReuseHits[name] = map[string]uint64{}
+		for _, e := range r.Engines {
+			st := res[name+"/"+e]
+			r.Improvement[name][e] = improvement(base, st)
+			r.ReuseHits[name][e] = st.ReuseHits
+		}
+	}
+	return r, nil
+}
+
+// Render prints the engine comparison grid.
+func (r *BaselinesResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Baselines: squash-reuse mechanisms at matched capacity (256 entries)\n")
+	header(&sb, "benchmark", r.Engines)
+	w := colWidth(r.Engines)
+	for _, name := range r.Workloads {
+		fmt.Fprintf(&sb, "%-18s", name)
+		for _, e := range r.Engines {
+			fmt.Fprintf(&sb, "%*s", w, pct(r.Improvement[name][e]))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("reuse hits:\n")
+	for _, name := range r.Workloads {
+		fmt.Fprintf(&sb, "%-18s", name)
+		for _, e := range r.Engines {
+			fmt.Fprintf(&sb, "%*d", w, r.ReuseHits[name][e])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

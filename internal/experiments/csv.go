@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the Figure 10 sweep in the paper artifact's rollup format
+// (appendix A.6): one row per configuration and benchmark with the
+// simulated cycle count and the relative runtime improvement over the
+// baseline.
+//
+//	CFG,BM,CYCLES,diff
+//	RCVG_4_64,bfs,76244487.0,0.050558
+func (r *Figure10Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("CFG,BM,CYCLES,diff\n")
+	for _, name := range r.Workloads {
+		base := r.Stats[name+"/baseline"]
+		fmt.Fprintf(&sb, "BASE,%s,%d,0.000000\n", name, base.Cycles)
+		for _, c := range r.Configs {
+			st := r.Stats[name+"/"+c]
+			cfg := "RCVG_" + strings.ReplaceAll(c, "x", "_")
+			fmt.Fprintf(&sb, "%s,%s,%d,%f\n", cfg, name, st.Cycles, r.Improvement[name][c])
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the Table 1 comparison in the same rollup format.
+func (r *Table1Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("CFG,BM,CYCLES,diff\n")
+	for _, v := range r.Variants {
+		for _, c := range r.Configs {
+			st := r.Stats[v+"/"+c]
+			fmt.Fprintf(&sb, "%s,%s,%d,%f\n", strings.ToUpper(strings.ReplaceAll(c, "-", "_")), v, st.Cycles, r.Speedup[v][c])
+		}
+	}
+	return sb.String()
+}

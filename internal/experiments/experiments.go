@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulator:
+//
+//	Table 1  — microbenchmark speedups (multi-stream vs Register
+//	           Integration at matched capacities)
+//	Table 2  — additional storage (analytical, internal/storage)
+//	Table 3  — baseline configuration echo
+//	Table 4  — synthesis complexity (analytical, internal/synth)
+//	Figure 3 — RI reuse-table replacement-frequency heatmap
+//	Figure 4 — reconvergence-type breakdown
+//	Figure 10 — IPC improvement across stream/WPB configurations
+//	Figure 11 — reconvergence stream-distance breakdown
+//	Figure 12 — RGID vs RI across matched configurations on GAP
+//
+// Each experiment returns a structured result plus a Render method that
+// prints rows in the shape of the paper's artifact (CSV-like tables and
+// ASCII heatmaps). Simulations within an experiment run in parallel.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mssr/internal/core"
+	"mssr/internal/isa"
+	"mssr/internal/stats"
+)
+
+// job is one simulation to run.
+type job struct {
+	key  string
+	prog *isa.Program
+	cfg  core.Config
+}
+
+// runAll executes jobs in parallel and returns stats keyed by job key.
+func runAll(jobs []job) (map[string]*stats.Stats, error) {
+	results := make(map[string]*stats.Stats, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := core.New(j.prog, j.cfg)
+			err := c.Run()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", j.key, err)
+				return
+			}
+			results[j.key] = c.Stats
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// msConfig builds the multi-stream configuration used by the experiments.
+func msConfig(streams, logEntries int) core.Config {
+	return core.MultiStreamConfig(streams, logEntries)
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// improvement returns base/with - 1 in cycles (positive = faster).
+func improvement(base, with *stats.Stats) float64 { return stats.Speedup(base, with) }
+
+// header renders a fixed-width table header, sizing columns to fit the
+// longest label.
+func header(sb *strings.Builder, first string, cols []string) {
+	fmt.Fprintf(sb, "%-18s", first)
+	for _, c := range cols {
+		fmt.Fprintf(sb, "%*s", colWidth(cols), c)
+	}
+	sb.WriteByte('\n')
+}
+
+// colWidth returns the column width used by header and by value rows that
+// align with it.
+func colWidth(cols []string) int {
+	w := 12
+	for _, c := range cols {
+		if len(c)+2 > w {
+			w = len(c) + 2
+		}
+	}
+	return w
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at tiny scale (0): they validate structure and
+// rendering, not effect sizes — the effect-size shape checks live in the
+// repository benchmarks and EXPERIMENTS.md.
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 || len(r.Configs) != 7 {
+		t.Fatalf("unexpected dimensions: %v x %v", r.Variants, r.Configs)
+	}
+	for _, v := range r.Variants {
+		if r.Speedup[v]["baseline"] != 0 {
+			t.Errorf("%s baseline speedup = %v, want 0", v, r.Speedup[v]["baseline"])
+		}
+		for _, c := range r.Configs {
+			s := r.Speedup[v][c]
+			if s < -0.9 || s > 10 {
+				t.Errorf("%s/%s speedup %v implausible", v, c, s)
+			}
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Table 1", "Multi-Stream Squash Reuse", "Register Integration", "4 streams / ways"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if !strings.Contains(Table2(), "3.53 KB") {
+		t.Error("Table2 missing the paper's total")
+	}
+	t3 := Table3()
+	for _, want := range []string{"256 entries", "TAGE", "64KB 4-way"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, t3)
+		}
+	}
+	if !strings.Contains(Table4(), "Reuse Test") {
+		t.Error("Table4 incomplete")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r, err := Figure3(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Variants {
+		for _, w := range r.Ways {
+			if len(r.Replacements[v][w]) != r.Sets {
+				t.Fatalf("%s/%d-way: %d sets, want %d", v, w, len(r.Replacements[v][w]), r.Sets)
+			}
+		}
+		// Higher associativity must not replace more than direct mapped.
+		if r.Total(v, 4) > r.Total(v, 1) {
+			t.Errorf("%s: 4-way replaces more (%d) than 1-way (%d)", v, r.Total(v, 4), r.Total(v, 1))
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "1-way |") || !strings.Contains(out, "4-way |") {
+		t.Error("heatmap rows missing")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, err := Figure4(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 19 {
+		t.Fatalf("workload count = %d", len(r.Workloads))
+	}
+	for _, name := range r.Workloads {
+		f := r.Fraction[name]
+		sum := f[0] + f[1] + f[2]
+		if sum != 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("%s fractions sum to %v", name, sum)
+		}
+		if ms := r.MultiStreamFraction(name); ms < 0 || ms > 1 {
+			t.Errorf("%s multi-stream fraction %v", name, ms)
+		}
+	}
+	if !strings.Contains(r.Render(), "hw-induced") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r, err := Figure10(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 17 {
+		t.Fatalf("Figure 10 covers SPEC+GAP (17), got %d", len(r.Workloads))
+	}
+	if len(r.Configs) != 5 {
+		t.Fatalf("configs = %v", r.Configs)
+	}
+	for _, name := range r.Workloads {
+		for _, c := range r.Configs {
+			v := r.Improvement[name][c]
+			if v < -0.9 || v > 10 {
+				t.Errorf("%s/%s improvement %v implausible", name, c, v)
+			}
+		}
+	}
+	_ = r.Average("4x64", "gap")
+	out := r.Render()
+	if !strings.Contains(out, "avg gap") || !strings.Contains(out, "4x1024") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	r, err := Figure11(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.Workloads {
+		var sum float64
+		for _, f := range r.Fraction[name] {
+			if f < 0 || f > 1 {
+				t.Errorf("%s fraction %v out of range", name, f)
+			}
+			sum += f
+		}
+		if sum != 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("%s distances sum to %v", name, sum)
+		}
+		if c1, c3 := r.Cumulative(name, 1), r.Cumulative(name, 3); c3 < c1 {
+			t.Errorf("%s cumulative not monotonic", name)
+		}
+	}
+	if !strings.Contains(r.Render(), "d=1") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	r, err := Figure12(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 6 {
+		t.Fatalf("GAP workloads = %v", r.Workloads)
+	}
+	if len(r.Configs) != 12 {
+		t.Fatalf("configs = %v", r.Configs)
+	}
+	out := r.Render()
+	for _, want := range []string{"rgid-4x128", "ri-128s4w", "bfs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCSVFormats(t *testing.T) {
+	r, err := Table1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "CFG,BM,CYCLES,diff\n") {
+		t.Errorf("CSV header missing:\n%s", csv[:60])
+	}
+	for _, want := range []string{"RGID_4,nested-mispred,", "RI_2W,linear-mispred,", "BASELINE,"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+	f, err := Figure10(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcsv := f.CSV()
+	for _, want := range []string{"RCVG_4_64,bfs,", "BASE,astar,"} {
+		if !strings.Contains(fcsv, want) {
+			t.Errorf("Figure10 CSV missing %q", want)
+		}
+	}
+	// Every line has exactly four fields.
+	for i, line := range strings.Split(strings.TrimSpace(fcsv), "\n") {
+		if got := strings.Count(line, ","); got != 3 {
+			t.Fatalf("line %d has %d commas: %q", i, got, line)
+		}
+	}
+}

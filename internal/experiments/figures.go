@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mssr/internal/core"
+	"mssr/internal/stats"
+	"mssr/internal/workloads"
+)
+
+// ------------------------------------------------------------ Figure 3 ---
+
+// Figure3Result holds per-set replacement counts of the Register
+// Integration reuse table for each associativity, per microbenchmark.
+type Figure3Result struct {
+	Variants []string
+	Ways     []int
+	Sets     int
+	// Replacements[variant][ways] is the per-set replacement histogram.
+	Replacements map[string]map[int][]uint64
+}
+
+// Figure3 reproduces the RI replacement-frequency study (§2.2.4).
+func Figure3(scale int) (*Figure3Result, error) {
+	r := &Figure3Result{
+		Variants:     []string{"nested-mispred", "linear-mispred"},
+		Ways:         []int{1, 2, 4},
+		Sets:         64,
+		Replacements: map[string]map[int][]uint64{},
+	}
+	var jobs []job
+	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
+		p := workloads.Listing1(v, microItersForScale(scale))
+		for _, w := range r.Ways {
+			jobs = append(jobs, job{fmt.Sprintf("%s/%d", r.Variants[i], w), p, core.RIConfigOf(r.Sets, w)})
+		}
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range r.Variants {
+		r.Replacements[v] = map[int][]uint64{}
+		for _, w := range r.Ways {
+			r.Replacements[v][w] = res[fmt.Sprintf("%s/%d", v, w)].RIReplacements
+		}
+	}
+	return r, nil
+}
+
+// Total sums the replacements for one variant and associativity.
+func (r *Figure3Result) Total(variant string, ways int) uint64 {
+	var t uint64
+	for _, v := range r.Replacements[variant][ways] {
+		t += v
+	}
+	return t
+}
+
+const shades = " .:-=+*#%@"
+
+// Render prints ASCII heatmaps: one row of 64 set cells per
+// configuration, light = few replacements, dark = many (as in the paper's
+// Figure 3 shading).
+func (r *Figure3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: RI reuse-table replacement frequency per set (light=low, dark=high)\n")
+	for _, v := range r.Variants {
+		// Normalize shading across this variant's configurations.
+		var maxRepl uint64 = 1
+		for _, w := range r.Ways {
+			for _, c := range r.Replacements[v][w] {
+				if c > maxRepl {
+					maxRepl = c
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%s (max %d replacements/set)\n", v, maxRepl)
+		for _, w := range r.Ways {
+			fmt.Fprintf(&sb, "  %d-way |", w)
+			for _, c := range r.Replacements[v][w] {
+				idx := int(uint64(len(shades)-1) * c / maxRepl)
+				sb.WriteByte(shades[idx])
+			}
+			fmt.Fprintf(&sb, "| total %d\n", r.Total(v, w))
+		}
+	}
+	return sb.String()
+}
+
+// ------------------------------------------------------------ Figure 4 ---
+
+// Figure4Result is the reconvergence-type breakdown per benchmark.
+type Figure4Result struct {
+	Workloads []string
+	// Fraction[name][type] for the three stats.ReconvType values.
+	Fraction map[string][3]float64
+	Stats    map[string]*stats.Stats
+}
+
+// profileConfig is the generous tracking configuration used for the
+// Figure 4 / Figure 11 profiles (8 streams so distant reconvergence is
+// observable, as the paper's profiling tooling does).
+func profileConfig() core.Config { return msConfig(8, 256) }
+
+// Figure4 profiles reconvergence types across all suites (§2.2.5).
+func Figure4(scale int) (*Figure4Result, error) {
+	r := &Figure4Result{Fraction: map[string][3]float64{}, Stats: map[string]*stats.Stats{}}
+	var jobs []job
+	for _, w := range workloads.All() {
+		r.Workloads = append(r.Workloads, w.Name)
+		jobs = append(jobs, job{w.Name, w.BuildScaled(scale), profileConfig()})
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats = res
+	for _, name := range r.Workloads {
+		st := res[name]
+		r.Fraction[name] = [3]float64{
+			st.ReconvFraction(stats.ReconvSimple),
+			st.ReconvFraction(stats.ReconvSoftware),
+			st.ReconvFraction(stats.ReconvHardware),
+		}
+	}
+	return r, nil
+}
+
+// MultiStreamFraction returns the combined software+hardware-induced
+// fraction for one workload.
+func (r *Figure4Result) MultiStreamFraction(name string) float64 {
+	f := r.Fraction[name]
+	return f[1] + f[2]
+}
+
+// Render prints the per-benchmark breakdown.
+func (r *Figure4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: reconvergence-type breakdown\n")
+	cols := []string{"simple", "sw-induced", "hw-induced", "reconvs"}
+	header(&sb, "benchmark", cols)
+	w := colWidth(cols)
+	for _, name := range r.Workloads {
+		f := r.Fraction[name]
+		fmt.Fprintf(&sb, "%-18s%*s%*s%*s%*d  %s\n", name,
+			w, fmt.Sprintf("%.1f%%", 100*f[0]),
+			w, fmt.Sprintf("%.1f%%", 100*f[1]),
+			w, fmt.Sprintf("%.1f%%", 100*f[2]),
+			w, r.Stats[name].Reconvergences,
+			stackedBar(40, f[0], f[1], f[2]))
+	}
+	sb.WriteString("bar legend: '.' simple, 's' software-induced, 'H' hardware-induced\n")
+	return sb.String()
+}
+
+// stackedBar renders fractions as a fixed-width horizontal stacked bar
+// using '.', 's' and 'H' cells (the paper's Figure 4 encoding).
+func stackedBar(width int, fracs ...float64) string {
+	glyphs := []byte{'.', 's', 'H', '+', '*'}
+	bar := make([]byte, 0, width+2)
+	bar = append(bar, '|')
+	used := 0
+	var cum float64
+	for i, f := range fracs {
+		cum += f
+		upto := int(cum*float64(width) + 0.5)
+		for used < upto && used < width {
+			bar = append(bar, glyphs[i%len(glyphs)])
+			used++
+		}
+	}
+	for used < width {
+		bar = append(bar, ' ')
+		used++
+	}
+	return string(append(bar, '|'))
+}
+
+// ----------------------------------------------------------- Figure 10 ---
+
+// Figure10Configs are the stream/WPB sweep points of Figure 10
+// (streams x squash-log entries; WPB block entries are a quarter of the
+// log, §4.1.2).
+var Figure10Configs = []struct {
+	Name    string
+	Streams int
+	Entries int
+}{
+	{"1x16", 1, 16},
+	{"1x64", 1, 64},
+	{"2x64", 2, 64},
+	{"4x64", 4, 64},
+	{"4x1024", 4, 1024},
+}
+
+// Figure10Result holds IPC improvements per workload per configuration.
+type Figure10Result struct {
+	Workloads []string
+	Configs   []string
+	// Improvement[workload][config] is the fractional IPC improvement
+	// over the no-reuse baseline.
+	Improvement map[string]map[string]float64
+	Stats       map[string]*stats.Stats
+}
+
+// Figure10 sweeps the multi-stream configurations over every workload.
+func Figure10(scale int) (*Figure10Result, error) {
+	r := &Figure10Result{Improvement: map[string]map[string]float64{}}
+	for _, c := range Figure10Configs {
+		r.Configs = append(r.Configs, c.Name)
+	}
+	var jobs []job
+	for _, w := range workloads.All() {
+		if w.Suite == "micro" {
+			continue // Figure 10 covers the SPEC and GAP suites
+		}
+		r.Workloads = append(r.Workloads, w.Name)
+		p := w.BuildScaled(scale)
+		jobs = append(jobs, job{w.Name + "/baseline", p, core.DefaultConfig()})
+		for _, c := range Figure10Configs {
+			jobs = append(jobs, job{w.Name + "/" + c.Name, p, msConfig(c.Streams, c.Entries)})
+		}
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats = res
+	for _, name := range r.Workloads {
+		base := res[name+"/baseline"]
+		r.Improvement[name] = map[string]float64{}
+		for _, c := range r.Configs {
+			r.Improvement[name][c] = improvement(base, res[name+"/"+c])
+		}
+	}
+	return r, nil
+}
+
+// Average returns the mean improvement for a config over a suite ("" =
+// all workloads in the result).
+func (r *Figure10Result) Average(config, suite string) float64 {
+	var sum float64
+	var n int
+	for _, name := range r.Workloads {
+		if suite != "" {
+			w, err := workloads.ByName(name)
+			if err != nil || w.Suite != suite {
+				continue
+			}
+		}
+		sum += r.Improvement[name][config]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints the per-benchmark improvement table with suite averages.
+func (r *Figure10Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: IPC improvement over no-reuse baseline (streams x log entries)\n")
+	header(&sb, "benchmark", r.Configs)
+	w := colWidth(r.Configs)
+	for _, name := range r.Workloads {
+		fmt.Fprintf(&sb, "%-18s", name)
+		for _, c := range r.Configs {
+			fmt.Fprintf(&sb, "%*s", w, pct(r.Improvement[name][c]))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, suite := range []string{"spec2006", "spec2017", "gap"} {
+		fmt.Fprintf(&sb, "%-18s", "avg "+suite)
+		for _, c := range r.Configs {
+			fmt.Fprintf(&sb, "%*s", w, pct(r.Average(c, suite)))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ----------------------------------------------------------- Figure 11 ---
+
+// Figure11Result is the reconvergence stream-distance breakdown.
+type Figure11Result struct {
+	Workloads []string
+	// Fraction[name][d] is the fraction of reconvergences at distance
+	// d+1 streams (bucket 0 = neighbouring stream); the last bucket
+	// accumulates the tail.
+	Fraction map[string][]float64
+}
+
+// Figure11 profiles reconvergence stream distance (§4.1.1).
+func Figure11(scale int) (*Figure11Result, error) {
+	r := &Figure11Result{Fraction: map[string][]float64{}}
+	var jobs []job
+	for _, w := range workloads.All() {
+		r.Workloads = append(r.Workloads, w.Name)
+		jobs = append(jobs, job{w.Name, w.BuildScaled(scale), profileConfig()})
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range r.Workloads {
+		st := res[name]
+		fr := make([]float64, stats.MaxStreamDistance)
+		if st.Reconvergences > 0 {
+			for d := 0; d < stats.MaxStreamDistance; d++ {
+				fr[d] = float64(st.ReconvDistance[d]) / float64(st.Reconvergences)
+			}
+		}
+		r.Fraction[name] = fr
+	}
+	return r, nil
+}
+
+// Cumulative returns the fraction of reconvergences within distance d
+// streams (1 = neighbouring).
+func (r *Figure11Result) Cumulative(name string, d int) float64 {
+	var sum float64
+	for i := 0; i < d && i < len(r.Fraction[name]); i++ {
+		sum += r.Fraction[name][i]
+	}
+	return sum
+}
+
+// Render prints per-benchmark distance distributions.
+func (r *Figure11Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: reconvergence stream distance (1 = neighbouring stream)\n")
+	header(&sb, "benchmark", []string{"d=1", "d=2", "d=3", "d=4", "d>=5", "<=3 cum"})
+	for _, name := range r.Workloads {
+		f := r.Fraction[name]
+		tail := 0.0
+		for i := 4; i < len(f); i++ {
+			tail += f[i]
+		}
+		fmt.Fprintf(&sb, "%-18s%11.1f%%%11.1f%%%11.1f%%%11.1f%%%11.1f%%%11.1f%%  %s\n",
+			name, 100*f[0], 100*f[1], 100*f[2], 100*f[3], 100*tail, 100*r.Cumulative(name, 3),
+			stackedBar(40, f[0], f[1], f[2], f[3], tail))
+	}
+	sb.WriteString("bar legend: '.' d=1, 's' d=2, 'H' d=3, '+' d=4, '*' d>=5\n")
+	return sb.String()
+}
+
+// ----------------------------------------------------------- Figure 12 ---
+
+// Figure12Result compares RGID and RI across matched capacities on the
+// GAP suite.
+type Figure12Result struct {
+	Workloads []string
+	Configs   []string
+	// Improvement[workload][config] over the no-reuse baseline.
+	Improvement map[string]map[string]float64
+}
+
+// Figure12 runs the RGID-vs-RI comparison (§4.1.2): RI at 1/2/4 ways and
+// 64/128 sets against RGID at 1/2/4 streams and 64/128 log entries.
+func Figure12(scale int) (*Figure12Result, error) {
+	type cfg struct {
+		name string
+		c    core.Config
+	}
+	var cfgs []cfg
+	for _, entries := range []int{64, 128} {
+		for _, streams := range []int{1, 2, 4} {
+			cfgs = append(cfgs, cfg{fmt.Sprintf("rgid-%dx%d", streams, entries), msConfig(streams, entries)})
+		}
+	}
+	for _, sets := range []int{64, 128} {
+		for _, ways := range []int{1, 2, 4} {
+			cfgs = append(cfgs, cfg{fmt.Sprintf("ri-%ds%dw", sets, ways), core.RIConfigOf(sets, ways)})
+		}
+	}
+	r := &Figure12Result{Improvement: map[string]map[string]float64{}}
+	for _, c := range cfgs {
+		r.Configs = append(r.Configs, c.name)
+	}
+	var jobs []job
+	for _, w := range workloads.Suite("gap") {
+		r.Workloads = append(r.Workloads, w.Name)
+		p := w.BuildScaled(scale)
+		jobs = append(jobs, job{w.Name + "/baseline", p, core.DefaultConfig()})
+		for _, c := range cfgs {
+			jobs = append(jobs, job{w.Name + "/" + c.name, p, c.c})
+		}
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range r.Workloads {
+		base := res[name+"/baseline"]
+		r.Improvement[name] = map[string]float64{}
+		for _, c := range r.Configs {
+			r.Improvement[name][c] = improvement(base, res[name+"/"+c])
+		}
+	}
+	return r, nil
+}
+
+// Render prints the comparison grid.
+func (r *Figure12Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: RGID vs Register Integration on GAP (IPC improvement)\n")
+	header(&sb, "config", r.Workloads)
+	w := colWidth(r.Workloads)
+	for _, c := range r.Configs {
+		fmt.Fprintf(&sb, "%-18s", c)
+		for _, wl := range r.Workloads {
+			fmt.Fprintf(&sb, "%*s", w, pct(r.Improvement[wl][c]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mssr/internal/core"
+	"mssr/internal/stats"
+	"mssr/internal/storage"
+	"mssr/internal/synth"
+	"mssr/internal/workloads"
+)
+
+// Table1Result holds the microbenchmark speedup comparison (§2.2.4): the
+// Listing 1 variations on Multi-Stream Squash Reuse at 1/2/4 streams and
+// Register Integration at 1/2/4 ways, relative to a no-reuse baseline.
+type Table1Result struct {
+	Variants []string
+	Configs  []string
+	// Speedup[variant][config] is the fractional runtime improvement.
+	Speedup map[string]map[string]float64
+	// Stats keeps the full counters for every run (keyed
+	// "variant/config"), so downstream analyses need not rerun.
+	Stats map[string]*stats.Stats
+}
+
+// Table1 runs the Table 1 experiment at the given workload scale.
+func Table1(scale int) (*Table1Result, error) {
+	r := &Table1Result{
+		Variants: []string{"nested-mispred", "linear-mispred"},
+		Configs: []string{
+			"baseline",
+			"rgid-1", "rgid-2", "rgid-4",
+			"ri-1w", "ri-2w", "ri-4w",
+		},
+		Speedup: map[string]map[string]float64{},
+	}
+	var jobs []job
+	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
+		p := workloads.Listing1(v, microItersForScale(scale))
+		name := r.Variants[i]
+		jobs = append(jobs,
+			job{name + "/baseline", p, core.DefaultConfig()},
+			job{name + "/rgid-1", p, msConfig(1, 64)},
+			job{name + "/rgid-2", p, msConfig(2, 64)},
+			job{name + "/rgid-4", p, msConfig(4, 64)},
+			job{name + "/ri-1w", p, core.RIConfigOf(64, 1)},
+			job{name + "/ri-2w", p, core.RIConfigOf(64, 2)},
+			job{name + "/ri-4w", p, core.RIConfigOf(64, 4)},
+		)
+	}
+	res, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats = res
+	for _, v := range r.Variants {
+		base := res[v+"/baseline"]
+		r.Speedup[v] = map[string]float64{}
+		for _, cfg := range r.Configs {
+			r.Speedup[v][cfg] = improvement(base, res[v+"/"+cfg])
+		}
+	}
+	return r, nil
+}
+
+func microItersForScale(scale int) int {
+	if scale < 1 {
+		return 256
+	}
+	return 4000 * scale
+}
+
+// Render prints the Table 1 rows in the paper's layout.
+func (r *Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: microbenchmark runtime improvement over no-reuse baseline\n")
+	header(&sb, "config", r.Variants)
+	rows := []struct{ label, rgid, ri string }{
+		{"1 stream / way", "rgid-1", "ri-1w"},
+		{"2 streams / ways", "rgid-2", "ri-2w"},
+		{"4 streams / ways", "rgid-4", "ri-4w"},
+	}
+	for _, kind := range []struct{ name, sel string }{{"Multi-Stream Squash Reuse", "rgid"}, {"Register Integration", "ri"}} {
+		fmt.Fprintf(&sb, "%s\n", kind.name)
+		for _, row := range rows {
+			cfg := row.rgid
+			if kind.sel == "ri" {
+				cfg = row.ri
+			}
+			fmt.Fprintf(&sb, "  %-16s", row.label)
+			for _, v := range r.Variants {
+				fmt.Fprintf(&sb, "%*s", colWidth(r.Variants), pct(r.Speedup[v][cfg]))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Table2 renders the storage model at the paper's configuration plus a
+// small sweep.
+func Table2() string {
+	var sb strings.Builder
+	sb.WriteString(storage.Table(storage.Default()))
+	sb.WriteString("\nSweep (total KB):\n")
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, p := range []int{16, 64, 128} {
+			params := storage.Default()
+			params.Streams = n
+			params.LogEntries = p
+			params.WPBEntries = max(1, p/4)
+			b := storage.Compute(params)
+			fmt.Fprintf(&sb, "  N=%d P=%-4d -> %.2f KB\n", n, p, storage.KB(b.Total()))
+		}
+	}
+	return sb.String()
+}
+
+// Table3 echoes the simulated baseline configuration (the paper's
+// Table 3).
+func Table3() string {
+	cfg := core.DefaultConfig()
+	var sb strings.Builder
+	sb.WriteString("Table 3: baseline configuration\n")
+	rows := [][2]string{
+		{"Fetch block size", "32B (8 instructions)"},
+		{"Nextline predictor", "bimodal base"},
+		{"Main branch predictor", "TAGE (6 tagged tables, 4..128-bit histories)"},
+		{"Frontend pipeline", fmt.Sprintf("%d stages", cfg.FrontendDelay+1)},
+		{"Decode/Rename width", fmt.Sprintf("%d", cfg.RenameWidth)},
+		{"Reorder buffer", fmt.Sprintf("%d entries", cfg.ROBSize)},
+		{"Reservation stations", fmt.Sprintf("%d-entry %dxALU + %dxBRU, %d-entry %dxLSU", cfg.IQSize, cfg.ALUs, cfg.BRUs, cfg.MemIQSize, cfg.LSUs)},
+		{"Load/Store queues", fmt.Sprintf("%d-entry LQ, %d-entry SQ", cfg.LoadQueue, cfg.StoreQueue)},
+		{"Physical registers", fmt.Sprintf("%d", cfg.PhysRegs)},
+		{"DCache", fmt.Sprintf("%dKB %d-way, %d-cycle", cfg.Mem.L1Size>>10, cfg.Mem.L1Ways, cfg.Mem.L1Latency)},
+		{"L2", fmt.Sprintf("%dMB %d-way, %d-cycle", cfg.Mem.L2Size>>20, cfg.Mem.L2Ways, cfg.Mem.L2Latency)},
+		{"DRAM", fmt.Sprintf("%d-cycle", cfg.Mem.DRAMLat)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-24s %s\n", r[0], r[1])
+	}
+	return sb.String()
+}
+
+// Table4 renders the synthesis-complexity model.
+func Table4() string { return synth.Table() }

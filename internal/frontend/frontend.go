@@ -1,0 +1,156 @@
+// Package frontend models the decoupled instruction fetch unit: it forms
+// prediction blocks (contiguous instruction runs ended by a predicted-taken
+// control instruction or the 32-byte fetch limit, as in §3.3.1), predicts
+// conditional branches through the branch prediction unit, and follows
+// calls/returns through the RAS. The core redirects it on mispredictions
+// and flushes; the multi-stream reuse engine observes the produced blocks
+// for reconvergence detection.
+package frontend
+
+import (
+	"mssr/internal/bpred"
+	"mssr/internal/isa"
+)
+
+// FetchedInstr is one instruction leaving the IFU, carrying the prediction
+// metadata the backend needs to verify control flow and repair the
+// predictor.
+type FetchedInstr struct {
+	PC    uint64
+	Instr isa.Instruction
+	// OnPath reports whether the PC addressed real program code; false
+	// means the frontend ran off the program on a wrong path and
+	// fabricated a NOP.
+	OnPath bool
+	// PredNextPC is the predicted next PC after this instruction.
+	PredNextPC uint64
+	// PredTaken is the predicted direction for conditional branches.
+	PredTaken bool
+	// Snapshot is the predictor state captured immediately before this
+	// instruction was predicted; the backend restores it on any flush at
+	// this instruction and uses it to train TAGE at retirement.
+	Snapshot bpred.Snapshot
+	// IsCall and IsReturn mark RAS activity for repair at resolution.
+	IsCall   bool
+	IsReturn bool
+}
+
+// Block is one prediction block: a contiguous PC range fetched in a single
+// cycle. StartPC and EndPC are inclusive, mirroring the paper's WPB entry
+// format.
+type Block struct {
+	StartPC uint64
+	EndPC   uint64
+	Instrs  []FetchedInstr
+	// NextPC is where fetch continues after this block.
+	NextPC uint64
+}
+
+// Unit is the instruction fetch unit.
+type Unit struct {
+	prog *isa.Program
+	bp   *bpred.Unit
+
+	pc      uint64
+	stalled bool // a HALT was fetched; wait for a redirect or the end
+}
+
+// New builds a fetch unit starting at the program entry.
+func New(prog *isa.Program, bp *bpred.Unit) *Unit {
+	return &Unit{prog: prog, bp: bp, pc: prog.Base}
+}
+
+// PC reports the next fetch PC.
+func (u *Unit) PC() uint64 { return u.pc }
+
+// Stalled reports whether fetch has stopped at a HALT.
+func (u *Unit) Stalled() bool { return u.stalled }
+
+// Redirect restarts fetch at pc (after a misprediction or violation
+// flush). The caller is responsible for repairing the predictor state
+// first (bpred.Unit.Restore plus re-applying the resolved outcome).
+func (u *Unit) Redirect(pc uint64) {
+	u.pc = pc
+	u.stalled = false
+}
+
+// NextBlock forms one prediction block, advancing the fetch PC. It returns
+// ok=false when fetch is stalled at a HALT.
+//
+// The block ends at a predicted-taken control instruction, at a HALT, or at
+// the 32-byte fetch limit; predicted-not-taken branches do not end blocks
+// (§3.3.1). Off-program wrong-path PCs fetch as NOPs so speculative fetch
+// can run past program boundaries the way real hardware runs into arbitrary
+// cache lines.
+func (u *Unit) NextBlock() (Block, bool) {
+	if u.stalled {
+		return Block{}, false
+	}
+	blk := Block{StartPC: u.pc}
+	pc := u.pc
+	for len(blk.Instrs) < isa.FetchBlockInstrs {
+		in, onPath := u.prog.At(pc)
+		fi := FetchedInstr{PC: pc, Instr: in, OnPath: onPath, Snapshot: u.bp.Snapshot()}
+		end := false
+		switch in.Class() {
+		case isa.ClassBranch:
+			fi.PredTaken = u.bp.PredictBranch(pc, fi.Snapshot)
+			if fi.PredTaken {
+				fi.PredNextPC = in.Target
+				end = true
+			} else {
+				fi.PredNextPC = pc + isa.InstrBytes
+			}
+		case isa.ClassJump:
+			fi.PredTaken = true
+			fi.PredNextPC = in.Target
+			if in.Rd == isa.RA {
+				fi.IsCall = true
+				u.bp.PushRAS(pc + isa.InstrBytes)
+			}
+			end = true
+		case isa.ClassJumpR:
+			fi.PredTaken = true
+			switch {
+			case in.Rd == isa.Zero && in.Rs1 == isa.RA:
+				fi.IsReturn = true
+				fi.PredNextPC = u.bp.PopRAS()
+			case in.Rd == isa.RA:
+				fi.IsCall = true
+				target, ok := u.bp.PredictIndirect(pc)
+				if !ok {
+					target = pc + isa.InstrBytes
+				}
+				fi.PredNextPC = target
+				u.bp.PushRAS(pc + isa.InstrBytes)
+			default:
+				target, ok := u.bp.PredictIndirect(pc)
+				if !ok {
+					target = pc + isa.InstrBytes
+				}
+				fi.PredNextPC = target
+			}
+			if fi.PredNextPC == 0 {
+				// A cold RAS predicts 0; fall through instead so the
+				// frontend keeps fetching plausible instructions.
+				fi.PredNextPC = pc + isa.InstrBytes
+			}
+			end = true
+		case isa.ClassHalt:
+			fi.PredNextPC = pc
+			u.stalled = true
+			end = true
+		default:
+			fi.PredNextPC = pc + isa.InstrBytes
+		}
+		blk.Instrs = append(blk.Instrs, fi)
+		blk.EndPC = pc
+		pc = fi.PredNextPC
+		if end {
+			break
+		}
+	}
+	blk.NextPC = pc
+	u.pc = pc
+	return blk, true
+}

@@ -1,0 +1,229 @@
+package frontend
+
+import (
+	"testing"
+
+	"mssr/internal/asm"
+	"mssr/internal/bpred"
+	"mssr/internal/isa"
+)
+
+func unit(t *testing.T, src string) (*Unit, *isa.Program) {
+	t.Helper()
+	p := asm.MustAssemble("t", src)
+	return New(p, bpred.New(bpred.DefaultConfig())), p
+}
+
+func TestStraightLineBlockEndsAtFetchLimit(t *testing.T) {
+	u, p := unit(t, `
+  addi x1, x1, 1
+  addi x2, x2, 1
+  addi x3, x3, 1
+  addi x4, x4, 1
+  addi x5, x5, 1
+  addi x6, x6, 1
+  addi x7, x7, 1
+  addi x9, x9, 1
+  addi x11, x11, 1
+  halt
+`)
+	blk, ok := u.NextBlock()
+	if !ok {
+		t.Fatal("fetch stalled unexpectedly")
+	}
+	if len(blk.Instrs) != isa.FetchBlockInstrs {
+		t.Fatalf("block size = %d, want %d", len(blk.Instrs), isa.FetchBlockInstrs)
+	}
+	if blk.StartPC != p.Base || blk.EndPC != p.Base+7*4 || blk.NextPC != p.Base+8*4 {
+		t.Errorf("block range %#x..%#x next %#x", blk.StartPC, blk.EndPC, blk.NextPC)
+	}
+}
+
+func TestJumpEndsBlock(t *testing.T) {
+	u, p := unit(t, `
+  addi x1, x1, 1
+  j target
+  addi x2, x2, 1
+target:
+  addi x3, x3, 1
+  halt
+`)
+	blk, _ := u.NextBlock()
+	if len(blk.Instrs) != 2 {
+		t.Fatalf("block size = %d, want 2 (addi + j)", len(blk.Instrs))
+	}
+	if blk.NextPC != p.Symbols["target"] {
+		t.Errorf("NextPC = %#x, want %#x", blk.NextPC, p.Symbols["target"])
+	}
+	blk2, _ := u.NextBlock()
+	if blk2.StartPC != p.Symbols["target"] {
+		t.Errorf("second block starts at %#x", blk2.StartPC)
+	}
+}
+
+func TestNotTakenBranchDoesNotEndBlock(t *testing.T) {
+	// A cold predictor predicts not-taken (bimodal initialized weakly
+	// not-taken), so the branch should be fetched through.
+	u, _ := unit(t, `
+  beq x1, x2, far
+  addi x3, x3, 1
+  addi x4, x4, 1
+  halt
+far:
+  halt
+`)
+	blk, _ := u.NextBlock()
+	if len(blk.Instrs) < 3 {
+		t.Fatalf("block size = %d; not-taken branch must not end the block", len(blk.Instrs))
+	}
+	if blk.Instrs[0].PredTaken {
+		t.Error("cold branch predicted taken")
+	}
+}
+
+func TestHaltStallsFetch(t *testing.T) {
+	u, p := unit(t, "addi x1, x1, 1\nhalt")
+	blk, ok := u.NextBlock()
+	if !ok || len(blk.Instrs) != 2 {
+		t.Fatalf("first block = %+v, %v", blk, ok)
+	}
+	if !u.Stalled() {
+		t.Fatal("fetch should stall at HALT")
+	}
+	if _, ok := u.NextBlock(); ok {
+		t.Fatal("stalled unit must not produce blocks")
+	}
+	u.Redirect(p.Base)
+	if u.Stalled() {
+		t.Fatal("redirect must clear the stall")
+	}
+	if _, ok := u.NextBlock(); !ok {
+		t.Fatal("fetch should resume after redirect")
+	}
+}
+
+func TestCallPushesRASAndReturnPops(t *testing.T) {
+	u, p := unit(t, `
+  jal fn
+  halt
+fn:
+  addi x1, x1, 1
+  ret
+`)
+	blk, _ := u.NextBlock() // jal
+	if !blk.Instrs[0].IsCall {
+		t.Error("jal ra should be marked a call")
+	}
+	if blk.NextPC != p.Symbols["fn"] {
+		t.Fatalf("call target = %#x", blk.NextPC)
+	}
+	blk, _ = u.NextBlock() // fn body incl. ret
+	last := blk.Instrs[len(blk.Instrs)-1]
+	if !last.IsReturn {
+		t.Fatal("ret should be marked a return")
+	}
+	if last.PredNextPC != p.Base+4 {
+		t.Errorf("return predicted to %#x, want %#x", last.PredNextPC, p.Base+4)
+	}
+	if blk.NextPC != p.Base+4 {
+		t.Errorf("block NextPC = %#x", blk.NextPC)
+	}
+}
+
+func TestColdReturnFallsThrough(t *testing.T) {
+	u, p := unit(t, `
+  ret
+  halt
+`)
+	blk, _ := u.NextBlock()
+	if blk.Instrs[0].PredNextPC != p.Base+4 {
+		t.Errorf("cold return predicted %#x, want fallthrough %#x", blk.Instrs[0].PredNextPC, p.Base+4)
+	}
+}
+
+func TestIndirectJumpUsesPredictor(t *testing.T) {
+	bp := bpred.New(bpred.DefaultConfig())
+	p := asm.MustAssemble("ind", `
+  jalr x5, x6, 0
+  halt
+  halt
+`)
+	u := New(p, bp)
+	blk, _ := u.NextBlock()
+	if blk.Instrs[0].PredNextPC != p.Base+4 {
+		t.Errorf("cold indirect predicted %#x", blk.Instrs[0].PredNextPC)
+	}
+	// Train and refetch.
+	bp.TrainIndirect(p.Base, p.Base+8)
+	u.Redirect(p.Base)
+	blk, _ = u.NextBlock()
+	if blk.Instrs[0].PredNextPC != p.Base+8 {
+		t.Errorf("trained indirect predicted %#x, want %#x", blk.Instrs[0].PredNextPC, p.Base+8)
+	}
+}
+
+func TestWrongPathFetchesNOPs(t *testing.T) {
+	u, p := unit(t, "addi x1, x1, 1\nhalt")
+	u.Redirect(p.End() + 64) // off the program, as after a wild mispredict
+	blk, ok := u.NextBlock()
+	if !ok {
+		t.Fatal("wrong-path fetch must proceed")
+	}
+	for _, fi := range blk.Instrs {
+		if fi.OnPath {
+			t.Fatalf("off-program instruction marked on-path at %#x", fi.PC)
+		}
+		if fi.Instr.Op != isa.NOP {
+			t.Fatalf("off-program fetch produced %v", fi.Instr)
+		}
+	}
+	if len(blk.Instrs) != isa.FetchBlockInstrs {
+		t.Errorf("NOP block size = %d", len(blk.Instrs))
+	}
+}
+
+func TestTakenBranchAfterTraining(t *testing.T) {
+	bp := bpred.New(bpred.DefaultConfig())
+	p := asm.MustAssemble("tb", `
+top:
+  beq x0, x0, top
+  halt
+`)
+	// Train the always-taken branch.
+	for i := 0; i < 64; i++ {
+		s := bp.Snapshot()
+		bp.PredictBranch(p.Base, s)
+		bp.Train(p.Base, s, true)
+	}
+	u := New(p, bp)
+	blk, _ := u.NextBlock()
+	if !blk.Instrs[0].PredTaken {
+		t.Fatal("trained always-taken branch predicted not-taken")
+	}
+	if len(blk.Instrs) != 1 || blk.NextPC != p.Base {
+		t.Errorf("taken branch must end the block: len=%d next=%#x", len(blk.Instrs), blk.NextPC)
+	}
+}
+
+func TestSnapshotsArePerInstruction(t *testing.T) {
+	bp := bpred.New(bpred.DefaultConfig())
+	p := asm.MustAssemble("snap", `
+  beq x1, x2, a
+  beq x3, x4, a
+  addi x1, x1, 1
+a:
+  halt
+`)
+	// Seed the history so the first branch's not-taken shift changes it.
+	bp.ShiftHistory(true)
+	u := New(p, bp)
+	blk, _ := u.NextBlock()
+	if len(blk.Instrs) < 2 {
+		t.Fatal("expected both branches in one block")
+	}
+	// The second branch's snapshot must reflect the first branch's
+	// speculative history shift.
+	if blk.Instrs[0].Snapshot == blk.Instrs[1].Snapshot {
+		t.Error("snapshots should differ after a predicted branch")
+	}
+}

@@ -1,0 +1,427 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a 64-bit RISC-V-flavoured ISA with 32 integer registers,
+// fixed 4-byte instructions and 32-byte fetch blocks (8 instructions), the
+// fetch-block geometry assumed by the paper's frontend (Table 3).
+//
+// Instructions are kept in decoded form. The simulators never manipulate
+// binary encodings: a program is a slice of Instruction values addressed by
+// PC, with PCs advancing in steps of InstrBytes. This keeps the timing and
+// functional models focused on microarchitecture rather than bit-fiddling,
+// while preserving everything the paper's mechanisms care about (PC ranges,
+// register names, memory addresses).
+package isa
+
+import "fmt"
+
+// Geometry constants shared by the frontend and the fetch-block logic.
+const (
+	// InstrBytes is the size of every instruction in bytes.
+	InstrBytes = 4
+	// FetchBlockBytes is the maximum prediction-block size (Table 3).
+	FetchBlockBytes = 32
+	// FetchBlockInstrs is the maximum number of instructions per block.
+	FetchBlockInstrs = FetchBlockBytes / InstrBytes
+	// NumArchRegs is the number of integer architectural registers.
+	NumArchRegs = 32
+	// PageBytes is the virtual page size (sv48-style 4 KiB pages); the
+	// optional VPN restriction in reconvergence detection compares
+	// PC[47:12] separately from the in-page offset.
+	PageBytes = 4096
+)
+
+// Reg names an architectural register. Register 0 is hardwired to zero, as
+// in RISC-V.
+type Reg uint8
+
+// Zero is the hardwired zero register.
+const Zero Reg = 0
+
+// Conventional register aliases used by the workload kernels. They follow
+// the RISC-V calling convention loosely; the simulator attaches no meaning
+// to them beyond x0 == 0.
+const (
+	RA  Reg = 1 // return address
+	SP  Reg = 2 // stack pointer
+	GP  Reg = 3 // global pointer
+	TP  Reg = 4 // thread pointer
+	T0  Reg = 5
+	T1  Reg = 6
+	T2  Reg = 7
+	S0  Reg = 8
+	S1  Reg = 9
+	A0  Reg = 10
+	A1  Reg = 11
+	A2  Reg = 12
+	A3  Reg = 13
+	A4  Reg = 14
+	A5  Reg = 15
+	A6  Reg = 16
+	A7  Reg = 17
+	S2  Reg = 18
+	S3  Reg = 19
+	S4  Reg = 20
+	S5  Reg = 21
+	S6  Reg = 22
+	S7  Reg = 23
+	S8  Reg = 24
+	S9  Reg = 25
+	S10 Reg = 26
+	S11 Reg = 27
+	T3  Reg = 28
+	T4  Reg = 29
+	T5  Reg = 30
+	T6  Reg = 31
+)
+
+func (r Reg) String() string {
+	if r == 0 {
+		return "zero"
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Operations. Register-register ALU ops read Rs1 and Rs2; immediate forms
+// read Rs1 and Imm. Loads compute Rs1+Imm; stores write Rs2 to Rs1+Imm.
+// Conditional branches compare Rs1 against Rs2 and jump to Target when the
+// condition holds. JAL writes the link PC to Rd and jumps to Target. JALR
+// jumps to (Rs1+Imm) aligned down to InstrBytes and links in Rd.
+const (
+	NOP Op = iota
+	// ALU register-register.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	DIV
+	REM
+	MIN // min(rs1, rs2), signed; convenience op used by graph kernels
+	MAX // max(rs1, rs2), signed
+	// ALU register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LI // rd = imm (64-bit literal; replaces LUI+ADDI pairs)
+	// Memory (8-byte, naturally aligned by construction of workloads).
+	LD
+	ST
+	// Control flow.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL
+	JALR
+	// HALT stops the program; the emulator and the timing core both treat
+	// it as the architectural end of execution.
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", DIV: "div", REM: "rem", MIN: "min", MAX: "max",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LI: "li",
+	LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups operations by the functional unit that executes them.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional direct jumps (JAL)
+	ClassJumpR  // indirect jumps (JALR)
+	ClassHalt
+	ClassNop
+)
+
+// Instruction is a fully decoded instruction. Target is an absolute PC for
+// direct control flow (BEQ..BGEU, JAL); it is ignored for all other ops.
+type Instruction struct {
+	Op     Op
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64
+	Target uint64
+}
+
+// Class reports the functional-unit class of the instruction.
+func (in Instruction) Class() Class {
+	switch in.Op {
+	case MUL:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LD:
+		return ClassLoad
+	case ST:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return ClassBranch
+	case JAL:
+		return ClassJump
+	case JALR:
+		return ClassJumpR
+	case HALT:
+		return ClassHalt
+	case NOP:
+		return ClassNop
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Instruction) IsBranch() bool { return in.Class() == ClassBranch }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (in Instruction) IsControl() bool {
+	switch in.Class() {
+	case ClassBranch, ClassJump, ClassJumpR, ClassHalt:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Instruction) IsLoad() bool { return in.Op == LD }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Instruction) IsStore() bool { return in.Op == ST }
+
+// HasDest reports whether the instruction architecturally writes Rd. Writes
+// to the zero register are discarded and treated as having no destination.
+func (in Instruction) HasDest() bool {
+	switch in.Class() {
+	case ClassStore, ClassBranch, ClassHalt, ClassNop:
+		return false
+	}
+	return in.Rd != Zero
+}
+
+// NumSources reports how many register sources the instruction reads.
+// Sources always occupy Rs1 first: an instruction with one source reads
+// Rs1 only.
+func (in Instruction) NumSources() int {
+	switch in.Op {
+	case NOP, HALT, LI, JAL:
+		return 0
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LD, JALR:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Src returns the i-th source register (0-based). It panics when i is out
+// of range for the instruction; use NumSources to bound the iteration.
+func (in Instruction) Src(i int) Reg {
+	n := in.NumSources()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("isa: source %d out of range for %v", i, in.Op))
+	}
+	if i == 0 {
+		return in.Rs1
+	}
+	return in.Rs2
+}
+
+func (in Instruction) String() string {
+	switch in.Class() {
+	case ClassNop, ClassHalt:
+		return in.Op.String()
+	case ClassBranch:
+		return fmt.Sprintf("%v %v, %v, 0x%x", in.Op, in.Rs1, in.Rs2, in.Target)
+	case ClassJump:
+		return fmt.Sprintf("jal %v, 0x%x", in.Rd, in.Target)
+	case ClassJumpR:
+		return fmt.Sprintf("jalr %v, %v, %d", in.Rd, in.Rs1, in.Imm)
+	case ClassLoad:
+		return fmt.Sprintf("ld %v, %d(%v)", in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("st %v, %d(%v)", in.Rs2, in.Imm, in.Rs1)
+	}
+	switch in.Op {
+	case LI:
+		return fmt.Sprintf("li %v, %d", in.Rd, in.Imm)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%v %v, %v, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%v %v, %v, %v", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Outcome is the architectural effect of executing one instruction, shared
+// by the functional emulator and the timing core's execute stage so the two
+// can never diverge on semantics.
+type Outcome struct {
+	// Result is the value written to Rd (when HasDest) or, for stores, the
+	// value to be written to memory.
+	Result uint64
+	// MemAddr is the effective address for loads and stores.
+	MemAddr uint64
+	// Taken reports whether a control instruction redirects the PC.
+	Taken bool
+	// Target is the redirect PC when Taken.
+	Target uint64
+	// Halt reports that the program has architecturally finished.
+	Halt bool
+}
+
+// Evaluate computes the architectural outcome of in at pc, given its source
+// operand values. Loads receive their memory data separately (via memData);
+// Evaluate only computes the address for them. The zero register reads as
+// zero; callers are expected to feed operand values accordingly.
+func Evaluate(in Instruction, pc uint64, rs1v, rs2v uint64) Outcome {
+	var out Outcome
+	switch in.Op {
+	case NOP:
+	case ADD:
+		out.Result = rs1v + rs2v
+	case SUB:
+		out.Result = rs1v - rs2v
+	case AND:
+		out.Result = rs1v & rs2v
+	case OR:
+		out.Result = rs1v | rs2v
+	case XOR:
+		out.Result = rs1v ^ rs2v
+	case SLL:
+		out.Result = rs1v << (rs2v & 63)
+	case SRL:
+		out.Result = rs1v >> (rs2v & 63)
+	case SRA:
+		out.Result = uint64(int64(rs1v) >> (rs2v & 63))
+	case SLT:
+		if int64(rs1v) < int64(rs2v) {
+			out.Result = 1
+		}
+	case SLTU:
+		if rs1v < rs2v {
+			out.Result = 1
+		}
+	case MUL:
+		out.Result = rs1v * rs2v
+	case DIV:
+		if rs2v == 0 {
+			out.Result = ^uint64(0) // RISC-V: division by zero yields all ones
+		} else if int64(rs1v) == -1<<63 && int64(rs2v) == -1 {
+			out.Result = rs1v // overflow case: result is the dividend
+		} else {
+			out.Result = uint64(int64(rs1v) / int64(rs2v))
+		}
+	case REM:
+		if rs2v == 0 {
+			out.Result = rs1v
+		} else if int64(rs1v) == -1<<63 && int64(rs2v) == -1 {
+			out.Result = 0
+		} else {
+			out.Result = uint64(int64(rs1v) % int64(rs2v))
+		}
+	case MIN:
+		out.Result = rs1v
+		if int64(rs2v) < int64(rs1v) {
+			out.Result = rs2v
+		}
+	case MAX:
+		out.Result = rs1v
+		if int64(rs2v) > int64(rs1v) {
+			out.Result = rs2v
+		}
+	case ADDI:
+		out.Result = rs1v + uint64(in.Imm)
+	case ANDI:
+		out.Result = rs1v & uint64(in.Imm)
+	case ORI:
+		out.Result = rs1v | uint64(in.Imm)
+	case XORI:
+		out.Result = rs1v ^ uint64(in.Imm)
+	case SLLI:
+		out.Result = rs1v << (uint64(in.Imm) & 63)
+	case SRLI:
+		out.Result = rs1v >> (uint64(in.Imm) & 63)
+	case SRAI:
+		out.Result = uint64(int64(rs1v) >> (uint64(in.Imm) & 63))
+	case SLTI:
+		if int64(rs1v) < in.Imm {
+			out.Result = 1
+		}
+	case LI:
+		out.Result = uint64(in.Imm)
+	case LD:
+		out.MemAddr = rs1v + uint64(in.Imm)
+	case ST:
+		out.MemAddr = rs1v + uint64(in.Imm)
+		out.Result = rs2v
+	case BEQ:
+		out.Taken = rs1v == rs2v
+	case BNE:
+		out.Taken = rs1v != rs2v
+	case BLT:
+		out.Taken = int64(rs1v) < int64(rs2v)
+	case BGE:
+		out.Taken = int64(rs1v) >= int64(rs2v)
+	case BLTU:
+		out.Taken = rs1v < rs2v
+	case BGEU:
+		out.Taken = rs1v >= rs2v
+	case JAL:
+		out.Result = pc + InstrBytes
+		out.Taken = true
+	case JALR:
+		out.Result = pc + InstrBytes
+		out.Taken = true
+		out.Target = (rs1v + uint64(in.Imm)) &^ uint64(InstrBytes-1)
+	case HALT:
+		out.Halt = true
+	default:
+		panic(fmt.Sprintf("isa: cannot evaluate %v", in.Op))
+	}
+	if out.Taken && in.Op != JALR {
+		out.Target = in.Target
+	}
+	return out
+}
+
+// PageNumber returns the virtual page number of pc (PC[47:12] in the
+// paper's sv48 formulation).
+func PageNumber(pc uint64) uint64 { return pc / PageBytes }
+
+// PageOffset returns the in-page offset of pc (PC[11:0]).
+func PageOffset(pc uint64) uint64 { return pc % PageBytes }

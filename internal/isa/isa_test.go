@@ -1,0 +1,272 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		if s := op.String(); s == "" || s[0] == 'o' && s != "or" && s != "ori" {
+			t.Errorf("op %d has suspicious name %q", op, s)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op name = %q", got)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Zero.String() != "zero" {
+		t.Errorf("Zero.String() = %q", Zero.String())
+	}
+	if A0.String() != "x10" {
+		t.Errorf("A0.String() = %q", A0.String())
+	}
+}
+
+func TestClassAndPredicates(t *testing.T) {
+	cases := []struct {
+		in      Instruction
+		class   Class
+		control bool
+		load    bool
+		store   bool
+		branch  bool
+	}{
+		{Instruction{Op: ADD, Rd: 1}, ClassALU, false, false, false, false},
+		{Instruction{Op: MUL, Rd: 1}, ClassMul, false, false, false, false},
+		{Instruction{Op: DIV, Rd: 1}, ClassDiv, false, false, false, false},
+		{Instruction{Op: REM, Rd: 1}, ClassDiv, false, false, false, false},
+		{Instruction{Op: LD, Rd: 1}, ClassLoad, false, true, false, false},
+		{Instruction{Op: ST}, ClassStore, false, false, true, false},
+		{Instruction{Op: BEQ}, ClassBranch, true, false, false, true},
+		{Instruction{Op: JAL, Rd: 1}, ClassJump, true, false, false, false},
+		{Instruction{Op: JALR, Rd: 1}, ClassJumpR, true, false, false, false},
+		{Instruction{Op: HALT}, ClassHalt, true, false, false, false},
+		{Instruction{Op: NOP}, ClassNop, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.Class(); got != c.class {
+			t.Errorf("%v Class = %v, want %v", c.in.Op, got, c.class)
+		}
+		if got := c.in.IsControl(); got != c.control {
+			t.Errorf("%v IsControl = %v", c.in.Op, got)
+		}
+		if got := c.in.IsLoad(); got != c.load {
+			t.Errorf("%v IsLoad = %v", c.in.Op, got)
+		}
+		if got := c.in.IsStore(); got != c.store {
+			t.Errorf("%v IsStore = %v", c.in.Op, got)
+		}
+		if got := c.in.IsBranch(); got != c.branch {
+			t.Errorf("%v IsBranch = %v", c.in.Op, got)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	if (Instruction{Op: ADD, Rd: Zero}).HasDest() {
+		t.Error("write to x0 should have no destination")
+	}
+	if !(Instruction{Op: ADD, Rd: 5}).HasDest() {
+		t.Error("add x5 should have a destination")
+	}
+	if (Instruction{Op: ST, Rd: 5}).HasDest() {
+		t.Error("store has no register destination")
+	}
+	if (Instruction{Op: BEQ, Rd: 5}).HasDest() {
+		t.Error("branch has no register destination")
+	}
+	if !(Instruction{Op: JAL, Rd: RA}).HasDest() {
+		t.Error("jal ra links")
+	}
+}
+
+func TestNumSourcesAndSrc(t *testing.T) {
+	cases := []struct {
+		op Op
+		n  int
+	}{
+		{NOP, 0}, {HALT, 0}, {LI, 0}, {JAL, 0},
+		{ADDI, 1}, {LD, 1}, {JALR, 1}, {SRAI, 1},
+		{ADD, 2}, {ST, 2}, {BEQ, 2}, {MUL, 2},
+	}
+	for _, c := range cases {
+		in := Instruction{Op: c.op, Rs1: 3, Rs2: 7}
+		if got := in.NumSources(); got != c.n {
+			t.Errorf("%v NumSources = %d, want %d", c.op, got, c.n)
+		}
+		if c.n >= 1 && in.Src(0) != 3 {
+			t.Errorf("%v Src(0) = %v", c.op, in.Src(0))
+		}
+		if c.n >= 2 && in.Src(1) != 7 {
+			t.Errorf("%v Src(1) = %v", c.op, in.Src(1))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Src out of range should panic")
+		}
+	}()
+	(Instruction{Op: LI}).Src(0)
+}
+
+func TestEvaluateALU(t *testing.T) {
+	cases := []struct {
+		op       Op
+		rs1, rs2 uint64
+		imm      int64
+		want     uint64
+	}{
+		{ADD, 5, 7, 0, 12},
+		{SUB, 5, 7, 0, ^uint64(1)}, // -2
+		{AND, 0xf0, 0x3c, 0, 0x30},
+		{OR, 0xf0, 0x3c, 0, 0xfc},
+		{XOR, 0xf0, 0x3c, 0, 0xcc},
+		{SLL, 1, 65, 0, 2}, // shift amount masked to 6 bits
+		{SRL, 0x8000000000000000, 63, 0, 1},
+		{SRA, 0x8000000000000000, 63, 0, ^uint64(0)},
+		{SLT, ^uint64(0), 0, 0, 1},
+		{SLTU, ^uint64(0), 0, 0, 0},
+		{MUL, 3, 5, 0, 15},
+		{DIV, 10, 3, 0, 3},
+		{DIV, 10, 0, 0, ^uint64(0)},
+		{DIV, 1 << 63, ^uint64(0), 0, 1 << 63},
+		{REM, 10, 3, 0, 1},
+		{REM, 10, 0, 0, 10},
+		{REM, 1 << 63, ^uint64(0), 0, 0},
+		{MIN, 3, ^uint64(4), 0, ^uint64(4)},
+		{MAX, 3, ^uint64(4), 0, 3},
+		{ADDI, 5, 0, -3, 2},
+		{ANDI, 0xff, 0, 0x0f, 0x0f},
+		{ORI, 0xf0, 0, 0x0f, 0xff},
+		{XORI, 0xff, 0, 0x0f, 0xf0},
+		{SLLI, 1, 0, 4, 16},
+		{SRLI, 16, 0, 4, 1},
+		{SRAI, ^uint64(15), 0, 2, ^uint64(3)},
+		{SLTI, ^uint64(0), 0, 0, 1},
+		{LI, 0, 0, 42, 42},
+	}
+	for _, c := range cases {
+		in := Instruction{Op: c.op, Imm: c.imm}
+		got := Evaluate(in, 0x1000, c.rs1, c.rs2)
+		if got.Result != c.want {
+			t.Errorf("%v(%#x, %#x, imm=%d) = %#x, want %#x", c.op, c.rs1, c.rs2, c.imm, got.Result, c.want)
+		}
+		if got.Taken || got.Halt {
+			t.Errorf("%v should not redirect or halt", c.op)
+		}
+	}
+}
+
+func TestEvaluateMemory(t *testing.T) {
+	ld := Instruction{Op: LD, Rd: 1, Rs1: 2, Imm: 16}
+	out := Evaluate(ld, 0, 0x100, 0)
+	if out.MemAddr != 0x110 {
+		t.Errorf("load address = %#x, want 0x110", out.MemAddr)
+	}
+	st := Instruction{Op: ST, Rs1: 2, Rs2: 3, Imm: -8}
+	out = Evaluate(st, 0, 0x100, 0xdead)
+	if out.MemAddr != 0xf8 || out.Result != 0xdead {
+		t.Errorf("store addr/val = %#x/%#x", out.MemAddr, out.Result)
+	}
+}
+
+func TestEvaluateControl(t *testing.T) {
+	br := Instruction{Op: BLT, Target: 0x2000}
+	if out := Evaluate(br, 0x1000, 1, 2); !out.Taken || out.Target != 0x2000 {
+		t.Errorf("blt 1<2 should take to 0x2000, got %+v", out)
+	}
+	if out := Evaluate(br, 0x1000, 2, 1); out.Taken {
+		t.Error("blt 2<1 should fall through")
+	}
+	jal := Instruction{Op: JAL, Rd: RA, Target: 0x3000}
+	out := Evaluate(jal, 0x1000, 0, 0)
+	if !out.Taken || out.Target != 0x3000 || out.Result != 0x1004 {
+		t.Errorf("jal outcome %+v", out)
+	}
+	jalr := Instruction{Op: JALR, Rd: RA, Imm: 7}
+	out = Evaluate(jalr, 0x1000, 0x2001, 0)
+	if !out.Taken || out.Target != 0x2008&^3 || out.Result != 0x1004 {
+		t.Errorf("jalr outcome %+v (target %#x)", out, out.Target)
+	}
+	if out := Evaluate(Instruction{Op: HALT}, 0, 0, 0); !out.Halt {
+		t.Error("halt should halt")
+	}
+	// Branch comparison matrix.
+	type bc struct {
+		op    Op
+		a, b  uint64
+		taken bool
+	}
+	for _, c := range []bc{
+		{BEQ, 4, 4, true}, {BEQ, 4, 5, false},
+		{BNE, 4, 5, true}, {BNE, 4, 4, false},
+		{BGE, 4, 4, true}, {BGE, 3, 4, false},
+		{BGE, ^uint64(0), 0, false},
+		{BLTU, ^uint64(0), 0, false}, {BLTU, 0, 1, true},
+		{BGEU, ^uint64(0), 0, true}, {BGEU, 0, 1, false},
+	} {
+		in := Instruction{Op: c.op, Target: 0x40}
+		if got := Evaluate(in, 0, c.a, c.b).Taken; got != c.taken {
+			t.Errorf("%v(%d,%d).Taken = %v, want %v", c.op, int64(c.a), int64(c.b), got, c.taken)
+		}
+	}
+}
+
+func TestEvaluateDivProperties(t *testing.T) {
+	// Property: for rs2 != 0 (and excluding the INT64_MIN/-1 overflow case),
+	// rs1 == DIV*rs2 + REM and |REM| < |rs2|.
+	f := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true
+		}
+		q := int64(Evaluate(Instruction{Op: DIV}, 0, uint64(a), uint64(b)).Result)
+		r := int64(Evaluate(Instruction{Op: REM}, 0, uint64(a), uint64(b)).Result)
+		return a == q*b+r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	pc := uint64(0x12345_678)
+	if PageNumber(pc) != pc/4096 || PageOffset(pc) != pc%4096 {
+		t.Errorf("page split wrong for %#x", pc)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: HALT}, "halt"},
+		{Instruction{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add x1, x2, x3"},
+		{Instruction{Op: ADDI, Rd: 1, Rs1: 2, Imm: -4}, "addi x1, x2, -4"},
+		{Instruction{Op: LI, Rd: 1, Imm: 9}, "li x1, 9"},
+		{Instruction{Op: LD, Rd: 1, Rs1: 2, Imm: 8}, "ld x1, 8(x2)"},
+		{Instruction{Op: ST, Rs1: 2, Rs2: 3, Imm: 8}, "st x3, 8(x2)"},
+		{Instruction{Op: BEQ, Rs1: 1, Rs2: 2, Target: 0x40}, "beq x1, x2, 0x40"},
+		{Instruction{Op: JAL, Rd: 1, Target: 0x40}, "jal x1, 0x40"},
+		{Instruction{Op: JALR, Rd: 1, Rs1: 2, Imm: 4}, "jalr x1, x2, 4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEvaluateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Evaluate of invalid op should panic")
+		}
+	}()
+	Evaluate(Instruction{Op: numOps}, 0, 0, 0)
+}

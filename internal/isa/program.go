@@ -1,0 +1,80 @@
+package isa
+
+import "fmt"
+
+// DefaultCodeBase is the PC of the first instruction for programs that do
+// not choose their own base. It is page-aligned so VPN-restricted
+// reconvergence detection sees realistic page numbers.
+const DefaultCodeBase uint64 = 0x0001_0000
+
+// DataSegment is a contiguous run of initialized 64-bit words in data
+// memory.
+type DataSegment struct {
+	Addr  uint64
+	Words []uint64
+}
+
+// Program is a fully assembled program: decoded instructions starting at
+// Base, plus initialized data segments. Instruction and data memory are
+// disjoint (Harvard-style); the simulators never load or store code.
+type Program struct {
+	Name string
+	Base uint64
+	Code []Instruction
+	Data []DataSegment
+	// Symbols maps label names to PCs, for diagnostics and for tests that
+	// want to assert control flow reached a particular label.
+	Symbols map[string]uint64
+}
+
+// End returns the PC one past the last instruction.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Code))*InstrBytes }
+
+// Contains reports whether pc addresses an instruction of the program.
+func (p *Program) Contains(pc uint64) bool {
+	return pc >= p.Base && pc < p.End() && (pc-p.Base)%InstrBytes == 0
+}
+
+// At returns the instruction at pc. The second result is false when pc is
+// outside the program or misaligned; the timing core treats such fetches as
+// wrong-path fetches of NOPs (they can only occur speculatively).
+func (p *Program) At(pc uint64) (Instruction, bool) {
+	if !p.Contains(pc) {
+		return Instruction{Op: NOP}, false
+	}
+	return p.Code[(pc-p.Base)/InstrBytes], true
+}
+
+// MustAt returns the instruction at pc and panics when pc is invalid. It is
+// used by the functional emulator, where an out-of-range PC is a program
+// bug.
+func (p *Program) MustAt(pc uint64) Instruction {
+	in, ok := p.At(pc)
+	if !ok {
+		panic(fmt.Sprintf("isa: PC 0x%x outside program %q [0x%x, 0x%x)", pc, p.Name, p.Base, p.End()))
+	}
+	return in
+}
+
+// Validate checks structural well-formedness: direct control-flow targets
+// must land on instruction boundaries inside the program, and the program
+// must be non-empty. Workload constructors call this so malformed kernels
+// fail loudly at build time rather than as mysterious wrong-path behaviour.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q has no code", p.Name)
+	}
+	if p.Base%InstrBytes != 0 {
+		return fmt.Errorf("program %q base 0x%x misaligned", p.Name, p.Base)
+	}
+	for i, in := range p.Code {
+		pc := p.Base + uint64(i)*InstrBytes
+		switch in.Class() {
+		case ClassBranch, ClassJump:
+			if !p.Contains(in.Target) {
+				return fmt.Errorf("program %q: %v at 0x%x targets 0x%x outside code", p.Name, in.Op, pc, in.Target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package isa
+
+import "testing"
+
+func testProgram() *Program {
+	return &Program{
+		Name: "t",
+		Base: 0x1000,
+		Code: []Instruction{
+			{Op: LI, Rd: 1, Imm: 3},
+			{Op: ADDI, Rd: 1, Rs1: 1, Imm: -1},
+			{Op: BNE, Rs1: 1, Rs2: 0, Target: 0x1004},
+			{Op: HALT},
+		},
+	}
+}
+
+func TestProgramBounds(t *testing.T) {
+	p := testProgram()
+	if p.End() != 0x1010 {
+		t.Errorf("End = %#x", p.End())
+	}
+	if !p.Contains(0x1000) || !p.Contains(0x100c) {
+		t.Error("Contains should accept in-range PCs")
+	}
+	if p.Contains(0x0fff) || p.Contains(0x1010) || p.Contains(0x1002) {
+		t.Error("Contains should reject out-of-range or misaligned PCs")
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	p := testProgram()
+	in, ok := p.At(0x1004)
+	if !ok || in.Op != ADDI {
+		t.Errorf("At(0x1004) = %v, %v", in, ok)
+	}
+	in, ok = p.At(0x2000)
+	if ok || in.Op != NOP {
+		t.Errorf("At(out of range) = %v, %v; want NOP, false", in, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAt out of range should panic")
+		}
+	}()
+	p.MustAt(0x2000)
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := testProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := testProgram()
+	bad.Code[2].Target = 0x9000
+	if bad.Validate() == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+	empty := &Program{Name: "e", Base: 0x1000}
+	if empty.Validate() == nil {
+		t.Error("empty program accepted")
+	}
+	misaligned := testProgram()
+	misaligned.Base = 0x1001
+	if misaligned.Validate() == nil {
+		t.Error("misaligned base accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package mem models the data-side memory hierarchy of the simulated core:
+// a set-associative L1D backed by an L2 backed by fixed-latency DRAM, with
+// the geometry and latencies of the paper's Table 3. The model is a timing
+// model only — data values live in the core's committed memory plus the
+// store queue; the hierarchy decides how many cycles an access costs and
+// tracks the usual hit/miss/eviction bookkeeping (including wrong-path
+// pollution, which an execution-driven model naturally produces).
+package mem
+
+import "fmt"
+
+// Cache is one level of set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	latency   uint64
+
+	tags  [][]uint64 // [set][way], valid encoded separately
+	valid [][]bool
+	lru   [][]uint8 // smaller = older
+
+	Hits, Misses, Evictions uint64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity,
+// 64-byte lines, and access latency in cycles. sizeBytes must be divisible
+// by ways*64 and the resulting set count must be a power of two.
+func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
+	const lineBytes = 64
+	if sizeBytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("mem: %s size %d not divisible by %d ways x %d-byte lines", name, sizeBytes, ways, lineBytes))
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s set count %d not a power of two", name, sets))
+	}
+	c := &Cache{name: name, sets: sets, ways: ways, lineShift: 6, latency: latency}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint8, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint8, ways)
+	}
+	return c
+}
+
+// Latency returns the access latency of this level.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineShift
+	return int(line) & (c.sets - 1), line >> uint(log2(c.sets))
+}
+
+// Lookup probes the cache, updating LRU state and counters on hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.touch(set, w)
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way if needed.
+func (c *Cache) Insert(addr uint64) {
+	set, tag := c.index(addr)
+	// Already present (e.g. two misses to the same line in flight)?
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.touch(set, w)
+			return
+		}
+	}
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	if c.valid[set][victim] {
+		c.Evictions++
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.touch(set, victim)
+}
+
+// touch makes way w the most recently used in set.
+func (c *Cache) touch(set, w int) {
+	old := c.lru[set][w]
+	for i := 0; i < c.ways; i++ {
+		if c.lru[set][i] > old {
+			c.lru[set][i]--
+		}
+	}
+	c.lru[set][w] = uint8(c.ways - 1)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Config parameterizes a hierarchy; the zero value is invalid — use
+// DefaultConfig (Table 3).
+type Config struct {
+	L1Size    int
+	L1Ways    int
+	L1Latency uint64
+	L2Size    int
+	L2Ways    int
+	L2Latency uint64
+	DRAMLat   uint64
+}
+
+// DefaultConfig is the paper's Table 3 memory configuration: 64 KB 4-way
+// L1D at 3 cycles, 2 MB 8-way L2 at 12 cycles, 120-cycle DRAM.
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 64 << 10, L1Ways: 4, L1Latency: 3,
+		L2Size: 2 << 20, L2Ways: 8, L2Latency: 12,
+		DRAMLat: 120,
+	}
+}
+
+// Hierarchy is the L1/L2/DRAM stack.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+
+	dramLat      uint64
+	DRAMAccesses uint64
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		L1:      NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.L1Latency),
+		L2:      NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency),
+		dramLat: cfg.DRAMLat,
+	}
+}
+
+// Access performs a demand access (load or committed store) to addr and
+// returns its latency in cycles, filling lines on the way back up.
+func (h *Hierarchy) Access(addr uint64) uint64 {
+	lat := h.L1.Latency()
+	if h.L1.Lookup(addr) {
+		return lat
+	}
+	lat += h.L2.Latency()
+	if h.L2.Lookup(addr) {
+		h.L1.Insert(addr)
+		return lat
+	}
+	h.DRAMAccesses++
+	lat += h.dramLat
+	h.L2.Insert(addr)
+	h.L1.Insert(addr)
+	return lat
+}
+
+// Reset clears both levels and counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.DRAMAccesses = 0
+}

@@ -1,0 +1,125 @@
+package mem
+
+import "testing"
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache("t", 4096, 2, 3) // 32 sets x 2 ways x 64B
+	if c.Lookup(0x1000) {
+		t.Error("cold cache should miss")
+	}
+	c.Insert(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Error("inserted line should hit")
+	}
+	if !c.Lookup(0x103f) {
+		t.Error("same 64-byte line should hit")
+	}
+	if c.Lookup(0x1040) {
+		t.Error("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("t", 4096, 2, 3) // 32 sets
+	setStride := uint64(32 * 64)   // same set every stride
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a) // make a MRU
+	c.Insert(d) // must evict b
+	if !c.Lookup(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Lookup(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Lookup(d) {
+		t.Error("d should be present")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestCacheReinsertIsIdempotent(t *testing.T) {
+	c := NewCache("t", 4096, 2, 3)
+	c.Insert(0)
+	c.Insert(0)
+	if c.Evictions != 0 {
+		t.Error("reinsert must not evict")
+	}
+	if !c.Lookup(0) {
+		t.Error("line lost on reinsert")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache("t", 4096, 2, 3)
+	c.Insert(0)
+	c.Lookup(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("counters not reset")
+	}
+	if c.Lookup(0) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("bad", 1000, 3, 1) },   // not divisible
+		func() { NewCache("bad", 64*3*2, 2, 1) }, // sets not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Cold: L1 miss + L2 miss + DRAM.
+	if lat := h.Access(0x1_0000); lat != 3+12+120 {
+		t.Errorf("cold access latency = %d", lat)
+	}
+	// Now hot in L1.
+	if lat := h.Access(0x1_0000); lat != 3 {
+		t.Errorf("L1 hit latency = %d", lat)
+	}
+	if h.DRAMAccesses != 1 {
+		t.Errorf("DRAM accesses = %d", h.DRAMAccesses)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1Size = 4 << 10 // tiny L1 so we can evict easily
+	cfg.L1Ways = 1
+	h := NewHierarchy(cfg)
+	h.Access(0)       // cold fill
+	h.Access(4 << 10) // conflicts in L1 (same set), evicts 0 from L1
+	if lat := h.Access(0); lat != 3+12 {
+		t.Errorf("L2 hit latency = %d, want 15", lat)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(0)
+	h.Reset()
+	if h.DRAMAccesses != 0 || h.L1.Hits+h.L1.Misses != 0 {
+		t.Error("reset incomplete")
+	}
+	if lat := h.Access(0); lat != 135 {
+		t.Errorf("post-reset access should be cold, lat = %d", lat)
+	}
+}

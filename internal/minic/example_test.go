@@ -1,0 +1,29 @@
+package minic_test
+
+import (
+	"fmt"
+
+	"mssr/internal/emu"
+	"mssr/internal/minic"
+)
+
+// Write a structured kernel, compile it to the ISA and execute it.
+func Example() {
+	p := minic.NewProgram("dot")
+	a := p.Array(0, []uint64{1, 2, 3, 4})
+	b := p.Array(0, []uint64{10, 20, 30, 40})
+	i := p.Var("i")
+	sum := p.Var("sum")
+	p.Assign(sum, minic.Int(0))
+	p.For(i, minic.Int(0), minic.Int(4), func() {
+		p.Assign(sum, minic.Add(sum, minic.Mul(a.At(i), b.At(i))))
+	})
+	p.Return(sum)
+
+	e := emu.New(p.MustBuild())
+	if err := e.Run(10_000); err != nil {
+		panic(err)
+	}
+	fmt.Println("dot product =", e.Mem.Read(minic.ResultAddr))
+	// Output: dot product = 300
+}

@@ -1,0 +1,453 @@
+// Package minic is a small structured-programming layer over the
+// assembler: variables, expression trees, arrays, if/else and while
+// compile to the repository's ISA. It exists so workloads and tests can
+// be written at statement level instead of hand-allocating registers —
+// the authoring surface a downstream user of the simulator reaches for
+// first.
+//
+//	p := minic.NewProgram("sum")
+//	i := p.Var("i")
+//	sum := p.Var("sum")
+//	arr := p.Array(0x8000, []uint64{3, 1, 4, 1, 5})
+//	p.Assign(i, minic.Int(0))
+//	p.While(minic.Lt(i, minic.Int(5)), func() {
+//	    p.Assign(sum, minic.Add(sum, arr.At(i)))
+//	    p.Assign(i, minic.Add(i, minic.Int(1)))
+//	})
+//	p.Return(sum)            // stores the result at ResultAddr and halts
+//	prog, err := p.Build()
+//
+// The compiler is deliberately simple: variables live in callee-saved
+// registers (no spilling — Build fails beyond the register budget), and
+// expression temporaries use a bounded stack of caller-saved registers.
+package minic
+
+import (
+	"fmt"
+
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// ResultAddr is where Return stores its value, so callers (and tests) can
+// read the program's result from data memory.
+const ResultAddr uint64 = 0x000e_0000
+
+// Expr is an expression tree node.
+type Expr interface{ isExpr() }
+
+// intLit is a 64-bit constant.
+type intLit struct{ v int64 }
+
+// Var is a named program variable bound to a register.
+type Var struct {
+	name string
+	reg  isa.Reg
+}
+
+type binOp struct {
+	op   isa.Op
+	l, r Expr
+}
+
+// cmpOp is a comparison producing 0/1; If and While fold it into a branch.
+type cmpOp struct {
+	kind cmpKind
+	l, r Expr
+}
+
+type cmpKind int
+
+const (
+	cmpEq cmpKind = iota
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+	cmpLtU
+	cmpGeU
+)
+
+type loadOp struct{ addr Expr }
+
+func (intLit) isExpr() {}
+func (*Var) isExpr()   {}
+func (binOp) isExpr()  {}
+func (cmpOp) isExpr()  {}
+func (loadOp) isExpr() {}
+
+// Int builds a constant expression.
+func Int(v int64) Expr { return intLit{v} }
+
+// Arithmetic and logic constructors.
+
+func bin(op isa.Op, l, r Expr) Expr { return binOp{op, l, r} }
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return bin(isa.ADD, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return bin(isa.SUB, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return bin(isa.MUL, l, r) }
+
+// Div returns l / r (signed, RISC-V semantics on zero/overflow).
+func Div(l, r Expr) Expr { return bin(isa.DIV, l, r) }
+
+// Rem returns l % r (signed).
+func Rem(l, r Expr) Expr { return bin(isa.REM, l, r) }
+
+// And returns l & r.
+func And(l, r Expr) Expr { return bin(isa.AND, l, r) }
+
+// Or returns l | r.
+func Or(l, r Expr) Expr { return bin(isa.OR, l, r) }
+
+// Xor returns l ^ r.
+func Xor(l, r Expr) Expr { return bin(isa.XOR, l, r) }
+
+// Shl returns l << r.
+func Shl(l, r Expr) Expr { return bin(isa.SLL, l, r) }
+
+// Shr returns l >> r (logical).
+func Shr(l, r Expr) Expr { return bin(isa.SRL, l, r) }
+
+// Comparisons (value 0/1; folded into branches by If/While).
+
+// Eq returns l == r.
+func Eq(l, r Expr) Expr { return cmpOp{cmpEq, l, r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return cmpOp{cmpNe, l, r} }
+
+// Lt returns l < r (signed).
+func Lt(l, r Expr) Expr { return cmpOp{cmpLt, l, r} }
+
+// Le returns l <= r (signed).
+func Le(l, r Expr) Expr { return cmpOp{cmpLe, l, r} }
+
+// Gt returns l > r (signed).
+func Gt(l, r Expr) Expr { return cmpOp{cmpGt, l, r} }
+
+// Ge returns l >= r (signed).
+func Ge(l, r Expr) Expr { return cmpOp{cmpGe, l, r} }
+
+// LtU returns l < r (unsigned).
+func LtU(l, r Expr) Expr { return cmpOp{cmpLtU, l, r} }
+
+// GeU returns l >= r (unsigned).
+func GeU(l, r Expr) Expr { return cmpOp{cmpGeU, l, r} }
+
+// Deref loads the 64-bit word at the address addr evaluates to.
+func Deref(addr Expr) Expr { return loadOp{addr} }
+
+// Array is a word array in data memory.
+type Array struct {
+	Base uint64
+}
+
+// At returns the expression loading a[idx].
+func (a Array) At(idx Expr) Expr {
+	return Deref(Add(Int(int64(a.Base)), Shl(idx, Int(3))))
+}
+
+// Addr returns the address expression of a[idx].
+func (a Array) Addr(idx Expr) Expr {
+	return Add(Int(int64(a.Base)), Shl(idx, Int(3)))
+}
+
+// varRegs are the registers available for program variables.
+var varRegs = []isa.Reg{
+	isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7,
+	isa.S8, isa.S9, isa.S10, isa.S11, isa.A4, isa.A5, isa.A6, isa.A7,
+}
+
+// tmpRegs are the expression-temporary stack.
+var tmpRegs = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.A0, isa.A1, isa.A2, isa.A3}
+
+// Program accumulates statements and compiles them on Build.
+type Program struct {
+	b       *asm.Builder
+	vars    map[string]*Var
+	nvars   int
+	tmpSP   int
+	labels  int
+	dataPtr uint64
+	errs    []error
+}
+
+// NewProgram starts an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		b:       asm.NewBuilder(name),
+		vars:    map[string]*Var{},
+		dataPtr: 0x0010_0000,
+	}
+}
+
+func (p *Program) errf(format string, args ...interface{}) {
+	p.errs = append(p.errs, fmt.Errorf(format, args...))
+}
+
+// Var declares (or returns the existing) variable name.
+func (p *Program) Var(name string) *Var {
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	if p.nvars >= len(varRegs) {
+		p.errf("too many variables (max %d): %q", len(varRegs), name)
+		return &Var{name: name, reg: varRegs[0]}
+	}
+	v := &Var{name: name, reg: varRegs[p.nvars]}
+	p.nvars++
+	p.vars[name] = v
+	return v
+}
+
+// Array allocates and initializes a word array in data memory. Passing a
+// nil slice with n elements is done via make([]uint64, n).
+func (p *Program) Array(base uint64, init []uint64) Array {
+	if base == 0 {
+		base = p.dataPtr
+		p.dataPtr += uint64(len(init)+1) * 8
+	}
+	if len(init) > 0 {
+		p.b.Data(base, init...)
+	}
+	return Array{Base: base}
+}
+
+func (p *Program) label(kind string) string {
+	p.labels++
+	return fmt.Sprintf("%s_%d", kind, p.labels)
+}
+
+// acquireTmp pops a temporary register. On exhaustion it records an error
+// (surfaced by Build) but keeps the acquire/release bookkeeping balanced.
+func (p *Program) acquireTmp() isa.Reg {
+	r := tmpRegs[len(tmpRegs)-1]
+	if p.tmpSP >= len(tmpRegs) {
+		p.errf("expression too deep (max %d temporaries)", len(tmpRegs))
+	} else {
+		r = tmpRegs[p.tmpSP]
+	}
+	p.tmpSP++
+	return r
+}
+
+func (p *Program) releaseTmp() { p.tmpSP-- }
+
+// eval compiles e into dst.
+func (p *Program) eval(e Expr, dst isa.Reg) {
+	switch n := e.(type) {
+	case intLit:
+		p.b.Li(dst, n.v)
+	case *Var:
+		p.b.Mv(dst, n.reg)
+	case binOp:
+		p.eval(n.l, dst)
+		t := p.acquireTmp()
+		p.eval(n.r, t)
+		p.emitBin(n.op, dst, dst, t)
+		p.releaseTmp()
+	case cmpOp:
+		p.eval(n.l, dst)
+		t := p.acquireTmp()
+		p.eval(n.r, t)
+		p.emitCmp(n.kind, dst, dst, t)
+		p.releaseTmp()
+	case loadOp:
+		p.eval(n.addr, dst)
+		p.b.Ld(dst, 0, dst)
+	default:
+		p.errf("unknown expression %T", e)
+	}
+}
+
+func (p *Program) emitBin(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	switch op {
+	case isa.ADD:
+		p.b.Add(rd, rs1, rs2)
+	case isa.SUB:
+		p.b.Sub(rd, rs1, rs2)
+	case isa.MUL:
+		p.b.Mul(rd, rs1, rs2)
+	case isa.DIV:
+		p.b.Div(rd, rs1, rs2)
+	case isa.REM:
+		p.b.Rem(rd, rs1, rs2)
+	case isa.AND:
+		p.b.And(rd, rs1, rs2)
+	case isa.OR:
+		p.b.Or(rd, rs1, rs2)
+	case isa.XOR:
+		p.b.Xor(rd, rs1, rs2)
+	case isa.SLL:
+		p.b.Sll(rd, rs1, rs2)
+	case isa.SRL:
+		p.b.Srl(rd, rs1, rs2)
+	default:
+		p.errf("unsupported binary op %v", op)
+	}
+}
+
+// emitCmp materializes a comparison as 0/1.
+func (p *Program) emitCmp(k cmpKind, rd, a, b isa.Reg) {
+	switch k {
+	case cmpEq:
+		p.b.Xor(rd, a, b)
+		p.b.Sltu(rd, isa.Zero, rd)
+		p.b.Xori(rd, rd, 1)
+	case cmpNe:
+		p.b.Xor(rd, a, b)
+		p.b.Sltu(rd, isa.Zero, rd)
+	case cmpLt:
+		p.b.Slt(rd, a, b)
+	case cmpGe:
+		p.b.Slt(rd, a, b)
+		p.b.Xori(rd, rd, 1)
+	case cmpGt:
+		p.b.Slt(rd, b, a)
+	case cmpLe:
+		p.b.Slt(rd, b, a)
+		p.b.Xori(rd, rd, 1)
+	case cmpLtU:
+		p.b.Sltu(rd, a, b)
+	case cmpGeU:
+		p.b.Sltu(rd, a, b)
+		p.b.Xori(rd, rd, 1)
+	}
+}
+
+// branchIfFalse compiles cond, jumping to target when it is false. Direct
+// comparisons fold into a single branch instruction.
+func (p *Program) branchIfFalse(cond Expr, target string) {
+	if c, ok := cond.(cmpOp); ok {
+		a := p.acquireTmp()
+		p.eval(c.l, a)
+		b := p.acquireTmp()
+		p.eval(c.r, b)
+		switch c.kind {
+		case cmpEq:
+			p.b.Bne(a, b, target)
+		case cmpNe:
+			p.b.Beq(a, b, target)
+		case cmpLt:
+			p.b.Bge(a, b, target)
+		case cmpGe:
+			p.b.Blt(a, b, target)
+		case cmpGt:
+			p.b.Bge(b, a, target)
+		case cmpLe:
+			p.b.Blt(b, a, target)
+		case cmpLtU:
+			p.b.Bgeu(a, b, target)
+		case cmpGeU:
+			p.b.Bltu(a, b, target)
+		}
+		p.releaseTmp()
+		p.releaseTmp()
+		return
+	}
+	t := p.acquireTmp()
+	p.eval(cond, t)
+	p.b.Beqz(t, target)
+	p.releaseTmp()
+}
+
+// Assign evaluates e into v. The value is materialized in a temporary
+// first so expressions that read v itself (e.g. v = y - v) see the old
+// value throughout.
+func (p *Program) Assign(v *Var, e Expr) {
+	t := p.acquireTmp()
+	p.eval(e, t)
+	p.b.Mv(v.reg, t)
+	p.releaseTmp()
+}
+
+// Store writes val to the address addr evaluates to.
+func (p *Program) Store(addr, val Expr) {
+	a := p.acquireTmp()
+	p.eval(addr, a)
+	v := p.acquireTmp()
+	p.eval(val, v)
+	p.b.St(v, 0, a)
+	p.releaseTmp()
+	p.releaseTmp()
+}
+
+// SetAt writes val to arr[idx].
+func (p *Program) SetAt(arr Array, idx, val Expr) {
+	p.Store(arr.Addr(idx), val)
+}
+
+// If compiles a conditional without an else arm.
+func (p *Program) If(cond Expr, then func()) {
+	end := p.label("endif")
+	p.branchIfFalse(cond, end)
+	then()
+	p.b.Label(end)
+}
+
+// IfElse compiles a conditional with both arms.
+func (p *Program) IfElse(cond Expr, then, els func()) {
+	elseL := p.label("else")
+	end := p.label("endif")
+	p.branchIfFalse(cond, elseL)
+	then()
+	p.b.J(end)
+	p.b.Label(elseL)
+	els()
+	p.b.Label(end)
+}
+
+// While compiles a pre-tested loop.
+func (p *Program) While(cond Expr, body func()) {
+	top := p.label("while")
+	end := p.label("endwhile")
+	p.b.Label(top)
+	p.branchIfFalse(cond, end)
+	body()
+	p.b.J(top)
+	p.b.Label(end)
+}
+
+// For compiles for v = from; v < to; v++ { body }.
+func (p *Program) For(v *Var, from, to Expr, body func()) {
+	p.Assign(v, from)
+	p.While(Lt(v, to), func() {
+		body()
+		p.Assign(v, Add(v, Int(1)))
+	})
+}
+
+// Return stores e at ResultAddr and halts.
+func (p *Program) Return(e Expr) {
+	t := p.acquireTmp()
+	p.eval(e, t)
+	a := p.acquireTmp()
+	p.b.Li(a, int64(ResultAddr))
+	p.b.St(t, 0, a)
+	p.releaseTmp()
+	p.releaseTmp()
+	p.b.Halt()
+}
+
+// Build compiles the accumulated program.
+func (p *Program) Build() (*isa.Program, error) {
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return p.b.Program()
+}
+
+// MustBuild is Build but panics on error.
+func (p *Program) MustBuild() *isa.Program {
+	prog, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

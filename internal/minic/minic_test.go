@@ -1,0 +1,253 @@
+package minic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mssr/internal/emu"
+)
+
+// run compiles and executes a program, returning the Return value.
+func run(t *testing.T, p *Program) uint64 {
+	t.Helper()
+	prog, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(prog)
+	if err := e.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return e.Mem.Read(ResultAddr)
+}
+
+func TestArithmetic(t *testing.T) {
+	p := NewProgram("arith")
+	x := p.Var("x")
+	p.Assign(x, Add(Mul(Int(6), Int(7)), Sub(Int(10), Int(3))))
+	p.Return(x)
+	if got := run(t, p); got != 49 {
+		t.Errorf("6*7 + (10-3) = %d, want 49", got)
+	}
+}
+
+func TestAssignReadsOldValue(t *testing.T) {
+	p := NewProgram("alias")
+	x := p.Var("x")
+	p.Assign(x, Int(5))
+	p.Assign(x, Sub(Int(100), x)) // x = 100 - x: must read the old x
+	p.Return(x)
+	if got := run(t, p); got != 95 {
+		t.Errorf("x = %d, want 95", got)
+	}
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	p := NewProgram("sum")
+	i := p.Var("i")
+	sum := p.Var("sum")
+	p.Assign(sum, Int(0))
+	p.Assign(i, Int(1))
+	p.While(Le(i, Int(10)), func() {
+		p.Assign(sum, Add(sum, i))
+		p.Assign(i, Add(i, Int(1)))
+	})
+	p.Return(sum)
+	if got := run(t, p); got != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", got)
+	}
+}
+
+func TestForLoopAndArray(t *testing.T) {
+	p := NewProgram("array")
+	arr := p.Array(0, []uint64{3, 1, 4, 1, 5, 9, 2, 6})
+	i := p.Var("i")
+	sum := p.Var("sum")
+	p.Assign(sum, Int(0))
+	p.For(i, Int(0), Int(8), func() {
+		p.Assign(sum, Add(sum, arr.At(i)))
+	})
+	p.Return(sum)
+	if got := run(t, p); got != 31 {
+		t.Errorf("array sum = %d, want 31", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	for _, c := range []struct {
+		in   int64
+		want uint64
+	}{{5, 1}, {-5, 2}, {0, 2}} {
+		p := NewProgram("ifelse")
+		x := p.Var("x")
+		r := p.Var("r")
+		p.Assign(x, Int(c.in))
+		p.IfElse(Gt(x, Int(0)),
+			func() { p.Assign(r, Int(1)) },
+			func() { p.Assign(r, Int(2)) })
+		p.Return(r)
+		if got := run(t, p); got != c.want {
+			t.Errorf("sign(%d) branch = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStoreAndDeref(t *testing.T) {
+	p := NewProgram("store")
+	arr := p.Array(0x9000, make([]uint64, 4))
+	i := p.Var("i")
+	p.For(i, Int(0), Int(4), func() {
+		p.SetAt(arr, i, Mul(i, i))
+	})
+	p.Return(Add(arr.At(Int(3)), Deref(Int(0x9000))))
+	if got := run(t, p); got != 9 {
+		t.Errorf("arr[3] + arr[0] = %d, want 9", got)
+	}
+}
+
+// TestComparisonMatrix checks every comparison against Go semantics.
+func TestComparisonMatrix(t *testing.T) {
+	type mk func(a, b Expr) Expr
+	cases := []struct {
+		name string
+		mk   mk
+		ref  func(a, b int64) bool
+	}{
+		{"eq", Eq, func(a, b int64) bool { return a == b }},
+		{"ne", Ne, func(a, b int64) bool { return a != b }},
+		{"lt", Lt, func(a, b int64) bool { return a < b }},
+		{"le", Le, func(a, b int64) bool { return a <= b }},
+		{"gt", Gt, func(a, b int64) bool { return a > b }},
+		{"ge", Ge, func(a, b int64) bool { return a >= b }},
+		{"ltu", LtU, func(a, b int64) bool { return uint64(a) < uint64(b) }},
+		{"geu", GeU, func(a, b int64) bool { return uint64(a) >= uint64(b) }},
+	}
+	vals := []int64{-3, -1, 0, 1, 2, 1 << 40, -(1 << 40)}
+	for _, c := range cases {
+		for _, a := range vals {
+			for _, b := range vals {
+				// As a materialized value.
+				p := NewProgram("cmp")
+				p.Return(c.mk(Int(a), Int(b)))
+				want := uint64(0)
+				if c.ref(a, b) {
+					want = 1
+				}
+				if got := run(t, p); got != want {
+					t.Fatalf("%s(%d,%d) = %d, want %d", c.name, a, b, got, want)
+				}
+				// As a folded branch.
+				p2 := NewProgram("cmpbr")
+				r := p2.Var("r")
+				p2.IfElse(c.mk(Int(a), Int(b)),
+					func() { p2.Assign(r, Int(1)) },
+					func() { p2.Assign(r, Int(0)) })
+				p2.Return(r)
+				if got := run(t, p2); got != want {
+					t.Fatalf("branch %s(%d,%d) = %d, want %d", c.name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExpressionProperty cross-checks compiled arithmetic against Go for
+// random operand pairs.
+func TestExpressionProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			b = 1
+		}
+		p := NewProgram("prop")
+		x := p.Var("x")
+		y := p.Var("y")
+		p.Assign(x, Int(a))
+		p.Assign(y, Int(b))
+		// ((x*3 + y) ^ (x >> 5)) % 1000th-ish mix
+		p.Return(Xor(Add(Mul(x, Int(3)), y), Shr(x, Int(5))))
+		want := (uint64(a)*3 + uint64(b)) ^ (uint64(a) >> 5)
+		return runQuick(p) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func runQuick(p *Program) uint64 {
+	prog, err := p.Build()
+	if err != nil {
+		return ^uint64(0)
+	}
+	e := emu.New(prog)
+	if err := e.Run(1_000_000); err != nil {
+		return ^uint64(0)
+	}
+	return e.Mem.Read(ResultAddr)
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	// Count primes below 50 by trial division: nested loops, if, rem.
+	p := NewProgram("primes")
+	n := p.Var("n")
+	d := p.Var("d")
+	isP := p.Var("isP")
+	count := p.Var("count")
+	p.Assign(count, Int(0))
+	p.For(n, Int(2), Int(50), func() {
+		p.Assign(isP, Int(1))
+		p.For(d, Int(2), n, func() {
+			p.If(Eq(Rem(n, d), Int(0)), func() {
+				p.Assign(isP, Int(0))
+			})
+		})
+		p.If(Ne(isP, Int(0)), func() {
+			p.Assign(count, Add(count, Int(1)))
+		})
+	})
+	p.Return(count)
+	if got := run(t, p); got != 15 {
+		t.Errorf("primes below 50 = %d, want 15", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := NewProgram("toomany")
+	for i := 0; i < 40; i++ {
+		p.Var(string(rune('a' + i)))
+	}
+	p.Return(Int(0))
+	if _, err := p.Build(); err == nil {
+		t.Error("variable overflow should fail Build")
+	}
+
+	deep := NewProgram("deep")
+	e := Expr(Int(1))
+	for i := 0; i < 20; i++ {
+		e = Add(Int(1), e) // right-leaning chain exhausts temporaries
+	}
+	deep.Return(e)
+	if _, err := deep.Build(); err == nil {
+		t.Error("temporary exhaustion should fail Build")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on error")
+		}
+	}()
+	bad := NewProgram("bad")
+	for i := 0; i < 40; i++ {
+		bad.Var(string(rune('a' + i)))
+	}
+	bad.Return(Int(0))
+	bad.MustBuild()
+}
+
+func TestVarIsStable(t *testing.T) {
+	p := NewProgram("stable")
+	a := p.Var("a")
+	b := p.Var("a")
+	if a != b {
+		t.Error("Var must return the same binding for the same name")
+	}
+}

@@ -1,0 +1,214 @@
+// Package randprog generates random, always-terminating programs for
+// property-based testing. The generated programs stress exactly what the
+// squash-reuse machinery must get right: nested data-dependent branches
+// (control-dependent regions), loads and stores with computed addresses
+// (memory-order hazards for reused loads), and reconvergent control flow.
+//
+// Termination is guaranteed by construction: every conditional branch is a
+// forward branch, and every loop uses a dedicated counter register that is
+// initialized to a small constant, decremented exactly once per iteration,
+// and never otherwise written inside the loop body.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// MaxDepth bounds the nesting of if/else and loop constructs.
+	MaxDepth int
+	// MaxStmts bounds the statements per block.
+	MaxStmts int
+	// MaxLoopIters bounds each loop's trip count.
+	MaxLoopIters int
+	// DataWords is the size of the addressable data region.
+	DataWords int
+}
+
+// DefaultConfig returns generation bounds that produce programs of a few
+// hundred to a few thousand dynamic instructions.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 3, MaxStmts: 6, MaxLoopIters: 6, DataWords: 64}
+}
+
+// dataBase is where the addressable data region lives.
+const dataBase uint64 = 0x0010_0000
+
+// scratchRegs are the registers random statements may read and write.
+// S0 (data base), S1 (loop counters are drawn from loopRegs), and the
+// zero register are excluded from destinations.
+var scratchRegs = []isa.Reg{
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6,
+	isa.A0, isa.A1, isa.A2, isa.A3, isa.A4, isa.A5, isa.A6, isa.A7,
+}
+
+// loopRegs hold loop counters, one per nesting level.
+var loopRegs = []isa.Reg{isa.S2, isa.S3, isa.S4, isa.S5}
+
+type generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	b      *asm.Builder
+	labels int
+	depth  int
+	loops  int
+}
+
+// Generate produces a random terminating program from seed.
+func Generate(seed int64, cfg Config) *isa.Program {
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		b:   asm.NewBuilder(fmt.Sprintf("rand-%d", seed)),
+	}
+	// Initialize the data region with random words.
+	words := make([]uint64, cfg.DataWords)
+	for i := range words {
+		words[i] = g.rng.Uint64() >> g.rng.Intn(32)
+	}
+	g.b.Data(dataBase, words...)
+	// Initialize registers.
+	g.b.Li(isa.S0, int64(dataBase))
+	for _, r := range scratchRegs {
+		g.b.Li(r, int64(g.rng.Intn(1<<16)))
+	}
+	g.block()
+	// Fold the scratch registers into a0 so the final state depends on
+	// everything that happened.
+	for _, r := range scratchRegs[1:] {
+		g.b.Xor(scratchRegs[0], scratchRegs[0], r)
+	}
+	g.b.Halt()
+	return g.b.MustProgram()
+}
+
+func (g *generator) newLabel(kind string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", kind, g.labels)
+}
+
+func (g *generator) reg() isa.Reg { return scratchRegs[g.rng.Intn(len(scratchRegs))] }
+
+// block emits 1..MaxStmts random statements.
+func (g *generator) block() {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.statement()
+	}
+}
+
+func (g *generator) statement() {
+	// Weighted choice; structured statements only below the depth bound.
+	max := 10
+	if g.depth >= g.cfg.MaxDepth {
+		max = 7
+	}
+	switch g.rng.Intn(max) {
+	case 0, 1, 2:
+		g.alu()
+	case 3, 4:
+		g.load()
+	case 5:
+		g.store()
+	case 6:
+		g.alu()
+	case 7, 8:
+		g.ifElse()
+	default:
+		if g.loops < len(loopRegs) {
+			g.loop()
+		} else {
+			g.ifElse()
+		}
+	}
+}
+
+func (g *generator) alu() {
+	rd, rs1, rs2 := g.reg(), g.reg(), g.reg()
+	switch g.rng.Intn(8) {
+	case 0:
+		g.b.Add(rd, rs1, rs2)
+	case 1:
+		g.b.Sub(rd, rs1, rs2)
+	case 2:
+		g.b.Xor(rd, rs1, rs2)
+	case 3:
+		g.b.And(rd, rs1, rs2)
+	case 4:
+		g.b.Or(rd, rs1, rs2)
+	case 5:
+		g.b.Mul(rd, rs1, rs2)
+	case 6:
+		g.b.Addi(rd, rs1, int64(g.rng.Intn(64)-32))
+	default:
+		g.b.Slli(rd, rs1, int64(g.rng.Intn(4)))
+	}
+}
+
+// addrInto computes a random in-bounds, data-dependent address in rd.
+func (g *generator) addrInto(rd isa.Reg) {
+	idx := g.reg()
+	g.b.Andi(rd, idx, int64(g.cfg.DataWords-1))
+	g.b.Slli(rd, rd, 3)
+	g.b.Add(rd, rd, isa.S0)
+}
+
+func (g *generator) load() {
+	addr := g.reg()
+	g.addrInto(addr)
+	g.b.Ld(g.reg(), 0, addr)
+}
+
+func (g *generator) store() {
+	addr := g.reg()
+	val := g.reg()
+	g.addrInto(addr)
+	g.b.St(val, 0, addr)
+}
+
+// ifElse emits a forward data-dependent branch with optional else arm,
+// reconverging afterwards — the CI structure squash reuse feeds on.
+func (g *generator) ifElse() {
+	g.depth++
+	defer func() { g.depth-- }()
+	cond := g.reg()
+	elseL := g.newLabel("else")
+	endL := g.newLabel("end")
+	// Condition on a low bit of a scratch register: effectively random
+	// at simulation time, so frequently mispredicted.
+	tmp := g.reg()
+	g.b.Andi(tmp, cond, 1<<g.rng.Intn(3))
+	hasElse := g.rng.Intn(2) == 0
+	if hasElse {
+		g.b.Beqz(tmp, elseL)
+		g.block()
+		g.b.J(endL)
+		g.b.Label(elseL)
+		g.block()
+		g.b.Label(endL)
+	} else {
+		g.b.Beqz(tmp, endL)
+		g.block()
+		g.b.Label(endL)
+	}
+}
+
+// loop emits a bounded counted loop.
+func (g *generator) loop() {
+	g.depth++
+	g.loops++
+	defer func() { g.depth--; g.loops-- }()
+	ctr := loopRegs[g.loops-1]
+	top := g.newLabel("loop")
+	iters := 1 + g.rng.Intn(g.cfg.MaxLoopIters)
+	g.b.Li(ctr, int64(iters))
+	g.b.Label(top)
+	g.block()
+	g.b.Addi(ctr, ctr, -1)
+	g.b.Bnez(ctr, top)
+}

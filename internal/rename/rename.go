@@ -1,0 +1,321 @@
+// Package rename implements the register-rename substrate: physical
+// register names, the Register Alias Table (RAT) extended with the paper's
+// Rename Mapping Generation IDs (RGIDs, §3.1), the RGID allocator with
+// overflow tracking (§3.3.2), the free list, and a physical-register
+// lifecycle tracker that supports the squash-reuse holding discipline
+// (§3.3.2 conditions 1-5).
+package rename
+
+import (
+	"fmt"
+
+	"mssr/internal/isa"
+)
+
+// PhysReg names a physical register.
+type PhysReg uint16
+
+// NoPreg is the absent physical register.
+const NoPreg PhysReg = 0xFFFF
+
+// RGID is a Rename Mapping Generation ID. Each architectural register has
+// its own monotonically increasing generation counter; equal (areg, RGID)
+// pairs on any two execution paths denote the same mapping and therefore
+// the same value. The all-ones value is reserved as NullRGID: a mapping
+// that must never pass a reuse test (non-renameable destinations, overflow
+// windows, post-reset in-flight state).
+type RGID uint16
+
+// NullRGID never matches any RGID, including itself, in reuse tests.
+const NullRGID RGID = 0xFFFF
+
+// Mapping is one architectural-to-physical register mapping with its
+// generation tag, as held in the RAT and checkpointed/rolled back with it.
+type Mapping struct {
+	Preg PhysReg
+	Gen  RGID
+}
+
+// Match reports whether two generation tags denote the same mapping. Null
+// tags never match (paper §3.3.2: the null RGID marks non-reusable
+// destinations).
+func Match(a, b RGID) bool { return a != NullRGID && b != NullRGID && a == b }
+
+// RAT is the register alias table with RGID extension. The zero register is
+// pinned: it always maps to preg 0 with a null generation, and writes to it
+// are ignored by construction (instructions writing x0 have no destination).
+type RAT struct {
+	m [isa.NumArchRegs]Mapping
+}
+
+// NewRAT builds the initial RAT mapping architectural register i to
+// physical register i with generation 0 (generation tags of the initial
+// mappings are real, matchable generations, consistent with the allocator
+// starting at 1).
+func NewRAT() *RAT {
+	r := &RAT{}
+	for i := range r.m {
+		r.m[i] = Mapping{Preg: PhysReg(i), Gen: 0}
+	}
+	r.m[isa.Zero] = Mapping{Preg: 0, Gen: NullRGID}
+	return r
+}
+
+// Get returns the current mapping of reg.
+func (r *RAT) Get(reg isa.Reg) Mapping { return r.m[reg] }
+
+// Set installs a new mapping for reg and returns the previous one for
+// rollback bookkeeping. Setting the zero register panics: callers must
+// treat x0 writes as having no destination.
+func (r *RAT) Set(reg isa.Reg, m Mapping) Mapping {
+	if reg == isa.Zero {
+		panic("rename: remapping the zero register")
+	}
+	old := r.m[reg]
+	r.m[reg] = m
+	return old
+}
+
+// Snapshot copies the full table (used by tests and debug audits; the core
+// recovers via ROB rollback, the functional equivalent of the paper's
+// checkpoint-plus-rollback scheme).
+func (r *RAT) Snapshot() [isa.NumArchRegs]Mapping { return r.m }
+
+// Restore replaces the full table.
+func (r *RAT) Restore(s [isa.NumArchRegs]Mapping) { r.m = s }
+
+// Allocator hands out RGIDs from per-architectural-register global
+// counters. Per the paper, these counters are never checkpointed or rolled
+// back — they identify mappings on both correct and wrong paths. The
+// allocator tracks wrap-arounds so the core can trigger the global RGID
+// reset protocol.
+type Allocator struct {
+	next      [isa.NumArchRegs]RGID
+	max       RGID // largest assignable RGID (width-limited), < NullRGID
+	Overflows int  // wrap events since the last reset
+}
+
+// NewAllocator builds an allocator with the given tag width in bits. Width
+// 6 matches the paper's Table 2; the value 2^width-1 is reserved for
+// NullRGID within the width, so assignable tags are 0..2^width-2.
+func NewAllocator(widthBits int) *Allocator {
+	if widthBits < 2 || widthBits > 16 {
+		panic(fmt.Sprintf("rename: unsupported RGID width %d", widthBits))
+	}
+	a := &Allocator{max: RGID(1<<widthBits) - 2}
+	for i := range a.next {
+		// Generation 0 is owned by the initial RAT mappings.
+		a.next[i] = 1
+	}
+	return a
+}
+
+// Alloc returns a fresh generation for reg and advances its counter. When
+// the counter saturates, Alloc returns NullRGID until the next Reset — the
+// paper's overflow handling: a null tag marks the destination as not
+// reusable, guaranteeing that generations never alias, and the global
+// reset protocol (triggered by Overflows) restores normal assignment.
+func (a *Allocator) Alloc(reg isa.Reg) RGID {
+	g := a.next[reg]
+	if g >= a.max {
+		return NullRGID
+	}
+	a.next[reg] = g + 1
+	if a.next[reg] == a.max {
+		a.Overflows++
+	}
+	return g
+}
+
+// Reset restarts all counters after a global RGID reset (§3.3.2). The
+// caller is responsible for the accompanying protocol: invalidating squash
+// logs, nulling in-flight tags, and suspending stream capture until the
+// pipeline has drained.
+func (a *Allocator) Reset() {
+	for i := range a.next {
+		a.next[i] = 1
+	}
+	a.Overflows = 0
+}
+
+// Null reports the null tag for this allocator's width. All widths share
+// the single NullRGID sentinel.
+func (a *Allocator) Null() RGID { return NullRGID }
+
+// FreeList is a FIFO free list of physical registers.
+type FreeList struct {
+	regs []PhysReg
+	head int
+	size int
+}
+
+// NewFreeList builds a free list containing pregs [first, first+n).
+func NewFreeList(first PhysReg, n int) *FreeList {
+	fl := &FreeList{regs: make([]PhysReg, 0, n)}
+	for i := 0; i < n; i++ {
+		fl.regs = append(fl.regs, first+PhysReg(i))
+	}
+	fl.size = n
+	return fl
+}
+
+// Len reports how many registers are free.
+func (fl *FreeList) Len() int { return fl.size }
+
+// Alloc removes and returns one free register; ok is false when empty.
+func (fl *FreeList) Alloc() (PhysReg, bool) {
+	if fl.size == 0 {
+		return NoPreg, false
+	}
+	p := fl.regs[fl.head]
+	fl.head++
+	if fl.head == len(fl.regs) {
+		fl.head = 0
+	}
+	fl.size--
+	return p, true
+}
+
+// Free returns a register to the list.
+func (fl *FreeList) Free(p PhysReg) {
+	tail := fl.head + fl.size
+	if tail >= len(fl.regs) {
+		tail -= len(fl.regs)
+	}
+	if fl.size == len(fl.regs) {
+		// Growing past the initial capacity indicates a double free.
+		panic(fmt.Sprintf("rename: free list overflow freeing p%d", p))
+	}
+	fl.regs[tail] = p
+	fl.size++
+}
+
+// pregState tracks one physical register's lifecycle.
+type pregState struct {
+	// live: the register is the destination of an in-flight instruction
+	// or part of committed architectural state.
+	live bool
+	// holds: reference count of squash-reuse structures (squash log
+	// entries, RI table entries) reserving the register for possible
+	// reuse (§3.3.2).
+	holds int
+}
+
+// Tracker arbitrates physical-register freeing between the conventional
+// rename lifecycle and the squash-reuse holding discipline. A register
+// returns to the free list exactly when it is neither live nor held. The
+// Tracker is the single authority on freeing, which makes double-free and
+// leak bugs structurally impossible to miss: Audit checks the partition
+// invariant.
+type Tracker struct {
+	state []pregState
+	fl    *FreeList
+
+	// OnFree, when set, is invoked each time a register returns to the
+	// free list. The core uses it to drive Register Integration's eager
+	// transitive invalidation; the RGID scheme ignores it.
+	OnFree func(PhysReg)
+}
+
+// NewTracker builds a tracker for n physical registers of which the first
+// nLive are initially live (the initial RAT mappings) and the rest free.
+func NewTracker(n, nLive int) *Tracker {
+	t := &Tracker{state: make([]pregState, n), fl: NewFreeList(PhysReg(nLive), n-nLive)}
+	for i := 0; i < nLive; i++ {
+		t.state[i].live = true
+	}
+	return t
+}
+
+// FreeCount reports how many registers are on the free list.
+func (t *Tracker) FreeCount() int { return t.fl.Len() }
+
+// Alloc draws a fresh register from the free list, marking it live.
+func (t *Tracker) Alloc() (PhysReg, bool) {
+	p, ok := t.fl.Alloc()
+	if !ok {
+		return NoPreg, false
+	}
+	s := &t.state[p]
+	if s.live || s.holds != 0 {
+		panic(fmt.Sprintf("rename: allocated p%d is not idle (live=%v holds=%d)", p, s.live, s.holds))
+	}
+	s.live = true
+	return p, true
+}
+
+// Revive marks a held register live again: a reuse hit re-adopts the
+// squashed instruction's destination register as the destination of the
+// reusing instruction.
+func (t *Tracker) Revive(p PhysReg) {
+	s := &t.state[p]
+	if s.live {
+		panic(fmt.Sprintf("rename: reviving live p%d", p))
+	}
+	if s.holds == 0 {
+		panic(fmt.Sprintf("rename: reviving unheld p%d", p))
+	}
+	s.live = true
+}
+
+// Unlive clears the live bit (instruction squashed, or the previous
+// mapping's register released at commit), freeing the register if no holds
+// remain.
+func (t *Tracker) Unlive(p PhysReg) {
+	s := &t.state[p]
+	if !s.live {
+		panic(fmt.Sprintf("rename: unlive on non-live p%d", p))
+	}
+	s.live = false
+	t.maybeFree(p)
+}
+
+// Hold adds a squash-reuse reservation on p.
+func (t *Tracker) Hold(p PhysReg) { t.state[p].holds++ }
+
+// Release drops one squash-reuse reservation, freeing the register when it
+// is otherwise dead.
+func (t *Tracker) Release(p PhysReg) {
+	s := &t.state[p]
+	if s.holds == 0 {
+		panic(fmt.Sprintf("rename: release on unheld p%d", p))
+	}
+	s.holds--
+	t.maybeFree(p)
+}
+
+// IsLive reports the live bit (used by debug audits).
+func (t *Tracker) IsLive(p PhysReg) bool { return t.state[p].live }
+
+// Holds reports the reservation count (used by debug audits).
+func (t *Tracker) Holds(p PhysReg) int { return t.state[p].holds }
+
+func (t *Tracker) maybeFree(p PhysReg) {
+	s := &t.state[p]
+	if !s.live && s.holds == 0 {
+		t.fl.Free(p)
+		if t.OnFree != nil {
+			t.OnFree(p)
+		}
+	}
+}
+
+// Audit verifies the partition invariant: every register is exactly one of
+// {free, live, held-only}, and the free-list population matches the number
+// of idle registers. It returns an error describing the first violation.
+func (t *Tracker) Audit() error {
+	idle := 0
+	for p := range t.state {
+		s := t.state[p]
+		if !s.live && s.holds == 0 {
+			idle++
+		}
+		if s.holds < 0 {
+			return fmt.Errorf("p%d has negative holds", p)
+		}
+	}
+	if idle != t.fl.Len() {
+		return fmt.Errorf("free list holds %d registers but %d are idle", t.fl.Len(), idle)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mssr/internal/isa"
+)
+
+func TestMatch(t *testing.T) {
+	if !Match(3, 3) {
+		t.Error("equal tags must match")
+	}
+	if Match(3, 4) {
+		t.Error("unequal tags must not match")
+	}
+	if Match(NullRGID, NullRGID) {
+		t.Error("null must never match, even against null")
+	}
+	if Match(NullRGID, 0) || Match(0, NullRGID) {
+		t.Error("null must never match a real tag")
+	}
+}
+
+func TestRATInitialState(t *testing.T) {
+	r := NewRAT()
+	for i := 1; i < isa.NumArchRegs; i++ {
+		m := r.Get(isa.Reg(i))
+		if m.Preg != PhysReg(i) || m.Gen != 0 {
+			t.Errorf("x%d initial mapping = %+v", i, m)
+		}
+	}
+	if z := r.Get(isa.Zero); z.Gen != NullRGID {
+		t.Errorf("zero register generation = %v, want null", z.Gen)
+	}
+}
+
+func TestRATSetReturnsOld(t *testing.T) {
+	r := NewRAT()
+	old := r.Set(isa.A0, Mapping{Preg: 100, Gen: 7})
+	if old.Preg != PhysReg(isa.A0) || old.Gen != 0 {
+		t.Errorf("old mapping = %+v", old)
+	}
+	if got := r.Get(isa.A0); got.Preg != 100 || got.Gen != 7 {
+		t.Errorf("new mapping = %+v", got)
+	}
+}
+
+func TestRATZeroRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set(x0) should panic")
+		}
+	}()
+	NewRAT().Set(isa.Zero, Mapping{Preg: 5})
+}
+
+func TestRATSnapshotRestore(t *testing.T) {
+	r := NewRAT()
+	snap := r.Snapshot()
+	r.Set(isa.A0, Mapping{Preg: 99, Gen: 9})
+	r.Restore(snap)
+	if got := r.Get(isa.A0); got.Preg != PhysReg(isa.A0) || got.Gen != 0 {
+		t.Errorf("restore failed: %+v", got)
+	}
+}
+
+func TestAllocatorSequence(t *testing.T) {
+	a := NewAllocator(6)
+	if g := a.Alloc(isa.A0); g != 1 {
+		t.Errorf("first alloc = %d, want 1 (0 belongs to the initial mapping)", g)
+	}
+	if g := a.Alloc(isa.A0); g != 2 {
+		t.Errorf("second alloc = %d", g)
+	}
+	if g := a.Alloc(isa.A1); g != 1 {
+		t.Errorf("independent register should start at 1, got %d", g)
+	}
+}
+
+func TestAllocatorOverflowSaturates(t *testing.T) {
+	a := NewAllocator(4) // max = 14, assignable 1..13 after the initial 0
+	seen := map[RGID]bool{}
+	for i := 0; i < 13; i++ { // 1..13
+		g := a.Alloc(isa.A0)
+		if g == NullRGID || g >= 14 {
+			t.Fatalf("allocated invalid tag %d", g)
+		}
+		if seen[g] {
+			t.Fatalf("tag %d reissued before reset", g)
+		}
+		seen[g] = true
+	}
+	if a.Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1 (counter saturated issuing 13)", a.Overflows)
+	}
+	// Saturated: only null tags until reset — generations never alias.
+	for i := 0; i < 3; i++ {
+		if g := a.Alloc(isa.A0); g != NullRGID {
+			t.Fatalf("post-saturation alloc = %d, want null", g)
+		}
+	}
+	if a.Overflows != 1 {
+		t.Errorf("overflow must be counted once per register, got %d", a.Overflows)
+	}
+	// Other registers are unaffected.
+	if g := a.Alloc(isa.A1); g != 1 {
+		t.Errorf("independent register alloc = %d", g)
+	}
+	a.Reset()
+	if a.Overflows != 0 {
+		t.Error("reset must clear overflow count")
+	}
+	if g := a.Alloc(isa.A0); g != 1 {
+		t.Errorf("post-reset alloc = %d, want 1", g)
+	}
+}
+
+func TestAllocatorWidthBounds(t *testing.T) {
+	for _, w := range []int{1, 17, 0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", w)
+				}
+			}()
+			NewAllocator(w)
+		}()
+	}
+}
+
+func TestFreeListFIFO(t *testing.T) {
+	fl := NewFreeList(32, 4)
+	var got []PhysReg
+	for {
+		p, ok := fl.Alloc()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	want := []PhysReg{32, 33, 34, 35}
+	if len(got) != len(want) {
+		t.Fatalf("allocated %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocated %v, want %v", got, want)
+		}
+	}
+	fl.Free(40)
+	fl.Free(41)
+	if p, _ := fl.Alloc(); p != 40 {
+		t.Errorf("FIFO order violated: got p%d", p)
+	}
+	if fl.Len() != 1 {
+		t.Errorf("Len = %d", fl.Len())
+	}
+}
+
+func TestFreeListOverflowPanics(t *testing.T) {
+	fl := NewFreeList(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("overfreeing should panic")
+		}
+	}()
+	fl.Free(9)
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker(8, 4) // p0..p3 live, p4..p7 free
+	if tr.FreeCount() != 4 {
+		t.Fatalf("FreeCount = %d", tr.FreeCount())
+	}
+	p, ok := tr.Alloc()
+	if !ok || p != 4 {
+		t.Fatalf("Alloc = p%d, %v", p, ok)
+	}
+	if !tr.IsLive(p) {
+		t.Error("allocated register must be live")
+	}
+	// Squash: hold then unlive — register must NOT return to the free list.
+	tr.Hold(p)
+	tr.Unlive(p)
+	if tr.FreeCount() != 3 {
+		t.Errorf("held register returned to free list early")
+	}
+	// Reuse: revive, then the log entry releases its hold.
+	tr.Revive(p)
+	tr.Release(p)
+	if tr.FreeCount() != 3 {
+		t.Errorf("live register freed by release")
+	}
+	// Commit of a younger same-areg instruction unmaps it.
+	tr.Unlive(p)
+	if tr.FreeCount() != 4 {
+		t.Errorf("register not freed when dead: FreeCount = %d", tr.FreeCount())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}
+
+func TestTrackerMultipleHolds(t *testing.T) {
+	tr := NewTracker(8, 4)
+	p, _ := tr.Alloc()
+	tr.Hold(p)
+	tr.Hold(p) // same register captured in two squash-log streams
+	tr.Unlive(p)
+	tr.Release(p)
+	if tr.FreeCount() != 3 {
+		t.Error("register freed while still held once")
+	}
+	tr.Release(p)
+	if tr.FreeCount() != 4 {
+		t.Error("register not freed after final release")
+	}
+}
+
+func TestTrackerPanics(t *testing.T) {
+	cases := []func(*Tracker){
+		func(tr *Tracker) { tr.Unlive(7) },                                   // not live
+		func(tr *Tracker) { tr.Release(7) },                                  // not held
+		func(tr *Tracker) { tr.Revive(0) },                                   // live
+		func(tr *Tracker) { p, _ := tr.Alloc(); tr.Unlive(p); tr.Revive(p) }, // unheld revive
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f(NewTracker(8, 4))
+		}()
+	}
+}
+
+func TestTrackerExhaustion(t *testing.T) {
+	tr := NewTracker(6, 4)
+	if _, ok := tr.Alloc(); !ok {
+		t.Fatal("first alloc should succeed")
+	}
+	if _, ok := tr.Alloc(); !ok {
+		t.Fatal("second alloc should succeed")
+	}
+	if _, ok := tr.Alloc(); ok {
+		t.Fatal("third alloc should fail")
+	}
+}
+
+// Property: any interleaving of alloc/hold/unlive/release operations keeps
+// the tracker's partition invariant.
+func TestTrackerAuditProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTracker(16, 4)
+		var allocated []PhysReg // live, not held
+		var held []PhysReg      // held (may or may not be live)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if p, ok := tr.Alloc(); ok {
+					allocated = append(allocated, p)
+				}
+			case 1: // squash newest allocated: hold + unlive
+				if n := len(allocated); n > 0 {
+					p := allocated[n-1]
+					allocated = allocated[:n-1]
+					tr.Hold(p)
+					tr.Unlive(p)
+					held = append(held, p)
+				}
+			case 2: // release oldest held
+				if len(held) > 0 {
+					tr.Release(held[0])
+					held = held[1:]
+				}
+			case 3: // retire newest allocated (unlive straight to free)
+				if n := len(allocated); n > 0 {
+					tr.Unlive(allocated[n-1])
+					allocated = allocated[:n-1]
+				}
+			}
+			if err := tr.Audit(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

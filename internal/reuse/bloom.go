@@ -1,0 +1,45 @@
+package reuse
+
+// bloomFilter is a small Bloom filter over memory addresses, used by the
+// LoadBloom policy to track store (and, in a multicore system, snoop)
+// addresses between a squash and the reuse test (§3.8.3). Two hash
+// functions over the cache-line-granular address index a fixed bit array.
+type bloomFilter struct {
+	bits []uint64
+	mask uint64
+}
+
+// newBloomFilter builds a filter with 2^logBits bits.
+func newBloomFilter(logBits int) *bloomFilter {
+	n := 1 << logBits
+	return &bloomFilter{bits: make([]uint64, n/64), mask: uint64(n - 1)}
+}
+
+func (b *bloomFilter) hashes(addr uint64) (uint64, uint64) {
+	a := addr >> 3 // word granularity, matching the ISA's access size
+	h1 := (a * 0x9e3779b97f4a7c15) >> 32 & b.mask
+	h2 := (a*0xc2b2ae3d27d4eb4f ^ a>>17) & b.mask
+	return h1, h2
+}
+
+// Insert records addr.
+func (b *bloomFilter) Insert(addr uint64) {
+	h1, h2 := b.hashes(addr)
+	b.bits[h1/64] |= 1 << (h1 % 64)
+	b.bits[h2/64] |= 1 << (h2 % 64)
+}
+
+// MayContain reports whether addr may have been inserted (false positives
+// possible, false negatives not).
+func (b *bloomFilter) MayContain(addr uint64) bool {
+	h1, h2 := b.hashes(addr)
+	return b.bits[h1/64]&(1<<(h1%64)) != 0 && b.bits[h2/64]&(1<<(h2%64)) != 0
+}
+
+// Reset clears the filter (performed together with squash-log
+// invalidation, §3.8.3).
+func (b *bloomFilter) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}

@@ -1,0 +1,328 @@
+package reuse
+
+import (
+	"fmt"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// DIRScheme selects the Dynamic Instruction Reuse test (Sodani & Sohi,
+// ISCA 1997), as characterized by the paper's §3.7.1.
+type DIRScheme int
+
+// DIR schemes.
+const (
+	// DIRValue (scheme Sv) stores operand values with each Reuse Buffer
+	// entry; an instruction whose current operand values match reuses the
+	// stored result. The test can only fire when the operands are already
+	// available at rename — the scheme's well-known limitation.
+	DIRValue DIRScheme = iota
+	// DIRName (scheme Sn) stores architectural source register names; an
+	// entry stays reusable until any of its source registers is
+	// overwritten (write-after-write false dependencies invalidate
+	// eagerly, the limitation §3.7.1 highlights).
+	DIRName
+)
+
+func (s DIRScheme) String() string {
+	if s == DIRValue {
+		return "value"
+	}
+	return "name"
+}
+
+// DIRConfig parameterizes the Reuse Buffer.
+type DIRConfig struct {
+	Sets   int
+	Ways   int
+	Scheme DIRScheme
+	// LoadPolicy matches the other engines' reused-load protection.
+	LoadPolicy   LoadPolicy
+	BloomLogBits int
+}
+
+// DefaultDIRConfig returns a 64-set 4-way value-scheme buffer.
+func DefaultDIRConfig() DIRConfig {
+	return DIRConfig{Sets: 64, Ways: 4, Scheme: DIRValue, LoadPolicy: LoadVerify, BloomLogBits: 10}
+}
+
+type dirEntry struct {
+	valid   bool
+	pc      uint64
+	nsrc    int
+	srcVals [2]uint64  // DIRValue
+	srcRegs [2]isa.Reg // DIRName
+	result  uint64
+	isLoad  bool
+	memAddr uint64
+	lru     uint8
+}
+
+// DIR is the Dynamic Instruction Reuse baseline: squashed results are
+// saved by value in a PC-indexed Reuse Buffer and reused when the test of
+// the configured scheme passes. Unlike Register Integration and the RGID
+// engine, DIR stores result *values*, so it holds no physical registers;
+// grants are ByValue and the core writes the value into a fresh register.
+//
+// The paper's §3.7.1 critique is directly observable here: the buffer
+// cannot distinguish temporal references (one entry per PC set/way, so a
+// second dynamic instance of the same instruction overwrites the first),
+// and the name scheme invalidates on every architectural overwrite of a
+// source register.
+type DIR struct {
+	cfg  DIRConfig
+	k    Kernel
+	st   *stats.Stats
+	sets [][]dirEntry
+
+	bloom *bloomFilter
+}
+
+// NewDIR builds the engine. st may be nil.
+func NewDIR(cfg DIRConfig, k Kernel, st *stats.Stats) *DIR {
+	if cfg.Sets < 1 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways < 1 {
+		panic(fmt.Sprintf("reuse: invalid DIRConfig %+v", cfg))
+	}
+	d := &DIR{cfg: cfg, k: k, st: statsOf(st)}
+	d.sets = make([][]dirEntry, cfg.Sets)
+	for i := range d.sets {
+		d.sets[i] = make([]dirEntry, cfg.Ways)
+	}
+	if cfg.LoadPolicy == LoadBloom {
+		d.bloom = newBloomFilter(cfg.BloomLogBits)
+	}
+	return d
+}
+
+// Name implements Engine.
+func (d *DIR) Name() string {
+	return fmt.Sprintf("dir-%s-%ds%dw", d.cfg.Scheme, d.cfg.Sets, d.cfg.Ways)
+}
+
+func (d *DIR) setIndex(pc uint64) int { return int((pc >> 2) & uint64(d.cfg.Sets-1)) }
+
+// BeginStream implements Engine. The name scheme's validity argument
+// ("no overwrite since insertion" implies "same value") only holds while
+// no rollback intervenes: a flush can revert a source register to an
+// older mapping without any rename the scheme could observe. Name-scheme
+// entries therefore live only within one inter-flush window.
+func (d *DIR) BeginStream(uint64) {
+	if d.cfg.Scheme == DIRName {
+		d.invalidateEntries()
+	}
+}
+
+func (d *DIR) invalidateEntries() {
+	for set := range d.sets {
+		for w := range d.sets[set] {
+			d.sets[set][w].valid = false
+		}
+	}
+}
+
+// Capture implements Engine: insert executed, reusable squashed results
+// into the Reuse Buffer by value.
+func (d *DIR) Capture(si SquashedInstr) {
+	if !si.Executed || !Reusable(si.Instr) {
+		return
+	}
+	nsrc := si.Instr.NumSources()
+	e := dirEntry{
+		valid:   true,
+		pc:      si.PC,
+		nsrc:    nsrc,
+		result:  si.Result,
+		isLoad:  si.Instr.IsLoad(),
+		memAddr: si.MemAddr,
+	}
+	for i := 0; i < nsrc; i++ {
+		e.srcRegs[i] = si.Instr.Src(i)
+		if d.cfg.Scheme == DIRName && !si.SrcSurvives[i] {
+			// The source mapping dies with the rollback: the register's
+			// architectural value changes without an overwrite the name
+			// scheme could observe. Unsafe to insert.
+			return
+		}
+		if v, ok := d.k.PregValue(si.SrcPregs[i]); ok {
+			e.srcVals[i] = v
+		} else {
+			// Source value no longer recoverable; skip the insertion.
+			return
+		}
+	}
+	set := d.setIndex(si.PC)
+	ways := d.sets[set]
+	victim := -1
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		// Temporal-reference collision (§3.7.1): a same-PC entry is
+		// simply overwritten — only one execution context survives.
+		if ways[w].pc == si.PC {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := range ways {
+			if ways[w].lru < ways[victim].lru {
+				victim = w
+			}
+		}
+		if d.st.RIReplacements != nil {
+			// Reuse the RI replacement counter array when sized; DIR and
+			// RI never run together.
+			d.st.RIReplacements[set%len(d.st.RIReplacements)]++
+		}
+	}
+	ways[victim] = e
+	d.touch(set, victim)
+}
+
+// EndStream implements Engine.
+func (d *DIR) EndStream() {}
+
+func (d *DIR) touch(set, way int) {
+	ways := d.sets[set]
+	old := ways[way].lru
+	for i := range ways {
+		if ways[i].lru > old {
+			ways[i].lru--
+		}
+	}
+	ways[way].lru = uint8(d.cfg.Ways - 1)
+}
+
+// ObserveBlock implements Engine; DIR has no fetch-side component.
+func (d *DIR) ObserveBlock(uint64, uint64, uint64, int, uint64) {}
+
+// TryReuse implements Engine. Under the name scheme, every renamed
+// instruction also invalidates entries whose sources it overwrites.
+func (d *DIR) TryReuse(req Request) (Grant, bool) {
+	if d.cfg.Scheme == DIRName && req.Instr.HasDest() {
+		d.invalidateName(req.Instr.Rd)
+	}
+	if !Reusable(req.Instr) {
+		return Grant{}, false
+	}
+	set := d.setIndex(req.PC)
+	ways := d.sets[set]
+	for w := range ways {
+		e := &ways[w]
+		if !e.valid || e.pc != req.PC || e.nsrc != req.Instr.NumSources() {
+			continue
+		}
+		match := true
+		for i := 0; i < e.nsrc; i++ {
+			switch d.cfg.Scheme {
+			case DIRValue:
+				v, ready := d.k.PregValue(req.SrcPregs[i])
+				if !ready || v != e.srcVals[i] {
+					match = false
+				}
+			case DIRName:
+				if req.Instr.Src(i) != e.srcRegs[i] {
+					match = false
+				}
+			}
+			if !match {
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		d.st.ReuseTests++
+		if e.isLoad {
+			switch d.cfg.LoadPolicy {
+			case LoadNoReuse:
+				d.st.ReuseFailKind++
+				e.valid = false
+				return Grant{}, false
+			case LoadBloom:
+				if d.bloom.MayContain(e.memAddr) {
+					d.st.BloomFilterRejects++
+					e.valid = false
+					return Grant{}, false
+				}
+			}
+		}
+		g := Grant{ByValue: true, Value: e.result, DestGen: rename.NullRGID, IsLoad: e.isLoad, MemAddr: e.memAddr}
+		e.valid = false // consumed; the buffer stores one context per entry
+		d.st.ReuseHits++
+		if e.isLoad {
+			d.st.ReusedLoads++
+		}
+		return g, true
+	}
+	return Grant{}, false
+}
+
+// invalidateName drops entries whose sources read rd (the name scheme's
+// eager invalidation on architectural overwrite).
+func (d *DIR) invalidateName(rd isa.Reg) {
+	for set := range d.sets {
+		for w := range d.sets[set] {
+			e := &d.sets[set][w]
+			if !e.valid {
+				continue
+			}
+			for i := 0; i < e.nsrc; i++ {
+				if e.srcRegs[i] == rd {
+					e.valid = false
+					d.st.RIInvalidates++
+					break
+				}
+			}
+		}
+	}
+}
+
+// AbortWalk implements Engine; DIR has no walk state, but the name scheme
+// must drop its entries on any flush (see BeginStream).
+func (d *DIR) AbortWalk() {
+	if d.cfg.Scheme == DIRName {
+		d.invalidateEntries()
+	}
+}
+
+// NoteStore implements Engine (LoadBloom policy).
+func (d *DIR) NoteStore(addr uint64) {
+	if d.bloom != nil {
+		d.bloom.Insert(addr)
+	}
+}
+
+// OnPregFreed implements Engine. DIR stores values, not register names,
+// so register recycling cannot stale its entries (the value scheme) —
+// and the name scheme's invalidation is architectural, handled in
+// TryReuse.
+func (d *DIR) OnPregFreed(rename.PhysReg) {}
+
+// Reclaim implements Engine; DIR holds no registers.
+func (d *DIR) Reclaim() bool { return false }
+
+// InvalidateAll implements Engine.
+func (d *DIR) InvalidateAll() {
+	d.invalidateEntries()
+	if d.bloom != nil {
+		d.bloom.Reset()
+	}
+}
+
+// Occupied implements Engine.
+func (d *DIR) Occupied() bool {
+	for set := range d.sets {
+		for w := range d.sets[set] {
+			if d.sets[set][w].valid {
+				return true
+			}
+		}
+	}
+	return false
+}

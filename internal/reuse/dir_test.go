@@ -1,0 +1,247 @@
+package reuse
+
+import (
+	"testing"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// dirInstr builds an executed squashed ADD with source pregs s1/s2 and
+// result res; both sources survive the rollback by default.
+func dirInstr(pc uint64, s1, s2 rename.PhysReg, res uint64) SquashedInstr {
+	return SquashedInstr{
+		PC:          pc,
+		Instr:       isa.Instruction{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2},
+		Executed:    true,
+		DestPreg:    200,
+		SrcPregs:    [2]rename.PhysReg{s1, s2},
+		Result:      res,
+		SrcSurvives: [2]bool{true, true},
+	}
+}
+
+func dirEngine(st *stats.Stats, k Kernel, scheme DIRScheme) *DIR {
+	cfg := DefaultDIRConfig()
+	cfg.Scheme = scheme
+	return NewDIR(cfg, k, st)
+}
+
+func TestDIRValueBasicReuse(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	d := dirEngine(st, k, DIRValue)
+	k.values[10], k.values[11] = 7, 9
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	// Current sources in different pregs but with the SAME VALUES: the
+	// value scheme reuses across renaming, unlike RI.
+	k.values[20], k.values[21] = 7, 9
+	g, ok := d.TryReuse(Request{
+		PC:       0x1000,
+		Instr:    isa.Instruction{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2},
+		SrcPregs: [2]rename.PhysReg{20, 21},
+	})
+	if !ok || !g.ByValue || g.Value != 16 {
+		t.Fatalf("grant = %+v, %v", g, ok)
+	}
+	if st.ReuseHits != 1 {
+		t.Errorf("hits = %d", st.ReuseHits)
+	}
+	// Entry consumed.
+	if _, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}}); ok {
+		t.Error("entry must be consumed")
+	}
+	// DIR never holds registers.
+	if k.totalHolds() != 0 {
+		t.Error("DIR must not hold registers")
+	}
+}
+
+func TestDIRValueMismatchAndUnready(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRValue)
+	k.values[10], k.values[11] = 7, 9
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	// Different operand value: no reuse.
+	k.values[20], k.values[21] = 7, 10
+	if _, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}}); ok {
+		t.Error("different operand values must not reuse")
+	}
+	// Operand not ready at rename: the value test cannot fire.
+	k.values[21] = 9
+	k.notReady[21] = true
+	if _, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}}); ok {
+		t.Error("unready operand must not reuse")
+	}
+}
+
+func TestDIRValueTemporalCollision(t *testing.T) {
+	// Two dynamic instances of the same PC: the second overwrites the
+	// first (the §3.7.1 temporal-reference limitation).
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRValue)
+	k.values[10], k.values[11] = 1, 2
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 3))
+	si := dirInstr(0x1000, 10, 11, 30)
+	k.values[10], k.values[11] = 10, 20
+	d.Capture(si)
+	d.EndStream()
+	// Only the second context survives.
+	k.values[20], k.values[21] = 1, 2
+	if _, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}}); ok {
+		t.Error("first context should have been overwritten")
+	}
+	k.values[20], k.values[21] = 10, 20
+	g, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}})
+	if !ok || g.Value != 30 {
+		t.Fatalf("second context grant = %+v, %v", g, ok)
+	}
+}
+
+func TestDIRNameReuseAndInvalidation(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	d := dirEngine(st, k, DIRName)
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	// Matching architectural names: reuse.
+	g, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}})
+	if !ok || g.Value != 16 {
+		t.Fatalf("grant = %+v, %v", g, ok)
+	}
+	// Re-insert, then overwrite a source register name: invalidated.
+	d.BeginStream(2)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	writer := Request{PC: 0x2000, Instr: isa.Instruction{Op: isa.ADDI, Rd: isa.A1, Rs1: isa.A3, Imm: 1}}
+	if _, ok := d.TryReuse(writer); ok {
+		t.Fatal("writer itself should not reuse")
+	}
+	if _, ok := d.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{20, 21}}); ok {
+		t.Error("overwritten source name must invalidate the entry")
+	}
+}
+
+func TestDIRNameFlushDropsEntries(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRName)
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	if !d.Occupied() {
+		t.Fatal("entry should be present")
+	}
+	// A later flush (new stream) must drop name-scheme entries: a
+	// rollback can change source values without an observable rename.
+	d.BeginStream(2)
+	d.EndStream()
+	if d.Occupied() {
+		t.Error("name-scheme entries must not survive a flush")
+	}
+}
+
+func TestDIRNameRollbackUnsafeSourceNotInserted(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRName)
+	si := dirInstr(0x1000, 10, 11, 16)
+	si.SrcSurvives = [2]bool{true, false} // source 1 dies with the rollback
+	d.BeginStream(1)
+	d.Capture(si)
+	d.EndStream()
+	if d.Occupied() {
+		t.Error("entry with rollback-dying source must not be inserted")
+	}
+}
+
+func TestDIRValueSurvivesFlush(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRValue)
+	k.values[10], k.values[11] = 7, 9
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	d.BeginStream(2) // another flush
+	d.EndStream()
+	if !d.Occupied() {
+		t.Error("value-scheme entries are rollback-safe and should survive")
+	}
+}
+
+func TestDIRLoadPolicies(t *testing.T) {
+	ld := SquashedInstr{
+		PC:          0x1000,
+		Instr:       isa.Instruction{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1},
+		Executed:    true,
+		SrcPregs:    [2]rename.PhysReg{10, 0},
+		Result:      42,
+		MemAddr:     0x8000,
+		SrcSurvives: [2]bool{true, true},
+	}
+	req := Request{PC: 0x1000, Instr: ld.Instr, SrcPregs: [2]rename.PhysReg{20, 0}}
+
+	k := newFakeKernel()
+	cfg := DefaultDIRConfig()
+	cfg.LoadPolicy = LoadBloom
+	d := NewDIR(cfg, k, nil)
+	d.BeginStream(1)
+	d.Capture(ld)
+	d.EndStream()
+	d.NoteStore(0x8000)
+	if _, ok := d.TryReuse(req); ok {
+		t.Error("Bloom-hit load must not reuse")
+	}
+
+	k = newFakeKernel()
+	cfg.LoadPolicy = LoadVerify
+	d = NewDIR(cfg, k, nil)
+	d.BeginStream(1)
+	d.Capture(ld)
+	d.EndStream()
+	g, ok := d.TryReuse(req)
+	if !ok || !g.IsLoad || g.MemAddr != 0x8000 || g.Value != 42 {
+		t.Fatalf("verify-policy load grant = %+v, %v", g, ok)
+	}
+}
+
+func TestDIRStoresAndControlNotInserted(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRValue)
+	d.BeginStream(1)
+	d.Capture(SquashedInstr{PC: 0x1000, Instr: isa.Instruction{Op: isa.ST, Rs1: 1, Rs2: 2}, Executed: true})
+	d.Capture(SquashedInstr{PC: 0x1004, Instr: isa.Instruction{Op: isa.BEQ}, Executed: true})
+	d.EndStream()
+	if d.Occupied() {
+		t.Error("stores and control flow must not enter the reuse buffer")
+	}
+}
+
+func TestDIRInvalidateAllAndReclaim(t *testing.T) {
+	k := newFakeKernel()
+	d := dirEngine(nil, k, DIRValue)
+	d.BeginStream(1)
+	d.Capture(dirInstr(0x1000, 10, 11, 16))
+	d.EndStream()
+	if d.Reclaim() {
+		t.Error("DIR holds nothing to reclaim")
+	}
+	d.InvalidateAll()
+	if d.Occupied() {
+		t.Error("InvalidateAll must clear the buffer")
+	}
+}
+
+func TestDIRBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid geometry accepted")
+		}
+	}()
+	NewDIR(DIRConfig{Sets: 5, Ways: 1}, newFakeKernel(), nil)
+}

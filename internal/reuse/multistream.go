@@ -1,0 +1,488 @@
+package reuse
+
+import (
+	"fmt"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// MultiStreamConfig parameterizes the paper's mechanism. The paper's
+// typical configuration (§3.6) is 4 streams, 16 WPB block entries and 64
+// squash-log entries per stream.
+type MultiStreamConfig struct {
+	// Streams is N, the number of squashed streams tracked simultaneously.
+	Streams int
+	// WPBEntries is M, fetch-block entries per Wrong-Path Buffer stream.
+	WPBEntries int
+	// LogEntries is P, instruction entries per Squash Log stream.
+	LogEntries int
+	// TimeoutInstrs invalidates a stream after this many fetched
+	// instructions without reconvergence (the paper uses 1024).
+	TimeoutInstrs int
+	// VPNRestrict confines each stream to a single virtual page so
+	// reconvergence detection compares only PC[11:1] plus one VPN
+	// register per stream (§3.4).
+	VPNRestrict bool
+	// LoadPolicy selects the reused-load protection mechanism.
+	LoadPolicy LoadPolicy
+	// BloomLogBits sizes the LoadBloom filter (2^n bits).
+	BloomLogBits int
+}
+
+// DefaultMultiStreamConfig returns the paper's typical configuration.
+func DefaultMultiStreamConfig() MultiStreamConfig {
+	return MultiStreamConfig{
+		Streams:       4,
+		WPBEntries:    16,
+		LogEntries:    64,
+		TimeoutInstrs: 1024,
+		VPNRestrict:   true,
+		LoadPolicy:    LoadVerify,
+		BloomLogBits:  10,
+	}
+}
+
+// wpbEntry is one Wrong-Path Buffer entry: a contiguous fetch-block range
+// (start/end inclusive).
+type wpbEntry struct {
+	start, end uint64
+	count      int
+}
+
+type logEntry struct {
+	SquashedInstr
+	held bool
+}
+
+// msStream is one squashed stream: a WPB (block ranges, used by fetch-side
+// reconvergence detection) and its mirrored Squash Log (instruction-grain
+// rename metadata, used by the rename-side reuse test).
+type msStream struct {
+	valid     bool
+	branchSeq uint64 // the mispredicted branch that created the stream
+	eventIdx  uint64 // global squash-event number at creation
+	vpn       uint64
+	age       int // fetched instructions since creation
+	wpb       []wpbEntry
+	log       []logEntry
+}
+
+// MultiStream is the paper's Multi-Stream Squash Reuse engine.
+type MultiStream struct {
+	cfg MultiStreamConfig
+	k   Kernel
+	st  *stats.Stats
+
+	streams  []msStream
+	writePtr int
+	events   uint64
+
+	// capture state (between BeginStream and EndStream)
+	capturing bool
+	capIdx    int
+	capFull   bool
+
+	// armed state: a reconvergence point detected in fetch, waiting for
+	// the instruction to arrive at rename.
+	armed       bool
+	armedStream int
+	armedPC     uint64
+	armedOffset int
+	armedFseq   uint64
+
+	// walk state: the Squash Log is being compared in lockstep with the
+	// incoming rename stream.
+	walking    bool
+	walkStream int
+	walkIdx    int
+
+	bloom *bloomFilter
+}
+
+// NewMultiStream builds the engine. st may be nil.
+func NewMultiStream(cfg MultiStreamConfig, k Kernel, st *stats.Stats) *MultiStream {
+	if cfg.Streams < 1 || cfg.WPBEntries < 1 || cfg.LogEntries < 1 {
+		panic(fmt.Sprintf("reuse: invalid MultiStreamConfig %+v", cfg))
+	}
+	m := &MultiStream{
+		cfg:     cfg,
+		k:       k,
+		st:      statsOf(st),
+		streams: make([]msStream, cfg.Streams),
+	}
+	if cfg.LoadPolicy == LoadBloom {
+		m.bloom = newBloomFilter(cfg.BloomLogBits)
+	}
+	return m
+}
+
+// Name implements Engine.
+func (m *MultiStream) Name() string {
+	return fmt.Sprintf("rgid-%dx%d", m.cfg.Streams, m.cfg.LogEntries)
+}
+
+// BeginStream implements Engine: it opens capture of a new squashed
+// stream, replacing the round-robin victim.
+func (m *MultiStream) BeginStream(branchSeq uint64) {
+	m.AbortWalk()
+	idx := m.writePtr
+	m.writePtr = (m.writePtr + 1) % m.cfg.Streams
+	m.invalidateStream(idx)
+	m.events++
+	m.streams[idx] = msStream{
+		valid:     true,
+		branchSeq: branchSeq,
+		eventIdx:  m.events,
+	}
+	m.capturing = true
+	m.capIdx = idx
+	m.capFull = false
+}
+
+// Capture implements Engine. Instructions arrive in program order starting
+// just after the mispredicted branch; capture stops silently once either
+// the WPB or the Squash Log stream is full (younger squashed instructions
+// are discarded, §3.3.2) or the VPN restriction is violated.
+func (m *MultiStream) Capture(si SquashedInstr) {
+	if !m.capturing || m.capFull {
+		return
+	}
+	s := &m.streams[m.capIdx]
+	if len(s.log) >= m.cfg.LogEntries {
+		m.capFull = true
+		return
+	}
+	// Extend or open a WPB block entry.
+	if n := len(s.wpb); n > 0 && s.wpb[n-1].end+isa.InstrBytes == si.PC && s.wpb[n-1].count < isa.FetchBlockInstrs {
+		s.wpb[n-1].end = si.PC
+		s.wpb[n-1].count++
+	} else {
+		if len(s.wpb) == 0 {
+			s.vpn = isa.PageNumber(si.PC)
+		}
+		if m.cfg.VPNRestrict && isa.PageNumber(si.PC) != s.vpn {
+			m.capFull = true
+			return
+		}
+		if len(s.wpb) >= m.cfg.WPBEntries {
+			m.capFull = true
+			return
+		}
+		s.wpb = append(s.wpb, wpbEntry{start: si.PC, end: si.PC, count: 1})
+	}
+	e := logEntry{SquashedInstr: si}
+	if si.Executed && si.DestPreg != rename.NoPreg && Reusable(si.Instr) {
+		m.k.HoldPreg(si.DestPreg)
+		e.held = true
+	}
+	s.log = append(s.log, e)
+}
+
+// EndStream implements Engine.
+func (m *MultiStream) EndStream() {
+	if !m.capturing {
+		return
+	}
+	m.capturing = false
+	s := &m.streams[m.capIdx]
+	if len(s.log) == 0 {
+		s.valid = false
+		return
+	}
+	m.st.SquashedStreams++
+}
+
+// ObserveBlock implements Engine: fetch-side reconvergence detection. The
+// block [startPC, endPC] was just fetched, its first instruction carries
+// fetch sequence firstFseq, it contains nInstrs instructions, and the most
+// recent pipeline redirect was caused by the branch with dynamic sequence
+// redirectSeq.
+//
+// Detection performs the paper's range-overlap test
+// (start_head <= end_wpb && end_head >= start_wpb) against every entry of
+// every valid stream, preferring the most recently updated stream and the
+// entry closest to the mispredicted branch (§3.3.1, §3.4).
+func (m *MultiStream) ObserveBlock(startPC, endPC uint64, firstFseq uint64, nInstrs int, redirectSeq uint64) {
+	// Age streams and apply the no-reconvergence timeout.
+	for i := range m.streams {
+		s := &m.streams[i]
+		if !s.valid {
+			continue
+		}
+		s.age += nInstrs
+		if s.age > m.cfg.TimeoutInstrs && !m.streamBusy(i) {
+			m.invalidateStream(i)
+			m.st.StreamTimeouts++
+		}
+	}
+	if m.armed || m.walking {
+		return
+	}
+	// Most recently updated stream first.
+	order := m.streamsByRecency()
+	for _, i := range order {
+		s := &m.streams[i]
+		if m.cfg.VPNRestrict && isa.PageNumber(startPC) != s.vpn {
+			continue
+		}
+		cum := 0
+		for _, e := range s.wpb {
+			if startPC <= e.end && endPC >= e.start {
+				reconvPC := startPC
+				if e.start > reconvPC {
+					reconvPC = e.start
+				}
+				m.armed = true
+				m.armedStream = i
+				m.armedPC = reconvPC
+				m.armedOffset = cum + int((reconvPC-e.start)/isa.InstrBytes)
+				m.armedFseq = firstFseq + (reconvPC-startPC)/isa.InstrBytes
+				m.classifyReconv(s, redirectSeq)
+				return
+			}
+			cum += e.count
+		}
+	}
+}
+
+// streamsByRecency returns valid stream indices, most recent first.
+func (m *MultiStream) streamsByRecency() []int {
+	order := make([]int, 0, len(m.streams))
+	for i := range m.streams {
+		if m.streams[i].valid {
+			order = append(order, i)
+		}
+	}
+	// Insertion sort by descending eventIdx (N <= 8 in practice).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && m.streams[order[j]].eventIdx > m.streams[order[j-1]].eventIdx; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+func (m *MultiStream) classifyReconv(s *msStream, redirectSeq uint64) {
+	distance := int(m.events - s.eventIdx) // 0 == neighbouring stream
+	var kind stats.ReconvType
+	switch {
+	case s.branchSeq == redirectSeq:
+		kind = stats.ReconvSimple
+	case s.branchSeq < redirectSeq:
+		kind = stats.ReconvSoftware
+	default:
+		kind = stats.ReconvHardware
+	}
+	m.st.AddReconv(kind, distance)
+}
+
+func (m *MultiStream) streamBusy(i int) bool {
+	return (m.armed && m.armedStream == i) || (m.walking && m.walkStream == i)
+}
+
+// TryReuse implements Engine: the rename-side lockstep walk and RGID reuse
+// test (§3.5).
+func (m *MultiStream) TryReuse(req Request) (Grant, bool) {
+	if m.armed && req.Seq >= m.armedFseq {
+		if req.Seq == m.armedFseq && req.PC == m.armedPC {
+			m.walking = true
+			m.walkStream = m.armedStream
+			m.walkIdx = m.armedOffset
+		}
+		// Either way the armed event has been consumed or skipped past.
+		m.armed = false
+	}
+	if !m.walking {
+		return Grant{}, false
+	}
+	s := &m.streams[m.walkStream]
+	if m.walkIdx >= len(s.log) {
+		m.endWalk(false)
+		return Grant{}, false
+	}
+	e := &s.log[m.walkIdx]
+	if e.PC != req.PC {
+		// The corrected path diverged from the squashed stream: the IFU's
+		// termination signal stops the reuse test. The stream itself
+		// remains valid — the paper's IFU resumes monitoring once no
+		// reconvergence point is identified, and multiple reconvergence
+		// points may be detected within the same WPB (§3.3.1); unconsumed
+		// registers are reclaimed when the stream dies (timeout,
+		// replacement, pressure or exhaustion).
+		m.st.Divergences++
+		m.endWalk(true)
+		return Grant{}, false
+	}
+	m.walkIdx++
+	exhausted := m.walkIdx >= len(s.log)
+	grant, ok := m.testEntry(req, e)
+	if exhausted {
+		m.endWalk(false)
+	}
+	return grant, ok
+}
+
+// testEntry applies the eligibility and RGID tests to one lockstep pair.
+func (m *MultiStream) testEntry(req Request, e *logEntry) (Grant, bool) {
+	if !Reusable(e.Instr) {
+		return Grant{}, false
+	}
+	if !e.Executed {
+		m.st.ReuseFailNotDone++
+		return Grant{}, false
+	}
+	if !e.held {
+		// Already consumed or released (should not happen for a valid
+		// walk, but a reclaimed stream may race with the walk ending).
+		return Grant{}, false
+	}
+	m.st.ReuseTests++
+	if e.Instr.IsLoad() {
+		switch m.cfg.LoadPolicy {
+		case LoadNoReuse:
+			m.st.ReuseFailKind++
+			m.releaseEntry(e)
+			return Grant{}, false
+		case LoadBloom:
+			if m.bloom.MayContain(e.MemAddr) {
+				m.st.BloomFilterRejects++
+				m.releaseEntry(e)
+				return Grant{}, false
+			}
+		}
+	}
+	// The RGID reuse test: every source generation of the incoming
+	// instruction must match its squashed counterpart's (§3.1, §3.5).
+	for i := 0; i < req.Instr.NumSources(); i++ {
+		if !rename.Match(req.SrcGens[i], e.SrcGens[i]) {
+			m.st.ReuseFailRGID++
+			m.releaseEntry(e)
+			return Grant{}, false
+		}
+	}
+	// A register that is live again already belongs to another in-flight
+	// instruction; its content is the same but it cannot have two owners.
+	if m.k.PregLive(e.DestPreg) {
+		m.st.ReuseFailKind++
+		m.releaseEntry(e)
+		return Grant{}, false
+	}
+	// Grant: ownership of the held register transfers to the core (which
+	// revives it and drops this entry's reservation).
+	e.held = false
+	m.st.ReuseHits++
+	g := Grant{DestPreg: e.DestPreg, DestGen: e.DestGen}
+	if e.Instr.IsLoad() {
+		m.st.ReusedLoads++
+		g.IsLoad = true
+		g.MemAddr = e.MemAddr
+	}
+	return g, true
+}
+
+func (m *MultiStream) releaseEntry(e *logEntry) {
+	if e.held {
+		m.k.ReleasePreg(e.DestPreg)
+		e.held = false
+	}
+}
+
+// endWalk finishes the active walk. A fully exhausted stream is consumed
+// and invalidated; a diverged (or flush-aborted) stream stays valid so a
+// later reconvergence point within the same WPB can be detected.
+func (m *MultiStream) endWalk(keepStream bool) {
+	if !m.walking {
+		return
+	}
+	if !keepStream {
+		m.invalidateStream(m.walkStream)
+	}
+	m.walking = false
+}
+
+// AbortWalk implements Engine: any pipeline flush kills the in-flight
+// reuse window (the instructions being walked are squashed) and disarms a
+// pending reconvergence. The underlying stream survives for re-detection.
+func (m *MultiStream) AbortWalk() {
+	m.armed = false
+	m.endWalk(true)
+}
+
+// NoteStore implements Engine (LoadBloom policy).
+func (m *MultiStream) NoteStore(addr uint64) {
+	if m.bloom != nil {
+		m.bloom.Insert(addr)
+	}
+}
+
+// OnPregFreed implements Engine. The RGID scheme needs no eager
+// invalidation: stale entries fail their generation test lazily (§3.7.2).
+func (m *MultiStream) OnPregFreed(rename.PhysReg) {}
+
+// Reclaim implements Engine: under free-list pressure the least recent
+// stream's Squash Log is freed and its registers reclaimed (§3.3.2
+// condition 5).
+func (m *MultiStream) Reclaim() bool {
+	oldest := -1
+	var oldestEvent uint64
+	for i := range m.streams {
+		if !m.streams[i].valid || m.streamBusy(i) {
+			continue
+		}
+		if oldest < 0 || m.streams[i].eventIdx < oldestEvent {
+			oldest = i
+			oldestEvent = m.streams[i].eventIdx
+		}
+	}
+	if oldest < 0 {
+		// Only busy streams remain; sacrifice the walk.
+		m.AbortWalk()
+		for i := range m.streams {
+			if m.streams[i].valid {
+				m.invalidateStream(i)
+				return true
+			}
+		}
+		return false
+	}
+	m.invalidateStream(oldest)
+	return true
+}
+
+// InvalidateAll implements Engine: clears every stream and the Bloom
+// filter (performed on memory-order violation flushes and RGID resets).
+func (m *MultiStream) InvalidateAll() {
+	m.AbortWalk()
+	m.capturing = false
+	for i := range m.streams {
+		m.invalidateStream(i)
+	}
+	if m.bloom != nil {
+		m.bloom.Reset()
+	}
+}
+
+// Occupied implements Engine.
+func (m *MultiStream) Occupied() bool {
+	for i := range m.streams {
+		if m.streams[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *MultiStream) invalidateStream(i int) {
+	s := &m.streams[i]
+	if !s.valid {
+		return
+	}
+	for j := range s.log {
+		m.releaseEntry(&s.log[j])
+	}
+	s.valid = false
+	s.log = nil
+	s.wpb = nil
+}

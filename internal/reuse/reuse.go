@@ -1,0 +1,201 @@
+// Package reuse implements the squash-reuse engines evaluated by the
+// paper:
+//
+//   - MultiStream — the paper's contribution: RGID-based multi-stream
+//     squash reuse with Wrong-Path Buffers, block-range reconvergence
+//     detection and Squash Logs (§3).
+//   - RegisterIntegration — the table-based baseline (Roth & Sohi, MICRO
+//     2000) as characterized in §2.2.3 and §4.1.2, including transitive
+//     invalidation and per-set replacement tracking.
+//   - None — the no-reuse baseline.
+//
+// Dynamic Control Independence (DCI) is evaluated, as in the paper, by
+// configuring MultiStream with a single stream.
+//
+// Engines plug into the out-of-order core through the Engine interface;
+// the core feeds squashed streams, fetched prediction blocks, and rename
+// requests, and honours grants by re-adopting held physical registers.
+package reuse
+
+import (
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// Kernel is the core-side interface engines use to reserve physical
+// registers (the §3.3.2 delayed-freeing discipline) and to validate
+// grants.
+type Kernel interface {
+	// HoldPreg adds a squash-reuse reservation on p, preventing it from
+	// returning to the free list.
+	HoldPreg(p rename.PhysReg)
+	// ReleasePreg drops one reservation.
+	ReleasePreg(p rename.PhysReg)
+	// PregLive reports whether p is currently the destination of an
+	// in-flight instruction or part of architectural state; a held
+	// register that is live again must not be granted a second time.
+	PregLive(p rename.PhysReg) bool
+	// PregValue returns p's current value and whether it is ready. The
+	// Dynamic Instruction Reuse engine needs operand values for its
+	// value-matching scheme; the RGID and RI engines never read values.
+	PregValue(p rename.PhysReg) (uint64, bool)
+}
+
+// SquashedInstr describes one squashed instruction captured into an
+// engine's reuse structures, in program order, starting at the first
+// instruction after the mispredicted branch.
+type SquashedInstr struct {
+	Seq      uint64
+	PC       uint64
+	Instr    isa.Instruction
+	Executed bool
+	// DestPreg/DestGen are the squashed destination mapping (NoPreg when
+	// the instruction has no destination).
+	DestPreg rename.PhysReg
+	DestGen  rename.RGID
+	// SrcGens/SrcPregs are the source mappings observed when the
+	// instruction was renamed.
+	SrcGens  [2]rename.RGID
+	SrcPregs [2]rename.PhysReg
+	// MemAddr is the effective address of an executed load.
+	MemAddr uint64
+	// Result is the executed result value (valid when Executed); used by
+	// value-storing engines (DIR).
+	Result uint64
+	// SrcSurvives[i] reports whether source i's mapping survives the
+	// squash rollback (its producer is older than the mispredicted
+	// branch). Name-keyed reuse (DIR scheme Sn) must not insert entries
+	// whose sources vanish with the rollback: architecturally those
+	// registers change value without any subsequent overwrite.
+	SrcSurvives [2]bool
+}
+
+// Request is a rename-time reuse test for one incoming instruction, with
+// its source mappings resolved against the current RAT and the in-flight
+// rename bundle.
+type Request struct {
+	Seq      uint64
+	PC       uint64
+	Instr    isa.Instruction
+	SrcGens  [2]rename.RGID
+	SrcPregs [2]rename.PhysReg
+}
+
+// Grant is a successful reuse: the core maps the instruction's destination
+// to DestPreg (already holding the squashed execution's result), marks it
+// complete, and — for the RGID engine — forwards DestGen as the new
+// generation tag. Engines that do not manage generations return NullRGID
+// and the core allocates a fresh tag.
+type Grant struct {
+	DestPreg rename.PhysReg
+	DestGen  rename.RGID
+	// IsLoad requests the core schedule value verification for the reused
+	// load (§3.8.3).
+	IsLoad  bool
+	MemAddr uint64
+	// ByValue grants carry the result as a value instead of a held
+	// physical register (Dynamic Instruction Reuse stores results in its
+	// Reuse Buffer rather than keeping registers alive); the core
+	// allocates a fresh register and writes Value into it.
+	ByValue bool
+	Value   uint64
+}
+
+// Reusable reports whether an instruction's execution result is eligible
+// for squash reuse at all: it must produce a register value and not be
+// control flow (control instructions must still resolve to validate
+// prediction, and stores must execute for hazard detection — §3.1).
+func Reusable(in isa.Instruction) bool {
+	return in.HasDest() && !in.IsControl()
+}
+
+// LoadPolicy selects how reused loads are protected against memory-order
+// violations (§3.8.3).
+type LoadPolicy int
+
+// Load policies.
+const (
+	// LoadVerify re-executes reused loads and compares values, flushing
+	// on mismatch (the NoSQ-style mechanism the paper evaluates).
+	LoadVerify LoadPolicy = iota
+	// LoadBloom blocks reuse of loads whose address hits a Bloom filter
+	// of store addresses executed since the squash (the paper's proposed
+	// alternative).
+	LoadBloom
+	// LoadNoReuse never reuses loads (conservative ablation).
+	LoadNoReuse
+)
+
+func (p LoadPolicy) String() string {
+	switch p {
+	case LoadVerify:
+		return "verify"
+	case LoadBloom:
+		return "bloom"
+	case LoadNoReuse:
+		return "no-load-reuse"
+	}
+	return "unknown"
+}
+
+// Engine is a squash-reuse mechanism. The core invokes it as follows:
+//
+//   - On a branch-misprediction squash: BeginStream, then Capture for each
+//     squashed instruction in program order, then EndStream.
+//   - On every prediction block fetched after a redirect: ObserveBlock.
+//   - At rename, for every instruction in program order: TryReuse.
+//   - On any pipeline flush (mispredict or memory violation): AbortWalk
+//     before the new stream capture.
+//   - When a store executes: NoteStore (Bloom-filter load protection).
+//   - When a physical register returns to the free list: OnPregFreed
+//     (Register Integration's transitive invalidation trigger).
+//   - Under free-list pressure: Reclaim (§3.3.2 condition 5).
+//   - On memory-order violation flushes and RGID resets: InvalidateAll.
+type Engine interface {
+	Name() string
+	BeginStream(branchSeq uint64)
+	Capture(si SquashedInstr)
+	EndStream()
+	// ObserveBlock feeds one fetched prediction block: its PC range, the
+	// fetch sequence number of its first instruction, its instruction
+	// count, and the branch that caused the most recent redirect.
+	ObserveBlock(startPC, endPC uint64, firstFseq uint64, nInstrs int, redirectBranchSeq uint64)
+	TryReuse(req Request) (Grant, bool)
+	AbortWalk()
+	NoteStore(addr uint64)
+	OnPregFreed(p rename.PhysReg)
+	Reclaim() bool
+	InvalidateAll()
+	// Occupied reports whether any reuse structure currently holds state
+	// (drives the opportunistic RGID reset, §3.3.2).
+	Occupied() bool
+}
+
+// None is the no-reuse baseline engine.
+type None struct{}
+
+// NewNone returns the baseline engine.
+func NewNone() None { return None{} }
+
+func (None) Name() string                                     { return "none" }
+func (None) BeginStream(uint64)                               {}
+func (None) Capture(SquashedInstr)                            {}
+func (None) EndStream()                                       {}
+func (None) ObserveBlock(uint64, uint64, uint64, int, uint64) {}
+func (None) TryReuse(Request) (Grant, bool)                   { return Grant{}, false }
+func (None) AbortWalk()                                       {}
+func (None) NoteStore(uint64)                                 {}
+func (None) OnPregFreed(rename.PhysReg)                       {}
+func (None) Reclaim() bool                                    { return false }
+func (None) InvalidateAll()                                   {}
+func (None) Occupied() bool                                   { return false }
+
+// statsOf returns st or a discardable sink, so engines can be used without
+// stats plumbing in tests.
+func statsOf(st *stats.Stats) *stats.Stats {
+	if st == nil {
+		return &stats.Stats{}
+	}
+	return st
+}

@@ -1,0 +1,633 @@
+package reuse
+
+import (
+	"testing"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// fakeKernel tracks holds/releases and lets tests mark registers live and
+// set register values.
+type fakeKernel struct {
+	holds    map[rename.PhysReg]int
+	live     map[rename.PhysReg]bool
+	values   map[rename.PhysReg]uint64
+	notReady map[rename.PhysReg]bool
+}
+
+func newFakeKernel() *fakeKernel {
+	return &fakeKernel{
+		holds:    map[rename.PhysReg]int{},
+		live:     map[rename.PhysReg]bool{},
+		values:   map[rename.PhysReg]uint64{},
+		notReady: map[rename.PhysReg]bool{},
+	}
+}
+
+func (k *fakeKernel) HoldPreg(p rename.PhysReg) { k.holds[p]++ }
+func (k *fakeKernel) ReleasePreg(p rename.PhysReg) {
+	if k.holds[p] == 0 {
+		panic("release without hold")
+	}
+	k.holds[p]--
+}
+func (k *fakeKernel) PregLive(p rename.PhysReg) bool { return k.live[p] }
+func (k *fakeKernel) PregValue(p rename.PhysReg) (uint64, bool) {
+	return k.values[p], !k.notReady[p]
+}
+
+func (k *fakeKernel) totalHolds() int {
+	n := 0
+	for _, c := range k.holds {
+		n += c
+	}
+	return n
+}
+
+// addInstr builds an ALU SquashedInstr writing rd (preg dp, gen dg) reading
+// rs (gen sg).
+func addInstr(seq, pc uint64, dp rename.PhysReg, dg rename.RGID, sg rename.RGID) SquashedInstr {
+	return SquashedInstr{
+		Seq:      seq,
+		PC:       pc,
+		Instr:    isa.Instruction{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.A1, Imm: 1},
+		Executed: true,
+		DestPreg: dp,
+		DestGen:  dg,
+		SrcGens:  [2]rename.RGID{sg, rename.NullRGID},
+	}
+}
+
+// captureStream pushes a squashed stream of n contiguous ADDIs starting at
+// (seq, pc) into the engine.
+func captureStream(e Engine, branchSeq, seq, pc uint64, n int, firstPreg rename.PhysReg) {
+	e.BeginStream(branchSeq)
+	for i := 0; i < n; i++ {
+		e.Capture(addInstr(seq+uint64(i), pc+uint64(i)*4, firstPreg+rename.PhysReg(i), rename.RGID(10+i), rename.RGID(i)))
+	}
+	e.EndStream()
+}
+
+func TestReusable(t *testing.T) {
+	cases := []struct {
+		in   isa.Instruction
+		want bool
+	}{
+		{isa.Instruction{Op: isa.ADD, Rd: 1}, true},
+		{isa.Instruction{Op: isa.LD, Rd: 1}, true},
+		{isa.Instruction{Op: isa.MUL, Rd: 1}, true},
+		{isa.Instruction{Op: isa.ST}, false},
+		{isa.Instruction{Op: isa.BEQ}, false},
+		{isa.Instruction{Op: isa.JAL, Rd: 1}, false}, // control must resolve
+		{isa.Instruction{Op: isa.ADD, Rd: 0}, false}, // no destination
+		{isa.Instruction{Op: isa.NOP}, false},
+		{isa.Instruction{Op: isa.HALT}, false},
+	}
+	for _, c := range cases {
+		if got := Reusable(c.in); got != c.want {
+			t.Errorf("Reusable(%v) = %v, want %v", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestNoneEngine(t *testing.T) {
+	var e Engine = NewNone()
+	e.BeginStream(1)
+	e.Capture(addInstr(1, 0x1000, 5, 1, 0))
+	e.EndStream()
+	e.ObserveBlock(0x1000, 0x101c, 1, 8, 1)
+	if _, ok := e.TryReuse(Request{PC: 0x1000}); ok {
+		t.Error("None must never grant")
+	}
+	if e.Occupied() || e.Reclaim() {
+		t.Error("None holds no state")
+	}
+}
+
+func msEngine(st *stats.Stats, k Kernel, mod func(*MultiStreamConfig)) *MultiStream {
+	cfg := DefaultMultiStreamConfig()
+	cfg.VPNRestrict = false
+	if mod != nil {
+		mod(&cfg)
+	}
+	return NewMultiStream(cfg, k, st)
+}
+
+func TestMultiStreamBasicReuse(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+
+	captureStream(m, 1, 10, 0x1000, 4, 100)
+	if k.totalHolds() != 4 {
+		t.Fatalf("holds after capture = %d, want 4", k.totalHolds())
+	}
+	// Corrected path fetches a block overlapping the squashed stream at
+	// its second instruction.
+	m.ObserveBlock(0x1004, 0x1010, 20, 4, 1)
+	if st.Reconvergences != 1 {
+		t.Fatalf("reconvergences = %d", st.Reconvergences)
+	}
+	// First lockstep instruction: matches entry 1 (pc 0x1004, src gen 1).
+	g, ok := m.TryReuse(Request{
+		Seq: 20, PC: 0x1004,
+		Instr:   isa.Instruction{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.A1, Imm: 1},
+		SrcGens: [2]rename.RGID{1, rename.NullRGID},
+	})
+	if !ok {
+		t.Fatal("reuse should hit")
+	}
+	if g.DestPreg != 101 || g.DestGen != 11 {
+		t.Errorf("grant = %+v", g)
+	}
+	if st.ReuseHits != 1 {
+		t.Errorf("ReuseHits = %d", st.ReuseHits)
+	}
+	// Ownership transferred: the engine must not have released the hold.
+	if k.holds[101] != 1 {
+		t.Errorf("hold on granted preg = %d, want 1", k.holds[101])
+	}
+}
+
+func TestMultiStreamRGIDMismatch(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	m.ObserveBlock(0x1000, 0x1004, 20, 2, 1)
+	// Wrong source generation: the register was renamed in between.
+	_, ok := m.TryReuse(Request{
+		Seq: 20, PC: 0x1000,
+		Instr:   isa.Instruction{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.A1, Imm: 1},
+		SrcGens: [2]rename.RGID{99, rename.NullRGID},
+	})
+	if ok {
+		t.Fatal("mismatched RGID must not grant")
+	}
+	if st.ReuseFailRGID != 1 {
+		t.Errorf("ReuseFailRGID = %d", st.ReuseFailRGID)
+	}
+	if k.holds[100] != 0 {
+		t.Error("failed entry must release its register")
+	}
+}
+
+func TestMultiStreamNullRGIDNeverMatches(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	m.BeginStream(1)
+	si := addInstr(10, 0x1000, 100, 5, rename.NullRGID) // source recorded as null
+	m.Capture(si)
+	m.EndStream()
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	_, ok := m.TryReuse(Request{
+		Seq: 20, PC: 0x1000, Instr: si.Instr,
+		SrcGens: [2]rename.RGID{rename.NullRGID, rename.NullRGID},
+	})
+	if ok {
+		t.Fatal("null RGIDs must never pass the reuse test")
+	}
+}
+
+func TestMultiStreamDivergence(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	captureStream(m, 1, 10, 0x1000, 4, 100)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	// First instruction matches and hits.
+	if _, ok := m.TryReuse(Request{Seq: 20, PC: 0x1000, Instr: addInstr(0, 0, 0, 0, 0).Instr, SrcGens: [2]rename.RGID{0, rename.NullRGID}}); !ok {
+		t.Fatal("first should hit")
+	}
+	// Second diverges (different PC).
+	if _, ok := m.TryReuse(Request{Seq: 21, PC: 0x2000, Instr: addInstr(0, 0, 0, 0, 0).Instr}); ok {
+		t.Fatal("diverged walk must miss")
+	}
+	if st.Divergences != 1 {
+		t.Errorf("Divergences = %d", st.Divergences)
+	}
+	// The stream survives divergence (multiple reconvergence points may
+	// be detected within one WPB, §3.3.1): entry 0 was transferred, the
+	// remaining three keep their holds.
+	if k.totalHolds() != 4 {
+		t.Errorf("holds after divergence = %d, want 4", k.totalHolds())
+	}
+	if !m.Occupied() {
+		t.Fatal("diverged stream should stay valid for re-detection")
+	}
+	// Re-detect at a later point of the same stream and reuse entry 2.
+	m.ObserveBlock(0x1008, 0x1008, 40, 1, 1)
+	g, ok := m.TryReuse(Request{
+		Seq: 40, PC: 0x1008,
+		Instr:   addInstr(0, 0, 0, 0, 0).Instr,
+		SrcGens: [2]rename.RGID{2, rename.NullRGID},
+	})
+	if !ok || g.DestPreg != 102 {
+		t.Fatalf("re-detection reuse failed: %+v, %v", g, ok)
+	}
+}
+
+func TestMultiStreamNotExecutedEntry(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	m.BeginStream(1)
+	si := addInstr(10, 0x1000, 100, 5, 0)
+	si.Executed = false
+	si.DestPreg = rename.NoPreg
+	m.Capture(si)
+	m.EndStream()
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if _, ok := m.TryReuse(Request{Seq: 20, PC: 0x1000, Instr: si.Instr, SrcGens: [2]rename.RGID{0, 0}}); ok {
+		t.Fatal("unexecuted entry must not grant")
+	}
+	if st.ReuseFailNotDone != 1 {
+		t.Errorf("ReuseFailNotDone = %d", st.ReuseFailNotDone)
+	}
+}
+
+func TestMultiStreamLiveDestNotGranted(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 1, 100)
+	k.live[100] = true
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if _, ok := m.TryReuse(Request{Seq: 20, PC: 0x1000, Instr: addInstr(0, 0, 0, 0, 0).Instr, SrcGens: [2]rename.RGID{0, 0}}); ok {
+		t.Fatal("live destination register must not be granted")
+	}
+	if k.holds[100] != 0 {
+		t.Error("rejected entry must release")
+	}
+}
+
+func TestMultiStreamRoundRobinReplacement(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.Streams = 2 })
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	captureStream(m, 2, 20, 0x2000, 2, 110)
+	captureStream(m, 3, 30, 0x3000, 2, 120) // evicts stream 1
+	// Stream 1's registers must be fully released.
+	if k.holds[100] != 0 || k.holds[101] != 0 {
+		t.Error("evicted stream must release its registers")
+	}
+	if k.holds[110] != 1 || k.holds[120] != 1 {
+		t.Error("surviving streams must keep their holds")
+	}
+	// Reconvergence onto the replaced stream's range must now fail.
+	m.ObserveBlock(0x1000, 0x1000, 40, 1, 3)
+	if m.walking || m.armed {
+		t.Error("no stream should cover 0x1000 anymore")
+	}
+}
+
+func TestMultiStreamDistanceAndTypeClassification(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	captureStream(m, 5, 10, 0x1000, 2, 100) // event 1, branch seq 5
+	captureStream(m, 9, 20, 0x2000, 2, 110) // event 2, branch seq 9
+	// Corrected path of branch 9 reconverges onto branch 5's stream:
+	// an elder branch -> software-induced, distance 1.
+	m.ObserveBlock(0x1000, 0x1000, 30, 1, 9)
+	if st.ReconvByType[stats.ReconvSoftware] != 1 {
+		t.Errorf("software-induced = %d, types=%v", st.ReconvByType[stats.ReconvSoftware], st.ReconvByType)
+	}
+	if st.ReconvDistance[1] != 1 {
+		t.Errorf("distance histogram = %v", st.ReconvDistance)
+	}
+	m.AbortWalk()
+	// Corrected path of branch 9 onto branch 9's own stream: simple.
+	m.ObserveBlock(0x2000, 0x2000, 40, 1, 9)
+	if st.ReconvByType[stats.ReconvSimple] != 1 {
+		t.Errorf("simple = %d", st.ReconvByType[stats.ReconvSimple])
+	}
+	m.AbortWalk()
+	// Corrected path of branch 5 onto branch 9's stream: younger branch
+	// -> hardware-induced.
+	m.ObserveBlock(0x2000, 0x2000, 50, 1, 5)
+	if st.ReconvByType[stats.ReconvHardware] != 1 {
+		t.Errorf("hardware = %d", st.ReconvByType[stats.ReconvHardware])
+	}
+}
+
+func TestMultiStreamPrefersMostRecentStream(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	// Two streams covering the same PC range.
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	captureStream(m, 2, 20, 0x1000, 2, 110)
+	m.ObserveBlock(0x1000, 0x1000, 30, 1, 2)
+	if !m.armed || m.armedStream != 1 {
+		t.Fatalf("armed stream = %d (armed=%v), want the most recent (1)", m.armedStream, m.armed)
+	}
+	if st.ReconvDistance[0] != 1 {
+		t.Errorf("distance should be 0 (neighbouring): %v", st.ReconvDistance)
+	}
+}
+
+func TestMultiStreamTimeout(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, func(c *MultiStreamConfig) { c.TimeoutInstrs = 10 })
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	// Fetch 12 instructions that never overlap.
+	m.ObserveBlock(0x9000, 0x901c, 20, 8, 1)
+	m.ObserveBlock(0x9020, 0x902c, 28, 4, 1)
+	if m.Occupied() {
+		t.Error("stream should have timed out")
+	}
+	if st.StreamTimeouts != 1 {
+		t.Errorf("StreamTimeouts = %d", st.StreamTimeouts)
+	}
+	if k.totalHolds() != 0 {
+		t.Error("timeout must release registers")
+	}
+}
+
+func TestMultiStreamVPNRestriction(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.VPNRestrict = true })
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	// Block in a different page overlapping modulo the page: no match.
+	m.ObserveBlock(0x1000+isa.PageBytes, 0x1004+isa.PageBytes, 20, 2, 1)
+	if m.armed {
+		t.Error("VPN-restricted detection must not match across pages")
+	}
+	m.ObserveBlock(0x1000, 0x1004, 30, 2, 1)
+	if !m.armed {
+		t.Error("same-page overlap should arm")
+	}
+}
+
+func TestMultiStreamVPNCaptureStopsAtPageBoundary(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.VPNRestrict = true })
+	m.BeginStream(1)
+	// First instruction near the page end, second in the next page with a
+	// gap (non-contiguous, so it needs a fresh WPB entry in a new page).
+	m.Capture(addInstr(10, isa.PageBytes-4, 100, 1, 0))
+	m.Capture(addInstr(11, isa.PageBytes+64, 101, 2, 0))
+	m.EndStream()
+	if k.holds[101] != 0 {
+		t.Error("capture must stop at the page boundary under VPN restriction")
+	}
+	if k.holds[100] != 1 {
+		t.Error("first-page capture must survive")
+	}
+}
+
+func TestMultiStreamCapacityCaps(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.LogEntries = 3; c.WPBEntries = 8 })
+	m.BeginStream(1)
+	for i := 0; i < 6; i++ {
+		m.Capture(addInstr(uint64(10+i), uint64(0x1000+i*4), rename.PhysReg(100+i), rename.RGID(i+1), 0))
+	}
+	m.EndStream()
+	if k.totalHolds() != 3 {
+		t.Errorf("holds = %d, want capped at 3", k.totalHolds())
+	}
+}
+
+func TestMultiStreamWPBEntryCap(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.WPBEntries = 2; c.LogEntries = 64 })
+	m.BeginStream(1)
+	// Three non-contiguous instructions need three WPB entries; only two fit.
+	m.Capture(addInstr(10, 0x1000, 100, 1, 0))
+	m.Capture(addInstr(11, 0x2000, 101, 2, 0))
+	m.Capture(addInstr(12, 0x3000, 102, 3, 0))
+	m.EndStream()
+	if k.totalHolds() != 2 {
+		t.Errorf("holds = %d, want 2 (third block discarded)", k.totalHolds())
+	}
+}
+
+func TestMultiStreamReclaim(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	captureStream(m, 2, 20, 0x2000, 2, 110)
+	if !m.Reclaim() {
+		t.Fatal("reclaim should succeed")
+	}
+	// Oldest stream (event 1) dropped.
+	if k.holds[100] != 0 || k.holds[110] != 1 {
+		t.Errorf("reclaim dropped the wrong stream: holds=%v", k.holds)
+	}
+	m.Reclaim()
+	if m.Reclaim() {
+		t.Error("reclaim with nothing left should report false")
+	}
+}
+
+func TestMultiStreamInvalidateAll(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 4, 100)
+	m.InvalidateAll()
+	if m.Occupied() || k.totalHolds() != 0 {
+		t.Error("InvalidateAll must clear everything")
+	}
+}
+
+func TestMultiStreamLoadPolicies(t *testing.T) {
+	ld := SquashedInstr{
+		Seq: 10, PC: 0x1000,
+		Instr:    isa.Instruction{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1},
+		Executed: true, DestPreg: 100, DestGen: 5,
+		SrcGens: [2]rename.RGID{0, rename.NullRGID},
+		MemAddr: 0x8000,
+	}
+	req := Request{Seq: 20, PC: 0x1000, Instr: ld.Instr, SrcGens: [2]rename.RGID{0, rename.NullRGID}}
+
+	// Verify policy: grant with IsLoad set.
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	m.BeginStream(1)
+	m.Capture(ld)
+	m.EndStream()
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	g, ok := m.TryReuse(req)
+	if !ok || !g.IsLoad || g.MemAddr != 0x8000 {
+		t.Fatalf("verify policy grant = %+v, %v", g, ok)
+	}
+
+	// NoLoadReuse policy: always reject loads.
+	k = newFakeKernel()
+	m = msEngine(nil, k, func(c *MultiStreamConfig) { c.LoadPolicy = LoadNoReuse })
+	m.BeginStream(1)
+	m.Capture(ld)
+	m.EndStream()
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if _, ok := m.TryReuse(req); ok {
+		t.Fatal("NoLoadReuse must reject loads")
+	}
+
+	// Bloom policy: reject after a conflicting store, allow otherwise.
+	k = newFakeKernel()
+	st = &stats.Stats{}
+	m = msEngine(st, k, func(c *MultiStreamConfig) { c.LoadPolicy = LoadBloom })
+	m.BeginStream(1)
+	m.Capture(ld)
+	m.EndStream()
+	m.NoteStore(0x8000)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if _, ok := m.TryReuse(req); ok {
+		t.Fatal("Bloom policy must reject a load whose address saw a store")
+	}
+	if st.BloomFilterRejects != 1 {
+		t.Errorf("BloomFilterRejects = %d", st.BloomFilterRejects)
+	}
+
+	k = newFakeKernel()
+	m = msEngine(nil, k, func(c *MultiStreamConfig) { c.LoadPolicy = LoadBloom })
+	m.BeginStream(1)
+	m.Capture(ld)
+	m.EndStream()
+	m.NoteStore(0x9000) // different address
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if g, ok := m.TryReuse(req); !ok || g.IsLoad != true {
+		t.Fatal("Bloom policy should allow a clean load")
+	}
+}
+
+func TestMultiStreamAbortWalkKeepsArmedStreamValid(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if !m.armed {
+		t.Fatal("should be armed")
+	}
+	m.AbortWalk() // flush before the reconvergent instruction renamed
+	if !m.Occupied() {
+		t.Error("armed-but-unwalked stream should survive a flush")
+	}
+	if k.totalHolds() != 2 {
+		t.Errorf("holds = %d", k.totalHolds())
+	}
+	// It can be re-detected afterwards.
+	m.ObserveBlock(0x1004, 0x1004, 30, 1, 1)
+	if !m.armed {
+		t.Error("re-detection after abort failed")
+	}
+}
+
+func TestMultiStreamWalkExhaustionInvalidatesStream(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 1, 100)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	g, ok := m.TryReuse(Request{Seq: 20, PC: 0x1000, Instr: addInstr(0, 0, 0, 0, 0).Instr, SrcGens: [2]rename.RGID{0, 0}})
+	if !ok || g.DestPreg != 100 {
+		t.Fatalf("grant = %+v, %v", g, ok)
+	}
+	if m.Occupied() {
+		t.Error("fully walked stream must be invalidated")
+	}
+	if m.walking {
+		t.Error("walk must end at stream exhaustion")
+	}
+}
+
+func TestEngineNamesAndMisc(t *testing.T) {
+	k := newFakeKernel()
+	if got := NewMultiStream(DefaultMultiStreamConfig(), k, nil).Name(); got != "rgid-4x64" {
+		t.Errorf("MultiStream name = %q", got)
+	}
+	if got := NewRegisterIntegration(DefaultRIConfig(), k, nil).Name(); got != "ri-64s4w" {
+		t.Errorf("RI name = %q", got)
+	}
+	if got := NewDIR(DefaultDIRConfig(), k, nil).Name(); got != "dir-value-64s4w" {
+		t.Errorf("DIR name = %q", got)
+	}
+	cfg := DefaultDIRConfig()
+	cfg.Scheme = DIRName
+	if got := NewDIR(cfg, k, nil).Name(); got != "dir-name-64s4w" {
+		t.Errorf("DIR name-scheme name = %q", got)
+	}
+	for _, p := range []LoadPolicy{LoadVerify, LoadBloom, LoadNoReuse, LoadPolicy(99)} {
+		if p.String() == "" {
+			t.Error("empty load-policy name")
+		}
+	}
+	if DIRValue.String() != "value" || DIRName.String() != "name" {
+		t.Error("bad DIR scheme names")
+	}
+	// No-op engine hooks must be callable.
+	d := NewDIR(DefaultDIRConfig(), k, nil)
+	d.ObserveBlock(0, 0, 0, 0, 0)
+	d.OnPregFreed(5)
+	d.EndStream()
+	d.AbortWalk()
+	m := NewMultiStream(DefaultMultiStreamConfig(), k, nil)
+	m.OnPregFreed(5)
+	m.EndStream()                           // without BeginStream: no-op
+	m.Capture(addInstr(1, 0x1000, 9, 1, 0)) // not capturing: no-op
+	if k.totalHolds() != 0 {
+		t.Error("capture outside a stream must not hold")
+	}
+}
+
+func TestMultiStreamBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config accepted")
+		}
+	}()
+	NewMultiStream(MultiStreamConfig{Streams: 0, WPBEntries: 1, LogEntries: 1}, newFakeKernel(), nil)
+}
+
+func TestMultiStreamEmptyStreamDiscarded(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	m := msEngine(st, k, nil)
+	m.BeginStream(1)
+	m.EndStream() // nothing captured
+	if m.Occupied() {
+		t.Error("empty stream must be discarded")
+	}
+	if st.SquashedStreams != 0 {
+		t.Error("empty stream must not be counted")
+	}
+}
+
+func TestMultiStreamReclaimSacrificesBusyWalk(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, func(c *MultiStreamConfig) { c.Streams = 1 })
+	captureStream(m, 1, 10, 0x1000, 4, 100)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	// Begin walking so the only stream is busy.
+	if _, ok := m.TryReuse(Request{Seq: 20, PC: 0x1000, Instr: addInstr(0, 0, 0, 0, 0).Instr, SrcGens: [2]rename.RGID{0, rename.NullRGID}}); !ok {
+		t.Fatal("walk should start with a hit")
+	}
+	if !m.Reclaim() {
+		t.Fatal("reclaim must sacrifice the walking stream under pressure")
+	}
+	if m.Occupied() {
+		t.Error("sacrificed stream must be gone")
+	}
+}
+
+func TestMultiStreamArmedSkippedWhenFseqPasses(t *testing.T) {
+	k := newFakeKernel()
+	m := msEngine(nil, k, nil)
+	captureStream(m, 1, 10, 0x1000, 2, 100)
+	m.ObserveBlock(0x1000, 0x1000, 20, 1, 1)
+	if !m.armed {
+		t.Fatal("should be armed")
+	}
+	// A request with a later fetch seq (the armed instruction never
+	// arrived, e.g. consumed by an intervening redirect race) disarms.
+	if _, ok := m.TryReuse(Request{Seq: 25, PC: 0x2000}); ok {
+		t.Fatal("must miss")
+	}
+	if m.armed || m.walking {
+		t.Error("stale armed state must clear")
+	}
+}

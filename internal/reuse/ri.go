@@ -1,0 +1,294 @@
+package reuse
+
+import (
+	"fmt"
+
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+// RIConfig parameterizes the Register Integration baseline's
+// set-associative reuse table. The paper's comparison uses 64 or 128 sets
+// at 1, 2 and 4 ways (§2.2.4, §4.1.2).
+type RIConfig struct {
+	Sets int
+	Ways int
+	// LoadPolicy matches the reused-load protection used by the RGID
+	// engine so comparisons are apples-to-apples.
+	LoadPolicy LoadPolicy
+	// BloomLogBits sizes the LoadBloom filter.
+	BloomLogBits int
+}
+
+// DefaultRIConfig returns the 64-set 4-way configuration.
+func DefaultRIConfig() RIConfig {
+	return RIConfig{Sets: 64, Ways: 4, LoadPolicy: LoadVerify, BloomLogBits: 10}
+}
+
+type riEntry struct {
+	valid    bool
+	pc       uint64
+	nsrc     int
+	srcPregs [2]rename.PhysReg
+	destPreg rename.PhysReg
+	isLoad   bool
+	memAddr  uint64
+	lru      uint8
+}
+
+// RegisterIntegration is the table-based squash-reuse baseline: squashed
+// instructions are stored in a PC-indexed set-associative table keyed by
+// their source *physical register* names; an incoming instruction whose
+// renamed sources match an entry integrates the entry's destination
+// register (Roth & Sohi, MICRO 2000).
+//
+// The known costs the paper highlights are modelled faithfully: set
+// conflicts cause replacements (tracked per set for Figure 3), and freeing
+// any physical register transitively invalidates entries that reference it
+// as a source (§3.7.2).
+type RegisterIntegration struct {
+	cfg  RIConfig
+	k    Kernel
+	st   *stats.Stats
+	sets [][]riEntry
+
+	bloom *bloomFilter
+}
+
+// NewRegisterIntegration builds the baseline engine. st may be nil.
+func NewRegisterIntegration(cfg RIConfig, k Kernel, st *stats.Stats) *RegisterIntegration {
+	if cfg.Sets < 1 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways < 1 {
+		panic(fmt.Sprintf("reuse: invalid RIConfig %+v", cfg))
+	}
+	r := &RegisterIntegration{cfg: cfg, k: k, st: statsOf(st)}
+	r.sets = make([][]riEntry, cfg.Sets)
+	for i := range r.sets {
+		r.sets[i] = make([]riEntry, cfg.Ways)
+	}
+	if r.st.RIReplacements == nil {
+		r.st.RIReplacements = make([]uint64, cfg.Sets)
+	}
+	if cfg.LoadPolicy == LoadBloom {
+		r.bloom = newBloomFilter(cfg.BloomLogBits)
+	}
+	return r
+}
+
+// Name implements Engine.
+func (r *RegisterIntegration) Name() string {
+	return fmt.Sprintf("ri-%ds%dw", r.cfg.Sets, r.cfg.Ways)
+}
+
+func (r *RegisterIntegration) setIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(r.cfg.Sets-1))
+}
+
+// BeginStream implements Engine. RI has no stream notion; nothing to do.
+func (r *RegisterIntegration) BeginStream(uint64) {}
+
+// Capture implements Engine: insert each executed, reusable squashed
+// instruction into the reuse table.
+func (r *RegisterIntegration) Capture(si SquashedInstr) {
+	if !si.Executed || si.DestPreg == rename.NoPreg || !Reusable(si.Instr) {
+		return
+	}
+	set := r.setIndex(si.PC)
+	ways := r.sets[set]
+	victim := -1
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := range ways {
+			if ways[w].lru < ways[victim].lru {
+				victim = w
+			}
+		}
+		r.st.RIReplacements[set]++
+		r.evict(set, victim)
+	}
+	e := riEntry{
+		valid:    true,
+		pc:       si.PC,
+		nsrc:     si.Instr.NumSources(),
+		srcPregs: si.SrcPregs,
+		destPreg: si.DestPreg,
+		isLoad:   si.Instr.IsLoad(),
+		memAddr:  si.MemAddr,
+	}
+	r.k.HoldPreg(e.destPreg)
+	ways[victim] = e
+	r.touch(set, victim)
+}
+
+// EndStream implements Engine.
+func (r *RegisterIntegration) EndStream() {}
+
+// evict drops the entry at (set, way), releasing its register reservation
+// and transitively invalidating any entry that used its destination
+// register as a source — the expensive maintenance chain the paper
+// contrasts with RGID's lazy invalidation (§3.7.2).
+func (r *RegisterIntegration) evict(set, way int) {
+	e := &r.sets[set][way]
+	if !e.valid {
+		return
+	}
+	dest := e.destPreg
+	e.valid = false
+	r.k.ReleasePreg(dest)
+	r.invalidateSourceRefs(dest)
+}
+
+// invalidateSourceRefs evicts every entry whose sources reference p.
+func (r *RegisterIntegration) invalidateSourceRefs(p rename.PhysReg) {
+	for set := range r.sets {
+		for way := range r.sets[set] {
+			e := &r.sets[set][way]
+			if !e.valid {
+				continue
+			}
+			for i := 0; i < e.nsrc; i++ {
+				if e.srcPregs[i] == p {
+					r.st.RIInvalidates++
+					r.evict(set, way)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (r *RegisterIntegration) touch(set, way int) {
+	ways := r.sets[set]
+	old := ways[way].lru
+	for i := range ways {
+		if ways[i].lru > old {
+			ways[i].lru--
+		}
+	}
+	ways[way].lru = uint8(r.cfg.Ways - 1)
+}
+
+// ObserveBlock implements Engine; RI has no fetch-side component.
+func (r *RegisterIntegration) ObserveBlock(uint64, uint64, uint64, int, uint64) {}
+
+// TryReuse implements Engine: the integration test. An incoming
+// instruction integrates a table entry when the PC and all renamed source
+// physical registers match.
+func (r *RegisterIntegration) TryReuse(req Request) (Grant, bool) {
+	if !Reusable(req.Instr) {
+		return Grant{}, false
+	}
+	set := r.setIndex(req.PC)
+	ways := r.sets[set]
+	for w := range ways {
+		e := &ways[w]
+		if !e.valid || e.pc != req.PC || e.nsrc != req.Instr.NumSources() {
+			continue
+		}
+		match := true
+		for i := 0; i < e.nsrc; i++ {
+			if e.srcPregs[i] != req.SrcPregs[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		r.st.ReuseTests++
+		if e.isLoad {
+			switch r.cfg.LoadPolicy {
+			case LoadNoReuse:
+				r.st.ReuseFailKind++
+				r.evict(set, w)
+				return Grant{}, false
+			case LoadBloom:
+				if r.bloom.MayContain(e.memAddr) {
+					r.st.BloomFilterRejects++
+					r.evict(set, w)
+					return Grant{}, false
+				}
+			}
+		}
+		if r.k.PregLive(e.destPreg) {
+			r.st.ReuseFailKind++
+			r.evict(set, w)
+			return Grant{}, false
+		}
+		// Integrate: consume the entry, transferring the register
+		// reservation to the core.
+		g := Grant{DestPreg: e.destPreg, DestGen: rename.NullRGID, IsLoad: e.isLoad, MemAddr: e.memAddr}
+		e.valid = false
+		r.st.ReuseHits++
+		r.st.RIHits++
+		if e.isLoad {
+			r.st.ReusedLoads++
+		}
+		return g, true
+	}
+	return Grant{}, false
+}
+
+// AbortWalk implements Engine; RI has no walk state.
+func (r *RegisterIntegration) AbortWalk() {}
+
+// NoteStore implements Engine (LoadBloom policy).
+func (r *RegisterIntegration) NoteStore(addr uint64) {
+	if r.bloom != nil {
+		r.bloom.Insert(addr)
+	}
+}
+
+// OnPregFreed implements Engine: a freed register may be reallocated to a
+// new value, so entries that reference it as a source are stale and must
+// be evicted eagerly, cascading transitively.
+func (r *RegisterIntegration) OnPregFreed(p rename.PhysReg) {
+	r.invalidateSourceRefs(p)
+}
+
+// Reclaim implements Engine: under free-list pressure, drop one valid
+// entry (oldest-LRU of the first occupied set).
+func (r *RegisterIntegration) Reclaim() bool {
+	for set := range r.sets {
+		for way := range r.sets[set] {
+			if r.sets[set][way].valid {
+				r.evict(set, way)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InvalidateAll implements Engine.
+func (r *RegisterIntegration) InvalidateAll() {
+	for set := range r.sets {
+		for way := range r.sets[set] {
+			if r.sets[set][way].valid {
+				e := &r.sets[set][way]
+				e.valid = false
+				r.k.ReleasePreg(e.destPreg)
+			}
+		}
+	}
+	if r.bloom != nil {
+		r.bloom.Reset()
+	}
+}
+
+// Occupied implements Engine.
+func (r *RegisterIntegration) Occupied() bool {
+	for set := range r.sets {
+		for way := range r.sets[set] {
+			if r.sets[set][way].valid {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package reuse
+
+import (
+	"testing"
+
+	"mssr/internal/isa"
+	"mssr/internal/rename"
+	"mssr/internal/stats"
+)
+
+func riEngine(st *stats.Stats, k Kernel, sets, ways int) *RegisterIntegration {
+	cfg := DefaultRIConfig()
+	cfg.Sets, cfg.Ways = sets, ways
+	return NewRegisterIntegration(cfg, k, st)
+}
+
+// riInstr builds an executed squashed ADD reading src pregs s1, s2 and
+// writing preg d.
+func riInstr(pc uint64, d, s1, s2 rename.PhysReg) SquashedInstr {
+	return SquashedInstr{
+		PC:       pc,
+		Instr:    isa.Instruction{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2},
+		Executed: true,
+		DestPreg: d,
+		SrcPregs: [2]rename.PhysReg{s1, s2},
+	}
+}
+
+func TestRIBasicIntegration(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	r := riEngine(st, k, 64, 4)
+	r.BeginStream(1)
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.EndStream()
+	if k.holds[100] != 1 {
+		t.Fatal("captured entry must hold its destination register")
+	}
+	g, ok := r.TryReuse(Request{
+		PC:       0x1000,
+		Instr:    isa.Instruction{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2},
+		SrcPregs: [2]rename.PhysReg{10, 11},
+	})
+	if !ok || g.DestPreg != 100 {
+		t.Fatalf("integration failed: %+v, %v", g, ok)
+	}
+	if g.DestGen != rename.NullRGID {
+		t.Error("RI must not forward a generation tag")
+	}
+	if st.RIHits != 1 || st.ReuseHits != 1 {
+		t.Errorf("hits = %d/%d", st.RIHits, st.ReuseHits)
+	}
+	// Consumed: a second integration of the same entry must fail.
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); ok {
+		t.Error("entry must be consumed by integration")
+	}
+}
+
+func g0ADD() isa.Instruction {
+	return isa.Instruction{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2}
+}
+
+func TestRISourceMismatchNoIntegration(t *testing.T) {
+	k := newFakeKernel()
+	r := riEngine(nil, k, 64, 4)
+	r.BeginStream(1)
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.EndStream()
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 12}}); ok {
+		t.Error("different source preg must not integrate")
+	}
+	if _, ok := r.TryReuse(Request{PC: 0x1004, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); ok {
+		t.Error("different PC must not integrate")
+	}
+}
+
+func TestRIConflictReplacement(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	r := riEngine(st, k, 4, 1) // 4 sets, direct mapped
+	r.BeginStream(1)
+	// Two PCs mapping to the same set (stride = sets*4 bytes).
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.Capture(riInstr(0x1000+4*4, 101, 12, 13))
+	r.EndStream()
+	set := int((0x1000 >> 2) & 3)
+	if st.RIReplacements[set] != 1 {
+		t.Errorf("replacements[%d] = %d, want 1", set, st.RIReplacements[set])
+	}
+	if k.holds[100] != 0 {
+		t.Error("victim must release its register")
+	}
+	if k.holds[101] != 1 {
+		t.Error("winner must keep its register")
+	}
+	// Only the newer entry integrates.
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); ok {
+		t.Error("evicted entry must not integrate")
+	}
+	if _, ok := r.TryReuse(Request{PC: 0x1010, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{12, 13}}); !ok {
+		t.Error("surviving entry must integrate")
+	}
+}
+
+func TestRIHigherAssociativityAvoidsConflict(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	r := riEngine(st, k, 4, 2)
+	r.BeginStream(1)
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.Capture(riInstr(0x1010, 101, 12, 13))
+	r.EndStream()
+	for s := range st.RIReplacements {
+		if st.RIReplacements[s] != 0 {
+			t.Fatalf("2-way table should absorb both entries, replacements=%v", st.RIReplacements)
+		}
+	}
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); !ok {
+		t.Error("first entry should integrate")
+	}
+}
+
+func TestRITransitiveInvalidation(t *testing.T) {
+	k := newFakeKernel()
+	st := &stats.Stats{}
+	r := riEngine(st, k, 64, 4)
+	r.BeginStream(1)
+	// Chain: A(dest 100) <- B(src 100, dest 101) <- C(src 101, dest 102).
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.Capture(riInstr(0x1004, 101, 100, 11))
+	r.Capture(riInstr(0x1008, 102, 101, 11))
+	r.EndStream()
+	// Freeing preg 100 (e.g. remapped elsewhere) must evict B, and then C.
+	r.OnPregFreed(100)
+	if st.RIInvalidates != 2 {
+		t.Errorf("RIInvalidates = %d, want 2 (chain)", st.RIInvalidates)
+	}
+	if k.holds[101] != 0 || k.holds[102] != 0 {
+		t.Error("chained entries must release their registers")
+	}
+	// Only A survives: wait, A's dest is 100 which was held... A holds 100
+	// itself, so freeing it externally cannot happen while tabled; here we
+	// simulate the notification anyway, and A must survive because its
+	// sources (10, 11) are unaffected.
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); !ok {
+		t.Error("entry A should survive")
+	}
+}
+
+func TestRILiveDestNotGranted(t *testing.T) {
+	k := newFakeKernel()
+	r := riEngine(nil, k, 64, 4)
+	r.BeginStream(1)
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.EndStream()
+	k.live[100] = true
+	if _, ok := r.TryReuse(Request{PC: 0x1000, Instr: g0ADD(), SrcPregs: [2]rename.PhysReg{10, 11}}); ok {
+		t.Error("live destination must not integrate")
+	}
+	if k.holds[100] != 0 {
+		t.Error("rejected entry must release")
+	}
+}
+
+func TestRISkipsNonReusable(t *testing.T) {
+	k := newFakeKernel()
+	r := riEngine(nil, k, 64, 4)
+	r.BeginStream(1)
+	r.Capture(SquashedInstr{PC: 0x1000, Instr: isa.Instruction{Op: isa.ST, Rs1: 1, Rs2: 2}, Executed: true, DestPreg: rename.NoPreg})
+	r.Capture(SquashedInstr{PC: 0x1004, Instr: isa.Instruction{Op: isa.BEQ}, Executed: true, DestPreg: rename.NoPreg})
+	nonExec := riInstr(0x1008, 103, 10, 11)
+	nonExec.Executed = false
+	r.Capture(nonExec)
+	r.EndStream()
+	if r.Occupied() {
+		t.Error("no entry should have been inserted")
+	}
+}
+
+func TestRILoadPolicies(t *testing.T) {
+	ld := SquashedInstr{
+		PC:       0x1000,
+		Instr:    isa.Instruction{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1},
+		Executed: true, DestPreg: 100,
+		SrcPregs: [2]rename.PhysReg{10, 0},
+		MemAddr:  0x8000,
+	}
+	req := Request{PC: 0x1000, Instr: ld.Instr, SrcPregs: [2]rename.PhysReg{10, 0}}
+
+	k := newFakeKernel()
+	cfg := DefaultRIConfig()
+	cfg.LoadPolicy = LoadBloom
+	r := NewRegisterIntegration(cfg, k, nil)
+	r.BeginStream(1)
+	r.Capture(ld)
+	r.EndStream()
+	r.NoteStore(0x8000)
+	if _, ok := r.TryReuse(req); ok {
+		t.Error("Bloom-hit load must not integrate")
+	}
+
+	k = newFakeKernel()
+	cfg.LoadPolicy = LoadNoReuse
+	r = NewRegisterIntegration(cfg, k, nil)
+	r.BeginStream(1)
+	r.Capture(ld)
+	r.EndStream()
+	if _, ok := r.TryReuse(req); ok {
+		t.Error("NoLoadReuse must reject loads")
+	}
+}
+
+func TestRIReclaimAndInvalidateAll(t *testing.T) {
+	k := newFakeKernel()
+	r := riEngine(nil, k, 64, 4)
+	r.BeginStream(1)
+	r.Capture(riInstr(0x1000, 100, 10, 11))
+	r.Capture(riInstr(0x2000, 101, 12, 13))
+	r.EndStream()
+	if !r.Reclaim() {
+		t.Fatal("reclaim should drop one entry")
+	}
+	if k.totalHolds() != 1 {
+		t.Errorf("holds after reclaim = %d", k.totalHolds())
+	}
+	r.InvalidateAll()
+	if r.Occupied() || k.totalHolds() != 0 {
+		t.Error("InvalidateAll must clear the table")
+	}
+	if r.Reclaim() {
+		t.Error("reclaim on empty table should report false")
+	}
+}
+
+func TestRIBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets accepted")
+		}
+	}()
+	NewRegisterIntegration(RIConfig{Sets: 3, Ways: 1}, newFakeKernel(), nil)
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloomFilter(10)
+	if b.MayContain(0x1000) {
+		t.Error("empty filter must not contain anything")
+	}
+	b.Insert(0x1000)
+	if !b.MayContain(0x1000) {
+		t.Error("no false negatives allowed")
+	}
+	// Same word, different byte offset: word-granular.
+	if !b.MayContain(0x1007) {
+		t.Error("filter should be word-granular")
+	}
+	b.Reset()
+	if b.MayContain(0x1000) {
+		t.Error("reset must clear")
+	}
+	// False positive rate sanity: insert 64, probe 1000 others.
+	for i := uint64(0); i < 64; i++ {
+		b.Insert(0x4000 + i*8)
+	}
+	fp := 0
+	for i := uint64(0); i < 1000; i++ {
+		if b.MayContain(0x100000 + i*8) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Errorf("false positive rate too high: %d/1000", fp)
+	}
+}

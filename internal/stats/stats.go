@@ -1,0 +1,176 @@
+// Package stats collects the counters the paper's evaluation reports:
+// cycles/IPC, branch behaviour, squash-reuse activity, reconvergence-type
+// breakdowns (Figure 4), stream-distance histograms (Figure 11) and reuse
+// structure maintenance events (Figure 3).
+package stats
+
+import "fmt"
+
+// MaxStreamDistance bounds the stream-distance histogram; distances at or
+// beyond the bound accumulate in the last bucket.
+const MaxStreamDistance = 8
+
+// ReconvType classifies a detected reconvergence by which squashed stream
+// the corrected path merged onto, following §2.2.5 of the paper.
+type ReconvType int
+
+// Reconvergence types.
+const (
+	// ReconvSimple: merged onto the squashed path of the diverging branch
+	// itself.
+	ReconvSimple ReconvType = iota
+	// ReconvSoftware: merged onto the squashed path of an elder branch
+	// (software-induced multi-stream reconvergence).
+	ReconvSoftware
+	// ReconvHardware: merged onto the squashed path of a younger branch
+	// (hardware-induced multi-stream reconvergence, from out-of-order
+	// branch resolution).
+	ReconvHardware
+	numReconvTypes
+)
+
+func (t ReconvType) String() string {
+	switch t {
+	case ReconvSimple:
+		return "simple"
+	case ReconvSoftware:
+		return "software-induced"
+	case ReconvHardware:
+		return "hardware-induced"
+	}
+	return fmt.Sprintf("reconv(%d)", int(t))
+}
+
+// Stats aggregates one simulation's counters. The zero value is ready to
+// use.
+type Stats struct {
+	// Core progress.
+	Cycles  uint64
+	Retired uint64
+	Fetched uint64 // instructions entering the pipeline, incl. wrong path
+	Flushes uint64 // full pipeline flushes (mispredicts + violations)
+
+	// Branches (counted at retirement).
+	Branches          uint64
+	BranchMispredicts uint64
+	JumpMispredicts   uint64 // indirect target mispredictions
+
+	// Squash reuse.
+	SquashedStreams  uint64 // streams captured into WPB/Squash Log
+	Reconvergences   uint64 // reconvergence points detected
+	ReuseTests       uint64 // instructions tested against the squash log
+	ReuseHits        uint64 // instructions whose results were reused
+	ReusedLoads      uint64
+	ReuseFailRGID    uint64 // source RGID mismatch
+	ReuseFailNotDone uint64 // squashed counterpart had not executed
+	ReuseFailKind    uint64 // op not eligible (stores, etc.)
+	Divergences      uint64 // reuse window terminated by path divergence
+	StreamTimeouts   uint64 // WPB invalidated by the 1024-instruction timeout
+	RGIDResets       uint64 // global RGID resets (§3.3.2)
+
+	// Memory ordering.
+	LoadVerifications   uint64 // reused loads re-executed for verification
+	MemOrderViolations  uint64 // verification mismatches -> flush
+	BloomFilterRejects  uint64 // reuse blocked by the Bloom filter variant
+	StoreSetPredictions uint64
+
+	// Reconvergence classification (Figure 4).
+	ReconvByType [numReconvTypes]uint64
+
+	// Stream distance histogram (Figure 11): ReconvDistance[d] counts
+	// reconvergences whose squashed stream was d intermediate squash
+	// events away (0 == neighbouring stream).
+	ReconvDistance [MaxStreamDistance]uint64
+
+	// Register Integration maintenance (Figure 3): per-set replacement
+	// counts, sized by the engine when RI is active.
+	RIReplacements []uint64
+	RIHits         uint64
+	RIInvalidates  uint64 // transitive invalidations
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MispredictRate returns the fraction of retired conditional branches that
+// mispredicted.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredicts) / float64(s.Branches)
+}
+
+// MPKI returns branch mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return 1000 * float64(s.BranchMispredicts+s.JumpMispredicts) / float64(s.Retired)
+}
+
+// ReuseRate returns the fraction of retired instructions that were reused.
+func (s *Stats) ReuseRate() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.ReuseHits) / float64(s.Retired)
+}
+
+// AddReconv records one detected reconvergence of type t at stream distance
+// d (0 = neighbouring stream).
+func (s *Stats) AddReconv(t ReconvType, d int) {
+	s.Reconvergences++
+	s.ReconvByType[t]++
+	if d < 0 {
+		d = 0
+	}
+	if d >= MaxStreamDistance {
+		d = MaxStreamDistance - 1
+	}
+	s.ReconvDistance[d]++
+}
+
+// ReconvFraction returns the fraction of reconvergences of type t.
+func (s *Stats) ReconvFraction(t ReconvType) float64 {
+	if s.Reconvergences == 0 {
+		return 0
+	}
+	return float64(s.ReconvByType[t]) / float64(s.Reconvergences)
+}
+
+// DistanceFraction returns the cumulative fraction of reconvergences whose
+// stream distance is <= d.
+func (s *Stats) DistanceFraction(d int) float64 {
+	if s.Reconvergences == 0 {
+		return 0
+	}
+	var n uint64
+	for i := 0; i <= d && i < MaxStreamDistance; i++ {
+		n += s.ReconvDistance[i]
+	}
+	return float64(n) / float64(s.Reconvergences)
+}
+
+// String summarizes the headline counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d IPC=%.3f mispredicts=%d (%.2f%%) reuse=%d (%.2f%%) reconv=%d",
+		s.Cycles, s.Retired, s.IPC(),
+		s.BranchMispredicts, 100*s.MispredictRate(),
+		s.ReuseHits, 100*s.ReuseRate(), s.Reconvergences)
+}
+
+// Speedup returns the relative IPC improvement of s over base, as a
+// fraction (0.05 == 5% faster). Both runs must have retired the same
+// workload for the comparison to be meaningful.
+func Speedup(base, s *Stats) float64 {
+	if base.Cycles == 0 || s.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles)/float64(s.Cycles) - 1
+}

@@ -1,0 +1,19 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"mssr/internal/storage"
+)
+
+// Evaluate the paper's Table 2 storage model at its typical configuration.
+func ExampleCompute() {
+	b := storage.Compute(storage.Default())
+	fmt.Printf("constant: %d bits (%.2f KB)\n", b.Constant(), storage.KB(b.Constant()))
+	fmt.Printf("variable: %d bits (%.2f KB)\n", b.Variable(), storage.KB(b.Variable()))
+	fmt.Printf("total:    %.2f KB\n", storage.KB(b.Total()))
+	// Output:
+	// constant: 18816 bits (2.30 KB)
+	// variable: 10082 bits (1.23 KB)
+	// total:    3.53 KB
+}

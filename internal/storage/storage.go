@@ -1,0 +1,138 @@
+// Package storage implements the paper's Table 2 cost model: the exact
+// register-bit accounting of the multi-stream squash reuse structures —
+// Wrong-Path Buffers, Squash Logs, the extended ROB and RAT/checkpoint
+// RGID state — split into the constant term (independent of the stream
+// configuration) and the variable term parameterized by N (streams),
+// M (WPB fetch-block entries per stream) and P (Squash Log entries per
+// stream).
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Params parameterizes the cost model; Default matches the paper's
+// typical configuration (N=4, M=16, P=64) and its structural constants.
+type Params struct {
+	// Streams (N), WPBEntries (M), LogEntries (P).
+	Streams    int
+	WPBEntries int
+	LogEntries int
+
+	// RGIDBits is the generation tag width (6 in Table 2).
+	RGIDBits int
+	// ArchRegs is the architectural register count (64 in Table 2).
+	ArchRegs int
+	// ROBEntries is the reorder buffer size (256 in Table 2).
+	ROBEntries int
+	// RATCheckpoints is the checkpoint count (32 in Table 2).
+	RATCheckpoints int
+	// SrcRegs and DstRegs per instruction (3 and 1 in Table 2).
+	SrcRegs int
+	DstRegs int
+	// PhysRegBits is the physical register name width (8 in Table 2).
+	PhysRegBits int
+	// VPNBits is the virtual page number width (36 = PC[47:12], sv48).
+	VPNBits int
+	// BlockPCBits is the in-page block PC width (11 = PC[11:1]).
+	BlockPCBits int
+}
+
+// Default returns the paper's Table 2 parameters.
+func Default() Params {
+	return Params{
+		Streams:        4,
+		WPBEntries:     16,
+		LogEntries:     64,
+		RGIDBits:       6,
+		ArchRegs:       64,
+		ROBEntries:     256,
+		RATCheckpoints: 32,
+		SrcRegs:        3,
+		DstRegs:        1,
+		PhysRegBits:    8,
+		VPNBits:        36,
+		BlockPCBits:    11,
+	}
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Breakdown is the per-structure bit cost.
+type Breakdown struct {
+	WPBPointers    int // stream read/write + entry read pointers
+	WPBVPN         int // one VPN register per stream
+	WPBEntries     int // valid + start PC + end PC per block entry
+	LogPointers    int
+	LogEntries     int // valid + src/dst RGIDs + dst physical register
+	ROBRGIDs       int // RGIDs recorded in the ROB
+	RATRGIDs       int // RGID per architectural register mapping
+	RATCheckpoints int // RGID state in every RAT checkpoint
+}
+
+// Constant returns the configuration-independent bits (ROB + RAT +
+// checkpoints).
+func (b Breakdown) Constant() int { return b.ROBRGIDs + b.RATRGIDs + b.RATCheckpoints }
+
+// Variable returns the N/M/P-dependent bits (WPB + Squash Log).
+func (b Breakdown) Variable() int {
+	return b.WPBPointers + b.WPBVPN + b.WPBEntries + b.LogPointers + b.LogEntries
+}
+
+// Total returns all additional storage bits.
+func (b Breakdown) Total() int { return b.Constant() + b.Variable() }
+
+// Compute evaluates the Table 2 model for p.
+func Compute(p Params) Breakdown {
+	var b Breakdown
+	// Wrong-Path Buffer: stream read/write pointers (log2 N each), entry
+	// read pointer (log2 M), one VPN per stream, and M block entries per
+	// stream of {valid, start PC, end PC}.
+	b.WPBPointers = 2*log2ceil(p.Streams) + log2ceil(p.WPBEntries)
+	b.WPBVPN = p.Streams * p.VPNBits
+	b.WPBEntries = p.Streams * p.WPBEntries * (1 + 2*p.BlockPCBits)
+	// Squash Log: the same three pointers plus P instruction entries per
+	// stream of {valid, source RGIDs, destination RGID, destination
+	// physical register}.
+	b.LogPointers = 2*log2ceil(p.Streams) + log2ceil(p.LogEntries)
+	entryBits := 1 + (p.SrcRegs+p.DstRegs)*p.RGIDBits + p.DstRegs*p.PhysRegBits
+	b.LogEntries = p.Streams * p.LogEntries * entryBits
+	// ROB extension: all source and destination RGIDs per entry.
+	b.ROBRGIDs = (p.SrcRegs + p.DstRegs) * p.RGIDBits * p.ROBEntries
+	// RAT extension and its checkpoints: one RGID per mapping.
+	b.RATRGIDs = p.ArchRegs * p.RGIDBits
+	b.RATCheckpoints = p.ArchRegs * p.RGIDBits * p.RATCheckpoints
+	return b
+}
+
+// KB converts bits to kilobytes (1024 bytes).
+func KB(bits int) float64 { return float64(bits) / 8 / 1024 }
+
+// Table renders the Table 2 summary for p.
+func Table(p Params) string {
+	b := Compute(p)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: additional storage (N=%d streams, M=%d WPB entries, P=%d log entries)\n",
+		p.Streams, p.WPBEntries, p.LogEntries)
+	fmt.Fprintf(&sb, "  %-38s %8s\n", "Structure", "Bits")
+	row := func(name string, bits int) { fmt.Fprintf(&sb, "  %-38s %8d\n", name, bits) }
+	row("WPB pointers", b.WPBPointers)
+	row("WPB VPN registers", b.WPBVPN)
+	row("WPB entries (valid+start+end)", b.WPBEntries)
+	row("Squash Log pointers", b.LogPointers)
+	row("Squash Log entries", b.LogEntries)
+	row("ROB RGIDs", b.ROBRGIDs)
+	row("RAT RGIDs", b.RATRGIDs)
+	row("RAT checkpoint RGIDs", b.RATCheckpoints)
+	fmt.Fprintf(&sb, "  %-38s %8d (%.2f KB)\n", "Constant subtotal", b.Constant(), KB(b.Constant()))
+	fmt.Fprintf(&sb, "  %-38s %8d (%.2f KB)\n", "Variable subtotal", b.Variable(), KB(b.Variable()))
+	fmt.Fprintf(&sb, "  %-38s %8d (%.2f KB)\n", "Total", b.Total(), KB(b.Total()))
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperNumbers checks the model against every number Table 2 states
+// for the typical configuration (N=4, M=16, P=64).
+func TestPaperNumbers(t *testing.T) {
+	b := Compute(Default())
+	if got := b.ROBRGIDs; got != 4*6*256 {
+		t.Errorf("ROB RGIDs = %d, want %d", got, 4*6*256)
+	}
+	if got := b.RATRGIDs; got != 64*6 {
+		t.Errorf("RAT RGIDs = %d, want %d", got, 64*6)
+	}
+	if got := b.RATCheckpoints; got != 64*6*32 {
+		t.Errorf("RAT checkpoint RGIDs = %d, want %d", got, 64*6*32)
+	}
+	if got := b.Constant(); got != 18816 {
+		t.Errorf("constant = %d bits, paper says 18816", got)
+	}
+	// Variable term: the paper's closed form
+	// (23M + 33P + 36)N + log2(M*P*N^4) = 10082 bits for N=4,M=16,P=64.
+	if got := b.Variable(); got != 10082 {
+		t.Errorf("variable = %d bits, paper's formula gives 10082", got)
+	}
+	if kb := KB(b.Total()); kb < 3.52 || kb > 3.54 {
+		t.Errorf("total = %.3f KB, paper says 3.53 KB", kb)
+	}
+}
+
+// TestVariableMatchesClosedForm cross-checks the structural accounting
+// against the paper's closed-form expression over a sweep of N, M, P.
+func TestVariableMatchesClosedForm(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, m := range []int{4, 16, 64} {
+			for _, pp := range []int{16, 64, 128} {
+				p := Default()
+				p.Streams, p.WPBEntries, p.LogEntries = n, m, pp
+				b := Compute(p)
+				want := (23*m+33*pp+36)*n + log2ceil(m) + log2ceil(pp) + 4*log2ceil(n)
+				if got := b.Variable(); got != want {
+					t.Errorf("N=%d M=%d P=%d: variable = %d, closed form = %d", n, m, pp, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	base := Compute(Default()).Total()
+	p := Default()
+	p.Streams = 8
+	if Compute(p).Total() <= base {
+		t.Error("more streams must cost more bits")
+	}
+	p = Default()
+	p.LogEntries = 128
+	if Compute(p).Total() <= base {
+		t.Error("deeper logs must cost more bits")
+	}
+	p = Default()
+	p.RGIDBits = 12
+	if Compute(p).Total() <= base {
+		t.Error("wider RGIDs must cost more bits")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := Table(Default())
+	for _, want := range []string{"2.30 KB", "1.23 KB", "3.53 KB", "Squash Log entries"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 100: 7}
+	for in, want := range cases {
+		if got := log2ceil(in); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

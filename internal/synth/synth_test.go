@@ -1,0 +1,90 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// within checks relative error.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/want <= tol
+}
+
+// TestModelReproducesPaperPoints verifies the calibrated model against all
+// six published Table 4 configurations.
+func TestModelReproducesPaperPoints(t *testing.T) {
+	for _, pp := range PaperReconvergence() {
+		var n, m int
+		if _, err := fmt.Sscanf(pp.Config, "%dx%d", &n, &m); err != nil {
+			t.Fatal(err)
+		}
+		r := Reconvergence(n, m)
+		if d := r.LogicLevels - pp.Report.LogicLevels; d > 3 || d < -3 {
+			t.Errorf("%s levels = %d, paper %d", pp.Config, r.LogicLevels, pp.Report.LogicLevels)
+		}
+		if !within(r.AreaUm2, pp.Report.AreaUm2, 0.05) {
+			t.Errorf("%s area = %.0f, paper %.0f", pp.Config, r.AreaUm2, pp.Report.AreaUm2)
+		}
+		if !within(r.PowerMW, pp.Report.PowerMW, 0.05) {
+			t.Errorf("%s power = %.3f, paper %.3f", pp.Config, r.PowerMW, pp.Report.PowerMW)
+		}
+	}
+	for i, w := range []int{4, 6, 8} {
+		pp := PaperReuseTest()[i]
+		r := ReuseTest(w)
+		if d := r.LogicLevels - pp.Report.LogicLevels; d > 3 || d < -3 {
+			t.Errorf("%s levels = %d, paper %d", pp.Config, r.LogicLevels, pp.Report.LogicLevels)
+		}
+		if !within(r.AreaUm2, pp.Report.AreaUm2, 0.05) {
+			t.Errorf("%s area = %.0f, paper %.0f", pp.Config, r.AreaUm2, pp.Report.AreaUm2)
+		}
+		if !within(r.PowerMW, pp.Report.PowerMW, 0.05) {
+			t.Errorf("%s power = %.3f, paper %.3f", pp.Config, r.PowerMW, pp.Report.PowerMW)
+		}
+	}
+}
+
+// TestTrends verifies the qualitative shapes the paper reports: levels
+// grow with the log of WPB size, area and power roughly linearly, and
+// reuse-test depth grows with width.
+func TestTrends(t *testing.T) {
+	small := Reconvergence(4, 16)
+	large := Reconvergence(4, 64)
+	if large.LogicLevels <= small.LogicLevels {
+		t.Error("levels must grow with WPB size")
+	}
+	if large.LogicLevels > 2*small.LogicLevels {
+		t.Error("levels must grow sub-linearly (logarithmically)")
+	}
+	ratio := large.AreaUm2 / small.AreaUm2
+	if ratio < 3.4 || ratio > 4.2 {
+		t.Errorf("area should scale ~linearly with entries (4x): ratio %.2f", ratio)
+	}
+	if ReuseTest(8).LogicLevels <= ReuseTest(4).LogicLevels {
+		t.Error("reuse test depth must grow with width")
+	}
+}
+
+func TestStructuralDepthSanity(t *testing.T) {
+	d := StructuralDepth(4, 16)
+	if d < 10 || d > 30 {
+		t.Errorf("structural depth = %d, implausible", d)
+	}
+	if StructuralDepth(4, 64) <= d {
+		t.Error("structural depth must grow with entries")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := Table()
+	for _, want := range []string{"Reconvergence Detection", "Reuse Test", "4x64", "width 8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

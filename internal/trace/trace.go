@@ -1,0 +1,230 @@
+// Package trace provides pipeline event tracing for the timing core: a
+// low-overhead event stream plus collectors that render Konata-style
+// per-instruction pipeline diagrams and flat event logs. Tracing is
+// optional; a nil tracer costs one branch per event site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mssr/internal/isa"
+)
+
+// Kind classifies pipeline events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindFetch: the instruction left the frontend.
+	KindFetch Kind = iota
+	// KindRename: renamed and dispatched (or completed at rename).
+	KindRename
+	// KindReuse: completed at rename via squash reuse.
+	KindReuse
+	// KindIssue: selected for execution.
+	KindIssue
+	// KindWriteback: result written back.
+	KindWriteback
+	// KindCommit: retired.
+	KindCommit
+	// KindSquash: removed by a flush.
+	KindSquash
+	// KindRedirect: the frontend was redirected (mispredict/violation).
+	KindRedirect
+	// KindReconverge: a reconvergence point was detected.
+	KindReconverge
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fetch", "rename", "reuse", "issue", "writeback", "commit",
+	"squash", "redirect", "reconverge",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one pipeline occurrence. Seq is the rename-order sequence (0
+// for frontend-only events); Fseq the fetch-order sequence.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Seq   uint64
+	Fseq  uint64
+	PC    uint64
+	Instr isa.Instruction
+	// Note carries event-specific detail (redirect target, reuse source).
+	Note string
+}
+
+// Tracer consumes pipeline events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Writer streams events as text lines, one per event.
+type Writer struct {
+	W io.Writer
+}
+
+// Emit implements Tracer.
+func (w *Writer) Emit(e Event) {
+	if e.Seq != 0 {
+		fmt.Fprintf(w.W, "%8d %-10s seq=%-6d pc=%#x %v %s\n", e.Cycle, e.Kind, e.Seq, e.PC, e.Instr, e.Note)
+		return
+	}
+	fmt.Fprintf(w.W, "%8d %-10s pc=%#x %s\n", e.Cycle, e.Kind, e.PC, e.Note)
+}
+
+// Pipeline collects per-instruction stage timing and renders a
+// Konata-style text diagram. It keeps the most recent Limit instructions
+// (by fetch sequence); zero means unlimited.
+type Pipeline struct {
+	Limit int
+
+	rows  map[uint64]*row // keyed by fseq
+	order []uint64
+	notes []Event // redirects/reconvergences, rendered interleaved
+}
+
+type row struct {
+	fseq, seq uint64
+	pc        uint64
+	instr     isa.Instruction
+	stages    [numKinds]uint64 // cycle+1 per kind; 0 = never
+	squashed  bool
+	reused    bool
+}
+
+// NewPipeline builds a collector bounded to limit instructions.
+func NewPipeline(limit int) *Pipeline {
+	return &Pipeline{Limit: limit, rows: make(map[uint64]*row)}
+}
+
+// Emit implements Tracer.
+func (p *Pipeline) Emit(e Event) {
+	switch e.Kind {
+	case KindRedirect, KindReconverge:
+		p.notes = append(p.notes, e)
+		if p.Limit > 0 && len(p.notes) > 4*p.Limit {
+			p.notes = p.notes[len(p.notes)-2*p.Limit:]
+		}
+		return
+	}
+	r, ok := p.rows[e.Fseq]
+	if !ok {
+		r = &row{fseq: e.Fseq, pc: e.PC, instr: e.Instr}
+		p.rows[e.Fseq] = r
+		p.order = append(p.order, e.Fseq)
+		// Keep well beyond the render limit: speculation fetches far ahead
+		// of commit, and evicting a row between its fetch and its commit
+		// would lose the early stage cycles.
+		if p.Limit > 0 && len(p.order) > 32*p.Limit {
+			p.compact()
+		}
+	}
+	if e.Seq != 0 {
+		r.seq = e.Seq
+	}
+	r.stages[e.Kind] = e.Cycle + 1
+	switch e.Kind {
+	case KindSquash:
+		r.squashed = true
+	case KindReuse:
+		r.reused = true
+	}
+}
+
+func (p *Pipeline) compact() {
+	keep := p.order[len(p.order)-16*p.Limit:]
+	kept := make(map[uint64]*row, len(keep))
+	for _, f := range keep {
+		kept[f] = p.rows[f]
+	}
+	p.rows = kept
+	p.order = append(p.order[:0], keep...)
+}
+
+// Rows reports how many instructions are recorded.
+func (p *Pipeline) Rows() int { return len(p.rows) }
+
+// Render prints the pipeline diagram of the most recent n instructions
+// (all if n <= 0): one row per fetched instruction with the cycle of each
+// stage, squash markers, and interleaved redirect annotations.
+func (p *Pipeline) Render(n int) string {
+	order := p.order
+	if n > 0 && len(order) > n {
+		order = order[len(order)-n:]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-7s %-10s %-26s %7s %7s %7s %7s %7s %s\n",
+		"fseq", "pc", "instruction", "fetch", "rename", "issue", "wb", "commit", "flags")
+	// Interleave notes by the fetch cycle of rows, dropping notes from
+	// before the rendered window.
+	notes := append([]Event(nil), p.notes...)
+	sort.SliceStable(notes, func(i, j int) bool { return notes[i].Cycle < notes[j].Cycle })
+	ni := 0
+	if len(order) > 0 {
+		first := p.rows[order[0]].stages[KindFetch]
+		for ni < len(notes) && notes[ni].Cycle+1 < first {
+			ni++
+		}
+	}
+	for _, f := range order {
+		r := p.rows[f]
+		fetchCycle := r.stages[KindFetch]
+		for ni < len(notes) && notes[ni].Cycle+1 <= fetchCycle {
+			fmt.Fprintf(&sb, "------- cycle %d: %s %s\n", notes[ni].Cycle, notes[ni].Kind, notes[ni].Note)
+			ni++
+		}
+		flags := ""
+		if r.reused {
+			flags += "reused "
+		}
+		if r.squashed {
+			flags += "squashed"
+		}
+		fmt.Fprintf(&sb, "%-7d %-10s %-26s %7s %7s %7s %7s %7s %s\n",
+			r.fseq, fmt.Sprintf("%#x", r.pc), clip(r.instr.String(), 26),
+			cyc(r.stages[KindFetch]), cyc(r.stages[KindRename]),
+			cyc(r.stages[KindIssue]), cyc(r.stages[KindWriteback]),
+			cyc(r.stages[KindCommit]), flags)
+	}
+	for ni < len(notes) {
+		fmt.Fprintf(&sb, "------- cycle %d: %s %s\n", notes[ni].Cycle, notes[ni].Kind, notes[ni].Note)
+		ni++
+	}
+	return sb.String()
+}
+
+func cyc(v uint64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v-1)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Multi fans one event stream out to several tracers.
+type Multi []Tracer
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

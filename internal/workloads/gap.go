@@ -1,0 +1,715 @@
+package workloads
+
+import (
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// The GAP-style kernels run on a deterministic uniform-random undirected
+// graph. Each kernel stores a checksum of its result arrays at CheckAddr,
+// and each has a Go reference implementation that mirrors the assembly's
+// evaluation order exactly.
+
+const (
+	graphSeed = 0x6170 // "ap"
+	infDist   = uint64(1) << 40
+	bcFix     = uint64(1) << 16
+)
+
+// emitChecksumLoop emits: acc = 0; for i in [0, n): acc = acc*2 + base[i];
+// store acc at CheckAddr; halt. Clobbers T0, T1, A0 and acc.
+func emitChecksumLoop(b *asm.Builder, base uint64, n int) {
+	const (
+		rAcc = isa.A1
+		rI   = isa.A0
+	)
+	b.Li(rAcc, 0)
+	b.Li(rI, 0)
+	b.Li(isa.T1, int64(n))
+	b.Li(isa.T2, int64(base))
+	b.Label("cksum")
+	b.Slli(isa.T0, rI, 3)
+	b.Add(isa.T0, isa.T0, isa.T2)
+	b.Ld(isa.T0, 0, isa.T0)
+	b.Slli(rAcc, rAcc, 1)
+	b.Add(rAcc, rAcc, isa.T0)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, isa.T1, "cksum")
+	b.Li(isa.T0, int64(checkWord))
+	b.St(rAcc, 0, isa.T0)
+	b.Halt()
+}
+
+func checksumRef(vals []uint64) uint64 {
+	var acc uint64
+	for _, v := range vals {
+		acc = acc*2 + v
+	}
+	return acc
+}
+
+// ---------------------------------------------------------------- bfs ---
+
+func buildBFS(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	b := asm.NewBuilder("bfs")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	parentB := l.alloc(n)
+	queueB := l.alloc(n)
+
+	const (
+		rRow, rCol, rParent, rQueue = isa.S0, isa.S2, isa.S3, isa.S4
+		rHead, rTail                = isa.T3, isa.T4
+		rU, rE, rEE, rV, rP         = isa.A0, isa.A1, isa.A2, isa.A3, isa.A4
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rParent, int64(parentB))
+	b.Li(rQueue, int64(queueB))
+	// parent[0] = 1 (self, encoded +1); queue[0] = 0.
+	b.Li(isa.T0, 1)
+	b.St(isa.T0, 0, rParent)
+	b.St(isa.Zero, 0, rQueue)
+	b.Li(rHead, 0)
+	b.Li(rTail, 1)
+	b.Label("outer")
+	b.Bge(rHead, rTail, "done")
+	b.Slli(isa.T0, rHead, 3)
+	b.Add(isa.T0, isa.T0, rQueue)
+	b.Ld(rU, 0, isa.T0)
+	b.Addi(rHead, rHead, 1)
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T0)
+	b.Ld(rEE, 8, isa.T0)
+	b.Label("inner")
+	b.Bge(rE, rEE, "outer")
+	b.Slli(isa.T0, rE, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T0)
+	b.Slli(isa.T0, rV, 3)
+	b.Add(isa.T0, isa.T0, rParent)
+	b.Ld(rP, 0, isa.T0)
+	b.Bnez(rP, "skip") // visited check: data dependent
+	b.Addi(rP, rU, 1)
+	b.St(rP, 0, isa.T0) // parent[v] = u+1
+	b.Slli(isa.T1, rTail, 3)
+	b.Add(isa.T1, isa.T1, rQueue)
+	b.St(rV, 0, isa.T1)
+	b.Addi(rTail, rTail, 1)
+	b.Label("skip")
+	b.Addi(rE, rE, 1)
+	b.J("inner")
+	b.Label("done")
+	emitChecksumLoop(b, parentB, n)
+	return b.MustProgram()
+}
+
+// bfsRef mirrors buildBFS.
+func bfsRef(g *Graph) []uint64 {
+	parent := make([]uint64, g.N)
+	queue := make([]uint64, 0, g.N)
+	parent[0] = 1
+	queue = append(queue, 0)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for e := g.Row[u]; e < g.Row[u+1]; e++ {
+			v := g.Col[e]
+			if parent[v] == 0 {
+				parent[v] = u + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// ----------------------------------------------------------------- cc ---
+
+func buildCC(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	b := asm.NewBuilder("cc")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	compB := l.alloc(n)
+	ident := make([]uint64, n)
+	for i := range ident {
+		ident[i] = uint64(i)
+	}
+	emitArray(b, compB, ident)
+
+	const (
+		rRow, rCol, rComp, rN = isa.S0, isa.S2, isa.S3, isa.S5
+		rChanged              = isa.T6
+		rU, rE, rEE, rV       = isa.A0, isa.A1, isa.A2, isa.A3
+		rCV, rCU              = isa.A4, isa.A5
+		rCompU                = isa.T2
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rComp, int64(compB))
+	b.Li(rN, int64(n))
+	b.Label("round")
+	b.Li(rChanged, 0)
+	b.Li(rU, 0)
+	b.Label("uloop")
+	b.Bge(rU, rN, "check")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Add(rCompU, isa.T0, rComp)
+	b.Label("eloop")
+	b.Bge(rE, rEE, "unext")
+	b.Slli(isa.T0, rE, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T0)
+	b.Slli(isa.T0, rV, 3)
+	b.Add(isa.T0, isa.T0, rComp)
+	b.Ld(rCV, 0, isa.T0)
+	b.Ld(rCU, 0, rCompU)
+	b.Bge(rCV, rCU, "eskip") // label-improvement check: data dependent
+	b.St(rCV, 0, rCompU)
+	b.Li(rChanged, 1)
+	b.Label("eskip")
+	b.Addi(rE, rE, 1)
+	b.J("eloop")
+	b.Label("unext")
+	b.Addi(rU, rU, 1)
+	b.J("uloop")
+	b.Label("check")
+	b.Bnez(rChanged, "round")
+	emitChecksumLoop(b, compB, n)
+	return b.MustProgram()
+}
+
+func ccRef(g *Graph) []uint64 {
+	comp := make([]uint64, g.N)
+	for i := range comp {
+		comp[i] = uint64(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.N; u++ {
+			for e := g.Row[u]; e < g.Row[u+1]; e++ {
+				v := g.Col[e]
+				if comp[v] < comp[u] {
+					comp[u] = comp[v]
+					changed = true
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// --------------------------------------------------------------- sssp ---
+
+const ssspMaxRounds = 16
+
+func buildSSSP(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	w := edgeWeights(g.M())
+	b := asm.NewBuilder("sssp")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	wgtB := l.alloc(g.M() + 1)
+	distB := l.alloc(n)
+	emitArray(b, wgtB, w)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = infDist
+	}
+	dist[0] = 0
+	emitArray(b, distB, dist)
+
+	const (
+		rRow, rCol, rWgt, rDist, rN = isa.S0, isa.S2, isa.S4, isa.S3, isa.S5
+		rChanged, rRound            = isa.T6, isa.T5
+		rU, rE, rEE, rV             = isa.A0, isa.A1, isa.A2, isa.A3
+		rDU, rND, rDV               = isa.A4, isa.A5, isa.A6
+		rInf                        = isa.A7
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rWgt, int64(wgtB))
+	b.Li(rDist, int64(distB))
+	b.Li(rN, int64(n))
+	b.Li(rInf, int64(infDist))
+	b.Li(rRound, 0)
+	b.Label("round")
+	b.Li(rChanged, 0)
+	b.Li(rU, 0)
+	b.Label("uloop")
+	b.Bge(rU, rN, "check")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rDist)
+	b.Ld(rDU, 0, isa.T1)
+	b.Beq(rDU, rInf, "unext") // unreached vertices relax nothing
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Label("eloop")
+	b.Bge(rE, rEE, "unext")
+	b.Slli(isa.T0, rE, 3)
+	b.Add(isa.T1, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T1)
+	b.Add(isa.T1, isa.T0, rWgt)
+	b.Ld(rND, 0, isa.T1)
+	b.Add(rND, rND, rDU)
+	b.Slli(isa.T0, rV, 3)
+	b.Add(isa.T0, isa.T0, rDist)
+	b.Ld(rDV, 0, isa.T0)
+	b.Bge(rND, rDV, "eskip") // relaxation check: data dependent
+	b.St(rND, 0, isa.T0)
+	b.Li(rChanged, 1)
+	b.Label("eskip")
+	b.Addi(rE, rE, 1)
+	b.J("eloop")
+	b.Label("unext")
+	b.Addi(rU, rU, 1)
+	b.J("uloop")
+	b.Label("check")
+	b.Addi(rRound, rRound, 1)
+	b.Li(isa.T0, ssspMaxRounds)
+	b.Bge(rRound, isa.T0, "out")
+	b.Bnez(rChanged, "round")
+	b.Label("out")
+	emitChecksumLoop(b, distB, n)
+	return b.MustProgram()
+}
+
+func ssspRef(g *Graph) []uint64 {
+	w := edgeWeights(g.M())
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = infDist
+	}
+	dist[0] = 0
+	for round := 0; round < ssspMaxRounds; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			du := dist[u]
+			if du == infDist {
+				continue
+			}
+			for e := g.Row[u]; e < g.Row[u+1]; e++ {
+				v := g.Col[e]
+				nd := du + w[e]
+				if nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// ----------------------------------------------------------------- pr ---
+
+const (
+	prRounds = 6
+	prBase   = uint64(1) << 16
+	prK      = 9830 // (1 - 0.85) * 2^16
+	prAlpha  = 870  // 0.85 * 2^10
+	prShift  = 10
+)
+
+func buildPR(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	b := asm.NewBuilder("pr")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	rankB := l.alloc(n)
+	contribB := l.alloc(n)
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = prBase
+	}
+	emitArray(b, rankB, init)
+
+	const (
+		rRow, rCol, rRank, rContrib, rN = isa.S0, isa.S2, isa.S3, isa.S4, isa.S5
+		rRound                          = isa.T5
+		rU, rE, rEE, rV, rSum, rDeg     = isa.A0, isa.A1, isa.A2, isa.A3, isa.A4, isa.A5
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rRank, int64(rankB))
+	b.Li(rContrib, int64(contribB))
+	b.Li(rN, int64(n))
+	b.Li(rRound, 0)
+	b.Label("round")
+	// contrib[v] = rank[v] / max(deg(v), 1)
+	b.Li(rU, 0)
+	b.Label("cloop")
+	b.Bge(rU, rN, "accphase")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Sub(rDeg, rEE, rE)
+	b.Li(isa.T2, 1)
+	b.Max(rDeg, rDeg, isa.T2)
+	b.Add(isa.T1, isa.T0, rRank)
+	b.Ld(rSum, 0, isa.T1)
+	b.Div(rSum, rSum, rDeg)
+	b.Add(isa.T1, isa.T0, rContrib)
+	b.St(rSum, 0, isa.T1)
+	b.Addi(rU, rU, 1)
+	b.J("cloop")
+	b.Label("accphase")
+	b.Li(rU, 0)
+	b.Label("uloop")
+	b.Bge(rU, rN, "check")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Li(rSum, 0)
+	b.Label("eloop")
+	b.Bge(rE, rEE, "store")
+	b.Slli(isa.T1, rE, 3)
+	b.Add(isa.T1, isa.T1, rCol)
+	b.Ld(rV, 0, isa.T1)
+	b.Slli(isa.T1, rV, 3)
+	b.Add(isa.T1, isa.T1, rContrib)
+	b.Ld(isa.T2, 0, isa.T1)
+	b.Add(rSum, rSum, isa.T2)
+	b.Addi(rE, rE, 1)
+	b.J("eloop")
+	b.Label("store")
+	b.Li(isa.T2, prAlpha)
+	b.Mul(rSum, rSum, isa.T2)
+	b.Srli(rSum, rSum, prShift)
+	b.Addi(rSum, rSum, prK)
+	b.Add(isa.T1, isa.T0, rRank)
+	b.St(rSum, 0, isa.T1)
+	b.Addi(rU, rU, 1)
+	b.J("uloop")
+	b.Label("check")
+	b.Addi(rRound, rRound, 1)
+	b.Li(isa.T0, prRounds)
+	b.Blt(rRound, isa.T0, "round")
+	emitChecksumLoop(b, rankB, n)
+	return b.MustProgram()
+}
+
+func prRef(g *Graph) []uint64 {
+	rank := make([]uint64, g.N)
+	contrib := make([]uint64, g.N)
+	for i := range rank {
+		rank[i] = prBase
+	}
+	for round := 0; round < prRounds; round++ {
+		for v := 0; v < g.N; v++ {
+			d := g.Deg(v)
+			if d == 0 {
+				d = 1
+			}
+			contrib[v] = rank[v] / d
+		}
+		for u := 0; u < g.N; u++ {
+			var sum uint64
+			for e := g.Row[u]; e < g.Row[u+1]; e++ {
+				sum += contrib[g.Col[e]]
+			}
+			rank[u] = sum*prAlpha>>prShift + prK
+		}
+	}
+	return rank
+}
+
+// ----------------------------------------------------------------- tc ---
+
+func buildTC(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	b := asm.NewBuilder("tc")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	resultB := l.alloc(1)
+
+	const (
+		rRow, rCol, rN       = isa.S0, isa.S2, isa.S5
+		rU, rE1, rE1E, rV    = isa.A0, isa.A1, isa.A2, isa.A3
+		rA, rC, rCount       = isa.A4, isa.A5, isa.A7
+		rI, rIEnd, rJ, rJEnd = isa.T3, isa.T4, isa.T5, isa.T6
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rN, int64(n))
+	b.Li(rCount, 0)
+	b.Li(rU, 0)
+	b.Label("uloop")
+	b.Bge(rU, rN, "done")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rRow)
+	b.Ld(rE1, 0, isa.T0)
+	b.Ld(rE1E, 8, isa.T0)
+	b.Label("e1loop")
+	b.Bge(rE1, rE1E, "unext")
+	b.Slli(isa.T0, rE1, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T0)
+	b.Bge(rU, rV, "e1next") // consider each edge once (u < v)
+	// Two-pointer intersection of adj(u) and adj(v), counting w > v.
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rRow)
+	b.Ld(rI, 0, isa.T0)
+	b.Ld(rIEnd, 8, isa.T0)
+	b.Slli(isa.T0, rV, 3)
+	b.Add(isa.T0, isa.T0, rRow)
+	b.Ld(rJ, 0, isa.T0)
+	b.Ld(rJEnd, 8, isa.T0)
+	b.Label("tp")
+	b.Bge(rI, rIEnd, "e1next")
+	b.Bge(rJ, rJEnd, "e1next")
+	b.Slli(isa.T0, rI, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rA, 0, isa.T0)
+	b.Slli(isa.T0, rJ, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rC, 0, isa.T0)
+	b.Blt(rA, rC, "inci") // comparison chain: data dependent
+	b.Blt(rC, rA, "incj")
+	b.Slt(isa.T0, rV, rA) // common neighbour; count when w > v
+	b.Add(rCount, rCount, isa.T0)
+	b.Addi(rI, rI, 1)
+	b.Addi(rJ, rJ, 1)
+	b.J("tp")
+	b.Label("inci")
+	b.Addi(rI, rI, 1)
+	b.J("tp")
+	b.Label("incj")
+	b.Addi(rJ, rJ, 1)
+	b.J("tp")
+	b.Label("e1next")
+	b.Addi(rE1, rE1, 1)
+	b.J("e1loop")
+	b.Label("unext")
+	b.Addi(rU, rU, 1)
+	b.J("uloop")
+	b.Label("done")
+	b.Li(isa.T0, int64(resultB))
+	b.St(rCount, 0, isa.T0)
+	emitChecksumLoop(b, resultB, 1)
+	return b.MustProgram()
+}
+
+func tcRef(g *Graph) []uint64 {
+	var count uint64
+	for u := 0; u < g.N; u++ {
+		for e := g.Row[u]; e < g.Row[u+1]; e++ {
+			v := g.Col[e]
+			if uint64(u) >= v {
+				continue
+			}
+			i, iend := g.Row[u], g.Row[u+1]
+			j, jend := g.Row[v], g.Row[v+1]
+			for i < iend && j < jend {
+				a, c := g.Col[i], g.Col[j]
+				switch {
+				case a < c:
+					i++
+				case c < a:
+					j++
+				default:
+					if a > v {
+						count++
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return []uint64{count}
+}
+
+// ----------------------------------------------------------------- bc ---
+
+func buildBC(scale int) *isa.Program {
+	n, deg := graphScale(scale)
+	g := RandomGraph(n, deg, graphSeed)
+	b := asm.NewBuilder("bc")
+	l := newLayout()
+	rowB, colB := emitGraph(b, l, g)
+	depthB := l.alloc(n)
+	sigmaB := l.alloc(n)
+	deltaB := l.alloc(n)
+	queueB := l.alloc(n)
+	depth0 := make([]uint64, n)
+	for i := range depth0 {
+		depth0[i] = infDist
+	}
+	depth0[0] = 0
+	emitArray(b, depthB, depth0)
+	emitArray(b, sigmaB, append([]uint64{1}, make([]uint64, n-1)...))
+
+	const (
+		rRow, rCol, rDepth, rSigma = isa.S0, isa.S2, isa.S3, isa.S4
+		rDelta, rQueue             = isa.S6, isa.S7
+		rHead, rTail               = isa.T3, isa.T4
+		rU, rE, rEE, rV            = isa.A0, isa.A1, isa.A2, isa.A3
+		rDU, rDV, rAcc             = isa.A4, isa.A5, isa.A6
+		rInf                       = isa.A7
+	)
+	b.Li(rRow, int64(rowB))
+	b.Li(rCol, int64(colB))
+	b.Li(rDepth, int64(depthB))
+	b.Li(rSigma, int64(sigmaB))
+	b.Li(rDelta, int64(deltaB))
+	b.Li(rQueue, int64(queueB))
+	b.Li(rInf, int64(infDist))
+	b.St(isa.Zero, 0, rQueue)
+	b.Li(rHead, 0)
+	b.Li(rTail, 1)
+	// Forward BFS computing depth and sigma (shortest-path counts).
+	b.Label("fwd")
+	b.Bge(rHead, rTail, "bwdinit")
+	b.Slli(isa.T0, rHead, 3)
+	b.Add(isa.T0, isa.T0, rQueue)
+	b.Ld(rU, 0, isa.T0)
+	b.Addi(rHead, rHead, 1)
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rDepth)
+	b.Ld(rDU, 0, isa.T1)
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Label("fedge")
+	b.Bge(rE, rEE, "fwd")
+	b.Slli(isa.T0, rE, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T0)
+	b.Slli(isa.T2, rV, 3)
+	b.Add(isa.T0, isa.T2, rDepth)
+	b.Ld(rDV, 0, isa.T0)
+	b.Bne(rDV, rInf, "notnew")
+	// First visit: set depth, enqueue.
+	b.Addi(rDV, rDU, 1)
+	b.St(rDV, 0, isa.T0)
+	b.Slli(isa.T1, rTail, 3)
+	b.Add(isa.T1, isa.T1, rQueue)
+	b.St(rV, 0, isa.T1)
+	b.Addi(rTail, rTail, 1)
+	b.Label("notnew")
+	b.Addi(isa.T1, rDU, 1)
+	b.Bne(rDV, isa.T1, "fnext")
+	// Shortest-path edge: sigma[v] += sigma[u]. T2 still holds v*8.
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rSigma)
+	b.Ld(isa.T1, 0, isa.T0)
+	b.Add(isa.T0, isa.T2, rSigma)
+	b.Ld(isa.T5, 0, isa.T0)
+	b.Add(isa.T5, isa.T5, isa.T1)
+	b.St(isa.T5, 0, isa.T0)
+	b.Label("fnext")
+	b.Addi(rE, rE, 1)
+	b.J("fedge")
+
+	// Backward pass: walk the BFS queue in reverse order, accumulating
+	// the Brandes dependency in 16.16 fixed point:
+	// delta[u] = sum over depth-(du+1) neighbours v of
+	//            sigma[u] * (FIX + delta[v]) / sigma[v].
+	const rIdx = isa.T5
+	b.Label("bwdinit")
+	b.Addi(rIdx, rTail, -1)
+	b.Label("bwd")
+	b.Blt(rIdx, isa.Zero, "bdone")
+	b.Slli(isa.T0, rIdx, 3)
+	b.Add(isa.T0, isa.T0, rQueue)
+	b.Ld(rU, 0, isa.T0)
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T1, isa.T0, rDepth)
+	b.Ld(rDU, 0, isa.T1)
+	b.Add(isa.T1, isa.T0, rRow)
+	b.Ld(rE, 0, isa.T1)
+	b.Ld(rEE, 8, isa.T1)
+	b.Li(rAcc, 0)
+	b.Label("bedge")
+	b.Bge(rE, rEE, "bstore")
+	b.Slli(isa.T0, rE, 3)
+	b.Add(isa.T0, isa.T0, rCol)
+	b.Ld(rV, 0, isa.T0)
+	b.Slli(isa.T2, rV, 3)
+	b.Add(isa.T0, isa.T2, rDepth)
+	b.Ld(rDV, 0, isa.T0)
+	b.Addi(isa.T1, rDU, 1)
+	b.Bne(rDV, isa.T1, "bnext")
+	b.Add(isa.T0, isa.T2, rDelta)
+	b.Ld(isa.T6, 0, isa.T0) // delta[v]
+	b.Li(isa.T1, int64(bcFix))
+	b.Add(isa.T6, isa.T6, isa.T1)
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rSigma)
+	b.Ld(isa.T1, 0, isa.T0) // sigma[u]
+	b.Mul(isa.T6, isa.T6, isa.T1)
+	b.Add(isa.T0, isa.T2, rSigma)
+	b.Ld(isa.T1, 0, isa.T0) // sigma[v]
+	b.Div(isa.T6, isa.T6, isa.T1)
+	b.Add(rAcc, rAcc, isa.T6)
+	b.Label("bnext")
+	b.Addi(rE, rE, 1)
+	b.J("bedge")
+	b.Label("bstore")
+	b.Slli(isa.T0, rU, 3)
+	b.Add(isa.T0, isa.T0, rDelta)
+	b.St(rAcc, 0, isa.T0)
+	b.Addi(rIdx, rIdx, -1)
+	b.J("bwd")
+	b.Label("bdone")
+	emitChecksumLoop(b, deltaB, n)
+	return b.MustProgram()
+}
+
+// bcRef mirrors buildBC: forward BFS with path counting, then the reverse
+// fixed-point dependency accumulation.
+func bcRef(g *Graph) []uint64 {
+	depth := make([]uint64, g.N)
+	sigma := make([]uint64, g.N)
+	delta := make([]uint64, g.N)
+	for i := range depth {
+		depth[i] = infDist
+	}
+	depth[0] = 0
+	sigma[0] = 1
+	queue := []uint64{0}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := depth[u]
+		for e := g.Row[u]; e < g.Row[u+1]; e++ {
+			v := g.Col[e]
+			if depth[v] == infDist {
+				depth[v] = du + 1
+				queue = append(queue, v)
+			}
+			if depth[v] == du+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for idx := len(queue) - 1; idx >= 0; idx-- {
+		u := queue[idx]
+		du := depth[u]
+		var acc uint64
+		for e := g.Row[u]; e < g.Row[u+1]; e++ {
+			v := g.Col[e]
+			if depth[v] == du+1 {
+				acc += sigma[u] * (bcFix + delta[v]) / sigma[v]
+			}
+		}
+		delta[u] = acc
+	}
+	return delta
+}

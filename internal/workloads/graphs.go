@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"sort"
+
+	"mssr/internal/asm"
+)
+
+// Graph is a CSR-format directed adjacency structure (symmetrized for the
+// undirected kernels). It stands in for the GAP suite's generated graphs.
+type Graph struct {
+	N   int
+	Row []uint64 // length N+1
+	Col []uint64 // length M
+}
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.Col) }
+
+// Deg returns vertex u's out-degree.
+func (g *Graph) Deg(u int) uint64 { return g.Row[u+1] - g.Row[u] }
+
+// RandomGraph generates a uniform random undirected graph with n vertices
+// and roughly n*degree/2 undirected edges (each stored in both
+// directions), deduplicated and with sorted adjacency lists — the shape
+// GAP's uniform-random generator produces. Deterministic in seed.
+func RandomGraph(n, degree int, seed uint64) *Graph {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return splitmix(state)
+	}
+	edges := n * degree / 2
+	for i := 0; i < edges; i++ {
+		u := int(next() % uint64(n))
+		v := int(next() % uint64(n))
+		if u == v {
+			continue
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	g := &Graph{N: n, Row: make([]uint64, n+1)}
+	for u := 0; u < n; u++ {
+		ns := make([]int, 0, len(adj[u]))
+		for v := range adj[u] {
+			ns = append(ns, v)
+		}
+		sort.Ints(ns)
+		for _, v := range ns {
+			g.Col = append(g.Col, uint64(v))
+		}
+		g.Row[u+1] = uint64(len(g.Col))
+	}
+	return g
+}
+
+// layout assigns consecutive word-aligned array regions starting at
+// dataBase, returning base addresses in order.
+type layout struct {
+	next uint64
+}
+
+func newLayout() *layout { return &layout{next: dataBase} }
+
+// alloc reserves words 64-bit slots and returns the base address.
+func (l *layout) alloc(words int) uint64 {
+	base := l.next
+	l.next += uint64(words) * 8
+	// Keep regions line-aligned so kernels do not false-share cache lines.
+	l.next = (l.next + 63) &^ 63
+	return base
+}
+
+// emitArray writes vals to the builder's data image at base.
+func emitArray(b *asm.Builder, base uint64, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	b.Data(base, vals...)
+}
+
+// emitGraph places the CSR arrays and returns their bases.
+func emitGraph(b *asm.Builder, l *layout, g *Graph) (rowBase, colBase uint64) {
+	rowBase = l.alloc(len(g.Row))
+	colBase = l.alloc(len(g.Col) + 1) // +1 so zero-edge graphs still allocate
+	emitArray(b, rowBase, g.Row)
+	emitArray(b, colBase, g.Col)
+	return rowBase, colBase
+}
+
+// edgeWeights derives deterministic per-edge weights 1..15 from the edge
+// index, matching emitted data and Go references.
+func edgeWeights(m int) []uint64 {
+	w := make([]uint64, m)
+	for i := range w {
+		w[i] = splitmix(uint64(i)+0xabcd)%15 + 1
+	}
+	return w
+}
+
+// graphScale maps the workload scale factor to (vertices, degree); scale 1
+// is the standard evaluation size (a scaled-down stand-in for GAP's
+// -g 12 -n 128).
+func graphScale(scale int) (n, degree int) {
+	if scale < 1 {
+		// Tiny validation size for cross-engine equivalence tests.
+		return 48, 6
+	}
+	n = 256 * scale
+	if n > 4096 {
+		n = 4096
+	}
+	return n, 8
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// Splitmix64 multiplier constants as signed literals for the li builder.
+const (
+	k1 = -0x61c8864680b583eb // 0x9e3779b97f4a7c15
+	k2 = -0x40a7b892e31b1a47 // 0xbf58476d1ce4e5b9
+	k3 = -0x6b2fb644ecceee15 // 0x94d049bb133111eb
+)
+
+// emitHash emits rd = splitmix(rs): three multiply-xorshift rounds whose
+// low bits defeat the TAGE predictor, recreating the paper's `hash`
+// primitive from Listing 1. Clobbers tmp (which must differ from rd).
+func emitHash(b *asm.Builder, rd, rs, tmp isa.Reg) {
+	if tmp == rd {
+		panic("workloads: emitHash tmp must differ from rd")
+	}
+	b.Li(tmp, k1)
+	b.Mul(rd, rs, tmp)
+	b.Srli(tmp, rd, 30)
+	b.Xor(rd, rd, tmp)
+	b.Li(tmp, k2)
+	b.Mul(rd, rd, tmp)
+	b.Srli(tmp, rd, 27)
+	b.Xor(rd, rd, tmp)
+	b.Li(tmp, k3)
+	b.Mul(rd, rd, tmp)
+	b.Srli(tmp, rd, 31)
+	b.Xor(rd, rd, tmp)
+}
+
+// emitCalc1 emits rd = calc1(rd), the paper's short compute kernel used
+// inside the control-dependent regions. Clobbers tmp.
+func emitCalc1(b *asm.Builder, rd, tmp isa.Reg) {
+	b.Slli(tmp, rd, 2)
+	b.Add(rd, rd, tmp)
+	b.Xori(rd, rd, 0x2a)
+	b.Srli(tmp, rd, 3)
+	b.Add(rd, rd, tmp)
+}
+
+// calc1 is the Go reference of emitCalc1.
+func calc1(x uint64) uint64 {
+	x += x << 2
+	x ^= 0x2a
+	x += x >> 3
+	return x
+}
+
+// emitCalc2 emits rd = calc2(rs), the compute-intensive kernel of the
+// potential-CIDI tail (the multiply makes reuse worth real latency).
+// Clobbers tmp; rd must differ from rs and tmp.
+func emitCalc2(b *asm.Builder, rd, rs, tmp isa.Reg) {
+	if rd == rs || rd == tmp {
+		panic("workloads: emitCalc2 register clash")
+	}
+	b.Mul(rd, rs, rs)
+	b.Add(rd, rd, rs)
+	b.Srli(tmp, rd, 7)
+	b.Xor(rd, rd, tmp)
+	b.Addi(rd, rd, 13)
+}
+
+// calc2 is the Go reference of emitCalc2.
+func calc2(x uint64) uint64 {
+	y := x*x + x
+	y ^= y >> 7
+	return y + 13
+}

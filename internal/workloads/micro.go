@@ -1,0 +1,206 @@
+package workloads
+
+import (
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// Variant selects the Listing 1 microbenchmark variation (§2.2.4).
+type Variant int
+
+// Microbenchmark variations.
+const (
+	// VariantNested: Br1 tests data1 (derived from data2, so available a
+	// few cycles later) while the inner Br2 tests data2. The younger Br2
+	// resolves first, so a spurious inner misprediction precedes the
+	// overriding outer one — the paper's hardware-induced multi-stream
+	// scenario.
+	VariantNested Variant = iota
+	// VariantLinear: the branch inputs are swapped, so Br1 resolves
+	// before Br2 and mispredictions occur in program order — the
+	// software-induced scenario.
+	VariantLinear
+)
+
+func (v Variant) String() string {
+	if v == VariantNested {
+		return "nested-mispred"
+	}
+	return "linear-mispred"
+}
+
+const (
+	microArrWords = 256
+	// calc1Rounds/calc2Rounds size the paper's "compute-intensive"
+	// kernels. They are deliberately large: the control-dependent regions
+	// must be long enough that the corrected stream cannot refill past M2
+	// before an overriding branch resolves (making older squashed streams
+	// valuable), and the loop's static footprint must exceed the Register
+	// Integration table so its low-associativity configurations conflict,
+	// as in the paper's §2.2.4 study.
+	calc1Rounds = 3
+	calc2Rounds = 1
+)
+
+// emitMicroCalc1 inlines rd = calc1(rd): a long dependent ALU chain.
+func emitMicroCalc1(b *asm.Builder, rd, tmp isa.Reg) {
+	for r := 0; r < calc1Rounds; r++ {
+		b.Slli(tmp, rd, int64(2+r%5))
+		b.Add(rd, rd, tmp)
+		b.Xori(rd, rd, int64(0x2a+r*17))
+		b.Srli(tmp, rd, int64(3+r%7))
+		b.Add(rd, rd, tmp)
+	}
+}
+
+// microCalc1 is the Go reference of emitMicroCalc1.
+func microCalc1(x uint64) uint64 {
+	for r := 0; r < calc1Rounds; r++ {
+		x += x << (2 + r%5)
+		x ^= uint64(0x2a + r*17)
+		x += x >> (3 + r%7)
+	}
+	return x
+}
+
+// emitMicroCalc2 inlines rd = calc2(rs): the CI-tail compute kernel whose
+// multiplies give squash reuse real latency to save.
+func emitMicroCalc2(b *asm.Builder, rd, rs, tmp isa.Reg) {
+	b.Mul(rd, rs, rs)
+	b.Add(rd, rd, rs)
+	for r := 0; r < calc2Rounds; r++ {
+		b.Srli(tmp, rd, int64(7+r*2))
+		b.Xor(rd, rd, tmp)
+		b.Li(tmp, k2+int64(r)*16)
+		b.Mul(rd, rd, tmp)
+	}
+	b.Srli(tmp, rd, 9)
+	b.Xor(rd, rd, tmp)
+	b.Addi(rd, rd, 13)
+}
+
+// microCalc2 is the Go reference of emitMicroCalc2.
+func microCalc2(x uint64) uint64 {
+	y := x*x + x
+	for r := 0; r < calc2Rounds; r++ {
+		y ^= y >> (7 + r*2)
+		y *= uint64(int64(k2) + int64(r)*16)
+	}
+	y ^= y >> 9
+	return y + 13
+}
+
+// Listing1 builds the paper's Listing 1 microbenchmark:
+//
+//	for i in 0..iters:
+//	    data2 = hash(i)
+//	    data1 = mix(data2)            // short dependent derivation
+//	    Br1: if cond1 & 1:
+//	        Br2: if cond2 & 2:
+//	            data2 = calc1(data2)  // compute-intensive kernel
+//	        M1: data1 = calc1(data1)
+//	    M2: t0 = calc2(i); t1 = calc2(data1); t2 = calc2(data2)
+//	    arr[i % 256] = t0 + t1 + t2
+//
+// with (cond1, cond2) = (data1, data2) for nested-mispred and
+// (data2, data1) for linear-mispred. The short data1 derivation makes Br1
+// resolve only a few cycles after Br2, producing the out-of-order
+// (nested) or in-order (linear) misprediction patterns of §2.2.4. The
+// tail after M2 is the CI region: t0 is always CIDI, t2 is dynamically
+// CIDI when Br2 falls through, and t1 is data dependent whenever Br1 was
+// taken.
+func Listing1(v Variant, iters int) *isa.Program {
+	b := asm.NewBuilder(v.String())
+	const (
+		rI     = isa.S1
+		rN     = isa.S2
+		rSum   = isa.S3
+		rArr   = isa.S0
+		rData1 = isa.A1
+		rData2 = isa.A2
+		rT0    = isa.A3
+		rT1    = isa.A4
+		rT2    = isa.A5
+		rC     = isa.A6
+		rTmp   = isa.T5
+		rTmp2  = isa.T6
+	)
+	b.Li(rArr, int64(dataBase))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	emitHash(b, rData2, rI, rTmp)
+	// data1 = mix(data2): a short dependent derivation, so Br1's input
+	// arrives only ~5 cycles after Br2's.
+	b.Li(rTmp, k1)
+	b.Mul(rData1, rData2, rTmp)
+	b.Srli(rTmp, rData1, 29)
+	b.Xor(rData1, rData1, rTmp)
+	// Br1.
+	if v == VariantNested {
+		b.Andi(rC, rData1, 0x1)
+	} else {
+		b.Andi(rC, rData2, 0x1)
+	}
+	b.Beqz(rC, "M2")
+	// Br2.
+	if v == VariantNested {
+		b.Andi(rC, rData2, 0x2)
+	} else {
+		b.Andi(rC, rData1, 0x2)
+	}
+	b.Beqz(rC, "M1")
+	emitMicroCalc1(b, rData2, rTmp)
+	b.Label("M1")
+	emitMicroCalc1(b, rData1, rTmp)
+	b.Label("M2")
+	// Potential CIDI operations.
+	emitMicroCalc2(b, rT0, rI, rTmp)
+	emitMicroCalc2(b, rT1, rData1, rTmp)
+	emitMicroCalc2(b, rT2, rData2, rTmp)
+	b.Add(rT0, rT0, rT1)
+	b.Add(rT0, rT0, rT2)
+	// arr[i % 256] = t0 + t1 + t2; the checksum folds every write.
+	b.Andi(rTmp2, rI, microArrWords-1)
+	b.Slli(rTmp2, rTmp2, 3)
+	b.Add(rTmp2, rTmp2, rArr)
+	b.St(rT0, 0, rTmp2)
+	b.Xor(rSum, rSum, rT0)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	// Publish the checksum for the test suite.
+	b.Li(rTmp, int64(checkWord))
+	b.St(rSum, 0, rTmp)
+	b.Halt()
+	return b.MustProgram()
+}
+
+// microMix is the Go reference of the data1 derivation.
+func microMix(x uint64) uint64 {
+	y := x * 0x9e3779b97f4a7c15
+	return y ^ y>>29
+}
+
+// Listing1Ref is the Go reference implementation; it returns the checksum
+// the program stores at CheckAddr.
+func Listing1Ref(v Variant, iters int) uint64 {
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		data2 := splitmix(uint64(i))
+		data1 := microMix(data2)
+		cond1, cond2 := data1, data2
+		if v == VariantLinear {
+			cond1, cond2 = data2, data1
+		}
+		if cond1&1 != 0 {
+			if cond2&2 != 0 {
+				data2 = microCalc1(data2)
+			}
+			data1 = microCalc1(data1)
+		}
+		t := microCalc2(uint64(i)) + microCalc2(data1) + microCalc2(data2)
+		sum ^= t
+	}
+	return sum
+}

@@ -1,0 +1,635 @@
+package workloads
+
+import (
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// The SPEC-like synthetics recreate the dominant pipeline behaviours of
+// the SPECint benchmarks the paper selects (branch misprediction rate
+// above 3%): hash-driven hard-to-predict branches with reusable
+// control-independent tails, pointer-chasing memory boundedness, and
+// store-load aliasing. Each stores a checksum at CheckAddr and has an
+// exact Go reference.
+
+// emitStoreChecksum stores rSum to CheckAddr and halts.
+func emitStoreChecksum(b *asm.Builder, rSum isa.Reg) {
+	b.Li(isa.T0, int64(checkWord))
+	b.St(rSum, 0, isa.T0)
+	b.Halt()
+}
+
+// hashedWords produces n deterministic pseudo-random words.
+func hashedWords(n int, salt uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = splitmix(uint64(i) + salt)
+	}
+	return out
+}
+
+// -------------------------------------------------------------- astar ---
+
+const astarCostWords = 64
+
+func buildAstar(scale int) *isa.Program {
+	iters := scaledIters(5000, scale)
+	b := asm.NewBuilder("astar")
+	l := newLayout()
+	costB := l.alloc(astarCostWords)
+	costs := hashedWords(astarCostWords, 0xa57a)
+	for i := range costs {
+		costs[i] &= 0xffff
+	}
+	emitArray(b, costB, costs)
+
+	const (
+		rI, rN, rSum, rCost       = isa.S1, isa.S2, isa.S3, isa.S0
+		rH, rBest, rBestA, rJ, rC = isa.A1, isa.A2, isa.A3, isa.A4, isa.A5
+	)
+	b.Li(rCost, int64(costB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	emitHash(b, rH, rI, isa.T0)
+	// Open-list scan: pick the minimum of 8 hashed candidates; each
+	// comparison is data dependent and hard to predict.
+	b.Li(rBest, 1<<30)
+	b.Li(rBestA, 0)
+	b.Li(rJ, 0)
+	b.Label("scan")
+	b.Slli(isa.T0, rJ, 1)
+	b.Add(isa.T0, isa.T0, rJ) // j*3
+	b.Srl(isa.T1, rH, isa.T0)
+	b.Andi(isa.T1, isa.T1, astarCostWords-1)
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.T2, rCost)
+	b.Ld(rC, 0, isa.T2)
+	b.Bge(rC, rBest, "next") // min-selection: data dependent
+	b.Mv(rBest, rC)
+	b.Mv(rBestA, isa.T2)
+	b.Label("next")
+	b.Addi(rJ, rJ, 1)
+	b.Slti(isa.T0, rJ, 8)
+	b.Bnez(isa.T0, "scan")
+	// Expand the chosen node: control-independent compute tail.
+	emitCalc2(b, isa.A6, rI, isa.T0)
+	b.Andi(isa.T1, isa.A6, 0xff)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Add(isa.T1, isa.T1, rBest)
+	b.St(isa.T1, 0, rBestA)
+	b.Add(rSum, rSum, rBest)
+	b.Xor(rSum, rSum, isa.A6)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func astarRef(scale int) uint64 {
+	iters := scaledIters(5000, scale)
+	cost := hashedWords(astarCostWords, 0xa57a)
+	for i := range cost {
+		cost[i] &= 0xffff
+	}
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		h := splitmix(uint64(i))
+		best := uint64(1 << 30)
+		bestJ := 0
+		for j := 0; j < 8; j++ {
+			idx := int(h >> (j * 3) & (astarCostWords - 1))
+			if cost[idx] < best {
+				best = cost[idx]
+				bestJ = idx
+			}
+		}
+		t := calc2(uint64(i))
+		cost[bestJ] = best + t&0xff + 1
+		sum += best
+		sum ^= t
+	}
+	return sum
+}
+
+// -------------------------------------------------------------- gobmk ---
+
+const gobmkBoardWords = 256
+
+func buildGobmk(scale int) *isa.Program {
+	iters := scaledIters(8000, scale)
+	b := asm.NewBuilder("gobmk")
+	l := newLayout()
+	boardB := l.alloc(gobmkBoardWords)
+	emitArray(b, boardB, hashedWords(gobmkBoardWords, 0x60b0))
+
+	const (
+		rI, rN, rSum, rBoard = isa.S1, isa.S2, isa.S3, isa.S0
+		rV, rT               = isa.A1, isa.A2
+	)
+	b.Li(rBoard, int64(boardB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	b.Andi(isa.T0, rI, gobmkBoardWords-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, rBoard)
+	b.Ld(rV, 0, isa.T0)
+	b.Add(rV, rV, rI)
+	emitHash(b, rV, rV, isa.T0)
+	// Pattern-matching condition chain: three nested data-dependent
+	// branches over the hashed cell value.
+	b.Andi(isa.T0, rV, 1)
+	b.Beqz(isa.T0, "p2")
+	b.Andi(isa.T0, rV, 2)
+	b.Beqz(isa.T0, "p1b")
+	b.Addi(rSum, rSum, 3)
+	b.J("merge1")
+	b.Label("p1b")
+	b.Xori(rSum, rSum, 0x55)
+	b.Label("merge1")
+	b.Srli(isa.T0, rSum, 2)
+	b.Add(rSum, rSum, isa.T0)
+	b.J("merge2")
+	b.Label("p2")
+	b.Andi(isa.T0, rV, 4)
+	b.Beqz(isa.T0, "merge2")
+	b.Addi(rSum, rSum, 7)
+	b.Label("merge2")
+	// Control-independent evaluation tail.
+	emitCalc2(b, rT, rI, isa.T0)
+	b.Xor(rSum, rSum, rT)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func gobmkRef(scale int) uint64 {
+	iters := scaledIters(8000, scale)
+	board := hashedWords(gobmkBoardWords, 0x60b0)
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		v := splitmix(board[i&(gobmkBoardWords-1)] + uint64(i))
+		if v&1 != 0 {
+			if v&2 != 0 {
+				sum += 3
+			} else {
+				sum ^= 0x55
+			}
+			sum += sum >> 2
+		} else if v&4 != 0 {
+			sum += 7
+		}
+		sum ^= calc2(uint64(i))
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------- mcf ---
+
+const mcfNodes = 1 << 15 // 32k nodes x 2 arrays x 8B = 512 KB: misses L1
+
+func buildMcf(scale int) *isa.Program {
+	iters := scaledIters(20000, scale)
+	b := asm.NewBuilder("mcf")
+	l := newLayout()
+	nextB := l.alloc(mcfNodes)
+	valB := l.alloc(mcfNodes)
+	emitArray(b, nextB, mcfPermutation())
+	emitArray(b, valB, hashedWords(mcfNodes, 0x3cf))
+
+	const (
+		rI, rN, rSum, rNext, rVal = isa.S1, isa.S2, isa.S3, isa.S0, isa.S4
+		rP, rV                    = isa.A1, isa.A2
+	)
+	b.Li(rNext, int64(nextB))
+	b.Li(rVal, int64(valB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Li(rP, 0)
+	b.Label("loop")
+	// Serialized pointer chase: the next node index is loaded from the
+	// current one; the working set exceeds the L1.
+	b.Slli(isa.T0, rP, 3)
+	b.Add(isa.T0, isa.T0, rNext)
+	b.Ld(rP, 0, isa.T0)
+	b.Slli(isa.T0, rP, 3)
+	b.Add(isa.T0, isa.T0, rVal)
+	b.Ld(rV, 0, isa.T0)
+	b.Andi(isa.T1, rV, 1)
+	b.Beqz(isa.T1, "other") // arc-cost check: data dependent
+	b.Add(rSum, rSum, rV)
+	b.J("merge")
+	b.Label("other")
+	b.Xor(rSum, rSum, rV)
+	b.Label("merge")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+// mcfPermutation builds a deterministic single-cycle permutation so the
+// chase visits the whole working set.
+func mcfPermutation() []uint64 {
+	perm := make([]uint64, mcfNodes)
+	order := make([]int, mcfNodes)
+	for i := range order {
+		order[i] = i
+	}
+	// Fisher-Yates with the deterministic hash.
+	for i := mcfNodes - 1; i > 0; i-- {
+		j := int(splitmix(uint64(i)+0x9d5) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	for i := 0; i < mcfNodes; i++ {
+		perm[order[i]] = uint64(order[(i+1)%mcfNodes])
+	}
+	return perm
+}
+
+func mcfRef(scale int) uint64 {
+	iters := scaledIters(20000, scale)
+	next := mcfPermutation()
+	val := hashedWords(mcfNodes, 0x3cf)
+	var sum uint64
+	p := uint64(0)
+	for i := 0; i < iters; i++ {
+		p = next[p]
+		v := val[p]
+		if v&1 != 0 {
+			sum += v
+		} else {
+			sum ^= v
+		}
+	}
+	return sum
+}
+
+// -------------------------------------------------------------- sjeng ---
+
+func buildSjeng(scale int) *isa.Program {
+	return buildTreeEval("sjeng", scaledIters(8000, scale), 2, 0x57e6)
+}
+
+func sjengRef(scale int) uint64 { return treeEvalRef(scaledIters(8000, scale), 2, 0x57e6) }
+
+func buildDeepsjeng(scale int) *isa.Program {
+	return buildTreeEval("deepsjeng", scaledIters(6000, scale), 3, 0xdee6)
+}
+
+func deepsjengRef(scale int) uint64 { return treeEvalRef(scaledIters(6000, scale), 3, 0xdee6) }
+
+// buildTreeEval models game-tree evaluation: `depth` levels of nested
+// data-dependent branches over hashed position values, with a
+// control-independent scoring tail.
+func buildTreeEval(name string, iters, depth int, salt int64) *isa.Program {
+	b := asm.NewBuilder(name)
+	const (
+		rI, rN, rSum = isa.S1, isa.S2, isa.S3
+		rH, rT       = isa.A1, isa.A2
+	)
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	b.Add(rH, rI, isa.Zero)
+	b.Addi(rH, rH, salt)
+	emitHash(b, rH, rH, isa.T0)
+	for d := 0; d < depth; d++ {
+		lbl := func(s string, k int) string { return s + string(rune('a'+k)) }
+		b.Andi(isa.T0, rH, int64(1)<<d)
+		b.Beqz(isa.T0, lbl("alt", d))
+		b.Addi(rSum, rSum, int64(d)*3+1)
+		b.Slli(isa.T1, rSum, 1)
+		b.Xor(rSum, rSum, isa.T1)
+		b.J(lbl("mrg", d))
+		b.Label(lbl("alt", d))
+		b.Xori(rSum, rSum, salt&0xff)
+		b.Label(lbl("mrg", d))
+	}
+	// Control-independent scoring.
+	emitCalc2(b, rT, rI, isa.T0)
+	b.Add(rSum, rSum, rT)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func treeEvalRef(iters, depth int, salt int64) uint64 {
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		h := splitmix(uint64(i) + uint64(salt))
+		for d := 0; d < depth; d++ {
+			if h&(1<<d) != 0 {
+				sum += uint64(d)*3 + 1
+				sum ^= sum << 1
+			} else {
+				sum ^= uint64(salt) & 0xff
+			}
+		}
+		sum += calc2(uint64(i))
+	}
+	return sum
+}
+
+// -------------------------------------------------------------- bzip2 ---
+
+const bzip2DataWords = 4096
+
+func buildBzip2(scale int) *isa.Program {
+	iters := scaledIters(16000, scale)
+	b := asm.NewBuilder("bzip2")
+	l := newLayout()
+	dataB := l.alloc(bzip2DataWords)
+	data := hashedWords(bzip2DataWords, 0xb21b)
+	for i := range data {
+		data[i] &= 3 // small alphabet: runs occur
+	}
+	emitArray(b, dataB, data)
+
+	const (
+		rI, rN, rSum, rData = isa.S1, isa.S2, isa.S3, isa.S0
+		rPrev, rRun, rV     = isa.A1, isa.A2, isa.A3
+	)
+	b.Li(rData, int64(dataB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Li(rPrev, 99) // sentinel: never matches
+	b.Li(rRun, 0)
+	b.Label("loop")
+	b.Andi(isa.T0, rI, bzip2DataWords-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, rData)
+	b.Ld(rV, 0, isa.T0)
+	b.Bne(rV, rPrev, "newrun") // run-continuation check: data dependent
+	b.Addi(rRun, rRun, 1)
+	b.J("cont")
+	b.Label("newrun")
+	b.Mul(isa.T1, rRun, rPrev)
+	b.Add(rSum, rSum, isa.T1)
+	b.Li(rRun, 1)
+	b.Mv(rPrev, rV)
+	b.Label("cont")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	b.Mul(isa.T1, rRun, rPrev)
+	b.Add(rSum, rSum, isa.T1)
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func bzip2Ref(scale int) uint64 {
+	iters := scaledIters(16000, scale)
+	data := hashedWords(bzip2DataWords, 0xb21b)
+	for i := range data {
+		data[i] &= 3
+	}
+	var sum uint64
+	prev := uint64(99)
+	run := uint64(0)
+	for i := 0; i < iters; i++ {
+		v := data[i&(bzip2DataWords-1)]
+		if v == prev {
+			run++
+		} else {
+			sum += run * prev
+			run = 1
+			prev = v
+		}
+	}
+	sum += run * prev
+	return sum
+}
+
+// -------------------------------------------------------------- leela ---
+
+const leelaVisitWords = 256
+
+func buildLeela(scale int) *isa.Program {
+	iters := scaledIters(7000, scale)
+	b := asm.NewBuilder("leela")
+	l := newLayout()
+	visitB := l.alloc(leelaVisitWords)
+
+	const (
+		rI, rN, rSum, rVisit = isa.S1, isa.S2, isa.S3, isa.S0
+		rH, rNode, rT        = isa.A1, isa.A2, isa.A3
+	)
+	b.Li(rVisit, int64(visitB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	emitHash(b, rH, rI, isa.T0)
+	b.Li(rNode, 0)
+	// MCTS-style descent: three hard-to-predict child choices.
+	for d := 0; d < 3; d++ {
+		left := "left" + string(rune('a'+d))
+		merge := "mrg" + string(rune('a'+d))
+		b.Andi(isa.T0, rH, int64(1)<<(d*2))
+		b.Beqz(isa.T0, left)
+		b.Slli(rNode, rNode, 1)
+		b.Addi(rNode, rNode, 1)
+		b.J(merge)
+		b.Label(left)
+		b.Slli(rNode, rNode, 1)
+		b.Addi(rNode, rNode, 2)
+		b.Label(merge)
+	}
+	// Visit-count update plus CI tail.
+	b.Andi(isa.T0, rNode, leelaVisitWords-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, rVisit)
+	b.Ld(isa.T1, 0, isa.T0)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.St(isa.T1, 0, isa.T0)
+	emitCalc2(b, rT, rI, isa.T2)
+	b.Add(rSum, rSum, rT)
+	b.Xor(rSum, rSum, isa.T1)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func leelaRef(scale int) uint64 {
+	iters := scaledIters(7000, scale)
+	visits := make([]uint64, leelaVisitWords)
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		h := splitmix(uint64(i))
+		node := uint64(0)
+		for d := 0; d < 3; d++ {
+			if h&(1<<(d*2)) != 0 {
+				node = node*2 + 1
+			} else {
+				node = node*2 + 2
+			}
+		}
+		visits[node&(leelaVisitWords-1)]++
+		sum += calc2(uint64(i))
+		sum ^= visits[node&(leelaVisitWords-1)]
+	}
+	return sum
+}
+
+// ------------------------------------------------------------ omnetpp ---
+
+const omnetppEvents = 1 << 14 // 128 KB event array: beyond L1
+
+func buildOmnetpp(scale int) *isa.Program {
+	iters := scaledIters(12000, scale)
+	b := asm.NewBuilder("omnetpp")
+	l := newLayout()
+	timeB := l.alloc(4)
+	eventB := l.alloc(omnetppEvents)
+	emitArray(b, timeB, []uint64{3, 5, 7, 11})
+	emitArray(b, eventB, hashedWords(omnetppEvents, 0x03e7))
+
+	const (
+		rI, rN, rSum, rTimes, rEvents = isa.S1, isa.S2, isa.S3, isa.S0, isa.S4
+		rBest, rBestK, rT, rK         = isa.A1, isa.A2, isa.A3, isa.A4
+		rH                            = isa.A5
+	)
+	b.Li(rTimes, int64(timeB))
+	b.Li(rEvents, int64(eventB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	// Pick the earliest of four event queues: data-dependent compares.
+	b.Li(rBest, -1) // max uint as signed -1; use unsigned compare below
+	b.Li(rBestK, 0)
+	b.Li(rK, 0)
+	b.Label("scan")
+	b.Slli(isa.T0, rK, 3)
+	b.Add(isa.T0, isa.T0, rTimes)
+	b.Ld(rT, 0, isa.T0)
+	b.Bgeu(rT, rBest, "next")
+	b.Mv(rBest, rT)
+	b.Mv(rBestK, rK)
+	b.Label("next")
+	b.Addi(rK, rK, 1)
+	b.Slti(isa.T0, rK, 4)
+	b.Bnez(isa.T0, "scan")
+	// Process the event: hashed access into a large event array.
+	b.Add(rH, rBest, rI)
+	emitHash(b, rH, rH, isa.T0)
+	b.Andi(isa.T0, rH, omnetppEvents-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, rEvents)
+	b.Ld(isa.T1, 0, isa.T0)
+	b.Xor(rSum, rSum, isa.T1)
+	b.Add(isa.T1, isa.T1, rBest)
+	b.St(isa.T1, 0, isa.T0)
+	// Reschedule the chosen queue.
+	b.Andi(isa.T1, rH, 255)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Add(isa.T1, isa.T1, rBest)
+	b.Slli(isa.T0, rBestK, 3)
+	b.Add(isa.T0, isa.T0, rTimes)
+	b.St(isa.T1, 0, isa.T0)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func omnetppRef(scale int) uint64 {
+	iters := scaledIters(12000, scale)
+	times := []uint64{3, 5, 7, 11}
+	events := hashedWords(omnetppEvents, 0x03e7)
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		best := ^uint64(0)
+		bestK := 0
+		for k := 0; k < 4; k++ {
+			if times[k] < best {
+				best = times[k]
+				bestK = k
+			}
+		}
+		h := splitmix(best + uint64(i))
+		idx := h & (omnetppEvents - 1)
+		sum ^= events[idx]
+		events[idx] += best
+		times[bestK] = best + h&255 + 1
+	}
+	return sum
+}
+
+// ----------------------------------------------------------------- xz ---
+
+const xzWindowWords = 1024
+
+func buildXz(scale int) *isa.Program {
+	iters := scaledIters(14000, scale)
+	b := asm.NewBuilder("xz")
+	l := newLayout()
+	windowB := l.alloc(xzWindowWords)
+	emitArray(b, windowB, hashedWords(xzWindowWords, 0x7a7a))
+
+	const (
+		rI, rN, rSum, rWin = isa.S1, isa.S2, isa.S3, isa.S0
+		rH, rV, rAddr      = isa.A1, isa.A2, isa.A3
+	)
+	b.Li(rWin, int64(windowB))
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rSum, 0)
+	b.Label("loop")
+	emitHash(b, rH, rI, isa.T0)
+	b.Andi(isa.T0, rH, xzWindowWords-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(rAddr, isa.T0, rWin)
+	b.Ld(rV, 0, rAddr) // dictionary probe: candidate for (hazardous) reuse
+	b.Andi(isa.T1, rV, 1)
+	b.Beqz(isa.T1, "nomatch") // match check: data dependent
+	// Match path: write back into the window one slot ahead, creating
+	// store-load aliasing with later iterations' probes.
+	b.Add(isa.T1, rV, rI)
+	b.St(isa.T1, 8, rAddr)
+	b.Add(rSum, rSum, rV)
+	b.J("merge")
+	b.Label("nomatch")
+	b.Xor(rSum, rSum, rV)
+	b.Label("merge")
+	// Update the probed slot itself: every iteration stores near where
+	// future (and squashed wrong-path) loads read.
+	b.Addi(rV, rV, 1)
+	b.St(rV, 0, rAddr)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+	emitStoreChecksum(b, rSum)
+	return b.MustProgram()
+}
+
+func xzRef(scale int) uint64 {
+	iters := scaledIters(14000, scale)
+	// One extra slot: the assembly's +8-byte store does not wrap, so a
+	// match at the last index writes one word past the window. That slot
+	// is never read back (probes are masked), but the layouts must agree.
+	window := make([]uint64, xzWindowWords+1)
+	copy(window, hashedWords(xzWindowWords, 0x7a7a))
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		h := splitmix(uint64(i))
+		idx := h & (xzWindowWords - 1)
+		v := window[idx]
+		if v&1 != 0 {
+			window[idx+1] = v + uint64(i)
+			sum += v
+		} else {
+			sum ^= v
+		}
+		window[idx] = v + 1
+	}
+	return sum
+}

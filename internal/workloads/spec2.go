@@ -1,0 +1,251 @@
+package workloads
+
+import (
+	"mssr/internal/asm"
+	"mssr/internal/isa"
+)
+
+// This file adds the two SPECint behaviours the other synthetics do not
+// cover: indirect-branch-heavy dispatch (perlbench: a bytecode
+// interpreter whose jalr targets are data dependent) and deep recursion
+// (exchange2: permutation enumeration stressing the return address stack
+// and stack memory traffic).
+
+// ---------------------------------------------------------- perlbench ---
+
+const (
+	perlCodeWords    = 1024
+	perlHandlers     = 4
+	perlHandlerInstr = 4 // instructions per handler (fixed stride)
+)
+
+// buildPerlbench builds a dispatch-loop interpreter: each iteration loads
+// a pseudo-random opcode and jumps through a computed jalr into one of
+// four fixed-stride handlers. The dispatch target is data dependent, so
+// the indirect predictor mispredicts constantly — perlbench's signature
+// bottleneck. Two-pass build: the first pass resolves the handler base.
+func buildPerlbench(scale int) *isa.Program {
+	iters := scaledIters(10000, scale)
+	code := hashedWords(perlCodeWords, 0x9e71)
+	for i := range code {
+		code[i] &= perlHandlers - 1
+	}
+	build := func(handlerBase int64) *isa.Program {
+		b := asm.NewBuilder("perlbench")
+		l := newLayout()
+		codeB := l.alloc(perlCodeWords)
+		emitArray(b, codeB, code)
+		const (
+			rI, rN, rSum, rCode, rHB = isa.S1, isa.S2, isa.S3, isa.S0, isa.S4
+			rOp                      = isa.A1
+		)
+		b.Li(rHB, handlerBase)
+		b.Li(rCode, int64(codeB))
+		b.Li(rI, 0)
+		b.Li(rN, int64(iters))
+		b.Li(rSum, 0)
+		b.Label("loop")
+		b.Andi(isa.T0, rI, perlCodeWords-1)
+		b.Slli(isa.T0, isa.T0, 3)
+		b.Add(isa.T0, isa.T0, rCode)
+		b.Ld(rOp, 0, isa.T0)   // opcode: data dependent
+		b.Slli(isa.T1, rOp, 4) // x16 bytes per handler
+		b.Add(isa.T1, isa.T1, rHB)
+		b.Jalr(isa.Zero, isa.T1, 0) // computed dispatch
+		b.Label("h0")               // sum += i + 1
+		b.Addi(rSum, rSum, 1)
+		b.Add(rSum, rSum, rI)
+		b.Nop()
+		b.J("next")
+		b.Label("h1") // sum ^= i<<1
+		b.Slli(isa.T2, rI, 1)
+		b.Xor(rSum, rSum, isa.T2)
+		b.Nop()
+		b.J("next")
+		b.Label("h2") // sum += sum>>3
+		b.Srli(isa.T2, rSum, 3)
+		b.Add(rSum, rSum, isa.T2)
+		b.Nop()
+		b.J("next")
+		b.Label("h3") // sum = sum*5
+		b.Slli(isa.T2, rSum, 2)
+		b.Add(rSum, rSum, isa.T2)
+		b.Nop()
+		b.J("next")
+		b.Label("next")
+		b.Addi(rI, rI, 1)
+		b.Blt(rI, rN, "loop")
+		emitStoreChecksum(b, rSum)
+		return b.MustProgram()
+	}
+	p := build(0)
+	p = build(int64(p.Symbols["h0"]))
+	if got := p.Symbols["h1"] - p.Symbols["h0"]; got != perlHandlerInstr*isa.InstrBytes {
+		panic("workloads: perlbench handler stride broken")
+	}
+	return p
+}
+
+func perlbenchRef(scale int) uint64 {
+	iters := scaledIters(10000, scale)
+	code := hashedWords(perlCodeWords, 0x9e71)
+	for i := range code {
+		code[i] &= perlHandlers - 1
+	}
+	var sum uint64
+	for i := 0; i < iters; i++ {
+		switch code[i&(perlCodeWords-1)] {
+		case 0:
+			sum += 1 + uint64(i)
+		case 1:
+			sum ^= uint64(i) << 1
+		case 2:
+			sum += sum >> 3
+		case 3:
+			sum += sum << 2
+		}
+	}
+	return sum
+}
+
+// ---------------------------------------------------------- exchange2 ---
+
+const (
+	exchangeK     = 6
+	exchangeStack = 0x0008_0000
+)
+
+// buildExchange2 enumerates all K! permutations recursively (swap, recurse,
+// swap back), counting leaves whose fold satisfies a branchy predicate:
+// deep call chains with spilled return addresses stress the RAS exactly
+// the way exchange2's recursive digit placement does.
+func buildExchange2(scale int) *isa.Program {
+	rounds := scale * 3
+	if scale < 1 {
+		rounds = 1
+	}
+	b := asm.NewBuilder("exchange2")
+	l := newLayout()
+	arrB := l.alloc(exchangeK)
+	init := make([]uint64, exchangeK)
+	for i := range init {
+		init[i] = uint64(i + 1)
+	}
+	emitArray(b, arrB, init)
+
+	const (
+		rArr, rK, rCount, rCk, rRounds = isa.S0, isa.S1, isa.S3, isa.S4, isa.S5
+	)
+	b.Li(isa.SP, exchangeStack)
+	b.Li(rArr, int64(arrB))
+	b.Li(rK, exchangeK)
+	b.Li(rCount, 0)
+	b.Li(rCk, 0)
+	b.Li(rRounds, int64(rounds))
+	b.Label("outer")
+	b.Li(isa.A0, 0)
+	b.Jal(isa.RA, "perm")
+	b.Addi(rRounds, rRounds, -1)
+	b.Bnez(rRounds, "outer")
+	b.Xor(rCount, rCount, rCk)
+	emitStoreChecksum(b, rCount)
+
+	// perm(level in a0): enumerate permutations of arr[level..K).
+	b.Label("perm")
+	b.Beq(isa.A0, rK, "leaf")
+	b.Addi(isa.SP, isa.SP, -24)
+	b.St(isa.RA, 0, isa.SP)
+	b.St(isa.A0, 16, isa.SP) // level
+	b.Mv(isa.T0, isa.A0)     // j = level
+	b.Label("floop")
+	b.Bge(isa.T0, rK, "fend")
+	b.St(isa.T0, 8, isa.SP) // save j
+	// swap arr[level], arr[j]
+	b.Ld(isa.T1, 16, isa.SP)
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.T2, rArr)
+	b.Slli(isa.T3, isa.T0, 3)
+	b.Add(isa.T3, isa.T3, rArr)
+	b.Ld(isa.T4, 0, isa.T2)
+	b.Ld(isa.T5, 0, isa.T3)
+	b.St(isa.T5, 0, isa.T2)
+	b.St(isa.T4, 0, isa.T3)
+	// recurse
+	b.Ld(isa.A0, 16, isa.SP)
+	b.Addi(isa.A0, isa.A0, 1)
+	b.Jal(isa.RA, "perm")
+	// swap back
+	b.Ld(isa.T0, 8, isa.SP)
+	b.Ld(isa.T1, 16, isa.SP)
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.T2, rArr)
+	b.Slli(isa.T3, isa.T0, 3)
+	b.Add(isa.T3, isa.T3, rArr)
+	b.Ld(isa.T4, 0, isa.T2)
+	b.Ld(isa.T5, 0, isa.T3)
+	b.St(isa.T5, 0, isa.T2)
+	b.St(isa.T4, 0, isa.T3)
+	b.Addi(isa.T0, isa.T0, 1)
+	b.J("floop")
+	b.Label("fend")
+	b.Ld(isa.RA, 0, isa.SP)
+	b.Addi(isa.SP, isa.SP, 24)
+	b.Ret()
+
+	// leaf: fold the permutation and count the branchy predicate.
+	b.Label("leaf")
+	b.Li(isa.T0, 0) // idx
+	b.Li(isa.T1, 0) // fold
+	b.Label("lloop")
+	b.Bge(isa.T0, rK, "ldone")
+	b.Slli(isa.T2, isa.T0, 3)
+	b.Add(isa.T2, isa.T2, rArr)
+	b.Ld(isa.T3, 0, isa.T2)
+	b.Slli(isa.T4, isa.T1, 1)
+	b.Add(isa.T1, isa.T4, isa.T3) // fold = fold*2 + v
+	b.Addi(isa.T0, isa.T0, 1)
+	b.J("lloop")
+	b.Label("ldone")
+	b.Andi(isa.T2, isa.T1, 3)
+	b.Bnez(isa.T2, "lskip") // data-dependent count predicate
+	b.Addi(rCount, rCount, 1)
+	b.Label("lskip")
+	b.Xor(rCk, rCk, isa.T1)
+	b.Ret()
+	return b.MustProgram()
+}
+
+func exchange2Ref(scale int) uint64 {
+	rounds := scale * 3
+	if scale < 1 {
+		rounds = 1
+	}
+	arr := make([]uint64, exchangeK)
+	for i := range arr {
+		arr[i] = uint64(i + 1)
+	}
+	var count, ck uint64
+	var perm func(level int)
+	perm = func(level int) {
+		if level == exchangeK {
+			var fold uint64
+			for _, v := range arr {
+				fold = fold*2 + v
+			}
+			if fold&3 == 0 {
+				count++
+			}
+			ck ^= fold
+			return
+		}
+		for j := level; j < exchangeK; j++ {
+			arr[level], arr[j] = arr[j], arr[level]
+			perm(level + 1)
+			arr[level], arr[j] = arr[j], arr[level]
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		perm(0)
+	}
+	return count ^ ck
+}

@@ -1,0 +1,153 @@
+// Package workloads provides the synthetic benchmark programs used by the
+// evaluation, written in the repository's ISA via the asm builder:
+//
+//   - The two microbenchmark variations of the paper's Listing 1
+//     (nested-mispred and linear-mispred) driving Table 1 and Figure 3.
+//   - GAP-style graph kernels (bc, bfs, cc, pr, sssp, tc) over synthetic
+//     uniform-random graphs, standing in for the GAP suite runs
+//     (-g 12 -n 128, scaled down to simulation-friendly sizes).
+//   - SPEC-like synthetic kernels that recreate the dominant behaviours of
+//     the SPECint2006/2017 benchmarks the paper selects (>3% branch
+//     misprediction rate), e.g. hash-driven hard-to-predict branches for
+//     astar/gobmk/leela, pointer-chasing memory boundedness for
+//     mcf/omnetpp, and store-load aliasing for xz.
+//
+// Every workload also has a Go reference function computing its expected
+// result, used by the test suite to validate the assembly against an
+// independent implementation.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mssr/internal/isa"
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	// Name is the benchmark identifier (matches the paper's figures).
+	Name string
+	// Suite is one of "micro", "gap", "spec2006", "spec2017".
+	Suite string
+	// Description explains what behaviour of the original benchmark the
+	// kernel recreates.
+	Description string
+	// Build constructs the program at the standard evaluation scale.
+	Build func() *isa.Program
+	// BuildScaled constructs the program at a custom scale factor
+	// (1 = standard; tests use smaller).
+	BuildScaled func(scale int) *isa.Program
+}
+
+// All returns every workload, ordered by suite then name.
+func All() []Workload {
+	ws := []Workload{
+		{
+			Name:  "nested-mispred",
+			Suite: "micro",
+			Description: "Listing 1 with Br1 dependent on data1=hash(data2): the inner " +
+				"branch resolves first, producing hardware-induced nested mispredictions",
+			BuildScaled: func(s int) *isa.Program { return Listing1(VariantNested, microIters(s)) },
+		},
+		{
+			Name:  "linear-mispred",
+			Suite: "micro",
+			Description: "Listing 1 with swapped branch inputs so Br1 and Br2 resolve " +
+				"in order (software-induced multi-stream reconvergence)",
+			BuildScaled: func(s int) *isa.Program { return Listing1(VariantLinear, microIters(s)) },
+		},
+		{Name: "bc", Suite: "gap", Description: "betweenness-centrality-style BFS plus dependency accumulation", BuildScaled: buildBC},
+		{Name: "bfs", Suite: "gap", Description: "breadth-first search with a data-dependent visited check", BuildScaled: buildBFS},
+		{Name: "cc", Suite: "gap", Description: "connected components via label propagation", BuildScaled: buildCC},
+		{Name: "pr", Suite: "gap", Description: "PageRank power iteration (fixed point); compute-regular, few mispredicts", BuildScaled: buildPR},
+		{Name: "sssp", Suite: "gap", Description: "Bellman-Ford relaxations with a data-dependent improve check", BuildScaled: buildSSSP},
+		{Name: "tc", Suite: "gap", Description: "triangle counting via sorted adjacency intersection", BuildScaled: buildTC},
+		{Name: "astar", Suite: "spec2006", Description: "open-list minimum selection with hash-perturbed costs and a CI update tail", BuildScaled: buildAstar},
+		{Name: "gobmk", Suite: "spec2006", Description: "board pattern matching with nested data-dependent condition chains", BuildScaled: buildGobmk},
+		{Name: "mcf", Suite: "spec2006", Description: "pointer chasing over a large arc list; memory bound, so reuse helps little", BuildScaled: buildMcf},
+		{Name: "perlbench", Suite: "spec2006", Description: "bytecode-interpreter dispatch loop via computed jumps; indirect-branch bound", BuildScaled: buildPerlbench},
+		{Name: "sjeng", Suite: "spec2006", Description: "game-tree evaluation with nested hashed branches", BuildScaled: buildSjeng},
+		{Name: "bzip2", Suite: "spec2006", Description: "run-length scanning with data-dependent match branches", BuildScaled: buildBzip2},
+		{Name: "leela", Suite: "spec2017", Description: "MCTS-style random descent with hard-to-predict move choices", BuildScaled: buildLeela},
+		{Name: "omnetpp", Suite: "spec2017", Description: "event-queue simulation; pointer heavy and memory bound", BuildScaled: buildOmnetpp},
+		{Name: "xz", Suite: "spec2017", Description: "LZ-style match/store loop with store-load aliasing (memory-order violations)", BuildScaled: buildXz},
+		{Name: "deepsjeng", Suite: "spec2017", Description: "deeper game-tree evaluation with correlated and uncorrelated branches", BuildScaled: buildDeepsjeng},
+		{Name: "exchange2", Suite: "spec2017", Description: "recursive permutation enumeration; deep call chains stress the RAS", BuildScaled: buildExchange2},
+	}
+	for i := range ws {
+		bs := ws[i].BuildScaled
+		ws[i].Build = func() *isa.Program { return bs(1) }
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Suite != ws[j].Suite {
+			return ws[i].Suite < ws[j].Suite
+		}
+		return ws[i].Name < ws[j].Name
+	})
+	return ws
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Suite returns all workloads of one suite.
+func Suite(suite string) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite == suite {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func microIters(scale int) int { return scaledIters(4000, scale) }
+
+// scaledIters maps the workload scale factor to an iteration count: scale
+// >= 1 multiplies the standard count; scale < 1 selects a tiny validation
+// size used by the cross-engine equivalence tests.
+func scaledIters(base, scale int) int {
+	if scale < 1 {
+		n := base / 16
+		if n < 32 {
+			n = 32
+		}
+		return n
+	}
+	return base * scale
+}
+
+// Memory layout bases shared by the kernels. Each kernel keeps its data in
+// a private window so programs never overlap themselves.
+const (
+	dataBase uint64 = 0x0010_0000
+)
+
+// checkWord is the address where every workload stores its final checksum;
+// the test suite compares it against the Go reference implementation.
+const checkWord uint64 = 0x000f_0000
+
+// CheckAddr reports where a workload stores its result checksum.
+func CheckAddr() uint64 { return checkWord }
+
+// splitmix is the Go reference of the in-ISA hash the kernels use for
+// pseudo-random, branch-predictor-defeating data.
+func splitmix(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+var _ = isa.NumArchRegs

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"testing"
+
+	"mssr/internal/emu"
+)
+
+// refChecksum computes the expected CheckAddr value for a workload at the
+// given scale using the Go reference implementations.
+func refChecksum(t *testing.T, name string, scale int) uint64 {
+	t.Helper()
+	n, deg := graphScale(scale)
+	g := func() *Graph { return RandomGraph(n, deg, graphSeed) }
+	switch name {
+	case "nested-mispred":
+		return Listing1Ref(VariantNested, microIters(scale))
+	case "linear-mispred":
+		return Listing1Ref(VariantLinear, microIters(scale))
+	case "bfs":
+		return checksumRef(bfsRef(g()))
+	case "cc":
+		return checksumRef(ccRef(g()))
+	case "sssp":
+		return checksumRef(ssspRef(g()))
+	case "pr":
+		return checksumRef(prRef(g()))
+	case "tc":
+		return checksumRef(tcRef(g()))
+	case "bc":
+		return checksumRef(bcRef(g()))
+	case "astar":
+		return astarRef(scale)
+	case "gobmk":
+		return gobmkRef(scale)
+	case "mcf":
+		return mcfRef(scale)
+	case "sjeng":
+		return sjengRef(scale)
+	case "deepsjeng":
+		return deepsjengRef(scale)
+	case "bzip2":
+		return bzip2Ref(scale)
+	case "leela":
+		return leelaRef(scale)
+	case "omnetpp":
+		return omnetppRef(scale)
+	case "xz":
+		return xzRef(scale)
+	case "perlbench":
+		return perlbenchRef(scale)
+	case "exchange2":
+		return exchange2Ref(scale)
+	}
+	t.Fatalf("no reference for %q", name)
+	return 0
+}
+
+func TestAllWorkloadsMatchReference(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.BuildScaled(1)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			e := emu.New(p)
+			if err := e.Run(100_000_000); err != nil {
+				t.Fatalf("emulation: %v", err)
+			}
+			got := e.Mem.Read(CheckAddr())
+			want := refChecksum(t, w.Name, 1)
+			if got != want {
+				t.Fatalf("checksum = %#x, reference = %#x", got, want)
+			}
+			t.Logf("%-15s %8d dynamic instructions, checksum %#x", w.Name, e.Retired, got)
+		})
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("expected 19 workloads, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Description == "" || w.Suite == "" || w.Build == nil {
+			t.Errorf("workload %q incompletely described", w.Name)
+		}
+	}
+	if len(Suite("gap")) != 6 {
+		t.Errorf("gap suite = %d workloads", len(Suite("gap")))
+	}
+	if len(Suite("spec2006")) != 6 || len(Suite("spec2017")) != 5 {
+		t.Errorf("spec suites = %d + %d", len(Suite("spec2006")), len(Suite("spec2017")))
+	}
+	if _, err := ByName("bfs"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	g := RandomGraph(128, 8, 42)
+	if g.N != 128 || len(g.Row) != 129 {
+		t.Fatalf("bad geometry: n=%d rows=%d", g.N, len(g.Row))
+	}
+	if g.M() == 0 {
+		t.Fatal("graph has no edges")
+	}
+	// Symmetric, sorted, deduplicated, no self loops.
+	adj := make(map[[2]int]bool)
+	for u := 0; u < g.N; u++ {
+		var prev int64 = -1
+		for e := g.Row[u]; e < g.Row[u+1]; e++ {
+			v := int64(g.Col[e])
+			if v == int64(u) {
+				t.Fatalf("self loop at %d", u)
+			}
+			if v <= prev {
+				t.Fatalf("adjacency of %d not strictly sorted", u)
+			}
+			prev = v
+			adj[[2]int{u, int(v)}] = true
+		}
+	}
+	for e := range adj {
+		if !adj[[2]int{e[1], e[0]}] {
+			t.Fatalf("edge %v not symmetric", e)
+		}
+	}
+	// Determinism.
+	h := RandomGraph(128, 8, 42)
+	for i := range g.Col {
+		if g.Col[i] != h.Col[i] {
+			t.Fatal("graph generation not deterministic")
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantNested.String() != "nested-mispred" || VariantLinear.String() != "linear-mispred" {
+		t.Error("bad variant names")
+	}
+}
+
+func TestListing1VariantsDiffer(t *testing.T) {
+	a := Listing1Ref(VariantNested, 500)
+	b := Listing1Ref(VariantLinear, 500)
+	if a == b {
+		t.Error("variants should compute different checksums")
+	}
+}
