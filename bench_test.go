@@ -8,16 +8,19 @@
 // the experiment's headline effect sizes as custom metrics (percentages),
 // so regressions in either simulation speed or reproduction shape are
 // visible from the bench output alone. The rendered tables themselves are
-// produced by cmd/msrbench and recorded in EXPERIMENTS.md.
+// produced by cmd/msrbench and recorded in EXPERIMENTS.md. All runs go
+// through the internal/sim orchestration layer, like every other
+// entrypoint.
 package mssr_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"mssr/internal/core"
 	"mssr/internal/experiments"
-	"mssr/internal/reuse"
+	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/storage"
 	"mssr/internal/synth"
@@ -140,26 +143,32 @@ func BenchmarkFigure12(b *testing.B) {
 	}
 }
 
-// runPair measures one workload under baseline and cfg, reporting speedup.
-func runPair(b *testing.B, name string, cfg core.Config) {
+// runPair measures one workload under baseline and spec, reporting
+// speedup. Both runs execute through the sim layer on a two-worker pool,
+// like a tiny sweep.
+func runPair(b *testing.B, name string, spec sim.Spec) {
 	b.Helper()
-	w, err := workloads.ByName(name)
+	p, err := workloads.Build(name, benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := w.BuildScaled(benchScale)
+	spec.Program = p
+	base := sim.Spec{Program: p}
+	r := sim.Runner{Jobs: 2}
 	for i := 0; i < b.N; i++ {
-		base := core.New(p, core.DefaultConfig())
-		if err := base.Run(); err != nil {
+		res, err := r.Run(context.Background(), []sim.Spec{base, spec})
+		if err != nil {
 			b.Fatal(err)
 		}
-		c := core.New(p, cfg)
-		if err := c.Run(); err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(100*stats.Speedup(base.Stats, c.Stats), "%speedup")
-		b.ReportMetric(c.Stats.IPC(), "IPC")
+		b.ReportMetric(100*stats.Speedup(res[0].Stats, res[1].Stats), "%speedup")
+		b.ReportMetric(res[1].Stats.IPC(), "IPC")
 	}
+}
+
+// rgid4x64 is the paper's standard mechanism configuration, the starting
+// point of every ablation.
+func rgid4x64() sim.Spec {
+	return sim.Spec{Engine: sim.EngineRGID, Streams: 4, Entries: 64}
 }
 
 // --- Ablations (DESIGN.md §6) -------------------------------------------
@@ -168,14 +177,16 @@ func runPair(b *testing.B, name string, cfg core.Config) {
 // reconvergence detection.
 func BenchmarkAblationVPN(b *testing.B) {
 	for _, restrict := range []bool{true, false} {
+		restrict := restrict
 		name := "restricted"
 		if !restrict {
 			name = "full-width"
 		}
 		b.Run(name, func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.MS.VPNRestrict = restrict
-			runPair(b, "nested-mispred", cfg)
+			spec := rgid4x64()
+			spec.TuneKey = "vpn-" + name
+			spec.Tune = func(c *core.Config) { c.MS.VPNRestrict = restrict }
+			runPair(b, "nested-mispred", spec)
 		})
 	}
 }
@@ -183,11 +194,12 @@ func BenchmarkAblationVPN(b *testing.B) {
 // BenchmarkAblationLoadPolicy compares the reused-load protection schemes
 // on cc, whose frequent label stores make reused loads hazardous.
 func BenchmarkAblationLoadPolicy(b *testing.B) {
-	for _, pol := range []reuse.LoadPolicy{reuse.LoadVerify, reuse.LoadBloom, reuse.LoadNoReuse} {
+	for _, pol := range []sim.LoadPolicy{sim.LoadVerify, sim.LoadBloom, sim.LoadNoReuse} {
+		pol := pol
 		b.Run(pol.String(), func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.MS.LoadPolicy = pol
-			runPair(b, "cc", cfg)
+			spec := rgid4x64()
+			spec.Loads = pol
+			runPair(b, "cc", spec)
 		})
 	}
 }
@@ -199,9 +211,10 @@ func BenchmarkAblationRGIDWidth(b *testing.B) {
 	for _, bits := range []int{4, 6, 8, 12} {
 		bits := bits
 		b.Run(fmt.Sprintf("%dbits", bits), func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.RGIDBits = bits
-			runPair(b, "nested-mispred", cfg)
+			spec := rgid4x64()
+			spec.TuneKey = fmt.Sprintf("rgid-%dbits", bits)
+			spec.Tune = func(c *core.Config) { c.RGIDBits = bits }
+			runPair(b, "nested-mispred", spec)
 		})
 	}
 }
@@ -211,9 +224,10 @@ func BenchmarkAblationTimeout(b *testing.B) {
 	for _, timeout := range []int{128, 1024, 8192} {
 		timeout := timeout
 		b.Run(fmt.Sprintf("%dinstrs", timeout), func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.MS.TimeoutInstrs = timeout
-			runPair(b, "bfs", cfg)
+			spec := rgid4x64()
+			spec.TuneKey = fmt.Sprintf("timeout-%d", timeout)
+			spec.Tune = func(c *core.Config) { c.MS.TimeoutInstrs = timeout }
+			runPair(b, "bfs", spec)
 		})
 	}
 }
@@ -222,10 +236,12 @@ func BenchmarkAblationTimeout(b *testing.B) {
 // fetching extension.
 func BenchmarkAblationMultiBlockFetch(b *testing.B) {
 	for _, blocks := range []int{1, 2} {
+		blocks := blocks
 		b.Run([]string{"", "one-block", "two-block"}[blocks], func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.BlocksPerCycle = blocks
-			runPair(b, "astar", cfg)
+			spec := rgid4x64()
+			spec.TuneKey = fmt.Sprintf("blocks-%d", blocks)
+			spec.Tune = func(c *core.Config) { c.BlocksPerCycle = blocks }
+			runPair(b, "astar", spec)
 		})
 	}
 }
@@ -237,9 +253,10 @@ func BenchmarkAblationCheckpoints(b *testing.B) {
 	for _, n := range []int{0, 4, 32} {
 		n := n
 		b.Run(fmt.Sprintf("%dckpts", n), func(b *testing.B) {
-			cfg := core.MultiStreamConfig(4, 64)
-			cfg.RATCheckpoints = n
-			runPair(b, "gobmk", cfg)
+			spec := rgid4x64()
+			spec.TuneKey = fmt.Sprintf("ckpts-%d", n)
+			spec.Tune = func(c *core.Config) { c.RATCheckpoints = n }
+			runPair(b, "gobmk", spec)
 		})
 	}
 }
@@ -256,9 +273,10 @@ func BenchmarkAblationRISerialization(b *testing.B) {
 			name = "ideal"
 		}
 		b.Run(name, func(b *testing.B) {
-			cfg := core.RIConfigOf(64, 4)
-			cfg.RITestsPerCycle = tests
-			runPair(b, "nested-mispred", cfg)
+			spec := sim.Spec{Engine: sim.EngineRI, Sets: 64, Ways: 4,
+				TuneKey: "ri-" + name,
+				Tune:    func(c *core.Config) { c.RITestsPerCycle = tests }}
+			runPair(b, "nested-mispred", spec)
 		})
 	}
 }
@@ -280,21 +298,22 @@ func BenchmarkBaselines(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // cycles and instructions per wall second).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	w, err := workloads.ByName("gobmk")
+	p, err := workloads.Build("gobmk", benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := w.BuildScaled(benchScale)
-	cfg := core.MultiStreamConfig(4, 64)
+	spec := rgid4x64()
+	spec.Program = p
+	ctx := context.Background()
 	var cycles, instrs uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := core.New(p, cfg)
-		if err := c.Run(); err != nil {
+		res, err := sim.Run(ctx, spec)
+		if err != nil {
 			b.Fatal(err)
 		}
-		cycles += c.Stats.Cycles
-		instrs += c.Stats.Retired
+		cycles += res.Stats.Cycles
+		instrs += res.Stats.Retired
 	}
 	sec := b.Elapsed().Seconds()
 	if sec > 0 {

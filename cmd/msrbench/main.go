@@ -5,25 +5,56 @@
 //	msrbench                      # run everything at standard scale
 //	msrbench -exp table1,fig10    # run a subset
 //	msrbench -scale 2             # larger workloads
+//	msrbench -jobs 4 -progress    # cap parallelism, report per-run progress
+//	msrbench -json results.jsonl  # machine-readable per-run result stream
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"mssr/internal/experiments"
+	"mssr/internal/sim"
 )
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines or all")
-		scale = flag.Int("scale", 1, "workload scale factor")
-		asCSV = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines or all")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		asCSV    = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations")
+		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
+		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
 	)
 	flag.Parse()
+
+	var obs []sim.Observer
+	if *progress {
+		obs = append(obs, sim.NewProgress(os.Stderr))
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "msrbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		obs = append(obs, sim.NewJSONStream(w))
+	}
+	experiments.SetRunner(&sim.Runner{
+		Jobs:     *jobs,
+		Timeout:  *timeout,
+		Observer: sim.Observers(obs...),
+	})
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

@@ -10,15 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mssr/internal/asm"
-	"mssr/internal/core"
-	"mssr/internal/emu"
-	"mssr/internal/isa"
-	"mssr/internal/reuse"
+	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/trace"
 	"mssr/internal/workloads"
@@ -30,13 +29,14 @@ func main() {
 		workload = flag.String("workload", "nested-mispred", "workload name (see -list)")
 		asmFile  = flag.String("asm", "", "run an assembly file instead of a named workload")
 		scale    = flag.Int("scale", 1, "workload scale factor")
-		engine   = flag.String("engine", "rgid", "reuse engine: none, rgid, ri")
+		engine   = flag.String("engine", "rgid", "reuse engine: none, rgid, ri, dir-value, dir-name")
 		streams  = flag.Int("streams", 4, "rgid: squashed streams tracked (N)")
 		entries  = flag.Int("entries", 64, "rgid: squash log entries per stream (P)")
 		sets     = flag.Int("sets", 64, "ri: reuse table sets")
 		ways     = flag.Int("ways", 4, "ri: reuse table ways")
 		loadPol  = flag.String("loads", "verify", "reused-load policy: verify, bloom, none")
 		check    = flag.Bool("check", false, "run the lockstep functional checker")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall time (0 = none)")
 		verbose  = flag.Bool("v", false, "print the full counter set")
 		traceN   = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
 	)
@@ -49,95 +49,60 @@ func main() {
 		return
 	}
 
-	prog, err := loadProgram(*asmFile, *workload, *scale)
+	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
-
-	cfg, err := buildConfig(*engine, *streams, *entries, *sets, *ways, *loadPol)
+	lp, err := sim.ParseLoadPolicy(*loadPol)
 	if err != nil {
 		fatal(err)
 	}
-	cfg.DebugCheck = *check
+	spec := sim.Spec{
+		Workload: *workload,
+		Scale:    *scale,
+		Engine:   eng,
+		Streams:  *streams,
+		Entries:  *entries,
+		Sets:     *sets,
+		Ways:     *ways,
+		Loads:    lp,
+		Check:    *check,
+		Timeout:  *timeout,
+		// Cross-check the final state against the functional emulator.
+		VerifyArch: true,
+	}
+	if *asmFile != "" {
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(*asmFile, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		spec.Workload = ""
+		spec.Program = prog
+	}
 	var pipe *trace.Pipeline
 	if *traceN > 0 {
 		pipe = trace.NewPipeline(*traceN)
-		cfg.Tracer = pipe
+		spec.Tracer = pipe
 	}
 
-	c := core.New(prog, cfg)
-	if err := c.Run(); err != nil {
+	res, err := sim.Run(context.Background(), spec)
+	if err != nil {
 		fatal(err)
 	}
-	st := c.Stats
-	fmt.Printf("%s on %s (%s)\n", prog.Name, cfg.Reuse, c.EngineName())
-	fmt.Printf("  %s\n", st)
+	st := res.Stats
+	fmt.Printf("%s on %s (%s)\n", res.Program, spec.Engine, res.EngineName)
+	fmt.Printf("  %s (%.1fms wall)\n", st, float64(res.Wall)/float64(time.Millisecond))
 	if *verbose {
 		printVerbose(st)
 	}
 	if pipe != nil {
 		fmt.Printf("pipeline diagram (last %d instructions):\n%s", *traceN, pipe.Render(*traceN))
 	}
-
-	// Cross-check the final state against the functional emulator.
-	want, err := emu.RunProgram(prog, 1<<40)
-	if err != nil {
-		fatal(fmt.Errorf("emulator: %w", err))
-	}
-	if got := c.Result(); got != want {
-		fatal(fmt.Errorf("ARCHITECTURAL MISMATCH:\ncore: %+v\nemu:  %+v", got, want))
-	}
 	fmt.Println("  architectural state verified against the functional emulator")
-}
-
-func loadProgram(asmFile, workload string, scale int) (*isa.Program, error) {
-	if asmFile != "" {
-		src, err := os.ReadFile(asmFile)
-		if err != nil {
-			return nil, err
-		}
-		return asm.Assemble(asmFile, string(src))
-	}
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return nil, err
-	}
-	return w.BuildScaled(scale), nil
-}
-
-func buildConfig(engine string, streams, entries, sets, ways int, loadPol string) (core.Config, error) {
-	var lp reuse.LoadPolicy
-	switch loadPol {
-	case "verify":
-		lp = reuse.LoadVerify
-	case "bloom":
-		lp = reuse.LoadBloom
-	case "none":
-		lp = reuse.LoadNoReuse
-	default:
-		return core.Config{}, fmt.Errorf("unknown load policy %q", loadPol)
-	}
-	switch engine {
-	case "none":
-		return core.DefaultConfig(), nil
-	case "rgid":
-		cfg := core.MultiStreamConfig(streams, entries)
-		cfg.MS.LoadPolicy = lp
-		return cfg, nil
-	case "ri":
-		cfg := core.RIConfigOf(sets, ways)
-		cfg.RI.LoadPolicy = lp
-		return cfg, nil
-	case "dir-value", "dir":
-		cfg := core.DIRConfigOf(sets, ways, reuse.DIRValue)
-		cfg.DIR.LoadPolicy = lp
-		return cfg, nil
-	case "dir-name":
-		cfg := core.DIRConfigOf(sets, ways, reuse.DIRName)
-		cfg.DIR.LoadPolicy = lp
-		return cfg, nil
-	}
-	return core.Config{}, fmt.Errorf("unknown engine %q (none, rgid, ri, dir-value, dir-name)", engine)
 }
 
 func printVerbose(st *stats.Stats) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -218,8 +219,24 @@ func (c *Core) tailSeq() uint64 { return c.headSeq + uint64(c.count) }
 
 // Run simulates until the program halts, returning ErrCycleLimit if it
 // does not.
-func (c *Core) Run() error {
+func (c *Core) Run() error { return c.RunContext(context.Background()) }
+
+// RunContext simulates until the program halts or ctx is done, checking
+// for cancellation every 1024 cycles so a sweep's per-job timeouts and
+// cancellation take effect promptly without a per-cycle cost. An aborted
+// run returns ctx's error (wrapped) with Stats reflecting progress so
+// far.
+func (c *Core) RunContext(ctx context.Context) error {
+	done := ctx.Done()
 	for !c.halted {
+		if done != nil && c.cycle&1023 == 0 {
+			select {
+			case <-done:
+				c.Stats.Cycles = c.cycle
+				return fmt.Errorf("core: aborted after %d cycles (%d retired): %w", c.cycle, c.Stats.Retired, ctx.Err())
+			default:
+			}
+		}
 		if c.cycle >= c.cfg.MaxCycles {
 			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.cycle, c.Stats.Retired)
 		}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"mssr/internal/core"
-	"mssr/internal/reuse"
+	"mssr/internal/isa"
+	"mssr/internal/sim"
 	"mssr/internal/workloads"
 )
 
@@ -33,12 +33,12 @@ func baselineWorkloads() []string {
 func Baselines(scale int) (*BaselinesResult, error) {
 	engines := []struct {
 		name string
-		cfg  core.Config
+		mk   func(key string, p *isa.Program) sim.Spec
 	}{
-		{"dir-value", core.DIRConfigOf(64, 4, reuse.DIRValue)},
-		{"dir-name", core.DIRConfigOf(64, 4, reuse.DIRName)},
-		{"ri-64s4w", core.RIConfigOf(64, 4)},
-		{"rgid-4x64", msConfig(4, 64)},
+		{"dir-value", func(key string, p *isa.Program) sim.Spec { return dirSpec(key, p, sim.EngineDIRValue, 64, 4) }},
+		{"dir-name", func(key string, p *isa.Program) sim.Spec { return dirSpec(key, p, sim.EngineDIRName, 64, 4) }},
+		{"ri-64s4w", func(key string, p *isa.Program) sim.Spec { return riSpec(key, p, 64, 4) }},
+		{"rgid-4x64", func(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, 4, 64) }},
 	}
 	r := &BaselinesResult{
 		Workloads:   baselineWorkloads(),
@@ -48,19 +48,18 @@ func Baselines(scale int) (*BaselinesResult, error) {
 	for _, e := range engines {
 		r.Engines = append(r.Engines, e.name)
 	}
-	var jobs []job
+	var specs []sim.Spec
 	for _, name := range r.Workloads {
-		w, err := workloads.ByName(name)
+		p, err := workloads.Build(name, scale)
 		if err != nil {
 			return nil, err
 		}
-		p := w.BuildScaled(scale)
-		jobs = append(jobs, job{name + "/baseline", p, core.DefaultConfig()})
+		specs = append(specs, baseSpec(name+"/baseline", p))
 		for _, e := range engines {
-			jobs = append(jobs, job{name + "/" + e.name, p, e.cfg})
+			specs = append(specs, e.mk(name+"/"+e.name, p))
 		}
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}

@@ -18,55 +18,67 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 
-	"mssr/internal/core"
 	"mssr/internal/isa"
+	"mssr/internal/sim"
 	"mssr/internal/stats"
 )
 
-// job is one simulation to run.
-type job struct {
-	key  string
-	prog *isa.Program
-	cfg  core.Config
+// The experiments share one sim.Runner; msrbench swaps it to thread its
+// -jobs bound and -progress/-json observers through every experiment.
+var (
+	runnerMu sync.Mutex
+	runner   = &sim.Runner{}
+)
+
+// SetRunner replaces the runner all experiments execute through.
+func SetRunner(r *sim.Runner) {
+	runnerMu.Lock()
+	defer runnerMu.Unlock()
+	runner = r
 }
 
-// runAll executes jobs in parallel and returns stats keyed by job key.
-func runAll(jobs []job) (map[string]*stats.Stats, error) {
-	results := make(map[string]*stats.Stats, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			c := core.New(j.prog, j.cfg)
-			err := c.Run()
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", j.key, err)
-				return
-			}
-			results[j.key] = c.Stats
-		}()
+func currentRunner() *sim.Runner {
+	runnerMu.Lock()
+	defer runnerMu.Unlock()
+	return runner
+}
+
+// runSpecs executes specs through the shared sim.Runner and returns
+// stats keyed by spec key. On failure the map still holds every
+// successful run and the error names every failed job.
+func runSpecs(specs []sim.Spec) (map[string]*stats.Stats, error) {
+	res, err := currentRunner().Run(context.Background(), specs)
+	results := make(map[string]*stats.Stats, len(res))
+	for i := range res {
+		if res[i].Err == nil && res[i].Stats != nil {
+			results[res[i].Key] = res[i].Stats
+		}
 	}
-	wg.Wait()
-	return results, firstErr
+	return results, err
 }
 
-// msConfig builds the multi-stream configuration used by the experiments.
-func msConfig(streams, logEntries int) core.Config {
-	return core.MultiStreamConfig(streams, logEntries)
+// baseSpec, rgidSpec, riSpec and dirSpec build the specs the experiment
+// drivers sweep over, keyed "workload/config" as the result tables
+// expect.
+func baseSpec(key string, p *isa.Program) sim.Spec {
+	return sim.Spec{Label: key, Program: p}
+}
+
+func rgidSpec(key string, p *isa.Program, streams, entries int) sim.Spec {
+	return sim.Spec{Label: key, Program: p, Engine: sim.EngineRGID, Streams: streams, Entries: entries}
+}
+
+func riSpec(key string, p *isa.Program, sets, ways int) sim.Spec {
+	return sim.Spec{Label: key, Program: p, Engine: sim.EngineRI, Sets: sets, Ways: ways}
+}
+
+func dirSpec(key string, p *isa.Program, engine sim.Engine, sets, ways int) sim.Spec {
+	return sim.Spec{Label: key, Program: p, Engine: engine, Sets: sets, Ways: ways}
 }
 
 // pct formats a fraction as a percentage.

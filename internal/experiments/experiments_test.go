@@ -3,6 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"mssr/internal/core"
+	"mssr/internal/sim"
+	"mssr/internal/workloads"
 )
 
 // The experiment tests run at tiny scale (0): they validate structure and
@@ -163,6 +167,55 @@ func TestFigure12Shape(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}
+	}
+}
+
+// TestRunSpecsAggregatesErrors pins the behavior the old runAll got
+// wrong: when multiple jobs of a sweep fail, every failure must be
+// reported (not just the first), and the results of jobs that succeeded
+// — before or after the failures — must still be collected.
+func TestRunSpecsAggregatesErrors(t *testing.T) {
+	p, err := workloads.Build("nested-mispred", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := func(c *core.Config) { c.MaxCycles = 64 }
+	specs := []sim.Spec{
+		{Label: "ok-first", Program: p},
+		{Label: "fail-a", Program: p, Tune: limit, TuneKey: "limit"},
+		{Label: "ok-middle", Program: p, Engine: sim.EngineRGID, Streams: 2, Entries: 32},
+		{Label: "fail-b", Program: p, Tune: limit, TuneKey: "limit"},
+		{Label: "ok-last", Program: p, Engine: sim.EngineRI, Sets: 64, Ways: 2},
+	}
+	res, err := runSpecs(specs)
+	if err == nil {
+		t.Fatal("sweep with two failing jobs returned nil error")
+	}
+	for _, key := range []string{"fail-a", "fail-b"} {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("aggregate error does not name %q: %v", key, err)
+		}
+	}
+	for _, key := range []string{"ok-first", "ok-middle", "ok-last"} {
+		st, ok := res[key]
+		if !ok || st == nil || st.Retired == 0 {
+			t.Errorf("successful job %q discarded from results", key)
+		}
+	}
+	if _, ok := res["fail-a"]; ok {
+		t.Error("failed job leaked a stats entry into the result map")
+	}
+}
+
+// TestSetRunner checks msrbench's runner swap takes effect for
+// subsequent sweeps.
+func TestSetRunner(t *testing.T) {
+	old := currentRunner()
+	defer SetRunner(old)
+	r := &sim.Runner{Jobs: 1}
+	SetRunner(r)
+	if currentRunner() != r {
+		t.Fatal("SetRunner did not swap the shared runner")
 	}
 }
 

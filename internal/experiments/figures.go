@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"mssr/internal/core"
+	"mssr/internal/isa"
+	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/workloads"
 )
@@ -29,14 +30,14 @@ func Figure3(scale int) (*Figure3Result, error) {
 		Sets:         64,
 		Replacements: map[string]map[int][]uint64{},
 	}
-	var jobs []job
+	var specs []sim.Spec
 	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
 		p := workloads.Listing1(v, microItersForScale(scale))
 		for _, w := range r.Ways {
-			jobs = append(jobs, job{fmt.Sprintf("%s/%d", r.Variants[i], w), p, core.RIConfigOf(r.Sets, w)})
+			specs = append(specs, riSpec(fmt.Sprintf("%s/%d", r.Variants[i], w), p, r.Sets, w))
 		}
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -99,20 +100,20 @@ type Figure4Result struct {
 	Stats    map[string]*stats.Stats
 }
 
-// profileConfig is the generous tracking configuration used for the
+// profileSpec is the generous tracking configuration used for the
 // Figure 4 / Figure 11 profiles (8 streams so distant reconvergence is
 // observable, as the paper's profiling tooling does).
-func profileConfig() core.Config { return msConfig(8, 256) }
+func profileSpec(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, 8, 256) }
 
 // Figure4 profiles reconvergence types across all suites (§2.2.5).
 func Figure4(scale int) (*Figure4Result, error) {
 	r := &Figure4Result{Fraction: map[string][3]float64{}, Stats: map[string]*stats.Stats{}}
-	var jobs []job
+	var specs []sim.Spec
 	for _, w := range workloads.All() {
 		r.Workloads = append(r.Workloads, w.Name)
-		jobs = append(jobs, job{w.Name, w.BuildScaled(scale), profileConfig()})
+		specs = append(specs, profileSpec(w.Name, w.BuildScaled(scale)))
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -211,19 +212,19 @@ func Figure10(scale int) (*Figure10Result, error) {
 	for _, c := range Figure10Configs {
 		r.Configs = append(r.Configs, c.Name)
 	}
-	var jobs []job
+	var specs []sim.Spec
 	for _, w := range workloads.All() {
 		if w.Suite == "micro" {
 			continue // Figure 10 covers the SPEC and GAP suites
 		}
 		r.Workloads = append(r.Workloads, w.Name)
 		p := w.BuildScaled(scale)
-		jobs = append(jobs, job{w.Name + "/baseline", p, core.DefaultConfig()})
+		specs = append(specs, baseSpec(w.Name+"/baseline", p))
 		for _, c := range Figure10Configs {
-			jobs = append(jobs, job{w.Name + "/" + c.Name, p, msConfig(c.Streams, c.Entries)})
+			specs = append(specs, rgidSpec(w.Name+"/"+c.Name, p, c.Streams, c.Entries))
 		}
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -296,12 +297,12 @@ type Figure11Result struct {
 // Figure11 profiles reconvergence stream distance (§4.1.1).
 func Figure11(scale int) (*Figure11Result, error) {
 	r := &Figure11Result{Fraction: map[string][]float64{}}
-	var jobs []job
+	var specs []sim.Spec
 	for _, w := range workloads.All() {
 		r.Workloads = append(r.Workloads, w.Name)
-		jobs = append(jobs, job{w.Name, w.BuildScaled(scale), profileConfig()})
+		specs = append(specs, profileSpec(w.Name, w.BuildScaled(scale)))
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -363,33 +364,37 @@ type Figure12Result struct {
 func Figure12(scale int) (*Figure12Result, error) {
 	type cfg struct {
 		name string
-		c    core.Config
+		mk   func(key string, p *isa.Program) sim.Spec
 	}
 	var cfgs []cfg
 	for _, entries := range []int{64, 128} {
 		for _, streams := range []int{1, 2, 4} {
-			cfgs = append(cfgs, cfg{fmt.Sprintf("rgid-%dx%d", streams, entries), msConfig(streams, entries)})
+			streams, entries := streams, entries
+			cfgs = append(cfgs, cfg{fmt.Sprintf("rgid-%dx%d", streams, entries),
+				func(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, streams, entries) }})
 		}
 	}
 	for _, sets := range []int{64, 128} {
 		for _, ways := range []int{1, 2, 4} {
-			cfgs = append(cfgs, cfg{fmt.Sprintf("ri-%ds%dw", sets, ways), core.RIConfigOf(sets, ways)})
+			sets, ways := sets, ways
+			cfgs = append(cfgs, cfg{fmt.Sprintf("ri-%ds%dw", sets, ways),
+				func(key string, p *isa.Program) sim.Spec { return riSpec(key, p, sets, ways) }})
 		}
 	}
 	r := &Figure12Result{Improvement: map[string]map[string]float64{}}
 	for _, c := range cfgs {
 		r.Configs = append(r.Configs, c.name)
 	}
-	var jobs []job
+	var specs []sim.Spec
 	for _, w := range workloads.Suite("gap") {
 		r.Workloads = append(r.Workloads, w.Name)
 		p := w.BuildScaled(scale)
-		jobs = append(jobs, job{w.Name + "/baseline", p, core.DefaultConfig()})
+		specs = append(specs, baseSpec(w.Name+"/baseline", p))
 		for _, c := range cfgs {
-			jobs = append(jobs, job{w.Name + "/" + c.name, p, c.c})
+			specs = append(specs, c.mk(w.Name+"/"+c.name, p))
 		}
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mssr/internal/core"
+	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/storage"
 	"mssr/internal/synth"
@@ -35,21 +36,21 @@ func Table1(scale int) (*Table1Result, error) {
 		},
 		Speedup: map[string]map[string]float64{},
 	}
-	var jobs []job
+	var specs []sim.Spec
 	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
 		p := workloads.Listing1(v, microItersForScale(scale))
 		name := r.Variants[i]
-		jobs = append(jobs,
-			job{name + "/baseline", p, core.DefaultConfig()},
-			job{name + "/rgid-1", p, msConfig(1, 64)},
-			job{name + "/rgid-2", p, msConfig(2, 64)},
-			job{name + "/rgid-4", p, msConfig(4, 64)},
-			job{name + "/ri-1w", p, core.RIConfigOf(64, 1)},
-			job{name + "/ri-2w", p, core.RIConfigOf(64, 2)},
-			job{name + "/ri-4w", p, core.RIConfigOf(64, 4)},
+		specs = append(specs,
+			baseSpec(name+"/baseline", p),
+			rgidSpec(name+"/rgid-1", p, 1, 64),
+			rgidSpec(name+"/rgid-2", p, 2, 64),
+			rgidSpec(name+"/rgid-4", p, 4, 64),
+			riSpec(name+"/ri-1w", p, 64, 1),
+			riSpec(name+"/ri-2w", p, 64, 2),
+			riSpec(name+"/ri-4w", p, 64, 4),
 		)
 	}
-	res, err := runAll(jobs)
+	res, err := runSpecs(specs)
 	if err != nil {
 		return nil, err
 	}

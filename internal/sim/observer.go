@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mssr/internal/stats"
+)
+
+// Observer receives per-job notifications from a Runner. Callbacks run
+// on the pool's worker goroutines and must be safe for concurrent use.
+type Observer interface {
+	// OnStart fires when job index (of total) begins running.
+	OnStart(index, total int, key string)
+	// OnFinish fires when job index (of total) completes, in completion
+	// order (not spec order).
+	OnFinish(index, total int, r Result)
+}
+
+// Observers fans notifications out to several observers.
+func Observers(obs ...Observer) Observer {
+	flat := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	return flat
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) OnStart(index, total int, key string) {
+	for _, o := range m {
+		o.OnStart(index, total, key)
+	}
+}
+
+func (m multiObserver) OnFinish(index, total int, r Result) {
+	for _, o := range m {
+		o.OnFinish(index, total, r)
+	}
+}
+
+// Progress prints one line per finished job — counted in completion
+// order — with its headline metrics, implementing msrbench's -progress
+// mode.
+type Progress struct {
+	mu   sync.Mutex
+	w    io.Writer
+	done int
+}
+
+// NewProgress returns a Progress writing to w.
+func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+
+// OnStart implements Observer.
+func (p *Progress) OnStart(index, total int, key string) {}
+
+// OnFinish implements Observer.
+func (p *Progress) OnFinish(index, total int, r Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if r.Err != nil {
+		fmt.Fprintf(p.w, "[%d/%d] %-40s FAILED (%s): %v\n", p.done, total, r.Key, r.Wall.Round(time.Millisecond), r.Err)
+		return
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %-40s cycles=%-12d ipc=%-6.3f wall=%s\n",
+		p.done, total, r.Key, r.Stats.Cycles, r.Stats.IPC(), r.Wall.Round(time.Millisecond))
+}
+
+// JSONStream emits one JSON object per finished job, giving sweeps a
+// machine-readable result stream.
+type JSONStream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONStream returns a JSONStream writing to w.
+func NewJSONStream(w io.Writer) *JSONStream { return &JSONStream{enc: json.NewEncoder(w)} }
+
+// jobJSON is the wire shape of one job result.
+type jobJSON struct {
+	Key     string       `json:"key"`
+	Program string       `json:"program,omitempty"`
+	Engine  string       `json:"engine,omitempty"`
+	Cycles  uint64       `json:"cycles,omitempty"`
+	Retired uint64       `json:"retired,omitempty"`
+	IPC     float64      `json:"ipc,omitempty"`
+	WallNS  int64        `json:"wall_ns"`
+	Error   string       `json:"error,omitempty"`
+	Stats   *stats.Stats `json:"stats,omitempty"`
+}
+
+// OnStart implements Observer.
+func (j *JSONStream) OnStart(index, total int, key string) {}
+
+// OnFinish implements Observer.
+func (j *JSONStream) OnFinish(index, total int, r Result) {
+	rec := jobJSON{
+		Key:     r.Key,
+		Program: r.Program,
+		Engine:  r.EngineName,
+		WallNS:  r.Wall.Nanoseconds(),
+		Stats:   r.Stats,
+	}
+	if r.Stats != nil {
+		rec.Cycles = r.Stats.Cycles
+		rec.Retired = r.Stats.Retired
+		rec.IPC = r.Stats.IPC()
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(rec)
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mssr/internal/core"
+	"mssr/internal/emu"
+	"mssr/internal/stats"
+)
+
+// Result is the outcome of one spec's run. Results come back in spec
+// order regardless of the completion order of the pool's workers.
+type Result struct {
+	// Index is the spec's position in the Run input.
+	Index int
+	// Key is the spec's resolved key (Spec.Key).
+	Key string
+	// Spec is the spec that produced this result.
+	Spec Spec
+	// Program is the resolved program name.
+	Program string
+	// EngineName is the constructed engine's self-description.
+	EngineName string
+	// Stats holds the run's counters. On a cycle-limit or cancellation
+	// error it holds the counters up to the abort; on earlier failures it
+	// is nil.
+	Stats *stats.Stats
+	// Arch is the final architectural state (populated when VerifyArch is
+	// set and the run completed).
+	Arch emu.Result
+	// Wall is the job's wall-clock duration.
+	Wall time.Duration
+	// Err is the job's failure, nil on success. Panics inside the job are
+	// recovered into errors; a timeout satisfies
+	// errors.Is(Err, context.DeadlineExceeded).
+	Err error
+}
+
+// Runner executes specs on a bounded worker pool. The zero value is
+// ready to use: NumCPU workers, no default timeout, no observer.
+type Runner struct {
+	// Jobs bounds concurrently running simulations (<=0 = NumCPU).
+	Jobs int
+	// Timeout bounds each job's wall time unless the spec sets its own
+	// (0 = unbounded).
+	Timeout time.Duration
+	// Observer, when set, receives per-job start/finish notifications.
+	Observer Observer
+}
+
+// Run executes every spec and returns one Result per spec, in spec
+// order. All specs are validated up front; nothing runs if any is
+// invalid. Job failures (errors, panics, timeouts) do not stop the
+// sweep: every remaining job still runs, and the returned error joins
+// every failure wrapped with its job key, so callers see all failures
+// and still have the successful results.
+func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	var verrs []error
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			verrs = append(verrs, err)
+		}
+	}
+	if len(verrs) > 0 {
+		return nil, errors.Join(verrs...)
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+
+	results := make([]Result, len(specs))
+	workers := r.Jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				key := specs[i].Key()
+				if r.Observer != nil {
+					r.Observer.OnStart(i, len(specs), key)
+				}
+				results[i] = r.runOne(ctx, i, specs[i])
+				if r.Observer != nil {
+					r.Observer.OnFinish(i, len(specs), results[i])
+				}
+			}
+		}()
+	}
+
+	next := 0
+dispatch:
+	for ; next < len(specs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Jobs the cancellation prevented from starting still get a keyed
+	// result so the output stays positional.
+	for i := next; i < len(specs); i++ {
+		results[i] = Result{Index: i, Key: specs[i].Key(), Spec: specs[i], Err: ctx.Err()}
+	}
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", results[i].Key, results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runOne executes a single spec, converting panics into job errors.
+func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
+	res = Result{Index: i, Key: s.Key(), Spec: s}
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+		res.Wall = time.Since(start)
+	}()
+
+	prog, err := s.BuildProgram()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Program = prog.Name
+	cfg, err := s.Config()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if t := s.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	} else if t := r.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+
+	c := core.New(prog, cfg)
+	res.EngineName = c.EngineName()
+	if err := c.RunContext(ctx); err != nil {
+		res.Stats = c.Stats
+		res.Err = err
+		return res
+	}
+	res.Stats = c.Stats
+	if s.VerifyArch {
+		want, err := emu.RunProgram(prog, 1<<40)
+		if err != nil {
+			res.Err = fmt.Errorf("emulator: %w", err)
+			return res
+		}
+		got := c.Result()
+		if got != want {
+			res.Err = fmt.Errorf("architectural mismatch:\ncore: %+v\nemu:  %+v", got, want)
+			return res
+		}
+		res.Arch = got
+	}
+	return res
+}
+
+// Run executes a single spec synchronously and returns its result. The
+// error is the result's Err wrapped with the job key.
+func Run(ctx context.Context, spec Spec) (Result, error) {
+	res, err := (&Runner{Jobs: 1}).Run(ctx, []Spec{spec})
+	if err != nil {
+		if len(res) == 1 {
+			return res[0], err
+		}
+		return Result{Key: spec.Key(), Spec: spec}, err
+	}
+	return res[0], nil
+}

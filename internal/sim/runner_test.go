@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mssr/internal/core"
+)
+
+// tinySpec is a fast-simulating run used throughout the pool tests.
+func tinySpec() Spec {
+	return Spec{Workload: "nested-mispred", Scale: 0, Engine: EngineRGID, Streams: 2, Entries: 32}
+}
+
+// statsBytes canonicalizes a result's counters for byte-identity checks.
+func statsBytes(t *testing.T, r Result) []byte {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("%s: %v", r.Key, r.Err)
+	}
+	b, err := json.Marshal(r.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterminism guards against shared mutable state between
+// concurrently running cores: the same spec run serially and inside a
+// parallel sweep must yield byte-identical stats.
+func TestDeterminism(t *testing.T) {
+	ctx := context.Background()
+	serial1, err := Run(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial2, err := Run(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := statsBytes(t, serial1)
+	if string(statsBytes(t, serial2)) != string(want) {
+		t.Fatal("two serial runs of the same spec differ")
+	}
+	if serial1.Stats.Cycles == 0 || serial1.Stats.Retired == 0 || serial1.Stats.ReuseHits == 0 {
+		t.Fatalf("degenerate run: %+v", serial1.Stats)
+	}
+
+	// A parallel sweep of identical specs, each building its own program.
+	specs := make([]Spec, 8)
+	for i := range specs {
+		specs[i] = tinySpec()
+	}
+	res, err := (&Runner{Jobs: 4}).Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if got := statsBytes(t, res[i]); string(got) != string(want) {
+			t.Errorf("parallel run %d differs from the serial run", i)
+		}
+	}
+
+	// The same sweep over one shared pre-built program (the experiment
+	// drivers' pattern) must agree too.
+	shared := tinySpec()
+	p, err := shared.BuildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		specs[i].Workload, specs[i].Scale, specs[i].Program = "", 0, p
+	}
+	res, err = (&Runner{Jobs: 4}).Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if got := statsBytes(t, res[i]); string(got) != string(want) {
+			t.Errorf("shared-program parallel run %d differs from the serial run", i)
+		}
+	}
+}
+
+// TestResultOrderingAndKeys checks results come back in spec order.
+func TestResultOrderingAndKeys(t *testing.T) {
+	var specs []Spec
+	labels := []string{"a", "b", "c", "d", "e"}
+	for _, l := range labels {
+		s := tinySpec()
+		s.Label = l
+		specs = append(specs, s)
+	}
+	res, err := (&Runner{Jobs: 3}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Index != i || r.Key != labels[i] {
+			t.Errorf("result %d = (index %d, key %q), want (%d, %q)", i, r.Index, r.Key, i, labels[i])
+		}
+	}
+}
+
+// TestPanicAndErrorAggregation injects a panicking job and a
+// cycle-limited job into a sweep: both must surface in the aggregate
+// error by key, and every healthy job must still complete with results —
+// the bug the old experiments.runAll had (first error only, successes
+// dropped).
+func TestPanicAndErrorAggregation(t *testing.T) {
+	good1, good2 := tinySpec(), tinySpec()
+	good1.Label, good2.Label = "good-1", "good-2"
+	boom := tinySpec()
+	boom.Label = "boom"
+	boom.TuneKey = "boom"
+	boom.Tune = func(*core.Config) { panic("injected failure") }
+	limited := tinySpec()
+	limited.Label = "limited"
+	limited.TuneKey = "limit"
+	limited.Tune = func(c *core.Config) { c.MaxCycles = 64 }
+
+	res, err := (&Runner{Jobs: 2}).Run(context.Background(), []Spec{good1, boom, limited, good2})
+	if err == nil {
+		t.Fatal("sweep with failing jobs returned nil error")
+	}
+	for _, key := range []string{"boom", "limited"} {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("aggregate error does not name %q: %v", key, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("panic message lost: %v", err)
+	}
+	if !errors.Is(err, core.ErrCycleLimit) {
+		t.Errorf("cycle-limit error not preserved through errors.Join: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	for _, i := range []int{0, 3} {
+		if res[i].Err != nil || res[i].Stats == nil || res[i].Stats.Retired == 0 {
+			t.Errorf("healthy job %s did not complete: err=%v", res[i].Key, res[i].Err)
+		}
+	}
+	if res[1].Err == nil || res[2].Err == nil {
+		t.Error("failing jobs reported no error")
+	}
+	if !errors.Is(res[2].Err, core.ErrCycleLimit) {
+		t.Errorf("limited job error = %v", res[2].Err)
+	}
+}
+
+// TestPerJobTimeout checks a pathological job times out as a per-job
+// error while its siblings still finish.
+func TestPerJobTimeout(t *testing.T) {
+	slow := Spec{Workload: "gobmk", Scale: 1, Label: "slow", Timeout: time.Nanosecond}
+	good := tinySpec()
+	good.Label = "good"
+	res, err := (&Runner{Jobs: 2}).Run(context.Background(), []Spec{slow, good})
+	if err == nil {
+		t.Fatal("timed-out sweep returned nil error")
+	}
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Errorf("slow job error = %v, want DeadlineExceeded", res[0].Err)
+	}
+	if res[0].Stats == nil {
+		t.Error("timed-out job lost its progress counters")
+	}
+	if res[1].Err != nil || res[1].Stats == nil {
+		t.Errorf("sibling job failed: %v", res[1].Err)
+	}
+}
+
+// TestCancellation checks an already-cancelled context stops the sweep
+// immediately, reporting every job as cancelled.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := make([]Spec, 16)
+	for i := range specs {
+		specs[i] = tinySpec()
+	}
+	start := time.Now()
+	res, err := (&Runner{Jobs: 2}).Run(ctx, specs)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want Canceled", err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(res), len(specs))
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancelled sweep still took %s", d)
+	}
+}
+
+// TestValidationFailsFast checks invalid specs abort the sweep before
+// any simulation runs, naming every invalid spec.
+func TestValidationFailsFast(t *testing.T) {
+	bad1 := Spec{Label: "bad-1"}
+	bad2 := Spec{Label: "bad-2", Workload: "no-such-benchmark"}
+	res, err := (&Runner{}).Run(context.Background(), []Spec{tinySpec(), bad1, bad2})
+	if err == nil {
+		t.Fatal("invalid specs accepted")
+	}
+	for _, key := range []string{"bad-1", "bad-2"} {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("validation error does not name %q: %v", key, err)
+		}
+	}
+	if res != nil {
+		t.Error("results returned despite validation failure")
+	}
+}
+
+// countingObserver records start/finish callbacks.
+type countingObserver struct {
+	mu                sync.Mutex
+	starts, finishes  int
+	totals            map[int]bool
+	failed, succeeded int
+}
+
+func (o *countingObserver) OnStart(index, total int, key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.starts++
+	if o.totals == nil {
+		o.totals = map[int]bool{}
+	}
+	o.totals[total] = true
+}
+
+func (o *countingObserver) OnFinish(index, total int, r Result) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finishes++
+	if r.Err != nil {
+		o.failed++
+	} else {
+		o.succeeded++
+	}
+}
+
+// TestObserver checks every job produces exactly one start and one
+// finish notification carrying the job outcome.
+func TestObserver(t *testing.T) {
+	obs := &countingObserver{}
+	boom := tinySpec()
+	boom.Label = "boom"
+	boom.TuneKey = "boom"
+	boom.Tune = func(*core.Config) { panic("pop") }
+	specs := []Spec{tinySpec(), boom, tinySpec()}
+	_, err := (&Runner{Jobs: 2, Observer: Observers(obs)}).Run(context.Background(), specs)
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	if obs.starts != 3 || obs.finishes != 3 {
+		t.Errorf("starts=%d finishes=%d, want 3/3", obs.starts, obs.finishes)
+	}
+	if obs.failed != 1 || obs.succeeded != 2 {
+		t.Errorf("failed=%d succeeded=%d, want 1/2", obs.failed, obs.succeeded)
+	}
+	if !obs.totals[3] || len(obs.totals) != 1 {
+		t.Errorf("totals seen: %v, want {3}", obs.totals)
+	}
+}
+
+// TestJSONStream checks the machine-readable stream emits one valid JSON
+// object per job with the headline fields.
+func TestJSONStream(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	stream := NewJSONStream(syncWriter{&mu, &sb})
+	specs := []Spec{tinySpec(), tinySpec()}
+	if _, err := (&Runner{Jobs: 2, Observer: stream}).Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec struct {
+			Key    string  `json:"key"`
+			Engine string  `json:"engine"`
+			Cycles uint64  `json:"cycles"`
+			IPC    float64 `json:"ipc"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rec.Key == "" || rec.Cycles == 0 || rec.IPC == 0 {
+			t.Errorf("incomplete record: %+v", rec)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	sb *strings.Builder
+}
+
+func (w syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+// TestProgressObserver checks the -progress renderer counts completions.
+func TestProgressObserver(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	prog := NewProgress(syncWriter{&mu, &sb})
+	specs := []Spec{tinySpec(), tinySpec(), tinySpec()}
+	if _, err := (&Runner{Jobs: 3, Observer: prog}).Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"[1/3]", "[2/3]", "[3/3]", "cycles="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVerifyArch checks the emulator cross-check passes for a healthy
+// run and is recorded on the result.
+func TestVerifyArch(t *testing.T) {
+	s := tinySpec()
+	s.VerifyArch = true
+	res, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arch.Retired == 0 {
+		t.Error("architectural state not captured")
+	}
+	if res.Arch.Retired != res.Stats.Retired {
+		t.Errorf("arch retired %d != stats retired %d", res.Arch.Retired, res.Stats.Retired)
+	}
+}
+
+// TestEmptySweep checks a zero-spec run is a no-op.
+func TestEmptySweep(t *testing.T) {
+	res, err := (&Runner{}).Run(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty sweep: %v, %v", res, err)
+	}
+}

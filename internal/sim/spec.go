@@ -1,0 +1,333 @@
+// Package sim is the orchestration layer every entrypoint runs
+// simulations through: cmd/msrsim, cmd/msrbench, internal/experiments and
+// the top-level benchmarks all construct typed run specifications (Spec)
+// and execute them on a bounded, cancellable worker pool (Runner).
+//
+// The package owns the plumbing the entrypoints used to duplicate —
+// workload lookup, engine/config construction, parallel scheduling — and
+// adds what ad-hoc goroutine pools lacked: deterministic result ordering,
+// per-job panic recovery and timeouts, aggregation of every job error
+// (not just the first), and observer hooks for progress reporting and
+// machine-readable result streams.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"mssr/internal/core"
+	"mssr/internal/isa"
+	"mssr/internal/reuse"
+	"mssr/internal/trace"
+	"mssr/internal/workloads"
+)
+
+// Engine selects the squash-reuse engine of a run. The zero value is the
+// no-reuse baseline.
+type Engine int
+
+// Engines.
+const (
+	// EngineNone is the no-reuse baseline core.
+	EngineNone Engine = iota
+	// EngineRGID is the paper's multi-stream mechanism (Streams/Entries).
+	EngineRGID
+	// EngineRI is the Register Integration baseline (Sets/Ways).
+	EngineRI
+	// EngineDIRValue is Dynamic Instruction Reuse, value scheme (Sets/Ways).
+	EngineDIRValue
+	// EngineDIRName is Dynamic Instruction Reuse, name scheme (Sets/Ways).
+	EngineDIRName
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineNone:
+		return "none"
+	case EngineRGID:
+		return "rgid"
+	case EngineRI:
+		return "ri"
+	case EngineDIRValue:
+		return "dir-value"
+	case EngineDIRName:
+		return "dir-name"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine maps the command-line engine names onto Engine values.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "none", "":
+		return EngineNone, nil
+	case "rgid":
+		return EngineRGID, nil
+	case "ri":
+		return EngineRI, nil
+	case "dir", "dir-value":
+		return EngineDIRValue, nil
+	case "dir-name":
+		return EngineDIRName, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (none, rgid, ri, dir-value, dir-name)", s)
+}
+
+// LoadPolicy selects the reused-load protection of a run. The zero value
+// keeps the engine's default (verification).
+type LoadPolicy int
+
+// Load policies.
+const (
+	// LoadDefault keeps the engine's default policy.
+	LoadDefault LoadPolicy = iota
+	// LoadVerify re-executes reused loads and compares values.
+	LoadVerify
+	// LoadBloom blocks reuse of loads hitting the store Bloom filter.
+	LoadBloom
+	// LoadNoReuse never reuses loads.
+	LoadNoReuse
+)
+
+func (p LoadPolicy) String() string {
+	switch p {
+	case LoadDefault:
+		return "default"
+	case LoadVerify:
+		return "verify"
+	case LoadBloom:
+		return "bloom"
+	case LoadNoReuse:
+		return "none"
+	}
+	return fmt.Sprintf("loads(%d)", int(p))
+}
+
+// ParseLoadPolicy maps the command-line policy names onto LoadPolicy
+// values.
+func ParseLoadPolicy(s string) (LoadPolicy, error) {
+	switch s {
+	case "", "default":
+		return LoadDefault, nil
+	case "verify":
+		return LoadVerify, nil
+	case "bloom":
+		return LoadBloom, nil
+	case "none":
+		return LoadNoReuse, nil
+	}
+	return 0, fmt.Errorf("sim: unknown load policy %q (verify, bloom, none)", s)
+}
+
+func (p LoadPolicy) reuse() (reuse.LoadPolicy, bool) {
+	switch p {
+	case LoadVerify:
+		return reuse.LoadVerify, true
+	case LoadBloom:
+		return reuse.LoadBloom, true
+	case LoadNoReuse:
+		return reuse.LoadNoReuse, true
+	}
+	return 0, false
+}
+
+// Spec is one fully-described simulation: which program to run and how to
+// configure the core. A Spec is a value — copying it is cheap and safe —
+// and Key() derives a canonical string identity used for result keying
+// and error reporting.
+type Spec struct {
+	// Label, when non-empty, overrides the canonical key. The experiment
+	// drivers use it to keep their "workload/config" result keys.
+	Label string
+
+	// Workload names a registry workload (built at Scale); Program is a
+	// pre-built program. Exactly one must be set. Sharing one *isa.Program
+	// across specs of a sweep is safe: the core never mutates it.
+	Workload string
+	Program  *isa.Program
+	// Scale is the workload scale factor passed to the registry builder
+	// (1 = the paper's standard scale; <1 selects the tiny validation
+	// size). Ignored when Program is set.
+	Scale int
+
+	// Engine and its geometry. Zero geometry fields take the paper's
+	// defaults (4x64 streams/entries, 64x4 sets/ways).
+	Engine  Engine
+	Streams int // EngineRGID: squashed streams tracked (N)
+	Entries int // EngineRGID: squash-log entries per stream (P)
+	Sets    int // EngineRI / EngineDIR*: table sets
+	Ways    int // EngineRI / EngineDIR*: table ways
+
+	// Loads selects the reused-load protection policy.
+	Loads LoadPolicy
+	// Check runs the lockstep functional checker at commit.
+	Check bool
+	// VerifyArch compares the final architectural state against the
+	// functional emulator after the run; a mismatch is a job error.
+	VerifyArch bool
+
+	// Timeout bounds the job's wall time (0 = the Runner's default).
+	Timeout time.Duration
+	// Tracer, when set, receives pipeline events.
+	Tracer trace.Tracer
+
+	// Tune is an escape hatch applied to the built core.Config last, for
+	// ablation knobs the typed fields do not cover. TuneKey names the
+	// tuning in the canonical key and is required when Tune is set, so
+	// tuned specs remain distinguishable.
+	Tune    func(*core.Config)
+	TuneKey string
+}
+
+// Validate reports whether the spec describes a runnable simulation.
+func (s *Spec) Validate() error {
+	var errs []error
+	if s.Workload == "" && s.Program == nil {
+		errs = append(errs, errors.New("no workload or program"))
+	}
+	if s.Workload != "" && s.Program != nil {
+		errs = append(errs, errors.New("both workload and program set"))
+	}
+	if s.Workload != "" {
+		if _, err := workloads.ByName(s.Workload); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if s.Scale < 0 {
+		errs = append(errs, fmt.Errorf("negative scale %d", s.Scale))
+	}
+	switch s.Engine {
+	case EngineNone, EngineRGID, EngineRI, EngineDIRValue, EngineDIRName:
+	default:
+		errs = append(errs, fmt.Errorf("unknown engine %d", int(s.Engine)))
+	}
+	for _, g := range []struct {
+		name string
+		v    int
+	}{{"streams", s.Streams}, {"entries", s.Entries}, {"sets", s.Sets}, {"ways", s.Ways}} {
+		if g.v < 0 {
+			errs = append(errs, fmt.Errorf("negative %s %d", g.name, g.v))
+		}
+	}
+	if _, ok := s.Loads.reuse(); !ok && s.Loads != LoadDefault {
+		errs = append(errs, fmt.Errorf("unknown load policy %d", int(s.Loads)))
+	}
+	if s.Timeout < 0 {
+		errs = append(errs, fmt.Errorf("negative timeout %s", s.Timeout))
+	}
+	if s.Tune != nil && s.TuneKey == "" {
+		errs = append(errs, errors.New("Tune set without TuneKey"))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("sim: invalid spec %s: %w", s.Key(), errors.Join(errs...))
+	}
+	return nil
+}
+
+// Key returns the spec's identity: the Label when set, otherwise a
+// canonical "program@scale/engine-geometry[+modifiers]" string.
+func (s *Spec) Key() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	var sb strings.Builder
+	switch {
+	case s.Workload != "":
+		sb.WriteString(s.Workload)
+		if s.Scale != 1 {
+			fmt.Fprintf(&sb, "@s%d", s.Scale)
+		}
+	case s.Program != nil && s.Program.Name != "":
+		sb.WriteString(s.Program.Name)
+	default:
+		sb.WriteString("?")
+	}
+	sb.WriteByte('/')
+	switch s.Engine {
+	case EngineRGID:
+		fmt.Fprintf(&sb, "rgid-%dx%d", s.streams(), s.entries())
+	case EngineRI, EngineDIRValue, EngineDIRName:
+		fmt.Fprintf(&sb, "%s-%ds%dw", s.Engine, s.sets(), s.ways())
+	default:
+		sb.WriteString(s.Engine.String())
+	}
+	if s.Loads != LoadDefault {
+		fmt.Fprintf(&sb, "+loads=%s", s.Loads)
+	}
+	if s.Check {
+		sb.WriteString("+check")
+	}
+	if s.TuneKey != "" {
+		sb.WriteString("+" + s.TuneKey)
+	}
+	return sb.String()
+}
+
+func (s *Spec) streams() int {
+	if s.Streams > 0 {
+		return s.Streams
+	}
+	return 4
+}
+
+func (s *Spec) entries() int {
+	if s.Entries > 0 {
+		return s.Entries
+	}
+	return 64
+}
+
+func (s *Spec) sets() int {
+	if s.Sets > 0 {
+		return s.Sets
+	}
+	return 64
+}
+
+func (s *Spec) ways() int {
+	if s.Ways > 0 {
+		return s.Ways
+	}
+	return 4
+}
+
+// BuildProgram resolves the spec's program: the pre-built Program if set,
+// otherwise the named registry workload built at Scale.
+func (s *Spec) BuildProgram() (*isa.Program, error) {
+	if s.Program != nil {
+		return s.Program, nil
+	}
+	return workloads.Build(s.Workload, s.Scale)
+}
+
+// Config builds the core configuration the spec describes.
+func (s *Spec) Config() (core.Config, error) {
+	var cfg core.Config
+	switch s.Engine {
+	case EngineNone:
+		cfg = core.DefaultConfig()
+	case EngineRGID:
+		cfg = core.MultiStreamConfig(s.streams(), s.entries())
+	case EngineRI:
+		cfg = core.RIConfigOf(s.sets(), s.ways())
+	case EngineDIRValue:
+		cfg = core.DIRConfigOf(s.sets(), s.ways(), reuse.DIRValue)
+	case EngineDIRName:
+		cfg = core.DIRConfigOf(s.sets(), s.ways(), reuse.DIRName)
+	default:
+		return core.Config{}, fmt.Errorf("sim: unknown engine %d", int(s.Engine))
+	}
+	if lp, ok := s.Loads.reuse(); ok {
+		cfg.MS.LoadPolicy = lp
+		cfg.RI.LoadPolicy = lp
+		cfg.DIR.LoadPolicy = lp
+	}
+	cfg.DebugCheck = s.Check
+	cfg.Tracer = s.Tracer
+	if s.Tune != nil {
+		s.Tune(&cfg)
+	}
+	return cfg, nil
+}

@@ -98,6 +98,16 @@ func ByName(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
+// Build constructs the named workload at the given scale factor — the
+// registry lookup every entrypoint shares via internal/sim.
+func Build(name string, scale int) (*isa.Program, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.BuildScaled(scale), nil
+}
+
 // Suite returns all workloads of one suite.
 func Suite(suite string) []Workload {
 	var out []Workload
