@@ -7,6 +7,9 @@
 //	msrbench -scale 2             # larger workloads
 //	msrbench -jobs 4 -progress    # cap parallelism, report per-run progress
 //	msrbench -json results.jsonl  # machine-readable per-run result stream
+//	msrbench -remote :8371        # submit every sweep to an msrd daemon;
+//	                              # repeated regenerations are served from
+//	                              # its content-addressed result cache
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"mssr/internal/client"
 	"mssr/internal/experiments"
 	"mssr/internal/sim"
 )
@@ -30,6 +34,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
 		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
+		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -37,6 +42,7 @@ func main() {
 	if *progress {
 		obs = append(obs, sim.NewProgress(os.Stderr))
 	}
+	var js *sim.JSONStream
 	if *jsonOut != "" {
 		w := os.Stdout
 		if *jsonOut != "-" {
@@ -48,13 +54,21 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		obs = append(obs, sim.NewJSONStream(w))
+		js = sim.NewJSONStream(w)
+		obs = append(obs, js)
 	}
-	experiments.SetRunner(&sim.Runner{
-		Jobs:     *jobs,
-		Timeout:  *timeout,
-		Observer: sim.Observers(obs...),
-	})
+	if *remote != "" {
+		experiments.SetRunner(&client.Remote{
+			Client:   client.New(*remote),
+			Observer: sim.Observers(obs...),
+		})
+	} else {
+		experiments.SetRunner(&sim.Runner{
+			Jobs:     *jobs,
+			Timeout:  *timeout,
+			Observer: sim.Observers(obs...),
+		})
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -115,6 +129,13 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "msrbench: no experiment selected by -exp %q\n", *exps)
 		os.Exit(1)
+	}
+	// A truncated -json stream must not masquerade as a complete one.
+	if js != nil {
+		if err := js.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "msrbench: result stream incomplete: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,213 @@
+// Command msrd is the simulation daemon: it serves the internal/sim
+// layer over HTTP with a content-addressed result cache, in-flight
+// dedup, bounded admission and Prometheus metrics (see internal/server).
+//
+// Usage:
+//
+//	msrd                            # serve on :8371
+//	msrd -addr 127.0.0.1:9000 -jobs 8 -queue 128 -cache 8192
+//	msrd -timeout 2m -job-timeout 30m -drain 1m
+//	msrd -selfbench                 # in-process cold-vs-cache benchmark, JSON on stdout
+//
+// Submit work with `msrbench -remote host:port` or POST /v1/jobs
+// directly; scrape /metrics; stop with SIGINT/SIGTERM — the daemon
+// drains running simulations for up to -drain before cancelling them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mssr/internal/api"
+	"mssr/internal/client"
+	"mssr/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8371", "listen address")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations per job")
+		workers    = flag.Int("workers", 1, "jobs executing concurrently")
+		queue      = flag.Int("queue", 64, "admission queue bound; submissions beyond it get 429")
+		cacheSize  = flag.Int("cache", 4096, "result cache entries (negative disables caching)")
+		timeout    = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
+		jobTimeout = flag.Duration("job-timeout", 0, "whole-job wall-time limit (0 = none)")
+		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
+		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		SimJobs:        *jobs,
+		Workers:        *workers,
+		QueueLimit:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		JobTimeout:     *jobTimeout,
+		RetryAfter:     *retryAfter,
+	}
+
+	if *selfbench {
+		if err := runSelfbench(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "msrd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("msrd: draining (deadline %s)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("msrd: drain deadline hit, running simulations cancelled: %v", err)
+		}
+		_ = httpSrv.Shutdown(context.Background())
+	}()
+
+	log.Printf("msrd: serving on %s (sim jobs %d, queue %d, cache %d)", *addr, *jobs, *queue, *cacheSize)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("msrd: %v", err)
+	}
+}
+
+// selfbenchReport is the JSON the -selfbench mode emits; CI archives it
+// as BENCH_PR2.json to track the daemon's performance trajectory.
+type selfbenchReport struct {
+	Specs          int     `json:"specs"`
+	ColdMS         float64 `json:"cold_ms"`
+	WarmMS         float64 `json:"warm_ms"`
+	Speedup        float64 `json:"speedup"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"`
+	WarmJobsPerSec float64 `json:"warm_jobs_per_sec"`
+	BurstSubmitted int     `json:"burst_submitted"`
+	BurstShed      int     `json:"burst_shed"`
+}
+
+// runSelfbench starts the daemon on a loopback port, runs one sweep
+// cold, repeats it against the warm cache, then fires a saturating
+// burst to demonstrate 429 load shedding.
+func runSelfbench(cfg server.Config) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// A small queue makes the burst's load shedding visible.
+	cfg.QueueLimit = 4
+	cfg.RetryAfter = 50 * time.Millisecond
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	c := client.New(ln.Addr().String())
+	c.PollInterval = 2 * time.Millisecond
+	ctx := context.Background()
+
+	var specs []api.Spec
+	for _, wl := range []string{"nested-mispred", "linear-mispred", "bfs", "cc", "astar"} {
+		specs = append(specs,
+			api.Spec{Workload: wl, Scale: 0},
+			api.Spec{Workload: wl, Scale: 0, Engine: "rgid", Streams: 4, Entries: 64},
+			api.Spec{Workload: wl, Scale: 0, Engine: "ri", Sets: 64, Ways: 4},
+		)
+	}
+
+	sweep := func() (time.Duration, *api.JobStatus, error) {
+		start := time.Now()
+		sub, err := c.Submit(ctx, specs)
+		if err != nil {
+			return 0, nil, err
+		}
+		st, err := c.Wait(ctx, sub.JobID)
+		if err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start), st, nil
+	}
+
+	cold, _, err := sweep()
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	warm, warmStatus, err := sweep()
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+
+	// Saturating burst: far more simultaneous submissions than
+	// worker+queue slots, each an uncached spec so nothing resolves
+	// instantly, without client-side retries — the overflow is shed
+	// with 429 instead of queueing unboundedly.
+	burst := cfg.QueueLimit * 4
+	noRetry := client.New(ln.Addr().String())
+	noRetry.SubmitRetries = -1
+	noRetry.PollInterval = 2 * time.Millisecond
+	type submitResult struct {
+		id  string
+		err error
+	}
+	outcomes := make(chan submitResult, burst)
+	for i := 0; i < burst; i++ {
+		i := i
+		go func() {
+			sub, err := noRetry.Submit(ctx, []api.Spec{{
+				Workload: "pr", Scale: 0, Engine: "rgid",
+				Streams: 1 + i%8, Entries: 16 * (1 + i%16),
+			}})
+			if err != nil {
+				outcomes <- submitResult{err: err}
+				return
+			}
+			outcomes <- submitResult{id: sub.JobID}
+		}()
+	}
+	shed := 0
+	for i := 0; i < burst; i++ {
+		o := <-outcomes
+		if o.err != nil {
+			shed++
+			continue
+		}
+		if _, err := noRetry.Wait(ctx, o.id); err != nil {
+			return fmt.Errorf("draining burst job %s: %w", o.id, err)
+		}
+	}
+
+	rep := selfbenchReport{
+		Specs:          len(specs),
+		ColdMS:         float64(cold.Microseconds()) / 1e3,
+		WarmMS:         float64(warm.Microseconds()) / 1e3,
+		CacheHitRate:   float64(warmStatus.CacheHits) / float64(len(specs)),
+		BurstSubmitted: burst,
+		BurstShed:      shed,
+	}
+	if warm > 0 {
+		rep.Speedup = float64(cold) / float64(warm)
+		rep.WarmJobsPerSec = float64(time.Second) / float64(warm)
+	}
+	if cold > 0 {
+		rep.ColdJobsPerSec = float64(time.Second) / float64(cold)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,241 @@
+// Package api defines the wire format of the msrd simulation daemon:
+// the JSON shapes exchanged by internal/server and internal/client over
+// the /v1 HTTP API.
+//
+// The wire Spec is deliberately a strict subset of sim.Spec — only
+// registry workloads (named, built deterministically at a scale) can
+// cross the wire, never pre-built programs, tracers or Tune closures.
+// That restriction is what makes the daemon's content-addressed result
+// cache sound: a wire spec's sim.Spec.CanonicalKey() fully describes
+// the simulation it requests, so equal keys mean equal results.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mssr/internal/sim"
+	"mssr/internal/stats"
+)
+
+// Spec is the wire form of one simulation request.
+type Spec struct {
+	// Label is the caller's display key for the result (sim.Spec.Label).
+	// It never influences caching.
+	Label string `json:"label,omitempty"`
+	// Workload names a registry workload; required.
+	Workload string `json:"workload"`
+	// Scale is the workload scale factor (1 = the paper's standard scale).
+	Scale int `json:"scale,omitempty"`
+	// Engine is the reuse engine name ("" or "none", "rgid", "ri",
+	// "dir-value", "dir-name").
+	Engine string `json:"engine,omitempty"`
+	// Geometry (0 = the engine's default).
+	Streams int `json:"streams,omitempty"`
+	Entries int `json:"entries,omitempty"`
+	Sets    int `json:"sets,omitempty"`
+	Ways    int `json:"ways,omitempty"`
+	// Loads is the reused-load protection policy ("" or "default",
+	// "verify", "bloom", "none").
+	Loads string `json:"loads,omitempty"`
+	// Check runs the lockstep functional checker at commit.
+	Check bool `json:"check,omitempty"`
+	// VerifyArch compares the final architectural state with the
+	// functional emulator.
+	VerifyArch bool `json:"verify_arch,omitempty"`
+	// TimeoutMS bounds the simulation's wall time (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Sim converts the wire spec into a sim.Spec, resolving the engine and
+// load-policy names. It does not validate the result; the server
+// validates after conversion so the error carries the canonical key.
+func (s Spec) Sim() (sim.Spec, error) {
+	eng, err := sim.ParseEngine(s.Engine)
+	if err != nil {
+		return sim.Spec{}, err
+	}
+	loads, err := sim.ParseLoadPolicy(s.Loads)
+	if err != nil {
+		return sim.Spec{}, err
+	}
+	return sim.Spec{
+		Label:      s.Label,
+		Workload:   s.Workload,
+		Scale:      s.Scale,
+		Engine:     eng,
+		Streams:    s.Streams,
+		Entries:    s.Entries,
+		Sets:       s.Sets,
+		Ways:       s.Ways,
+		Loads:      loads,
+		Check:      s.Check,
+		VerifyArch: s.VerifyArch,
+		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// FromSim converts a sim.Spec into its wire form. Specs carrying state
+// that cannot cross the wire — a pre-built program, a Tune closure, a
+// tracer — are rejected; remote consumers must describe runs by
+// workload name.
+func FromSim(s sim.Spec) (Spec, error) {
+	var reasons []error
+	if s.Program != nil {
+		reasons = append(reasons, errors.New("pre-built Program is not serializable (use a registry Workload)"))
+	}
+	if s.Tune != nil {
+		reasons = append(reasons, errors.New("Tune closure is not serializable"))
+	}
+	if s.Tracer != nil {
+		reasons = append(reasons, errors.New("Tracer is not serializable"))
+	}
+	if len(reasons) > 0 {
+		return Spec{}, fmt.Errorf("api: spec %s not remotable: %w", s.Key(), errors.Join(reasons...))
+	}
+	ws := Spec{
+		Label:      s.Label,
+		Workload:   s.Workload,
+		Scale:      s.Scale,
+		Streams:    s.Streams,
+		Entries:    s.Entries,
+		Sets:       s.Sets,
+		Ways:       s.Ways,
+		Check:      s.Check,
+		VerifyArch: s.VerifyArch,
+		TimeoutMS:  s.Timeout.Milliseconds(),
+	}
+	if s.Engine != sim.EngineNone {
+		ws.Engine = s.Engine.String()
+	}
+	if s.Loads != sim.LoadDefault {
+		ws.Loads = s.Loads.String()
+	}
+	return ws, nil
+}
+
+// Result sources.
+const (
+	// SourceRun: the daemon ran the simulation for this request.
+	SourceRun = "run"
+	// SourceCache: served from the content-addressed result cache.
+	SourceCache = "cache"
+	// SourceDedup: joined an identical in-flight simulation.
+	SourceDedup = "dedup"
+)
+
+// Result is the wire form of one completed simulation.
+type Result struct {
+	// Index is the spec's position in the submitted batch.
+	Index int `json:"index"`
+	// Key is the spec's display key (Label or canonical key).
+	Key string `json:"key"`
+	// CacheKey is the canonical content key the result is cached under.
+	CacheKey string `json:"cache_key"`
+	// Source records how the daemon produced the result: SourceRun,
+	// SourceCache or SourceDedup.
+	Source  string  `json:"source"`
+	Program string  `json:"program,omitempty"`
+	Engine  string  `json:"engine,omitempty"`
+	Cycles  uint64  `json:"cycles,omitempty"`
+	Retired uint64  `json:"retired,omitempty"`
+	IPC     float64 `json:"ipc,omitempty"`
+	// WallNS is the simulation's wall time on the daemon (0 for cache
+	// hits, which cost no simulation time).
+	WallNS int64        `json:"wall_ns"`
+	Error  string       `json:"error,omitempty"`
+	Stats  *stats.Stats `json:"stats,omitempty"`
+}
+
+// ResultFromSim converts a completed sim.Result into its wire form.
+func ResultFromSim(r sim.Result, source string) Result {
+	out := Result{
+		Index:    r.Index,
+		Key:      r.Key,
+		CacheKey: r.Spec.CanonicalKey(),
+		Source:   source,
+		Program:  r.Program,
+		Engine:   r.EngineName,
+		WallNS:   r.Wall.Nanoseconds(),
+		Stats:    r.Stats,
+	}
+	if r.Stats != nil {
+		out.Cycles = r.Stats.Cycles
+		out.Retired = r.Stats.Retired
+		out.IPC = r.Stats.IPC()
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+// Sim converts the wire result back into a sim.Result for consumers
+// (the experiment drivers) that run against either backend.
+func (r Result) Sim() sim.Result {
+	out := sim.Result{
+		Index:      r.Index,
+		Key:        r.Key,
+		Program:    r.Program,
+		EngineName: r.Engine,
+		Stats:      r.Stats,
+		Wall:       time.Duration(r.WallNS),
+	}
+	if r.Error != "" {
+		out.Err = errors.New(r.Error)
+	}
+	return out
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// SubmitResponse is the success body of POST /v1/jobs.
+type SubmitResponse struct {
+	JobID string `json:"job_id"`
+	// Total is the number of simulations the job describes.
+	Total int `json:"total"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+	// Done counts completed simulations (any source).
+	Done int `json:"done"`
+	// CacheHits and DedupJoins count how many of the job's specs were
+	// served without running a new simulation.
+	CacheHits  int       `json:"cache_hits"`
+	DedupJoins int       `json:"dedup_joins"`
+	Submitted  time.Time `json:"submitted"`
+	// Started and Finished are zero until the state transition happens.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Results holds one entry per spec in submit order; present only
+	// when State is StateDone (use the stream endpoint for live
+	// completions).
+	Results []Result `json:"results,omitempty"`
+	// Error is the job-level failure (shutdown, timeout), distinct from
+	// per-result errors.
+	Error string `json:"error,omitempty"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 responses: how long the client should
+	// back off before resubmitting (the Retry-After header rounds this
+	// up to whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}

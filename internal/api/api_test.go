@@ -1,0 +1,139 @@
+package api_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"mssr/internal/api"
+	"mssr/internal/core"
+	"mssr/internal/isa"
+	"mssr/internal/sim"
+	"mssr/internal/stats"
+	"mssr/internal/trace"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	orig := sim.Spec{
+		Label:      "bfs/rgid-sweep",
+		Workload:   "bfs",
+		Scale:      2,
+		Engine:     sim.EngineRGID,
+		Streams:    8,
+		Entries:    128,
+		Loads:      sim.LoadBloom,
+		Check:      true,
+		VerifyArch: true,
+		Timeout:    1500 * time.Millisecond,
+	}
+	if err := orig.Validate(); err != nil {
+		t.Fatalf("test spec invalid: %v", err)
+	}
+	ws, err := api.FromSim(orig)
+	if err != nil {
+		t.Fatalf("FromSim: %v", err)
+	}
+	back, err := ws.Sim()
+	if err != nil {
+		t.Fatalf("Sim: %v", err)
+	}
+	// Spec holds func fields, so compare the remotable fields piecewise.
+	if back.Label != orig.Label || back.Timeout != orig.Timeout ||
+		back.Check != orig.Check || back.VerifyArch != orig.VerifyArch {
+		t.Errorf("round trip changed the spec:\n  got  %+v\n  want %+v", back, orig)
+	}
+	if back.CanonicalKey() != orig.CanonicalKey() {
+		t.Errorf("round trip changed the canonical key: %q vs %q", back.CanonicalKey(), orig.CanonicalKey())
+	}
+}
+
+func TestSpecRoundTripDefaults(t *testing.T) {
+	// Default engine and load policy are omitted on the wire and must
+	// still round-trip to the same canonical key.
+	orig := sim.Spec{Workload: "nested-mispred"}
+	ws, err := api.FromSim(orig)
+	if err != nil {
+		t.Fatalf("FromSim: %v", err)
+	}
+	if ws.Engine != "" || ws.Loads != "" {
+		t.Errorf("defaults should be omitted on the wire, got engine=%q loads=%q", ws.Engine, ws.Loads)
+	}
+	back, err := ws.Sim()
+	if err != nil {
+		t.Fatalf("Sim: %v", err)
+	}
+	if back.CanonicalKey() != orig.CanonicalKey() {
+		t.Errorf("canonical key changed: %q vs %q", back.CanonicalKey(), orig.CanonicalKey())
+	}
+}
+
+func TestFromSimRejectsUnserializable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec sim.Spec
+		want string
+	}{
+		{"program", sim.Spec{Program: &isa.Program{Name: "inline"}}, "Program"},
+		{"tune", sim.Spec{Workload: "bfs", Tune: func(*core.Config) {}, TuneKey: "x"}, "Tune"},
+		{"tracer", sim.Spec{Workload: "bfs", Tracer: &trace.Writer{W: io.Discard}}, "Tracer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := api.FromSim(tc.spec)
+			if err == nil {
+				t.Fatal("FromSim accepted an unserializable spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offending field %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpecSimRejectsBadNames(t *testing.T) {
+	if _, err := (api.Spec{Workload: "bfs", Engine: "warp-drive"}).Sim(); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+	if _, err := (api.Spec{Workload: "bfs", Loads: "yolo"}).Sim(); err == nil {
+		t.Error("unknown load policy accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	st := &stats.Stats{Cycles: 4200, Retired: 3150}
+	sr := sim.Result{
+		Index:      3,
+		Key:        "bfs/rgid-4x64",
+		Program:    "bfs",
+		EngineName: "rgid",
+		Stats:      st,
+		Wall:       7 * time.Millisecond,
+		Spec:       sim.Spec{Workload: "bfs", Engine: sim.EngineRGID, Streams: 4, Entries: 64},
+	}
+	wr := api.ResultFromSim(sr, api.SourceRun)
+	if wr.Source != api.SourceRun || wr.CacheKey != sr.Spec.CanonicalKey() {
+		t.Errorf("wire result mislabelled: %+v", wr)
+	}
+	if wr.Cycles != 4200 || wr.IPC != st.IPC() {
+		t.Errorf("headline metrics not lifted: %+v", wr)
+	}
+	back := wr.Sim()
+	if back.Index != sr.Index || back.Key != sr.Key || back.Stats.Cycles != st.Cycles || back.Wall != sr.Wall {
+		t.Errorf("round trip changed the result:\n  got  %+v\n  want %+v", back, sr)
+	}
+	if back.Err != nil {
+		t.Errorf("successful result grew an error: %v", back.Err)
+	}
+
+	sr.Err = errors.New("deadline exceeded")
+	sr.Stats = nil
+	wr = api.ResultFromSim(sr, api.SourceRun)
+	if wr.Error == "" {
+		t.Error("failure not carried onto the wire")
+	}
+	if back := wr.Sim(); back.Err == nil || back.Err.Error() != "deadline exceeded" {
+		t.Errorf("failure not restored from the wire: %v", back.Err)
+	}
+}

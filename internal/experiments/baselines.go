@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"mssr/internal/isa"
 	"mssr/internal/sim"
-	"mssr/internal/workloads"
 )
 
 // BaselinesResult compares all four squash-reuse mechanisms discussed by
@@ -33,12 +31,12 @@ func baselineWorkloads() []string {
 func Baselines(scale int) (*BaselinesResult, error) {
 	engines := []struct {
 		name string
-		mk   func(key string, p *isa.Program) sim.Spec
+		mk   func(key, workload string) sim.Spec
 	}{
-		{"dir-value", func(key string, p *isa.Program) sim.Spec { return dirSpec(key, p, sim.EngineDIRValue, 64, 4) }},
-		{"dir-name", func(key string, p *isa.Program) sim.Spec { return dirSpec(key, p, sim.EngineDIRName, 64, 4) }},
-		{"ri-64s4w", func(key string, p *isa.Program) sim.Spec { return riSpec(key, p, 64, 4) }},
-		{"rgid-4x64", func(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, 4, 64) }},
+		{"dir-value", func(key, workload string) sim.Spec { return dirSpec(key, workload, scale, sim.EngineDIRValue, 64, 4) }},
+		{"dir-name", func(key, workload string) sim.Spec { return dirSpec(key, workload, scale, sim.EngineDIRName, 64, 4) }},
+		{"ri-64s4w", func(key, workload string) sim.Spec { return riSpec(key, workload, scale, 64, 4) }},
+		{"rgid-4x64", func(key, workload string) sim.Spec { return rgidSpec(key, workload, scale, 4, 64) }},
 	}
 	r := &BaselinesResult{
 		Workloads:   baselineWorkloads(),
@@ -50,13 +48,9 @@ func Baselines(scale int) (*BaselinesResult, error) {
 	}
 	var specs []sim.Spec
 	for _, name := range r.Workloads {
-		p, err := workloads.Build(name, scale)
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, baseSpec(name+"/baseline", p))
+		specs = append(specs, baseSpec(name+"/baseline", name, scale))
 		for _, e := range engines {
-			specs = append(specs, e.mk(name+"/"+e.name, p))
+			specs = append(specs, e.mk(name+"/"+e.name, name))
 		}
 	}
 	res, err := runSpecs(specs)

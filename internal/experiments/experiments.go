@@ -23,26 +23,27 @@ import (
 	"strings"
 	"sync"
 
-	"mssr/internal/isa"
 	"mssr/internal/sim"
 	"mssr/internal/stats"
 )
 
-// The experiments share one sim.Runner; msrbench swaps it to thread its
-// -jobs bound and -progress/-json observers through every experiment.
+// The experiments share one sim.Backend; msrbench swaps it to thread
+// its -jobs bound and -progress/-json observers through every
+// experiment, or — with -remote — to submit every sweep to an msrd
+// daemon through internal/client instead of simulating in-process.
 var (
 	runnerMu sync.Mutex
-	runner   = &sim.Runner{}
+	runner   sim.Backend = &sim.Runner{}
 )
 
-// SetRunner replaces the runner all experiments execute through.
-func SetRunner(r *sim.Runner) {
+// SetRunner replaces the backend all experiments execute through.
+func SetRunner(r sim.Backend) {
 	runnerMu.Lock()
 	defer runnerMu.Unlock()
 	runner = r
 }
 
-func currentRunner() *sim.Runner {
+func currentRunner() sim.Backend {
 	runnerMu.Lock()
 	defer runnerMu.Unlock()
 	return runner
@@ -64,21 +65,24 @@ func runSpecs(specs []sim.Spec) (map[string]*stats.Stats, error) {
 
 // baseSpec, rgidSpec, riSpec and dirSpec build the specs the experiment
 // drivers sweep over, keyed "workload/config" as the result tables
-// expect.
-func baseSpec(key string, p *isa.Program) sim.Spec {
-	return sim.Spec{Label: key, Program: p}
+// expect. They describe runs by registry workload name and scale — not
+// by pre-built program — so every sweep is wire-serializable and can be
+// submitted to an msrd daemon, where the spec's canonical key addresses
+// the daemon's result cache.
+func baseSpec(key, workload string, scale int) sim.Spec {
+	return sim.Spec{Label: key, Workload: workload, Scale: scale}
 }
 
-func rgidSpec(key string, p *isa.Program, streams, entries int) sim.Spec {
-	return sim.Spec{Label: key, Program: p, Engine: sim.EngineRGID, Streams: streams, Entries: entries}
+func rgidSpec(key, workload string, scale, streams, entries int) sim.Spec {
+	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRGID, Streams: streams, Entries: entries}
 }
 
-func riSpec(key string, p *isa.Program, sets, ways int) sim.Spec {
-	return sim.Spec{Label: key, Program: p, Engine: sim.EngineRI, Sets: sets, Ways: ways}
+func riSpec(key, workload string, scale, sets, ways int) sim.Spec {
+	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRI, Sets: sets, Ways: ways}
 }
 
-func dirSpec(key string, p *isa.Program, engine sim.Engine, sets, ways int) sim.Spec {
-	return sim.Spec{Label: key, Program: p, Engine: engine, Sets: sets, Ways: ways}
+func dirSpec(key, workload string, scale int, engine sim.Engine, sets, ways int) sim.Spec {
+	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: engine, Sets: sets, Ways: ways}
 }
 
 // pct formats a fraction as a percentage.

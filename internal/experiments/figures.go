@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"mssr/internal/isa"
 	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/workloads"
@@ -31,10 +30,9 @@ func Figure3(scale int) (*Figure3Result, error) {
 		Replacements: map[string]map[int][]uint64{},
 	}
 	var specs []sim.Spec
-	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
-		p := workloads.Listing1(v, microItersForScale(scale))
+	for _, name := range r.Variants {
 		for _, w := range r.Ways {
-			specs = append(specs, riSpec(fmt.Sprintf("%s/%d", r.Variants[i], w), p, r.Sets, w))
+			specs = append(specs, riSpec(fmt.Sprintf("%s/%d", name, w), name, scale, r.Sets, w))
 		}
 	}
 	res, err := runSpecs(specs)
@@ -103,7 +101,9 @@ type Figure4Result struct {
 // profileSpec is the generous tracking configuration used for the
 // Figure 4 / Figure 11 profiles (8 streams so distant reconvergence is
 // observable, as the paper's profiling tooling does).
-func profileSpec(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, 8, 256) }
+func profileSpec(key, workload string, scale int) sim.Spec {
+	return rgidSpec(key, workload, scale, 8, 256)
+}
 
 // Figure4 profiles reconvergence types across all suites (§2.2.5).
 func Figure4(scale int) (*Figure4Result, error) {
@@ -111,7 +111,7 @@ func Figure4(scale int) (*Figure4Result, error) {
 	var specs []sim.Spec
 	for _, w := range workloads.All() {
 		r.Workloads = append(r.Workloads, w.Name)
-		specs = append(specs, profileSpec(w.Name, w.BuildScaled(scale)))
+		specs = append(specs, profileSpec(w.Name, w.Name, scale))
 	}
 	res, err := runSpecs(specs)
 	if err != nil {
@@ -218,10 +218,9 @@ func Figure10(scale int) (*Figure10Result, error) {
 			continue // Figure 10 covers the SPEC and GAP suites
 		}
 		r.Workloads = append(r.Workloads, w.Name)
-		p := w.BuildScaled(scale)
-		specs = append(specs, baseSpec(w.Name+"/baseline", p))
+		specs = append(specs, baseSpec(w.Name+"/baseline", w.Name, scale))
 		for _, c := range Figure10Configs {
-			specs = append(specs, rgidSpec(w.Name+"/"+c.Name, p, c.Streams, c.Entries))
+			specs = append(specs, rgidSpec(w.Name+"/"+c.Name, w.Name, scale, c.Streams, c.Entries))
 		}
 	}
 	res, err := runSpecs(specs)
@@ -300,7 +299,7 @@ func Figure11(scale int) (*Figure11Result, error) {
 	var specs []sim.Spec
 	for _, w := range workloads.All() {
 		r.Workloads = append(r.Workloads, w.Name)
-		specs = append(specs, profileSpec(w.Name, w.BuildScaled(scale)))
+		specs = append(specs, profileSpec(w.Name, w.Name, scale))
 	}
 	res, err := runSpecs(specs)
 	if err != nil {
@@ -364,21 +363,21 @@ type Figure12Result struct {
 func Figure12(scale int) (*Figure12Result, error) {
 	type cfg struct {
 		name string
-		mk   func(key string, p *isa.Program) sim.Spec
+		mk   func(key, workload string) sim.Spec
 	}
 	var cfgs []cfg
 	for _, entries := range []int{64, 128} {
 		for _, streams := range []int{1, 2, 4} {
 			streams, entries := streams, entries
 			cfgs = append(cfgs, cfg{fmt.Sprintf("rgid-%dx%d", streams, entries),
-				func(key string, p *isa.Program) sim.Spec { return rgidSpec(key, p, streams, entries) }})
+				func(key, workload string) sim.Spec { return rgidSpec(key, workload, scale, streams, entries) }})
 		}
 	}
 	for _, sets := range []int{64, 128} {
 		for _, ways := range []int{1, 2, 4} {
 			sets, ways := sets, ways
 			cfgs = append(cfgs, cfg{fmt.Sprintf("ri-%ds%dw", sets, ways),
-				func(key string, p *isa.Program) sim.Spec { return riSpec(key, p, sets, ways) }})
+				func(key, workload string) sim.Spec { return riSpec(key, workload, scale, sets, ways) }})
 		}
 	}
 	r := &Figure12Result{Improvement: map[string]map[string]float64{}}
@@ -388,10 +387,9 @@ func Figure12(scale int) (*Figure12Result, error) {
 	var specs []sim.Spec
 	for _, w := range workloads.Suite("gap") {
 		r.Workloads = append(r.Workloads, w.Name)
-		p := w.BuildScaled(scale)
-		specs = append(specs, baseSpec(w.Name+"/baseline", p))
+		specs = append(specs, baseSpec(w.Name+"/baseline", w.Name, scale))
 		for _, c := range cfgs {
-			specs = append(specs, c.mk(w.Name+"/"+c.name, p))
+			specs = append(specs, c.mk(w.Name+"/"+c.name, w.Name))
 		}
 	}
 	res, err := runSpecs(specs)

@@ -9,7 +9,6 @@ import (
 	"mssr/internal/stats"
 	"mssr/internal/storage"
 	"mssr/internal/synth"
-	"mssr/internal/workloads"
 )
 
 // Table1Result holds the microbenchmark speedup comparison (§2.2.4): the
@@ -37,17 +36,15 @@ func Table1(scale int) (*Table1Result, error) {
 		Speedup: map[string]map[string]float64{},
 	}
 	var specs []sim.Spec
-	for i, v := range []workloads.Variant{workloads.VariantNested, workloads.VariantLinear} {
-		p := workloads.Listing1(v, microItersForScale(scale))
-		name := r.Variants[i]
+	for _, name := range r.Variants {
 		specs = append(specs,
-			baseSpec(name+"/baseline", p),
-			rgidSpec(name+"/rgid-1", p, 1, 64),
-			rgidSpec(name+"/rgid-2", p, 2, 64),
-			rgidSpec(name+"/rgid-4", p, 4, 64),
-			riSpec(name+"/ri-1w", p, 64, 1),
-			riSpec(name+"/ri-2w", p, 64, 2),
-			riSpec(name+"/ri-4w", p, 64, 4),
+			baseSpec(name+"/baseline", name, scale),
+			rgidSpec(name+"/rgid-1", name, scale, 1, 64),
+			rgidSpec(name+"/rgid-2", name, scale, 2, 64),
+			rgidSpec(name+"/rgid-4", name, scale, 4, 64),
+			riSpec(name+"/ri-1w", name, scale, 64, 1),
+			riSpec(name+"/ri-2w", name, scale, 64, 2),
+			riSpec(name+"/ri-4w", name, scale, 64, 4),
 		)
 	}
 	res, err := runSpecs(specs)
@@ -63,13 +60,6 @@ func Table1(scale int) (*Table1Result, error) {
 		}
 	}
 	return r, nil
-}
-
-func microItersForScale(scale int) int {
-	if scale < 1 {
-		return 256
-	}
-	return 4000 * scale
 }
 
 // Render prints the Table 1 rows in the paper's layout.

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"mssr/internal/api"
+)
+
+// resultCache is the content-addressed result store: an LRU map from a
+// spec's canonical key (sim.Spec.CanonicalKey) to its completed wire
+// result. Only successful simulations are admitted — failures may be
+// transient (timeouts, shutdown cancellation), and serving a stale
+// failure for a now-healthy spec would be wrong, while serving a stale
+// success is impossible: the canonical key fully determines the
+// simulation, which is deterministic.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res api.Result
+}
+
+// newResultCache returns a cache bounded to cap entries; cap <= 0
+// disables caching (every get misses, every put is dropped).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for the canonical key and marks it most
+// recently used.
+func (c *resultCache) get(key string) (api.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return api.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result under its canonical key, evicting the least
+// recently used entry when the bound is exceeded.
+func (c *resultCache) put(key string, res api.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the daemon's counters, exported in Prometheus text
+// exposition format on /metrics. All fields are atomics: they are
+// updated from job workers and read by the scrape handler concurrently.
+type metrics struct {
+	jobsSubmitted atomic.Uint64 // accepted into the queue
+	jobsRejected  atomic.Uint64 // shed with 429 at admission
+	jobsCompleted atomic.Uint64 // finished with every simulation ok
+	jobsFailed    atomic.Uint64 // finished with >= 1 failed simulation
+	jobsRunning   atomic.Int64  // gauge: currently executing
+
+	cacheHits   atomic.Uint64 // specs served from the result cache
+	cacheMisses atomic.Uint64 // specs that missed the cache
+	dedupJoins  atomic.Uint64 // specs that joined an identical in-flight run
+
+	simsRun     atomic.Uint64 // simulations actually executed
+	simsFailed  atomic.Uint64 // executed simulations that returned an error
+	simCycles   atomic.Uint64 // cumulative simulated cycles
+	simWallNS   atomic.Int64  // cumulative simulation wall time
+	streamConns atomic.Int64  // gauge: open NDJSON streams
+}
+
+// write renders every metric. queueDepth and cacheLen are sampled by the
+// caller (they are gauges owned by other structures).
+func (m *metrics) write(w io.Writer, queueDepth, cacheLen int) {
+	emit := func(name, help, typ string, value interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+	}
+	emit("msrd_jobs_submitted_total", "Jobs accepted into the admission queue.", "counter", m.jobsSubmitted.Load())
+	emit("msrd_jobs_rejected_total", "Jobs shed with 429 because the queue was full.", "counter", m.jobsRejected.Load())
+	emit("msrd_jobs_completed_total", "Jobs finished with every simulation successful.", "counter", m.jobsCompleted.Load())
+	emit("msrd_jobs_failed_total", "Jobs finished with at least one failed simulation.", "counter", m.jobsFailed.Load())
+	emit("msrd_jobs_running", "Jobs currently executing.", "gauge", m.jobsRunning.Load())
+	emit("msrd_queue_depth", "Jobs queued and not yet executing.", "gauge", queueDepth)
+	emit("msrd_cache_hits_total", "Specs served from the content-addressed result cache.", "counter", m.cacheHits.Load())
+	emit("msrd_cache_misses_total", "Specs that missed the result cache.", "counter", m.cacheMisses.Load())
+	emit("msrd_cache_entries", "Results currently cached.", "gauge", cacheLen)
+	emit("msrd_dedup_joins_total", "Specs deduplicated onto an identical in-flight simulation.", "counter", m.dedupJoins.Load())
+	emit("msrd_sims_run_total", "Simulations executed (cache hits and dedup joins excluded).", "counter", m.simsRun.Load())
+	emit("msrd_sims_failed_total", "Executed simulations that returned an error.", "counter", m.simsFailed.Load())
+	emit("msrd_sim_cycles_total", "Cumulative simulated cycles across executed simulations.", "counter", m.simCycles.Load())
+	emit("msrd_sim_wall_seconds_total", "Cumulative simulation wall time in seconds.", "counter",
+		fmt.Sprintf("%.6f", float64(m.simWallNS.Load())/1e9))
+	emit("msrd_stream_connections", "Open NDJSON result streams.", "gauge", m.streamConns.Load())
+}

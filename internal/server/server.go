@@ -1,0 +1,451 @@
+// Package server implements msrd, the simulation-as-a-service daemon:
+// an HTTP front end over the internal/sim orchestration layer with a
+// content-addressed result cache, singleflight dedup of identical
+// in-flight specs, a bounded admission queue that sheds load with 429,
+// and live Prometheus metrics.
+//
+// API (JSON; see internal/api for the shapes):
+//
+//	POST /v1/jobs              submit a batch of specs -> job id
+//	GET  /v1/jobs/{id}         job status; results once done
+//	GET  /v1/jobs/{id}/stream  NDJSON of per-simulation completions
+//	GET  /healthz              liveness ("draining" during shutdown)
+//	GET  /metrics              Prometheus text format
+//
+// Results are cached and deduplicated by sim.Spec.CanonicalKey(): a wire
+// spec names a registry workload plus engine geometry and policies, the
+// registry builders are deterministic, so the canonical key fully
+// determines the simulation's outcome. Two jobs asking for the same key
+// share one simulation; a repeated sweep is served from cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mssr/internal/api"
+	"mssr/internal/sim"
+)
+
+// Config tunes the daemon. The zero value is usable: NumCPU-parallel
+// simulations, one job at a time, a 64-job queue and a 4096-entry cache.
+type Config struct {
+	// SimJobs bounds concurrently running simulations within a job
+	// (<= 0 = NumCPU).
+	SimJobs int
+	// Workers is how many jobs execute concurrently (<= 0 = 1). Total
+	// simulation parallelism is bounded by Workers*SimJobs.
+	Workers int
+	// QueueLimit bounds jobs queued behind the workers; submissions
+	// beyond it are shed with 429 (<= 0 = 64).
+	QueueLimit int
+	// CacheEntries bounds the result cache (0 = 4096; < 0 disables).
+	CacheEntries int
+	// DefaultTimeout bounds each simulation's wall time unless the spec
+	// carries its own (0 = unbounded).
+	DefaultTimeout time.Duration
+	// JobTimeout bounds a whole job's execution (0 = unbounded).
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (0 = 1s).
+	RetryAfter time.Duration
+	// Backend overrides how leader specs are executed. nil (the normal
+	// case) builds a sim.Runner per job, wired with an observer that
+	// publishes completions live; tests inject controllable fakes.
+	Backend sim.Backend
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// flight is one in-progress simulation identified by its canonical key.
+// Followers (identical specs from any job) wait on done and read res.
+type flight struct {
+	once sync.Once
+	done chan struct{}
+	res  api.Result
+}
+
+// Server is the daemon. Create with New, serve with any http.Server,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics metrics
+	cache   *resultCache
+
+	mu     sync.Mutex // guards jobs, closed, queue sends
+	jobs   map[string]*job
+	closed bool
+	queue  chan *job
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	nextID  atomic.Uint64
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newResultCache(cfg.CacheEntries),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueLimit),
+		flights: make(map[string]*flight),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the daemon: no new submissions are admitted, queued
+// and running jobs are given until ctx's deadline to finish, then the
+// remaining simulations are cancelled. It returns nil on a clean drain
+// and ctx.Err() if the deadline forced cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// ---------------------------------------------------------- execution ---
+
+// runJob resolves every spec of the job: cache hit, join of an identical
+// in-flight simulation, or a fresh run (as the flight leader for that
+// canonical key).
+func (s *Server) runJob(j *job) {
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+	j.start(time.Now())
+
+	type joined struct {
+		idx int
+		f   *flight
+	}
+	var (
+		leaders       []sim.Spec
+		leaderIdx     []int
+		leaderFlights []*flight
+		waits         []joined
+	)
+	for i := range j.specs {
+		sp := &j.specs[i]
+		ck := sp.CanonicalKey()
+		if res, ok := s.cache.get(ck); ok {
+			s.metrics.cacheHits.Add(1)
+			res.Index, res.Key, res.Source, res.WallNS = i, sp.Key(), api.SourceCache, 0
+			j.complete(i, res)
+			continue
+		}
+		s.metrics.cacheMisses.Add(1)
+		s.flightMu.Lock()
+		if f, ok := s.flights[ck]; ok {
+			s.flightMu.Unlock()
+			s.metrics.dedupJoins.Add(1)
+			waits = append(waits, joined{i, f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[ck] = f
+		s.flightMu.Unlock()
+		leaders = append(leaders, *sp)
+		leaderIdx = append(leaderIdx, i)
+		leaderFlights = append(leaderFlights, f)
+	}
+
+	if len(leaders) > 0 {
+		backend := s.cfg.Backend
+		if backend == nil {
+			backend = &sim.Runner{
+				Jobs:    s.cfg.SimJobs,
+				Timeout: s.cfg.DefaultTimeout,
+				Observer: &flightObserver{
+					s: s, j: j, idx: leaderIdx, flights: leaderFlights,
+				},
+			}
+		}
+		results, _ := backend.Run(ctx, leaders)
+		// The observer already completed everything it saw finish; this
+		// sweep covers custom backends and jobs the cancellation kept
+		// from dispatching (which get no observer callback).
+		for k := range leaders {
+			var r sim.Result
+			if k < len(results) {
+				r = results[k]
+			} else {
+				r = sim.Result{Index: k, Key: leaders[k].Key(), Spec: leaders[k], Err: ctx.Err()}
+			}
+			if r.Err == nil && r.Stats == nil && results == nil {
+				r.Err = errors.New("backend returned no result")
+			}
+			s.finishLeader(j, leaderIdx[k], leaderFlights[k], r)
+		}
+	}
+
+	for _, w := range waits {
+		select {
+		case <-w.f.done:
+			r := w.f.res
+			r.Index, r.Key, r.Source = w.idx, j.specs[w.idx].Key(), api.SourceDedup
+			j.complete(w.idx, r)
+		case <-ctx.Done():
+			j.complete(w.idx, api.Result{
+				Index:    w.idx,
+				Key:      j.specs[w.idx].Key(),
+				CacheKey: j.specs[w.idx].CanonicalKey(),
+				Source:   api.SourceDedup,
+				Error:    ctx.Err().Error(),
+			})
+		}
+	}
+
+	j.finish(time.Now(), nil)
+	if j.failed() {
+		s.metrics.jobsFailed.Add(1)
+	} else {
+		s.metrics.jobsCompleted.Add(1)
+	}
+}
+
+// finishLeader converts a leader's sim result, settles its flight
+// (caching successes, waking followers) and records it on the job. Safe
+// to call more than once per flight; only the first call takes effect.
+func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
+	res := api.ResultFromSim(r, api.SourceRun)
+	res.Index = idx
+	f.once.Do(func() {
+		s.metrics.simsRun.Add(1)
+		if r.Err != nil {
+			s.metrics.simsFailed.Add(1)
+		}
+		if r.Stats != nil {
+			s.metrics.simCycles.Add(r.Stats.Cycles)
+		}
+		s.metrics.simWallNS.Add(r.Wall.Nanoseconds())
+
+		canonical := res
+		canonical.Index = -1
+		canonical.Key = res.CacheKey
+		if res.Error == "" {
+			s.cache.put(res.CacheKey, canonical)
+		}
+		f.res = canonical
+		s.flightMu.Lock()
+		if s.flights[res.CacheKey] == f {
+			delete(s.flights, res.CacheKey)
+		}
+		s.flightMu.Unlock()
+		close(f.done)
+	})
+	j.complete(idx, res)
+}
+
+// flightObserver publishes leader completions as they happen, so stream
+// subscribers and flight followers see results before the whole batch
+// returns.
+type flightObserver struct {
+	s       *Server
+	j       *job
+	idx     []int
+	flights []*flight
+}
+
+func (o *flightObserver) OnStart(index, total int, key string) {}
+
+func (o *flightObserver) OnFinish(index, total int, r sim.Result) {
+	o.s.finishLeader(o.j, o.idx[index], o.flights[index], r)
+}
+
+// ----------------------------------------------------------- handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("no specs submitted"))
+		return
+	}
+	specs := make([]sim.Spec, len(req.Specs))
+	var verrs []error
+	for i, ws := range req.Specs {
+		sp, err := ws.Sim()
+		if err == nil {
+			err = sp.Validate()
+		}
+		if err != nil {
+			verrs = append(verrs, fmt.Errorf("spec %d: %w", i, err))
+			continue
+		}
+		specs[i] = sp
+	}
+	if len(verrs) > 0 {
+		s.writeError(w, http.StatusBadRequest, errors.Join(verrs...))
+		return
+	}
+
+	j := newJob(fmt.Sprintf("j%d", s.nextID.Add(1)), specs, time.Now())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	admitted := false
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		admitted = true
+	default:
+	}
+	s.mu.Unlock()
+
+	if !admitted {
+		s.metrics.jobsRejected.Add(1)
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, api.Error{
+			Error:        fmt.Sprintf("admission queue full (%d jobs)", s.cfg.QueueLimit),
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: j.id, Total: len(specs)})
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.metrics.streamConns.Add(1)
+	defer s.metrics.streamConns.Add(-1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		e, ok := j.next(i, r.Context().Done())
+		if !ok {
+			return
+		}
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, len(s.queue), s.cache.len())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.Error{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"mssr/internal/core"
+)
+
+// TestCanonicalKeyDistinct pins the contract the serving layer's
+// content-addressed cache rests on: semantically distinct validated
+// specs must never share a canonical key, because a collision would
+// silently serve one configuration's cached result for another. The
+// sweep enumerates workloads, scales, every engine with in-range
+// geometries, load policies, the checker, architectural verification
+// and tune keys — only key-relevant fields are varied, and geometry
+// zeros (which mean "engine default") are excluded so every generated
+// spec is pairwise distinct in meaning.
+func TestCanonicalKeyDistinct(t *testing.T) {
+	type geometry struct{ streams, entries, sets, ways int }
+	engineGeoms := map[Engine][]geometry{
+		EngineNone: {{}},
+	}
+	for _, streams := range []int{1, 2, 4, 8} {
+		for _, entries := range []int{16, 64, 1024} {
+			engineGeoms[EngineRGID] = append(engineGeoms[EngineRGID], geometry{streams: streams, entries: entries})
+		}
+	}
+	for _, e := range []Engine{EngineRI, EngineDIRValue, EngineDIRName} {
+		for _, sets := range []int{16, 64, 128} {
+			for _, ways := range []int{1, 2, 4} {
+				engineGeoms[e] = append(engineGeoms[e], geometry{sets: sets, ways: ways})
+			}
+		}
+	}
+
+	tune := func(*core.Config) {}
+	seen := map[string]Spec{}
+	count := 0
+	for _, workload := range []string{"nested-mispred", "bfs", "astar"} {
+		for _, scale := range []int{0, 1, 2} {
+			for engine, geoms := range engineGeoms {
+				for _, g := range geoms {
+					for _, loads := range []LoadPolicy{LoadDefault, LoadVerify, LoadBloom, LoadNoReuse} {
+						for _, check := range []bool{false, true} {
+							for _, verify := range []bool{false, true} {
+								for _, tuneKey := range []string{"", "wide-rob"} {
+									s := Spec{
+										Workload:   workload,
+										Scale:      scale,
+										Engine:     engine,
+										Streams:    g.streams,
+										Entries:    g.entries,
+										Sets:       g.sets,
+										Ways:       g.ways,
+										Loads:      loads,
+										Check:      check,
+										VerifyArch: verify,
+										TuneKey:    tuneKey,
+									}
+									if tuneKey != "" {
+										s.Tune = tune
+									}
+									if err := s.Validate(); err != nil {
+										t.Fatalf("sweep generated invalid spec: %v", err)
+									}
+									key := s.CanonicalKey()
+									if prev, dup := seen[key]; dup {
+										t.Fatalf("canonical key collision %q:\n  %+v\n  %+v", key, prev, s)
+									}
+									seen[key] = s
+									count++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if count != len(seen) || count == 0 {
+		t.Fatalf("swept %d specs, got %d distinct keys", count, len(seen))
+	}
+	t.Logf("%d semantically distinct specs, %d distinct canonical keys", count, len(seen))
+}
+
+// TestCanonicalKeyIgnoresLabel pins that a display label never leaks
+// into the cache identity, while Key() still honours it.
+func TestCanonicalKeyIgnoresLabel(t *testing.T) {
+	plain := Spec{Workload: "bfs", Scale: 1, Engine: EngineRGID, Streams: 2, Entries: 64}
+	labelled := plain
+	labelled.Label = "sweep-point-7"
+	if plain.CanonicalKey() != labelled.CanonicalKey() {
+		t.Errorf("label changed the canonical key: %q vs %q", plain.CanonicalKey(), labelled.CanonicalKey())
+	}
+	if labelled.Key() != "sweep-point-7" {
+		t.Errorf("Key() = %q, want the label", labelled.Key())
+	}
+	if plain.Key() != plain.CanonicalKey() {
+		t.Errorf("unlabelled Key() %q differs from canonical %q", plain.Key(), plain.CanonicalKey())
+	}
+}

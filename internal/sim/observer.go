@@ -74,10 +74,14 @@ func (p *Progress) OnFinish(index, total int, r Result) {
 }
 
 // JSONStream emits one JSON object per finished job, giving sweeps a
-// machine-readable result stream.
+// machine-readable result stream. Encoding failures (a full disk, a
+// closed pipe) do not panic the worker pool; the first one is recorded
+// and reported by Err, so callers can distinguish a complete stream from
+// a truncated file that merely looks complete.
 type JSONStream struct {
 	mu  sync.Mutex
 	enc *json.Encoder
+	err error
 }
 
 // NewJSONStream returns a JSONStream writing to w.
@@ -118,5 +122,16 @@ func (j *JSONStream) OnFinish(index, total int, r Result) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_ = j.enc.Encode(rec)
+	if err := j.enc.Encode(rec); err != nil && j.err == nil {
+		j.err = fmt.Errorf("sim: json stream: encoding %s: %w", r.Key, err)
+	}
+}
+
+// Err returns the first encoding failure of the stream, nil if every
+// record was written. Check it after the sweep: a non-nil error means
+// the output file is truncated.
+func (j *JSONStream) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
 }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// failAfterWriter accepts n writes, then fails every subsequent one
+// with a distinct error so the test can check which failure is kept.
+type failAfterWriter struct {
+	n    int
+	errs []error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n > 0 {
+		w.n--
+		return len(p), nil
+	}
+	err := errors.New("disk full")
+	if len(w.errs) > 0 {
+		err = w.errs[0]
+		w.errs = w.errs[1:]
+	}
+	return 0, err
+}
+
+func TestJSONStreamStickyError(t *testing.T) {
+	first := errors.New("disk full")
+	second := errors.New("pipe closed")
+	js := NewJSONStream(&failAfterWriter{n: 1, errs: []error{first, second}})
+
+	ok := Result{Key: "a", Wall: time.Millisecond}
+	js.OnFinish(0, 3, ok)
+	if err := js.Err(); err != nil {
+		t.Fatalf("Err() after successful write = %v, want nil", err)
+	}
+
+	js.OnFinish(1, 3, Result{Key: "b"})
+	err := js.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after a failed write")
+	}
+	if !errors.Is(err, first) {
+		t.Errorf("Err() = %v, want wrapped %v", err, first)
+	}
+	if !strings.Contains(err.Error(), "b") {
+		t.Errorf("Err() = %v, want the failing record's key in the message", err)
+	}
+
+	// Later failures must not displace the first: the stream was
+	// truncated at the first failure, so that is the error to report.
+	js.OnFinish(2, 3, Result{Key: "c"})
+	if got := js.Err(); !errors.Is(got, first) {
+		t.Errorf("Err() after second failure = %v, want sticky %v", got, first)
+	}
+}
+
+func TestJSONStreamCompleteStream(t *testing.T) {
+	var buf bytes.Buffer
+	js := NewJSONStream(&buf)
+	js.OnFinish(0, 2, Result{Key: "x", Err: errors.New("sim blew up")})
+	js.OnFinish(1, 2, Result{Key: "y"})
+	if err := js.Err(); err != nil {
+		t.Fatalf("Err() = %v on a healthy writer", err)
+	}
+	dec := json.NewDecoder(&buf)
+	var recs []map[string]any
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatalf("decoding stream: %v", err)
+		}
+		recs = append(recs, m)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("stream has %d records, want 2", len(recs))
+	}
+	if recs[0]["error"] != "sim blew up" {
+		t.Errorf("failed job's record = %v, want its error embedded", recs[0])
+	}
+}

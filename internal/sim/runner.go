@@ -42,6 +42,15 @@ type Result struct {
 	Err error
 }
 
+// Backend executes a batch of specs and returns one Result per spec, in
+// spec order. *Runner is the in-process implementation; client.Remote
+// submits the batch to an msrd daemon instead. Consumers that only sweep
+// (the experiment drivers) depend on this interface so the same driver
+// code runs locally or against a daemon.
+type Backend interface {
+	Run(ctx context.Context, specs []Spec) ([]Result, error)
+}
+
 // Runner executes specs on a bounded worker pool. The zero value is
 // ready to use: NumCPU workers, no default timeout, no observer.
 type Runner struct {

@@ -226,12 +226,24 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// Key returns the spec's identity: the Label when set, otherwise a
-// canonical "program@scale/engine-geometry[+modifiers]" string.
+// Key returns the spec's identity: the Label when set, otherwise the
+// canonical key.
 func (s *Spec) Key() string {
 	if s.Label != "" {
 		return s.Label
 	}
+	return s.CanonicalKey()
+}
+
+// CanonicalKey returns the spec's content identity — a canonical
+// "program@scale/engine-geometry[+modifiers]" string that ignores the
+// display Label, so two specs describing the same simulation share one
+// key regardless of how their sweeps chose to label them. The serving
+// layer's result cache and in-flight dedup are keyed on it; for
+// workload-based specs it is a complete description of the run (the
+// registry builders are deterministic), which is what makes cached
+// results safe to share across jobs.
+func (s *Spec) CanonicalKey() string {
 	var sb strings.Builder
 	switch {
 	case s.Workload != "":
@@ -258,6 +270,9 @@ func (s *Spec) Key() string {
 	}
 	if s.Check {
 		sb.WriteString("+check")
+	}
+	if s.VerifyArch {
+		sb.WriteString("+verify")
 	}
 	if s.TuneKey != "" {
 		sb.WriteString("+" + s.TuneKey)
