@@ -33,6 +33,7 @@ const benchScale = 1
 
 // BenchmarkTable1 regenerates the microbenchmark comparison (Table 1).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Table1(benchScale)
 		if err != nil {
@@ -46,6 +47,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 evaluates the storage model (Table 2).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bits := storage.Compute(storage.Default()).Total()
 		b.ReportMetric(storage.KB(bits), "KB")
@@ -54,6 +56,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable4 evaluates the synthesis model (Table 4).
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := synth.Reconvergence(4, 64)
 		b.ReportMetric(float64(r.LogicLevels), "levels-4x64")
@@ -63,6 +66,7 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkFigure3 regenerates the RI replacement-frequency study.
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure3(benchScale)
 		if err != nil {
@@ -75,6 +79,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 // BenchmarkFigure4 regenerates the reconvergence-type breakdown.
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure4(benchScale)
 		if err != nil {
@@ -90,6 +95,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the stream-configuration sweep.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure10(benchScale)
 		if err != nil {
@@ -103,6 +109,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the stream-distance profile.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure11(benchScale)
 		if err != nil {
@@ -127,6 +134,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkFigure12 regenerates the RGID-vs-RI GAP comparison.
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure12(benchScale)
 		if err != nil {
@@ -148,6 +156,7 @@ func BenchmarkFigure12(b *testing.B) {
 // like a tiny sweep.
 func runPair(b *testing.B, name string, spec sim.Spec) {
 	b.Helper()
+	b.ReportAllocs()
 	p, err := workloads.Build(name, benchScale)
 	if err != nil {
 		b.Fatal(err)
@@ -176,6 +185,7 @@ func rgid4x64() sim.Spec {
 // BenchmarkAblationVPN compares full-width vs VPN-restricted
 // reconvergence detection.
 func BenchmarkAblationVPN(b *testing.B) {
+	b.ReportAllocs()
 	for _, restrict := range []bool{true, false} {
 		restrict := restrict
 		name := "restricted"
@@ -194,6 +204,7 @@ func BenchmarkAblationVPN(b *testing.B) {
 // BenchmarkAblationLoadPolicy compares the reused-load protection schemes
 // on cc, whose frequent label stores make reused loads hazardous.
 func BenchmarkAblationLoadPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for _, pol := range []sim.LoadPolicy{sim.LoadVerify, sim.LoadBloom, sim.LoadNoReuse} {
 		pol := pol
 		b.Run(pol.String(), func(b *testing.B) {
@@ -208,6 +219,7 @@ func BenchmarkAblationLoadPolicy(b *testing.B) {
 // saturate quickly and trigger the global reset protocol, throttling
 // stream capture.
 func BenchmarkAblationRGIDWidth(b *testing.B) {
+	b.ReportAllocs()
 	for _, bits := range []int{4, 6, 8, 12} {
 		bits := bits
 		b.Run(fmt.Sprintf("%dbits", bits), func(b *testing.B) {
@@ -221,6 +233,7 @@ func BenchmarkAblationRGIDWidth(b *testing.B) {
 
 // BenchmarkAblationTimeout sweeps the WPB no-reconvergence timeout.
 func BenchmarkAblationTimeout(b *testing.B) {
+	b.ReportAllocs()
 	for _, timeout := range []int{128, 1024, 8192} {
 		timeout := timeout
 		b.Run(fmt.Sprintf("%dinstrs", timeout), func(b *testing.B) {
@@ -235,6 +248,7 @@ func BenchmarkAblationTimeout(b *testing.B) {
 // BenchmarkAblationMultiBlockFetch measures the §3.9.1 multiple-block
 // fetching extension.
 func BenchmarkAblationMultiBlockFetch(b *testing.B) {
+	b.ReportAllocs()
 	for _, blocks := range []int{1, 2} {
 		blocks := blocks
 		b.Run([]string{"", "one-block", "two-block"}[blocks], func(b *testing.B) {
@@ -250,6 +264,7 @@ func BenchmarkAblationMultiBlockFetch(b *testing.B) {
 // forces a full rollback walk on every flush, the Table 2 budget of 32
 // makes recovery single-cycle for nearly all branches.
 func BenchmarkAblationCheckpoints(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{0, 4, 32} {
 		n := n
 		b.Run(fmt.Sprintf("%dckpts", n), func(b *testing.B) {
@@ -266,6 +281,7 @@ func BenchmarkAblationCheckpoints(b *testing.B) {
 // completes all 8 integration tests per cycle, a realistic one only a
 // couple. The RGID reuse test parallelizes (§3.5) and needs no such cap.
 func BenchmarkAblationRISerialization(b *testing.B) {
+	b.ReportAllocs()
 	for _, tests := range []int{0, 2, 1} {
 		tests := tests
 		name := fmt.Sprintf("%d-per-cycle", tests)
@@ -284,6 +300,7 @@ func BenchmarkAblationRISerialization(b *testing.B) {
 // BenchmarkBaselines compares all engines (DIR value/name, RI, RGID) on
 // the nested microbenchmark.
 func BenchmarkBaselines(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Baselines(benchScale)
 		if err != nil {
@@ -298,6 +315,7 @@ func BenchmarkBaselines(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // cycles and instructions per wall second).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	p, err := workloads.Build("gobmk", benchScale)
 	if err != nil {
 		b.Fatal(err)

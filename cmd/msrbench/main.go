@@ -10,6 +10,8 @@
 //	msrbench -remote :8371        # submit every sweep to an msrd daemon;
 //	                              # repeated regenerations are served from
 //	                              # its content-addressed result cache
+//	msrbench -exp perf            # simulator-throughput benchmark; writes
+//	                              # BENCH_PR3.json (see -perf-out)
 package main
 
 import (
@@ -22,12 +24,17 @@ import (
 
 	"mssr/internal/client"
 	"mssr/internal/experiments"
+	"mssr/internal/profiles"
 	"mssr/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main; returning an exit code (instead of calling
+// os.Exit inline) lets the deferred profile writers run on every path.
+func run() int {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,perf or all")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		asCSV    = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations")
@@ -35,8 +42,18 @@ func main() {
 		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
 		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
+		perfOut  = flag.String("perf-out", "BENCH_PR3.json", "write the perf experiment's JSON document here")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrbench:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	var obs []sim.Observer
 	if *progress {
@@ -49,7 +66,7 @@ func main() {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "msrbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			defer f.Close()
 			w = f
@@ -75,7 +92,9 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
+	// perf is a host-throughput benchmark, not a paper artifact, so
+	// "all" does not imply it.
+	sel := func(name string) bool { return (all && name != "perf") || want[name] }
 
 	type experiment struct {
 		name string
@@ -110,6 +129,16 @@ func main() {
 		{"fig11", func() (string, error) { r, err := experiments.Figure11(*scale); return render(r, err) }},
 		{"fig12", func() (string, error) { r, err := experiments.Figure12(*scale); return render(r, err) }},
 		{"baselines", func() (string, error) { r, err := experiments.Baselines(*scale); return render(r, err) }},
+		{"perf", func() (string, error) {
+			r, err := experiments.Perf(*scale)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*perfOut, []byte(r.JSON()), 0o644); err != nil {
+				return "", err
+			}
+			return r.Render() + "wrote " + *perfOut + "\n", nil
+		}},
 	}
 
 	ran := 0
@@ -122,21 +151,22 @@ func main() {
 		out, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msrbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "msrbench: no experiment selected by -exp %q\n", *exps)
-		os.Exit(1)
+		return 1
 	}
 	// A truncated -json stream must not masquerade as a complete one.
 	if js != nil {
 		if err := js.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "msrbench: result stream incomplete: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 type renderer interface{ Render() string }

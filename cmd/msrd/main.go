@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,6 +46,7 @@ func main() {
 		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
+		withPprof  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -67,7 +69,22 @@ func main() {
 	}
 
 	srv := server.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if *withPprof {
+		// Mount the pprof handlers explicitly on our own mux rather than
+		// importing the package for its DefaultServeMux side effect: the
+		// endpoints exist only when asked for, and only here.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("msrd: pprof endpoints enabled under /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -17,13 +17,18 @@ import (
 	"time"
 
 	"mssr/internal/asm"
+	"mssr/internal/profiles"
 	"mssr/internal/sim"
 	"mssr/internal/stats"
 	"mssr/internal/trace"
 	"mssr/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run returns the exit code so the deferred profile writers fire on
+// every path (os.Exit would skip them).
+func run() int {
 	var (
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		workload = flag.String("workload", "nested-mispred", "workload name (see -list)")
@@ -39,6 +44,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall time (0 = none)")
 		verbose  = flag.Bool("v", false, "print the full counter set")
 		traceN   = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -46,16 +53,22 @@ func main() {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-16s %-9s %s\n", w.Name, w.Suite, w.Description)
 		}
-		return
+		return 0
 	}
+
+	stopProfiles, err := profiles.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fatal(err)
+	}
+	defer stopProfiles()
 
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	lp, err := sim.ParseLoadPolicy(*loadPol)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	spec := sim.Spec{
 		Workload: *workload,
@@ -74,11 +87,11 @@ func main() {
 	if *asmFile != "" {
 		src, err := os.ReadFile(*asmFile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		prog, err := asm.Assemble(*asmFile, string(src))
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		spec.Workload = ""
 		spec.Program = prog
@@ -91,11 +104,11 @@ func main() {
 
 	res, err := sim.Run(context.Background(), spec)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	st := res.Stats
 	fmt.Printf("%s on %s (%s)\n", res.Program, spec.Engine, res.EngineName)
-	fmt.Printf("  %s (%.1fms wall)\n", st, float64(res.Wall)/float64(time.Millisecond))
+	fmt.Printf("  %s (%.1fms wall, %.2f MIPS)\n", st, float64(res.Wall)/float64(time.Millisecond), res.MIPS)
 	if *verbose {
 		printVerbose(st)
 	}
@@ -103,6 +116,7 @@ func main() {
 		fmt.Printf("pipeline diagram (last %d instructions):\n%s", *traceN, pipe.Render(*traceN))
 	}
 	fmt.Println("  architectural state verified against the functional emulator")
+	return 0
 }
 
 func printVerbose(st *stats.Stats) {
@@ -119,7 +133,7 @@ func printVerbose(st *stats.Stats) {
 	fmt.Printf("  distance histogram: %v\n", st.ReconvDistance)
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "msrsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -141,6 +141,10 @@ type Result struct {
 	Cycles  uint64  `json:"cycles,omitempty"`
 	Retired uint64  `json:"retired,omitempty"`
 	IPC     float64 `json:"ipc,omitempty"`
+	// MIPS is the simulated throughput on the daemon (retired
+	// instructions per host wall second, in millions); carried for
+	// cache hits too, reflecting the original run.
+	MIPS float64 `json:"mips,omitempty"`
 	// WallNS is the simulation's wall time on the daemon (0 for cache
 	// hits, which cost no simulation time).
 	WallNS int64        `json:"wall_ns"`
@@ -157,6 +161,7 @@ func ResultFromSim(r sim.Result, source string) Result {
 		Source:   source,
 		Program:  r.Program,
 		Engine:   r.EngineName,
+		MIPS:     r.MIPS,
 		WallNS:   r.Wall.Nanoseconds(),
 		Stats:    r.Stats,
 	}
@@ -181,6 +186,7 @@ func (r Result) Sim() sim.Result {
 		EngineName: r.Engine,
 		Stats:      r.Stats,
 		Wall:       time.Duration(r.WallNS),
+		MIPS:       r.MIPS,
 	}
 	if r.Error != "" {
 		out.Err = errors.New(r.Error)

@@ -79,17 +79,20 @@ type Unit struct {
 
 	updates uint64
 	lfsr    uint32 // allocation tie-breaking
+
+	candScratch []int // allocate()'s candidate list, reused across calls
 }
 
 // New builds a predictor.
 func New(cfg Config) *Unit {
 	u := &Unit{
-		cfg:        cfg,
-		bimodal:    make([]int8, 1<<cfg.BimodalBits),
-		ras:        make([]uint64, cfg.RASSize),
-		indTags:    make([]uint32, 1<<cfg.IndirectBits),
-		indTargets: make([]uint64, 1<<cfg.IndirectBits),
-		lfsr:       0xace1,
+		cfg:         cfg,
+		bimodal:     make([]int8, 1<<cfg.BimodalBits),
+		ras:         make([]uint64, cfg.RASSize),
+		indTags:     make([]uint32, 1<<cfg.IndirectBits),
+		indTargets:  make([]uint64, 1<<cfg.IndirectBits),
+		lfsr:        0xace1,
+		candScratch: make([]int, 0, len(cfg.HistLengths)),
 	}
 	for i := range u.bimodal {
 		u.bimodal[i] = 1 // weakly not-taken
@@ -101,6 +104,25 @@ func New(cfg Config) *Unit {
 		})
 	}
 	return u
+}
+
+// Reset restores the pristine post-New state in place: all tables
+// forgotten, history and RAS cleared, the allocation LFSR reseeded so a
+// reset predictor replays identical tie-breaking decisions.
+func (u *Unit) Reset() {
+	for i := range u.bimodal {
+		u.bimodal[i] = 1 // weakly not-taken
+	}
+	for t := range u.tables {
+		clear(u.tables[t].entries)
+	}
+	u.histLo, u.histHi = 0, 0
+	clear(u.ras)
+	u.rasSP = 0
+	clear(u.indTags)
+	clear(u.indTargets)
+	u.updates = 0
+	u.lfsr = 0xace1
 }
 
 // Snapshot captures the current speculative state.
@@ -277,14 +299,17 @@ func (u *Unit) Train(pc uint64, s Snapshot, taken bool) {
 }
 
 func (u *Unit) allocate(from int, pc uint64, s Snapshot, taken bool) {
-	// Gather candidate tables with a dead (u == 0) entry.
-	var candidates []int
+	// Gather candidate tables with a dead (u == 0) entry. The scratch
+	// list never outgrows len(u.tables), so reusing it keeps this
+	// mispredict-path routine allocation-free.
+	candidates := u.candScratch[:0]
 	for t := from; t < len(u.tables); t++ {
 		e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
 		if e.u == 0 {
 			candidates = append(candidates, t)
 		}
 	}
+	u.candScratch = candidates[:0]
 	if len(candidates) == 0 {
 		// Age everything so allocation succeeds eventually.
 		for t := from; t < len(u.tables); t++ {

@@ -94,8 +94,12 @@ type Core struct {
 	prf      []uint64
 	prfReady []bool
 
-	// ROB ring buffer.
+	// ROB ring buffer. The backing array is rounded up to a power of two
+	// so entry lookup — the hottest address computation in the cycle
+	// loop — masks instead of dividing; logical capacity stays
+	// cfg.ROBSize.
 	rob     []robEntry
+	robMask int
 	headIdx int
 	count   int
 	headSeq uint64 // seq of the head entry
@@ -103,7 +107,7 @@ type Core struct {
 
 	// Fetch.
 	fseq            uint64
-	fetchQ          []fetchedEntry
+	fetchQ          ring[fetchedEntry]
 	lastRedirectSeq uint64
 
 	// Rename checkpoints (Table 2's 32-checkpoint budget) and the
@@ -111,15 +115,22 @@ type Core struct {
 	checkpointsInFlight int
 	renameBlockedUntil  uint64
 
-	// Scheduler.
-	iq        []uint64 // ALU/BRU reservation station (rename seqs, in order)
-	memIQ     []uint64 // LSU reservation station
-	executing []uint64 // issued, completing at doneAt
-	verifQ    []uint64 // reused loads awaiting verification issue
+	// Scheduler. The reservation stations keep their full configured
+	// capacity preallocated; issue and squash compact them in place, so
+	// the cycle loop never reallocates them.
+	iq        []uint64     // ALU/BRU reservation station (rename seqs, in order)
+	memIQ     []uint64     // LSU reservation station
+	executing []uint64     // issued, completing at doneAt
+	verifQ    ring[uint64] // reused loads awaiting verification issue
 
-	// LSQ.
-	loadQ  []lsqEntry
-	storeQ []lsqEntry
+	// LSQ (front-popped at commit, so rings rather than slices).
+	loadQ  ring[lsqEntry]
+	storeQ ring[lsqEntry]
+
+	// squashDests is the per-squash destination-register scratch bitmap
+	// (indexed by PhysReg), marked and fully cleared within each
+	// mispredictFlush so recovery never allocates.
+	squashDests []bool
 
 	// Committed architectural memory.
 	mem *emu.Memory
@@ -143,29 +154,35 @@ type fetchedEntry struct {
 	readyAt uint64
 }
 
-// New builds a core for prog under cfg.
+// New builds a core for prog under cfg. All capacity-dependent
+// structures are sized here, once; the initial mutable state is
+// installed by Reset, the same path pooled cores take between programs,
+// so a fresh core and a Reset one are identical by construction.
 func New(prog *isa.Program, cfg Config) *Core {
+	robLen := ceilPow2(cfg.ROBSize)
 	c := &Core{
-		cfg:      cfg,
-		prog:     prog,
-		bp:       bpred.New(cfg.BP),
-		hier:     mem.NewHierarchy(cfg.Mem),
-		rat:      rename.NewRAT(),
-		alloc:    rename.NewAllocator(cfg.RGIDBits),
-		tracker:  rename.NewTracker(cfg.PhysRegs, isa.NumArchRegs),
-		Stats:    &stats.Stats{},
-		prf:      make([]uint64, cfg.PhysRegs),
-		prfReady: make([]bool, cfg.PhysRegs),
-		rob:      make([]robEntry, cfg.ROBSize),
-		mem:      emu.NewMemory(),
-		nextSeq:  1,
-		headSeq:  1,
+		cfg:         cfg,
+		bp:          bpred.New(cfg.BP),
+		hier:        mem.NewHierarchy(cfg.Mem),
+		rat:         rename.NewRAT(),
+		alloc:       rename.NewAllocator(cfg.RGIDBits),
+		tracker:     rename.NewTracker(cfg.PhysRegs, isa.NumArchRegs),
+		Stats:       &stats.Stats{},
+		prf:         make([]uint64, cfg.PhysRegs),
+		prfReady:    make([]bool, cfg.PhysRegs),
+		rob:         make([]robEntry, robLen),
+		robMask:     robLen - 1,
+		fetchQ:      newRing[fetchedEntry](cfg.FetchQueue),
+		verifQ:      newRing[uint64](cfg.LoadQueue),
+		iq:          make([]uint64, 0, cfg.IQSize),
+		memIQ:       make([]uint64, 0, cfg.MemIQSize),
+		executing:   make([]uint64, 0, cfg.ROBSize),
+		loadQ:       newRing[lsqEntry](cfg.LoadQueue),
+		storeQ:      newRing[lsqEntry](cfg.StoreQueue),
+		squashDests: make([]bool, cfg.PhysRegs),
+		mem:         emu.NewMemory(),
 	}
 	c.fu = frontend.New(prog, c.bp)
-	c.mem.Load(prog)
-	for i := range c.prfReady[:isa.NumArchRegs] {
-		c.prfReady[i] = true // initial architectural mappings
-	}
 	switch cfg.Reuse {
 	case ReuseMultiStream:
 		c.engine = reuse.NewMultiStream(cfg.MS, (*kernel)(c), c.Stats)
@@ -181,7 +198,17 @@ func New(prog *isa.Program, cfg Config) *Core {
 		c.checker = emu.New(prog)
 	}
 	c.tracer = cfg.Tracer
+	c.Reset(prog)
 	return c
+}
+
+// ceilPow2 returns the smallest power of two >= n.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // emitTrace sends a pipeline event for e at the current cycle.
@@ -212,7 +239,7 @@ func (c *Core) entry(seq uint64) *robEntry {
 	if seq < c.headSeq || seq >= c.headSeq+uint64(c.count) {
 		panic(fmt.Sprintf("core: seq %d outside ROB [%d, %d)", seq, c.headSeq, c.headSeq+uint64(c.count)))
 	}
-	return &c.rob[(c.headIdx+int(seq-c.headSeq))%len(c.rob)]
+	return &c.rob[(c.headIdx+int(seq-c.headSeq))&c.robMask]
 }
 
 func (c *Core) tailSeq() uint64 { return c.headSeq + uint64(c.count) }

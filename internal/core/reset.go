@@ -1,0 +1,80 @@
+package core
+
+import (
+	"mssr/internal/bpred"
+	"mssr/internal/isa"
+	"mssr/internal/mem"
+	"mssr/internal/rename"
+	"mssr/internal/reuse"
+	"mssr/internal/stats"
+)
+
+// Resettable is the reuse seam every simulator substrate implements:
+// Reset restores the pristine post-construction state in place, without
+// reallocating any capacity-dependent structure. Core.Reset composes
+// these so a core built once for a Config can run successive programs
+// (the pooling contract of internal/sim.Runner): a Reset core must be
+// bit-for-bit indistinguishable from a freshly built one.
+type Resettable interface {
+	Reset()
+}
+
+// Compile-time check that every substrate participates in the seam.
+var _ = []Resettable{
+	(*bpred.Unit)(nil),
+	(*mem.Hierarchy)(nil),
+	(*rename.RAT)(nil),
+	(*rename.Allocator)(nil),
+	(*rename.Tracker)(nil),
+	(*stats.Stats)(nil),
+	(reuse.Engine)(nil),
+}
+
+// Reset reinitializes the core in place to run prog from scratch. Every
+// substrate resets through the Resettable seam; nothing capacity-sized
+// is reallocated. New routes its own state initialization through Reset,
+// which is what makes the pooling contract hold by construction rather
+// than by parallel bookkeeping.
+func (c *Core) Reset(prog *isa.Program) {
+	c.prog = prog
+	// The engine resets first: it releases its held physical registers
+	// through the tracker, which must still be in the matching state.
+	c.engine.Reset()
+	c.bp.Reset()
+	c.fu.Reset(prog)
+	c.hier.Reset()
+	c.rat.Reset()
+	c.alloc.Reset()
+	c.tracker.Reset()
+	c.Stats.Reset()
+
+	for i := range c.prf {
+		c.prf[i] = 0
+	}
+	for i := range c.prfReady {
+		c.prfReady[i] = i < isa.NumArchRegs // initial architectural mappings
+	}
+	c.headIdx, c.count = 0, 0
+	c.headSeq, c.nextSeq = 1, 1
+	c.fseq, c.lastRedirectSeq = 0, 0
+	c.checkpointsInFlight = 0
+	c.renameBlockedUntil = 0
+	c.fetchQ.Clear()
+	c.verifQ.Clear()
+	c.iq = c.iq[:0]
+	c.memIQ = c.memIQ[:0]
+	c.executing = c.executing[:0]
+	c.loadQ.Clear()
+	c.storeQ.Clear()
+	for i := range c.squashDests {
+		c.squashDests[i] = false
+	}
+	c.mem.Clear()
+	c.mem.Load(prog)
+	c.suspendCommits = 0
+	c.cycle = 0
+	c.halted = false
+	if c.checker != nil {
+		c.checker.Reset(prog)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"mssr/internal/emu"
+	"mssr/internal/isa"
+)
+
+// TestResetEquivalence runs different workloads back-to-back through one
+// Reset core under every engine configuration, verifying each run against
+// the functional emulator — the state-leak guard for the pooling
+// contract: nothing from a previous program may influence the next.
+func TestResetEquivalence(t *testing.T) {
+	progA := hashyProgram(300)
+	progB := aliasProgram(300)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.DebugCheck = true
+			cfg.MaxCycles = 50_000_000
+			c := New(progA, cfg)
+			for _, p := range []*isa.Program{progA, progB, progA} {
+				c.Reset(p)
+				if err := c.Run(); err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+				want, err := emu.RunProgram(p, 500_000_000)
+				if err != nil {
+					t.Fatalf("%s: emulator: %v", p.Name, err)
+				}
+				if got := c.Result(); got != want {
+					t.Fatalf("%s: architectural divergence after Reset:\ncore: %+v\nemu:  %+v", p.Name, got, want)
+				}
+				if err := c.AuditRegisters(); err != nil {
+					t.Fatalf("%s: register audit after Reset: %v", p.Name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestResetMatchesFresh pins the fresh==Reset construction: a core that
+// ran one program and was Reset onto another must replay the exact cycle
+// count and counters of a core built fresh for it. Any divergence means
+// Reset missed a piece of state.
+func TestResetMatchesFresh(t *testing.T) {
+	progA := aliasProgram(200)
+	progB := hashyProgram(400)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.MaxCycles = 50_000_000
+			reset := New(progA, cfg)
+			if err := reset.Run(); err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			reset.Reset(progB)
+			if err := reset.Run(); err != nil {
+				t.Fatalf("reset run: %v", err)
+			}
+			fresh := New(progB, cfg)
+			if err := fresh.Run(); err != nil {
+				t.Fatalf("fresh run: %v", err)
+			}
+			if reset.Stats.Cycles != fresh.Stats.Cycles ||
+				reset.Stats.Retired != fresh.Stats.Retired ||
+				reset.Stats.Flushes != fresh.Stats.Flushes ||
+				reset.Stats.ReuseHits != fresh.Stats.ReuseHits ||
+				reset.Stats.BranchMispredicts != fresh.Stats.BranchMispredicts {
+				t.Fatalf("reset core diverged from fresh core:\nreset: %v\nfresh: %v", reset.Stats, fresh.Stats)
+			}
+			if reset.Result() != fresh.Result() {
+				t.Fatalf("architectural state diverged:\nreset: %+v\nfresh: %+v", reset.Result(), fresh.Result())
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAllocs is the allocation-discipline guard: after a
+// warm-up run has grown every structure (map buckets included), a full
+// Reset+rerun of the same workload must allocate nothing. hashyProgram is
+// squash-heavy (its branch defeats TAGE), so this simultaneously pins the
+// regression that squash recovery — formerly a map allocation per event —
+// no longer allocates per flush.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	prog := hashyProgram(500)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.MaxCycles = 50_000_000
+			c := New(prog, cfg)
+			if err := c.Run(); err != nil { // warm-up: grow everything once
+				t.Fatalf("warm-up: %v", err)
+			}
+			if c.Stats.Flushes < 100 {
+				t.Fatalf("workload not squash-heavy enough to pin recovery allocations: %d flushes", c.Stats.Flushes)
+			}
+			var runErr error
+			allocs := testing.AllocsPerRun(2, func() {
+				c.Reset(prog)
+				if err := c.Run(); err != nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				t.Fatalf("measured run: %v", runErr)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state run allocated %.1f objects (cycles=%d, flushes=%d); want 0",
+					allocs, c.Stats.Cycles, c.Stats.Flushes)
+			}
+		})
+	}
+}

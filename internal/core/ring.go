@@ -1,0 +1,100 @@
+package core
+
+// ring is a fixed-capacity FIFO over a preallocated backing array. The
+// cycle loop's front-popped queues (fetch queue, verification queue) use
+// it instead of append/re-slice []T, which leaks capacity through the
+// slice header on every pop and forces a reallocation each time append
+// catches up — the dominant steady-state allocation pattern this
+// refactor removes. Push panics on overflow: every caller checks the
+// structural limit before enqueueing, so an overflow is a core bug, not
+// backpressure.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// newRing returns a ring holding at most capacity elements.
+func newRing[T any](capacity int) ring[T] {
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+// Len reports the number of queued elements.
+func (r *ring[T]) Len() int { return r.n }
+
+// Push enqueues v at the back.
+func (r *ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		panic("core: ring overflow")
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
+// Front returns a pointer to the oldest element. The pointer is valid
+// until the next Push/PopFront/Clear.
+func (r *ring[T]) Front() *T {
+	if r.n == 0 {
+		panic("core: ring empty")
+	}
+	return &r.buf[r.head]
+}
+
+// At returns a pointer to the i-th element from the front (0 = oldest).
+// The pointer is valid until the next Push/PopFront/Clear/Filter.
+func (r *ring[T]) At(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("core: ring index out of range")
+	}
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
+// PopFront dequeues the oldest element.
+func (r *ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("core: ring empty")
+	}
+	v := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+// Clear drops every element, keeping the backing array.
+func (r *ring[T]) Clear() {
+	r.head, r.n = 0, 0
+}
+
+// Filter keeps only the elements keep reports true for, preserving
+// order, in place.
+func (r *ring[T]) Filter(keep func(T) bool) {
+	kept := 0
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		v := r.buf[j]
+		if !keep(v) {
+			continue
+		}
+		k := r.head + kept
+		if k >= len(r.buf) {
+			k -= len(r.buf)
+		}
+		r.buf[k] = v
+		kept++
+	}
+	r.n = kept
+}

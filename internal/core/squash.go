@@ -35,18 +35,25 @@ func (c *Core) mispredictFlush(e *robEntry) {
 	if c.suspendCommits == 0 {
 		// Destination registers of the squash set: source mappings that
 		// point at one of these do not survive the rollback (needed by
-		// name-keyed reuse schemes).
-		squashedDests := make(map[rename.PhysReg]bool)
+		// name-keyed reuse schemes). The scratch bitmap on Core is marked
+		// here and unmarked below by re-walking the same entries, so
+		// squash recovery — the hot path on branchy workloads — never
+		// allocates.
 		for s := e.seq + 1; s < c.tailSeq(); s++ {
 			if se := c.entry(s); se.hasDest {
-				squashedDests[se.destPreg] = true
+				c.squashDests[se.destPreg] = true
 			}
 		}
 		c.engine.BeginStream(e.fseq)
 		for s := e.seq + 1; s < c.tailSeq(); s++ {
-			c.engine.Capture(c.squashedInstr(c.entry(s), squashedDests))
+			c.engine.Capture(c.squashedInstr(c.entry(s), c.squashDests))
 		}
 		c.engine.EndStream()
+		for s := e.seq + 1; s < c.tailSeq(); s++ {
+			if se := c.entry(s); se.hasDest {
+				c.squashDests[se.destPreg] = false
+			}
+		}
 	} else {
 		c.engine.AbortWalk()
 	}
@@ -97,9 +104,10 @@ func (c *Core) violationFlush(loadSeq uint64, fromReuseVerify bool) {
 }
 
 // squashedInstr converts a ROB entry into the engine capture record.
-// squashedDests is the destination-register set of the squash region,
-// used to mark which source mappings survive the rollback.
-func (c *Core) squashedInstr(e *robEntry, squashedDests map[rename.PhysReg]bool) reuse.SquashedInstr {
+// squashedDests is the destination-register set of the squash region
+// (a bitmap indexed by PhysReg), used to mark which source mappings
+// survive the rollback.
+func (c *Core) squashedInstr(e *robEntry, squashedDests []bool) reuse.SquashedInstr {
 	si := reuse.SquashedInstr{
 		Seq:      e.seq,
 		PC:       e.pc,
@@ -145,10 +153,11 @@ func (c *Core) squashFrom(firstSeq uint64) {
 	c.iq = filterSeqs(c.iq, firstSeq)
 	c.memIQ = filterSeqs(c.memIQ, firstSeq)
 	c.executing = filterSeqs(c.executing, firstSeq)
-	c.verifQ = filterSeqs(c.verifQ, firstSeq)
-	c.loadQ = filterLSQ(c.loadQ, firstSeq)
-	c.storeQ = filterLSQ(c.storeQ, firstSeq)
-	c.fetchQ = c.fetchQ[:0]
+	c.verifQ.Filter(func(s uint64) bool { return s < firstSeq })
+	keepOlder := func(e lsqEntry) bool { return e.seq < firstSeq }
+	c.loadQ.Filter(keepOlder)
+	c.storeQ.Filter(keepOlder)
+	c.fetchQ.Clear()
 }
 
 func filterSeqs(q []uint64, firstSeq uint64) []uint64 {
@@ -156,16 +165,6 @@ func filterSeqs(q []uint64, firstSeq uint64) []uint64 {
 	for _, s := range q {
 		if s < firstSeq {
 			out = append(out, s)
-		}
-	}
-	return out
-}
-
-func filterLSQ(q []lsqEntry, firstSeq uint64) []lsqEntry {
-	out := q[:0]
-	for _, e := range q {
-		if e.seq < firstSeq {
-			out = append(out, e)
 		}
 	}
 	return out

@@ -14,7 +14,7 @@ import (
 // fetch-side reconvergence detection.
 func (c *Core) fetch() {
 	for b := 0; b < c.cfg.BlocksPerCycle; b++ {
-		if len(c.fetchQ)+isa.FetchBlockInstrs > c.cfg.FetchQueue {
+		if c.fetchQ.Len()+isa.FetchBlockInstrs > c.cfg.FetchQueue {
 			return
 		}
 		blk, ok := c.fu.NextBlock()
@@ -24,7 +24,7 @@ func (c *Core) fetch() {
 		firstFseq := c.fseq + 1
 		for _, fi := range blk.Instrs {
 			c.fseq++
-			c.fetchQ = append(c.fetchQ, fetchedEntry{
+			c.fetchQ.Push(fetchedEntry{
 				fi:      fi,
 				fseq:    c.fseq,
 				readyAt: c.cycle + c.cfg.FrontendDelay,
@@ -50,13 +50,13 @@ func (c *Core) renameStage() {
 	}
 	riTests := 0
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.cycle {
+		if c.fetchQ.Len() == 0 || c.fetchQ.Front().readyAt > c.cycle {
 			break
 		}
 		if c.count == c.cfg.ROBSize {
 			break
 		}
-		fe := c.fetchQ[0]
+		fe := *c.fetchQ.Front()
 		in := fe.fi.Instr
 		cls := in.Class()
 
@@ -64,11 +64,11 @@ func (c *Core) renameStage() {
 		// take before consuming the reuse-engine walk state.
 		switch cls {
 		case isa.ClassLoad:
-			if len(c.loadQ) >= c.cfg.LoadQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+			if c.loadQ.Len() >= c.cfg.LoadQueue || len(c.memIQ) >= c.cfg.MemIQSize {
 				break
 			}
 		case isa.ClassStore:
-			if len(c.storeQ) >= c.cfg.StoreQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+			if c.storeQ.Len() >= c.cfg.StoreQueue || len(c.memIQ) >= c.cfg.MemIQSize {
 				break
 			}
 		case isa.ClassBranch, isa.ClassJumpR:
@@ -93,10 +93,10 @@ func (c *Core) renameStage() {
 		}
 
 		// Commit to renaming this instruction.
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQ.PopFront()
 		seq := c.nextSeq
 		c.nextSeq++
-		pos := (c.headIdx + c.count) % len(c.rob)
+		pos := (c.headIdx + c.count) & c.robMask
 		c.count++
 		e := &c.rob[pos]
 		*e = robEntry{
@@ -207,26 +207,26 @@ func (c *Core) renameStage() {
 				c.prfReady[e.destPreg] = true
 			}
 		case isa.ClassLoad:
-			c.loadQ = append(c.loadQ, lsqEntry{seq: seq})
+			c.loadQ.Push(lsqEntry{seq: seq})
 			if e.reused {
 				// Reused load: consumers are unblocked now, but the value
 				// must be verified by re-execution before commit (§3.8.3).
 				e.memAddr = grant.MemAddr
 				e.memValue = e.result
-				lq := &c.loadQ[len(c.loadQ)-1]
+				lq := c.loadQ.At(c.loadQ.Len() - 1)
 				lq.addr = grant.MemAddr
 				lq.value = e.result
 				lq.executed = true
 				lq.reused = true
 				e.completed = false
 				e.verifPending = true
-				c.verifQ = append(c.verifQ, seq)
+				c.verifQ.Push(seq)
 			} else {
 				c.memIQ = append(c.memIQ, seq)
 				e.inIQ = true
 			}
 		case isa.ClassStore:
-			c.storeQ = append(c.storeQ, lsqEntry{seq: seq})
+			c.storeQ.Push(lsqEntry{seq: seq})
 			c.memIQ = append(c.memIQ, seq)
 			e.inIQ = true
 		case isa.ClassBranch, isa.ClassJumpR:
@@ -259,9 +259,8 @@ func (c *Core) issue() {
 	alu, bru, lsu := c.cfg.ALUs, c.cfg.BRUs, c.cfg.LSUs
 
 	// Verification accesses for reused loads share the LSU ports.
-	for len(c.verifQ) > 0 && lsu > 0 {
-		seq := c.verifQ[0]
-		c.verifQ = c.verifQ[1:]
+	for c.verifQ.Len() > 0 && lsu > 0 {
+		seq := c.verifQ.PopFront()
 		lsu--
 		e := c.entry(seq)
 		val, _, lat := c.readForLoad(seq, e.memAddr)
@@ -354,7 +353,7 @@ func (c *Core) execute(e *robEntry) {
 		e.memValue = val
 		e.fwdFrom = fwd
 		e.doneAt = c.cycle + 1 + lat
-		lq := c.lsqFind(c.loadQ, e.seq)
+		lq := c.lsqFind(&c.loadQ, e.seq)
 		lq.addr = e.memAddr
 		lq.value = val
 		lq.fwdFrom = fwd
@@ -379,8 +378,8 @@ func (c *Core) execute(e *robEntry) {
 // store's seq (0 = memory), and the access latency.
 func (c *Core) readForLoad(loadSeq, addr uint64) (uint64, uint64, uint64) {
 	a := addr &^ 7
-	for i := len(c.storeQ) - 1; i >= 0; i-- {
-		s := &c.storeQ[i]
+	for i := c.storeQ.Len() - 1; i >= 0; i-- {
+		s := c.storeQ.At(i)
 		if s.seq >= loadSeq {
 			continue
 		}
@@ -392,10 +391,10 @@ func (c *Core) readForLoad(loadSeq, addr uint64) (uint64, uint64, uint64) {
 }
 
 // lsqFind locates the LSQ entry for seq.
-func (c *Core) lsqFind(q []lsqEntry, seq uint64) *lsqEntry {
-	for i := range q {
-		if q[i].seq == seq {
-			return &q[i]
+func (c *Core) lsqFind(q *ring[lsqEntry], seq uint64) *lsqEntry {
+	for i := 0; i < q.Len(); i++ {
+		if e := q.At(i); e.seq == seq {
+			return e
 		}
 	}
 	panic(fmt.Sprintf("core: LSQ entry for seq %d missing", seq))
@@ -447,7 +446,7 @@ func (c *Core) writeback() {
 
 		switch e.instr.Class() {
 		case isa.ClassStore:
-			s := c.lsqFind(c.storeQ, seq)
+			s := c.lsqFind(&c.storeQ, seq)
 			s.addr = e.memAddr
 			s.value = e.memValue
 			s.executed = true
@@ -469,8 +468,8 @@ func (c *Core) writeback() {
 // from this store (or a younger one) read stale data.
 func (c *Core) storeViolationScan(st *robEntry) (uint64, bool) {
 	a := st.memAddr &^ 7
-	for i := range c.loadQ {
-		l := &c.loadQ[i]
+	for i := 0; i < c.loadQ.Len(); i++ {
+		l := c.loadQ.At(i)
 		if l.seq <= st.seq || !l.executed {
 			continue
 		}
@@ -508,17 +507,17 @@ func (c *Core) commit() {
 				c.bp.TrainIndirect(e.pc, e.nextPC)
 			}
 		case isa.ClassLoad:
-			if len(c.loadQ) == 0 || c.loadQ[0].seq != e.seq {
+			if c.loadQ.Len() == 0 || c.loadQ.Front().seq != e.seq {
 				panic("core: load queue out of sync at commit")
 			}
-			c.loadQ = c.loadQ[1:]
+			c.loadQ.PopFront()
 		case isa.ClassStore:
-			if len(c.storeQ) == 0 || c.storeQ[0].seq != e.seq {
+			if c.storeQ.Len() == 0 || c.storeQ.Front().seq != e.seq {
 				panic("core: store queue out of sync at commit")
 			}
 			c.mem.Write(e.memAddr, e.memValue)
 			c.hier.Access(e.memAddr)
-			c.storeQ = c.storeQ[1:]
+			c.storeQ.PopFront()
 		}
 		if e.hasCheckpoint {
 			c.checkpointsInFlight--
@@ -534,7 +533,7 @@ func (c *Core) commit() {
 			c.suspendCommits--
 		}
 		halt := e.halt
-		c.headIdx = (c.headIdx + 1) % len(c.rob)
+		c.headIdx = (c.headIdx + 1) & c.robMask
 		c.count--
 		c.headSeq++
 		if halt {

@@ -32,6 +32,18 @@ func New(p *isa.Program) *Emulator {
 	return e
 }
 
+// Reset reinitializes the emulator in place to run p from scratch,
+// keeping the memory's bucket storage.
+func (e *Emulator) Reset(p *isa.Program) {
+	e.Prog = p
+	e.Regs = [isa.NumArchRegs]uint64{}
+	e.Mem.Clear()
+	e.Mem.Load(p)
+	e.PC = p.Base
+	e.Halted = false
+	e.Retired = 0
+}
+
 // StepInfo describes one architecturally executed instruction; the timing
 // simulators' built-in retirement checkers compare against it.
 type StepInfo struct {

@@ -32,6 +32,10 @@ func (m *Memory) Load(p *isa.Program) {
 	}
 }
 
+// Clear erases all contents, keeping the map's bucket storage so a
+// cleared memory refills without rehashing-driven allocation.
+func (m *Memory) Clear() { clear(m.words) }
+
 // Read returns the word at addr (aligned down to 8 bytes).
 func (m *Memory) Read(addr uint64) uint64 { return m.words[addr&^7] }
 

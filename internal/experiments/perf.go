@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"mssr/internal/sim"
+	"mssr/internal/workloads"
+)
+
+// baselineSpecMIPS is the pre-refactor simulated-MIPS of the SPEC-like
+// sweep (scale 1, rgid-4x64, Jobs=1) measured on the reference dev host
+// at commit fa6b1ee, before the allocation-free cycle-loop refactor.
+// BENCH_PR3.json records it next to the current numbers so the speedup
+// the refactor bought stays visible; on other hosts only the ratio is
+// meaningful, not the absolute MIPS.
+const baselineSpecMIPS = 0.485
+
+// PerfWorkload is one workload's throughput measurement.
+type PerfWorkload struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	// MIPS is simulated millions of instructions retired per host
+	// wall-clock second, measured on a warm pooled core.
+	MIPS float64 `json:"mips"`
+	// FreshMIPS is the same measurement with pooling disabled — every
+	// run pays full core construction.
+	FreshMIPS float64 `json:"mips_fresh"`
+	Cycles    uint64  `json:"cycles"`
+	Retired   uint64  `json:"retired"`
+}
+
+// PerfSuite aggregates a suite: total retired over total wall time.
+type PerfSuite struct {
+	MIPS      float64 `json:"mips_pooled"`
+	FreshMIPS float64 `json:"mips_fresh"`
+	// PoolSpeedup is MIPS/FreshMIPS — the win from reusing cores.
+	PoolSpeedup float64 `json:"pool_speedup"`
+}
+
+// PerfResult is the simulator-throughput benchmark behind BENCH_PR3.json.
+type PerfResult struct {
+	Scale  int    `json:"scale"`
+	Engine string `json:"engine"`
+	Host   string `json:"host"`
+	// Spec covers the spec2006+spec2017 workloads, Gap the GAP-like ones.
+	Spec PerfSuite `json:"spec"`
+	Gap  PerfSuite `json:"gap"`
+	// BaselineSpecMIPS is the pre-refactor reference-host measurement;
+	// SpeedupVsBaseline = Spec.MIPS / BaselineSpecMIPS (comparable only
+	// on the reference host).
+	BaselineSpecMIPS  float64 `json:"baseline_spec_mips"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+	// AllocsPerCycle is heap objects allocated per simulated cycle
+	// during the steady-state (pooled, warm) pass — the allocation
+	// discipline the refactor enforces; ~0 when the cycle loop is clean.
+	AllocsPerCycle float64        `json:"allocs_per_cycle"`
+	Workloads      []PerfWorkload `json:"workloads"`
+}
+
+// perfSpecs builds the sweep: every SPEC-like and GAP-like workload
+// under the paper's rgid-4x64 configuration. Programs are pre-built and
+// shared so the measured passes time simulation, not program synthesis.
+func perfSpecs(scale int) ([]sim.Spec, error) {
+	var specs []sim.Spec
+	for _, suite := range []string{"spec2006", "spec2017", "gap"} {
+		for _, w := range workloads.Suite(suite) {
+			s := rgidSpec(w.Name, w.Name, scale, 4, 64)
+			p, err := s.BuildProgram()
+			if err != nil {
+				return nil, fmt.Errorf("build %s: %w", w.Name, err)
+			}
+			s.Workload, s.Scale, s.Program = "", 0, p
+			specs = append(specs, s)
+		}
+	}
+	return specs, nil
+}
+
+// Perf measures simulator throughput. It always simulates in-process —
+// host wall-clock is the quantity under test, so the shared backend
+// (which may point at a remote daemon) is deliberately bypassed. Three
+// serial passes: pooling disabled, a pool warm-up, and a measured
+// steady-state pass on the warm pool with the allocation counter read
+// around it.
+func Perf(scale int) (*PerfResult, error) {
+	ctx := context.Background()
+	specs, err := perfSpecs(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	fresh, err := (&sim.Runner{Jobs: 1, FreshCores: true}).Run(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	pooled := &sim.Runner{Jobs: 1}
+	if _, err := pooled.Run(ctx, specs); err != nil { // warm the pool
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	warm, err := pooled.Run(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+
+	r := &PerfResult{
+		Scale:            scale,
+		Engine:           "rgid-4x64",
+		Host:             runtime.GOOS + "/" + runtime.GOARCH,
+		BaselineSpecMIPS: baselineSpecMIPS,
+	}
+	var totalCycles uint64
+	type agg struct {
+		retired         uint64
+		wall, freshWall float64
+		freshRetired    uint64
+	}
+	sums := map[string]*agg{"spec": {}, "gap": {}}
+	for i := range warm {
+		w, f := warm[i], fresh[i]
+		wl, err := workloads.ByName(w.Key)
+		if err != nil {
+			return nil, err
+		}
+		suite := wl.Suite
+		bucket := "spec"
+		if suite == "gap" {
+			bucket = "gap"
+		}
+		r.Workloads = append(r.Workloads, PerfWorkload{
+			Name:      w.Key,
+			Suite:     suite,
+			MIPS:      w.MIPS,
+			FreshMIPS: f.MIPS,
+			Cycles:    w.Stats.Cycles,
+			Retired:   w.Stats.Retired,
+		})
+		totalCycles += w.Stats.Cycles
+		s := sums[bucket]
+		s.retired += w.Stats.Retired
+		s.wall += w.Wall.Seconds()
+		s.freshRetired += f.Stats.Retired
+		s.freshWall += f.Wall.Seconds()
+	}
+	mips := func(retired uint64, wall float64) float64 {
+		if wall <= 0 {
+			return 0
+		}
+		return float64(retired) / wall / 1e6
+	}
+	suite := func(a *agg) PerfSuite {
+		s := PerfSuite{MIPS: mips(a.retired, a.wall), FreshMIPS: mips(a.freshRetired, a.freshWall)}
+		if s.FreshMIPS > 0 {
+			s.PoolSpeedup = s.MIPS / s.FreshMIPS
+		}
+		return s
+	}
+	r.Spec = suite(sums["spec"])
+	r.Gap = suite(sums["gap"])
+	r.SpeedupVsBaseline = r.Spec.MIPS / baselineSpecMIPS
+	if totalCycles > 0 {
+		r.AllocsPerCycle = float64(after.Mallocs-before.Mallocs) / float64(totalCycles)
+	}
+	return r, nil
+}
+
+// JSON renders the BENCH_PR3.json document.
+func (r *PerfResult) JSON() string {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return string(b) + "\n"
+}
+
+// Render prints the throughput table.
+func (r *PerfResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Simulator throughput (scale %d, %s, %s; MIPS = retired instrs / host wall second / 1e6)\n",
+		r.Scale, r.Engine, r.Host)
+	fmt.Fprintf(&sb, "%-18s%-12s%12s%12s%12s\n", "benchmark", "suite", "MIPS", "fresh", "cycles")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&sb, "%-18s%-12s%12.2f%12.2f%12d\n", w.Name, w.Suite, w.MIPS, w.FreshMIPS, w.Cycles)
+	}
+	fmt.Fprintf(&sb, "SPEC-like aggregate: %.3f MIPS pooled, %.3f fresh (pool speedup %.2fx)\n",
+		r.Spec.MIPS, r.Spec.FreshMIPS, r.Spec.PoolSpeedup)
+	fmt.Fprintf(&sb, "GAP-like aggregate:  %.3f MIPS pooled, %.3f fresh (pool speedup %.2fx)\n",
+		r.Gap.MIPS, r.Gap.FreshMIPS, r.Gap.PoolSpeedup)
+	fmt.Fprintf(&sb, "vs pre-refactor baseline (%.3f MIPS on the reference host): %.2fx\n",
+		r.BaselineSpecMIPS, r.SpeedupVsBaseline)
+	fmt.Fprintf(&sb, "steady-state allocations: %.4f objects per simulated cycle\n", r.AllocsPerCycle)
+	return sb.String()
+}

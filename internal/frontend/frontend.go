@@ -53,11 +53,23 @@ type Unit struct {
 
 	pc      uint64
 	stalled bool // a HALT was fetched; wait for a redirect or the end
+
+	// instrs backs Block.Instrs so block formation never allocates; the
+	// returned slice is valid until the next NextBlock call.
+	instrs [isa.FetchBlockInstrs]FetchedInstr
 }
 
 // New builds a fetch unit starting at the program entry.
 func New(prog *isa.Program, bp *bpred.Unit) *Unit {
 	return &Unit{prog: prog, bp: bp, pc: prog.Base}
+}
+
+// Reset restarts fetch at prog's entry. The attached branch predictor is
+// reset separately by its owner.
+func (u *Unit) Reset(prog *isa.Program) {
+	u.prog = prog
+	u.pc = prog.Base
+	u.stalled = false
 }
 
 // PC reports the next fetch PC.
@@ -75,7 +87,9 @@ func (u *Unit) Redirect(pc uint64) {
 }
 
 // NextBlock forms one prediction block, advancing the fetch PC. It returns
-// ok=false when fetch is stalled at a HALT.
+// ok=false when fetch is stalled at a HALT. The returned Block's Instrs
+// slice aliases a scratch buffer on the Unit and is only valid until the
+// next NextBlock call; callers must copy out what they keep.
 //
 // The block ends at a predicted-taken control instruction, at a HALT, or at
 // the 32-byte fetch limit; predicted-not-taken branches do not end blocks
@@ -88,7 +102,8 @@ func (u *Unit) NextBlock() (Block, bool) {
 	}
 	blk := Block{StartPC: u.pc}
 	pc := u.pc
-	for len(blk.Instrs) < isa.FetchBlockInstrs {
+	n := 0
+	for n < isa.FetchBlockInstrs {
 		in, onPath := u.prog.At(pc)
 		fi := FetchedInstr{PC: pc, Instr: in, OnPath: onPath, Snapshot: u.bp.Snapshot()}
 		end := false
@@ -143,13 +158,15 @@ func (u *Unit) NextBlock() (Block, bool) {
 		default:
 			fi.PredNextPC = pc + isa.InstrBytes
 		}
-		blk.Instrs = append(blk.Instrs, fi)
+		u.instrs[n] = fi
+		n++
 		blk.EndPC = pc
 		pc = fi.PredNextPC
 		if end {
 			break
 		}
 	}
+	blk.Instrs = u.instrs[:n]
 	blk.NextPC = pc
 	u.pc = pc
 	return blk, true

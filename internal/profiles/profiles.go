@@ -1,0 +1,48 @@
+// Package profiles wires the standard runtime/pprof file profiles into
+// the CLI entrypoints (msrsim, msrbench) behind -cpuprofile/-memprofile
+// flags, so hot-path regressions in the cycle loop can be diagnosed with
+// `go tool pprof` without recompiling.
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. Either path may be empty. The
+// returned stop function ends the CPU profile and writes the heap
+// profile; callers must run it on every exit path (so mains should
+// return an exit code to a wrapper rather than call os.Exit directly).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

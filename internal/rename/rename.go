@@ -54,11 +54,18 @@ type RAT struct {
 // starting at 1).
 func NewRAT() *RAT {
 	r := &RAT{}
+	r.Reset()
+	return r
+}
+
+// Reset restores the initial mappings: architectural register i to
+// physical register i with generation 0, the zero register pinned to the
+// null generation.
+func (r *RAT) Reset() {
 	for i := range r.m {
 		r.m[i] = Mapping{Preg: PhysReg(i), Gen: 0}
 	}
 	r.m[isa.Zero] = Mapping{Preg: 0, Gen: NullRGID}
-	return r
 }
 
 // Get returns the current mapping of reg.
@@ -151,12 +158,19 @@ type FreeList struct {
 
 // NewFreeList builds a free list containing pregs [first, first+n).
 func NewFreeList(first PhysReg, n int) *FreeList {
-	fl := &FreeList{regs: make([]PhysReg, 0, n)}
-	for i := 0; i < n; i++ {
-		fl.regs = append(fl.regs, first+PhysReg(i))
-	}
-	fl.size = n
+	fl := &FreeList{regs: make([]PhysReg, n)}
+	fl.Reset(first)
 	return fl
+}
+
+// Reset refills the list in place with pregs [first, first+capacity) in
+// FIFO order, where capacity is the size the list was built with.
+func (fl *FreeList) Reset(first PhysReg) {
+	for i := range fl.regs {
+		fl.regs[i] = first + PhysReg(i)
+	}
+	fl.head = 0
+	fl.size = len(fl.regs)
 }
 
 // Len reports how many registers are free.
@@ -210,6 +224,7 @@ type pregState struct {
 type Tracker struct {
 	state []pregState
 	fl    *FreeList
+	nLive int // initially-live register count, for Reset
 
 	// OnFree, when set, is invoked each time a register returns to the
 	// free list. The core uses it to drive Register Integration's eager
@@ -220,11 +235,27 @@ type Tracker struct {
 // NewTracker builds a tracker for n physical registers of which the first
 // nLive are initially live (the initial RAT mappings) and the rest free.
 func NewTracker(n, nLive int) *Tracker {
-	t := &Tracker{state: make([]pregState, n), fl: NewFreeList(PhysReg(nLive), n-nLive)}
+	t := &Tracker{
+		state: make([]pregState, n),
+		fl:    NewFreeList(PhysReg(nLive), n-nLive),
+		nLive: nLive,
+	}
 	for i := 0; i < nLive; i++ {
 		t.state[i].live = true
 	}
 	return t
+}
+
+// Reset restores the initial partition in place: the first nLive
+// registers live (the initial RAT mappings), the rest free with no
+// holds. OnFree is kept but not invoked for the refill — the consumers
+// driven by it reset themselves separately.
+func (t *Tracker) Reset() {
+	clear(t.state)
+	for i := 0; i < t.nLive; i++ {
+		t.state[i].live = true
+	}
+	t.fl.Reset(PhysReg(t.nLive))
 }
 
 // FreeCount reports how many registers are on the free list.

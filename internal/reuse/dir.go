@@ -315,6 +315,18 @@ func (d *DIR) InvalidateAll() {
 	}
 }
 
+// Reset implements Engine: DIR holds no registers, so Reset just zeroes
+// every entry (including LRU residue, for run-to-run determinism) and
+// the Bloom filter.
+func (d *DIR) Reset() {
+	for set := range d.sets {
+		clear(d.sets[set])
+	}
+	if d.bloom != nil {
+		d.bloom.Reset()
+	}
+}
+
 // Occupied implements Engine.
 func (d *DIR) Occupied() bool {
 	for set := range d.sets {

@@ -79,6 +79,10 @@ type MultiStream struct {
 	writePtr int
 	events   uint64
 
+	// orderScratch backs streamsByRecency's result so the per-block
+	// recency sort never allocates.
+	orderScratch []int
+
 	// capture state (between BeginStream and EndStream)
 	capturing bool
 	capIdx    int
@@ -107,15 +111,29 @@ func NewMultiStream(cfg MultiStreamConfig, k Kernel, st *stats.Stats) *MultiStre
 		panic(fmt.Sprintf("reuse: invalid MultiStreamConfig %+v", cfg))
 	}
 	m := &MultiStream{
-		cfg:     cfg,
-		k:       k,
-		st:      statsOf(st),
-		streams: make([]msStream, cfg.Streams),
+		cfg:          cfg,
+		k:            k,
+		st:           statsOf(st),
+		streams:      make([]msStream, cfg.Streams),
+		orderScratch: make([]int, 0, cfg.Streams),
+	}
+	for i := range m.streams {
+		m.streams[i].wpb = make([]wpbEntry, 0, cfg.WPBEntries)
+		m.streams[i].log = make([]logEntry, 0, cfg.LogEntries)
 	}
 	if cfg.LoadPolicy == LoadBloom {
 		m.bloom = newBloomFilter(cfg.BloomLogBits)
 	}
 	return m
+}
+
+// Reset implements Engine: it releases every held register through the
+// kernel and restores the post-construction state, keeping each stream's
+// WPB and log capacity.
+func (m *MultiStream) Reset() {
+	m.InvalidateAll()
+	m.writePtr = 0
+	m.events = 0
 }
 
 // Name implements Engine.
@@ -131,11 +149,12 @@ func (m *MultiStream) BeginStream(branchSeq uint64) {
 	m.writePtr = (m.writePtr + 1) % m.cfg.Streams
 	m.invalidateStream(idx)
 	m.events++
-	m.streams[idx] = msStream{
-		valid:     true,
-		branchSeq: branchSeq,
-		eventIdx:  m.events,
-	}
+	s := &m.streams[idx]
+	s.valid = true
+	s.branchSeq = branchSeq
+	s.eventIdx = m.events
+	s.vpn = 0
+	s.age = 0
 	m.capturing = true
 	m.capIdx = idx
 	m.capFull = false
@@ -247,9 +266,11 @@ func (m *MultiStream) ObserveBlock(startPC, endPC uint64, firstFseq uint64, nIns
 	}
 }
 
-// streamsByRecency returns valid stream indices, most recent first.
+// streamsByRecency returns valid stream indices, most recent first. The
+// returned slice aliases a scratch buffer and is valid until the next
+// call.
 func (m *MultiStream) streamsByRecency() []int {
-	order := make([]int, 0, len(m.streams))
+	order := m.orderScratch[:0]
 	for i := range m.streams {
 		if m.streams[i].valid {
 			order = append(order, i)
@@ -483,6 +504,6 @@ func (m *MultiStream) invalidateStream(i int) {
 		m.releaseEntry(&s.log[j])
 	}
 	s.valid = false
-	s.log = nil
-	s.wpb = nil
+	s.log = s.log[:0]
+	s.wpb = s.wpb[:0]
 }

@@ -170,6 +170,11 @@ type Engine interface {
 	// Occupied reports whether any reuse structure currently holds state
 	// (drives the opportunistic RGID reset, §3.3.2).
 	Occupied() bool
+	// Reset restores the pristine post-construction state in place,
+	// releasing every held physical register through the kernel. It must
+	// run while the kernel's register tracker is still in the matching
+	// state — i.e. before the tracker itself resets.
+	Reset()
 }
 
 // None is the no-reuse baseline engine.
@@ -190,6 +195,7 @@ func (None) OnPregFreed(rename.PhysReg)                       {}
 func (None) Reclaim() bool                                    { return false }
 func (None) InvalidateAll()                                   {}
 func (None) Occupied() bool                                   { return false }
+func (None) Reset()                                           {}
 
 // statsOf returns st or a discardable sink, so engines can be used without
 // stats plumbing in tests.

@@ -281,6 +281,16 @@ func (r *RegisterIntegration) InvalidateAll() {
 	}
 }
 
+// Reset implements Engine: InvalidateAll releases the held registers,
+// then every entry is zeroed fully so stale LRU residue cannot perturb
+// victim selection on the next run.
+func (r *RegisterIntegration) Reset() {
+	r.InvalidateAll()
+	for set := range r.sets {
+		clear(r.sets[set])
+	}
+}
+
 // Occupied implements Engine.
 func (r *RegisterIntegration) Occupied() bool {
 	for set := range r.sets {

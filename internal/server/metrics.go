@@ -23,6 +23,7 @@ type metrics struct {
 	simsRun     atomic.Uint64 // simulations actually executed
 	simsFailed  atomic.Uint64 // executed simulations that returned an error
 	simCycles   atomic.Uint64 // cumulative simulated cycles
+	simRetired  atomic.Uint64 // cumulative retired instructions
 	simWallNS   atomic.Int64  // cumulative simulation wall time
 	streamConns atomic.Int64  // gauge: open NDJSON streams
 }
@@ -46,7 +47,14 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int) {
 	emit("msrd_sims_run_total", "Simulations executed (cache hits and dedup joins excluded).", "counter", m.simsRun.Load())
 	emit("msrd_sims_failed_total", "Executed simulations that returned an error.", "counter", m.simsFailed.Load())
 	emit("msrd_sim_cycles_total", "Cumulative simulated cycles across executed simulations.", "counter", m.simCycles.Load())
+	emit("msrd_sim_retired_total", "Cumulative retired instructions across executed simulations.", "counter", m.simRetired.Load())
 	emit("msrd_sim_wall_seconds_total", "Cumulative simulation wall time in seconds.", "counter",
 		fmt.Sprintf("%.6f", float64(m.simWallNS.Load())/1e9))
+	mips := 0.0
+	if wall := float64(m.simWallNS.Load()) / 1e9; wall > 0 {
+		mips = float64(m.simRetired.Load()) / wall / 1e6
+	}
+	emit("msrd_sim_mips", "Aggregate simulated throughput: retired instructions per simulation wall second, in millions.", "gauge",
+		fmt.Sprintf("%.6f", mips))
 	emit("msrd_stream_connections", "Open NDJSON result streams.", "gauge", m.streamConns.Load())
 }

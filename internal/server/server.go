@@ -287,6 +287,7 @@ func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
 		}
 		if r.Stats != nil {
 			s.metrics.simCycles.Add(r.Stats.Cycles)
+			s.metrics.simRetired.Add(r.Stats.Retired)
 		}
 		s.metrics.simWallNS.Add(r.Wall.Nanoseconds())
 

@@ -95,6 +95,7 @@ type jobJSON struct {
 	Cycles  uint64       `json:"cycles,omitempty"`
 	Retired uint64       `json:"retired,omitempty"`
 	IPC     float64      `json:"ipc,omitempty"`
+	MIPS    float64      `json:"mips,omitempty"`
 	WallNS  int64        `json:"wall_ns"`
 	Error   string       `json:"error,omitempty"`
 	Stats   *stats.Stats `json:"stats,omitempty"`
@@ -109,6 +110,7 @@ func (j *JSONStream) OnFinish(index, total int, r Result) {
 		Key:     r.Key,
 		Program: r.Program,
 		Engine:  r.EngineName,
+		MIPS:    r.MIPS,
 		WallNS:  r.Wall.Nanoseconds(),
 		Stats:   r.Stats,
 	}

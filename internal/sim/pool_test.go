@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"mssr/internal/trace"
+)
+
+type discardTracer struct{}
+
+func (discardTracer) Emit(trace.Event) {}
+
+// poolSweep builds a sweep that exercises core reuse: more jobs than
+// workers, alternating between two workloads under the same geometry so
+// pooled cores are Reset onto different programs back-to-back.
+func poolSweep() []Spec {
+	var specs []Spec
+	for i := 0; i < 6; i++ {
+		s := tinySpec()
+		if i%2 == 1 {
+			s.Workload = "linear-mispred"
+		}
+		s.VerifyArch = true
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestPooledDeterminism is the end-to-end guard on the core pool: a
+// sweep served by pooled (Reset) cores must be byte-identical, stat for
+// stat, to the same sweep with pooling disabled, and every pooled run
+// must still pass the architectural cross-check against the emulator.
+func TestPooledDeterminism(t *testing.T) {
+	ctx := context.Background()
+	fresh, err := (&Runner{Jobs: 1, FreshCores: true}).Run(ctx, poolSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs=1 forces every job through the same worker, so after the
+	// first job each run reuses the pooled core from the previous one —
+	// the hardest case for Reset hygiene (A, B, A, B, ...).
+	pooled, err := (&Runner{Jobs: 1}).Run(ctx, poolSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pooled {
+		want, got := statsBytes(t, fresh[i]), statsBytes(t, pooled[i])
+		if string(got) != string(want) {
+			t.Errorf("job %d: pooled stats diverge from fresh core:\nfresh:  %s\npooled: %s", i, want, got)
+		}
+		if pooled[i].Arch.Retired == 0 || pooled[i].Arch != fresh[i].Arch {
+			t.Errorf("job %d: architectural state diverged on pooled core", i)
+		}
+		if pooled[i].MIPS <= 0 {
+			t.Errorf("job %d: MIPS not computed: %v", i, pooled[i].MIPS)
+		}
+	}
+
+	// A parallel pooled sweep must agree with the serial one too (the
+	// -race build of this test is what certifies the pool's concurrency).
+	parallel, err := (&Runner{Jobs: 4}).Run(ctx, poolSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel {
+		if string(statsBytes(t, parallel[i])) != string(statsBytes(t, fresh[i])) {
+			t.Errorf("job %d: parallel pooled stats diverge", i)
+		}
+	}
+}
+
+// TestPoolKeyTracerUnpoolable pins the one spec class that must bypass
+// the pool: traced runs, whose observer wiring is per-run.
+func TestPoolKeyTracerUnpoolable(t *testing.T) {
+	s := tinySpec()
+	if key := s.poolKey(); key == "" {
+		t.Fatal("plain spec should be poolable")
+	}
+	s.Tracer = discardTracer{}
+	if key := s.poolKey(); key != "" {
+		t.Fatalf("traced spec got pool key %q, want unpoolable", key)
+	}
+}

@@ -36,6 +36,10 @@ type Result struct {
 	Arch emu.Result
 	// Wall is the job's wall-clock duration.
 	Wall time.Duration
+	// MIPS is the job's simulated throughput: retired instructions per
+	// host wall-clock microsecond (millions of simulated instructions
+	// per second). Zero when the job failed before producing stats.
+	MIPS float64
 	// Err is the job's failure, nil on success. Panics inside the job are
 	// recovered into errors; a timeout satisfies
 	// errors.Is(Err, context.DeadlineExceeded).
@@ -61,6 +65,27 @@ type Runner struct {
 	Timeout time.Duration
 	// Observer, when set, receives per-job start/finish notifications.
 	Observer Observer
+	// FreshCores disables core pooling: every job builds a new core.
+	// Pooling relies on fresh==Reset equivalence (core.New initializes
+	// through Core.Reset), so this exists for benchmarking the pooling
+	// win, not for correctness escape hatches.
+	FreshCores bool
+
+	// pools caches fully-built cores per pool key (engine + geometry +
+	// config modifiers) so successive jobs with the same configuration
+	// reuse the core's PRF/ROB/predictor-table allocations. Workers own
+	// a core exclusively between Get and Put, which keeps the pooling
+	// race-free.
+	pools sync.Map // string -> *sync.Pool of *core.Core
+}
+
+// pool returns the core pool for key, creating it on first use.
+func (r *Runner) pool(key string) *sync.Pool {
+	if p, ok := r.pools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := r.pools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
 }
 
 // Run executes every spec and returns one Result per spec, in spec
@@ -147,6 +172,9 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 			res.Err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 		}
 		res.Wall = time.Since(start)
+		if res.Stats != nil && res.Wall > 0 {
+			res.MIPS = float64(res.Stats.Retired) / res.Wall.Seconds() / 1e6
+		}
 	}()
 
 	prog, err := s.BuildProgram()
@@ -170,21 +198,48 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 		defer cancel()
 	}
 
-	c := core.New(prog, cfg)
+	// Draw a pooled core when the spec is poolable, else build fresh. A
+	// core that panicked mid-run is never returned to the pool (the
+	// recover above exits before any Put).
+	var pl *sync.Pool
+	if !r.FreshCores {
+		if key := s.poolKey(); key != "" {
+			pl = r.pool(key)
+		}
+	}
+	var c *core.Core
+	if pl != nil {
+		if v := pl.Get(); v != nil {
+			c = v.(*core.Core)
+			c.Reset(prog)
+		}
+	}
+	if c == nil {
+		c = core.New(prog, cfg)
+	}
+	// The result must not alias pooled-core state, which the next job
+	// resets: clone the stats, and read the architectural state before
+	// the core returns to the pool.
 	res.EngineName = c.EngineName()
-	if err := c.RunContext(ctx); err != nil {
-		res.Stats = c.Stats
-		res.Err = err
+	runErr := c.RunContext(ctx)
+	res.Stats = c.Stats.Clone()
+	var got emu.Result
+	if runErr == nil && s.VerifyArch {
+		got = c.Result()
+	}
+	if pl != nil {
+		pl.Put(c)
+	}
+	if runErr != nil {
+		res.Err = runErr
 		return res
 	}
-	res.Stats = c.Stats
 	if s.VerifyArch {
 		want, err := emu.RunProgram(prog, 1<<40)
 		if err != nil {
 			res.Err = fmt.Errorf("emulator: %w", err)
 			return res
 		}
-		got := c.Result()
 		if got != want {
 			res.Err = fmt.Errorf("architectural mismatch:\ncore: %+v\nemu:  %+v", got, want)
 			return res

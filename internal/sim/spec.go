@@ -280,6 +280,39 @@ func (s *Spec) CanonicalKey() string {
 	return sb.String()
 }
 
+// poolKey identifies the spec's core construction for the Runner's core
+// pooling: two specs with equal, non-empty pool keys build identical
+// core.Configs, so a core built for one can be Reset and reused for the
+// other. It is the CanonicalKey minus the program identity (pooled cores
+// are re-targeted at a new program by Reset) and minus VerifyArch (a
+// post-run comparison outside the core). Traced specs return "" — the
+// tracer is per-run state baked into the config — which disables pooling
+// for them.
+func (s *Spec) poolKey() string {
+	if s.Tracer != nil {
+		return ""
+	}
+	var sb strings.Builder
+	switch s.Engine {
+	case EngineRGID:
+		fmt.Fprintf(&sb, "rgid-%dx%d", s.streams(), s.entries())
+	case EngineRI, EngineDIRValue, EngineDIRName:
+		fmt.Fprintf(&sb, "%s-%ds%dw", s.Engine, s.sets(), s.ways())
+	default:
+		sb.WriteString(s.Engine.String())
+	}
+	if s.Loads != LoadDefault {
+		fmt.Fprintf(&sb, "+loads=%s", s.Loads)
+	}
+	if s.Check {
+		sb.WriteString("+check")
+	}
+	if s.TuneKey != "" {
+		sb.WriteString("+" + s.TuneKey)
+	}
+	return sb.String()
+}
+
 func (s *Spec) streams() int {
 	if s.Streams > 0 {
 		return s.Streams

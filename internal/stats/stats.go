@@ -89,6 +89,29 @@ type Stats struct {
 	RIInvalidates  uint64 // transitive invalidations
 }
 
+// Reset zeroes every counter in place, keeping the RIReplacements
+// backing array (sized once by the engine) so pooled cores never
+// reallocate it between runs.
+func (s *Stats) Reset() {
+	ri := s.RIReplacements
+	*s = Stats{}
+	if ri != nil {
+		clear(ri)
+		s.RIReplacements = ri
+	}
+}
+
+// Clone returns a deep copy, detaching the RIReplacements backing so the
+// copy survives a later Reset of the original (results extracted from
+// pooled cores must not alias pooled state).
+func (s *Stats) Clone() *Stats {
+	c := *s
+	if s.RIReplacements != nil {
+		c.RIReplacements = append([]uint64(nil), s.RIReplacements...)
+	}
+	return &c
+}
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {
