@@ -12,11 +12,16 @@
 //	                              # its content-addressed result cache
 //	msrbench -exp perf            # simulator-throughput benchmark; writes
 //	                              # BENCH_PR3.json (see -perf-out)
+//	msrbench -exp phases -stats-interval 4096 -stats-out phases.ndjson
+//	                              # phase-behaviour table plus the raw
+//	                              # per-interval telemetry stream (CSV when
+//	                              # the file name ends in .csv)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -34,7 +39,7 @@ func main() { os.Exit(run()) }
 // os.Exit inline) lets the deferred profile writers run on every path.
 func run() int {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,perf or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,phases,perf or all")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		asCSV    = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations")
@@ -42,6 +47,8 @@ func run() int {
 		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
 		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
+		statsIv  = flag.Uint64("stats-interval", 0, "attach interval telemetry to every sweep, sampled every N cycles (0 = off; implied 4096 by -stats-out)")
+		statsOut = flag.String("stats-out", "", `write the per-interval telemetry of every run to this file: NDJSON, or CSV when the name ends in .csv ("-" = stdout)`)
 		perfOut  = flag.String("perf-out", "BENCH_PR3.json", "write the perf experiment's JSON document here")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -61,18 +68,33 @@ func run() int {
 	}
 	var js *sim.JSONStream
 	if *jsonOut != "" {
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "msrbench:", err)
-				return 1
-			}
-			defer f.Close()
-			w = f
+		w, closeJSON, err := openOut(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrbench:", err)
+			return 1
 		}
+		defer closeJSON()
 		js = sim.NewJSONStream(w)
 		obs = append(obs, js)
+	}
+	if *statsOut != "" && *statsIv == 0 {
+		*statsIv = 4096
+	}
+	experiments.SetSampling(*statsIv)
+	var ivs *sim.IntervalStream
+	if *statsOut != "" {
+		w, closeStats, err := openOut(*statsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrbench:", err)
+			return 1
+		}
+		defer closeStats()
+		if strings.HasSuffix(*statsOut, ".csv") {
+			ivs = sim.NewIntervalCSVStream(w)
+		} else {
+			ivs = sim.NewIntervalStream(w)
+		}
+		obs = append(obs, ivs)
 	}
 	if *remote != "" {
 		experiments.SetRunner(&client.Remote{
@@ -129,6 +151,7 @@ func run() int {
 		{"fig11", func() (string, error) { r, err := experiments.Figure11(*scale); return render(r, err) }},
 		{"fig12", func() (string, error) { r, err := experiments.Figure12(*scale); return render(r, err) }},
 		{"baselines", func() (string, error) { r, err := experiments.Baselines(*scale); return render(r, err) }},
+		{"phases", func() (string, error) { r, err := experiments.Phases(*scale); return render(r, err) }},
 		{"perf", func() (string, error) {
 			r, err := experiments.Perf(*scale)
 			if err != nil {
@@ -159,14 +182,34 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "msrbench: no experiment selected by -exp %q\n", *exps)
 		return 1
 	}
-	// A truncated -json stream must not masquerade as a complete one.
+	// A truncated -json or -stats-out stream must not masquerade as a
+	// complete one.
 	if js != nil {
 		if err := js.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "msrbench: result stream incomplete: %v\n", err)
 			return 1
 		}
 	}
+	if ivs != nil {
+		if err := ivs.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "msrbench: interval stream incomplete: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// openOut opens path for writing; "-" means stdout (whose close is a
+// no-op).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 type renderer interface{ Render() string }

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,8 +48,16 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
 		withPprof  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrd:", err)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
 		SimJobs:        *jobs,
@@ -58,6 +67,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		JobTimeout:     *jobTimeout,
 		RetryAfter:     *retryAfter,
+		Logger:         logger,
 	}
 
 	if *selfbench {
@@ -103,6 +113,34 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("msrd: %v", err)
 	}
+}
+
+// buildLogger constructs the daemon's structured logger from the
+// -log-level and -log-format flags. "off" discards everything.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return nil, nil // server.Config treats nil as discard
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error, off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
 }
 
 // selfbenchReport is the JSON the -selfbench mode emits; CI archives it

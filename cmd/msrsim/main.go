@@ -7,16 +7,22 @@
 //	msrsim -workload nested-mispred -engine ri -sets 64 -ways 4
 //	msrsim -list
 //	msrsim -asm prog.s            # run an assembly file instead
+//	msrsim -workload bfs -stats-interval 4096 -stats-out bfs.ndjson
+//	msrsim -workload bfs -trace-out events.log
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"mssr/internal/asm"
+	"mssr/internal/obs"
 	"mssr/internal/profiles"
 	"mssr/internal/sim"
 	"mssr/internal/stats"
@@ -44,6 +50,10 @@ func run() int {
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall time (0 = none)")
 		verbose  = flag.Bool("v", false, "print the full counter set")
 		traceN   = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
+		traceOut = flag.String("trace-out", "", "stream the full pipeline event log to this file (- = stdout)")
+		statsIv  = flag.Uint64("stats-interval", 0, "sample interval telemetry every N cycles (0 = off; implied 4096 by -stats-out)")
+		statsWin = flag.Int("stats-window", 0, "retain at most this many intervals (0 = default)")
+		statsOut = flag.String("stats-out", "", "write interval telemetry to this file: NDJSON, or CSV when the name ends in .csv (- = stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -96,10 +106,32 @@ func run() int {
 		spec.Workload = ""
 		spec.Program = prog
 	}
+	if *statsOut != "" && *statsIv == 0 {
+		*statsIv = 4096
+	}
+	spec.SampleInterval = *statsIv
+	spec.SampleWindow = *statsWin
+
+	var tracers trace.Multi
 	var pipe *trace.Pipeline
 	if *traceN > 0 {
 		pipe = trace.NewPipeline(*traceN)
-		spec.Tracer = pipe
+		tracers = append(tracers, pipe)
+	}
+	if *traceOut != "" {
+		w, closeTrace, err := openOut(*traceOut)
+		if err != nil {
+			return fatal(err)
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "msrsim: closing trace log:", err)
+			}
+		}()
+		tracers = append(tracers, &trace.Writer{W: w})
+	}
+	if len(tracers) > 0 {
+		spec.Tracer = tracers
 	}
 
 	res, err := sim.Run(context.Background(), spec)
@@ -109,6 +141,12 @@ func run() int {
 	st := res.Stats
 	fmt.Printf("%s on %s (%s)\n", res.Program, spec.Engine, res.EngineName)
 	fmt.Printf("  %s (%.1fms wall, %.2f MIPS)\n", st, float64(res.Wall)/float64(time.Millisecond), res.MIPS)
+	if *statsOut != "" {
+		if err := writeIntervals(*statsOut, res.Intervals); err != nil {
+			return fatal(err)
+		}
+		fmt.Printf("  %d intervals (%d dropped) -> %s\n", len(res.Intervals), res.IntervalsDropped, *statsOut)
+	}
 	if *verbose {
 		printVerbose(st)
 	}
@@ -131,6 +169,45 @@ func printVerbose(st *stats.Stats) {
 	fmt.Printf("  memory: verifications=%d violations=%d  rgidResets=%d  riHits=%d riInvalidates=%d\n",
 		st.LoadVerifications, st.MemOrderViolations, st.RGIDResets, st.RIHits, st.RIInvalidates)
 	fmt.Printf("  distance histogram: %v\n", st.ReconvDistance)
+}
+
+// openOut opens path for buffered writing; "-" means stdout. The
+// returned close function flushes the buffer.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		bw := bufio.NewWriter(os.Stdout)
+		return bw, bw.Flush, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return bw, func() error {
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// writeIntervals writes the run's interval telemetry to path: CSV when
+// the name ends in .csv, NDJSON otherwise.
+func writeIntervals(path string, ivs []obs.Interval) error {
+	w, closeOut, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = obs.WriteCSV(w, ivs)
+	} else {
+		err = obs.WriteNDJSON(w, ivs)
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) int {

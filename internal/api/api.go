@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"mssr/internal/obs"
 	"mssr/internal/sim"
 	"mssr/internal/stats"
 )
@@ -44,6 +45,10 @@ type Spec struct {
 	// VerifyArch compares the final architectural state with the
 	// functional emulator.
 	VerifyArch bool `json:"verify_arch,omitempty"`
+	// SampleInterval attaches interval telemetry at this cycle period
+	// (0 = disabled); SampleWindow bounds the retained interval ring.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleWindow   int    `json:"sample_window,omitempty"`
 	// TimeoutMS bounds the simulation's wall time (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -61,18 +66,20 @@ func (s Spec) Sim() (sim.Spec, error) {
 		return sim.Spec{}, err
 	}
 	return sim.Spec{
-		Label:      s.Label,
-		Workload:   s.Workload,
-		Scale:      s.Scale,
-		Engine:     eng,
-		Streams:    s.Streams,
-		Entries:    s.Entries,
-		Sets:       s.Sets,
-		Ways:       s.Ways,
-		Loads:      loads,
-		Check:      s.Check,
-		VerifyArch: s.VerifyArch,
-		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+		Label:          s.Label,
+		Workload:       s.Workload,
+		Scale:          s.Scale,
+		Engine:         eng,
+		Streams:        s.Streams,
+		Entries:        s.Entries,
+		Sets:           s.Sets,
+		Ways:           s.Ways,
+		Loads:          loads,
+		Check:          s.Check,
+		VerifyArch:     s.VerifyArch,
+		SampleInterval: s.SampleInterval,
+		SampleWindow:   s.SampleWindow,
+		Timeout:        time.Duration(s.TimeoutMS) * time.Millisecond,
 	}, nil
 }
 
@@ -95,16 +102,18 @@ func FromSim(s sim.Spec) (Spec, error) {
 		return Spec{}, fmt.Errorf("api: spec %s not remotable: %w", s.Key(), errors.Join(reasons...))
 	}
 	ws := Spec{
-		Label:      s.Label,
-		Workload:   s.Workload,
-		Scale:      s.Scale,
-		Streams:    s.Streams,
-		Entries:    s.Entries,
-		Sets:       s.Sets,
-		Ways:       s.Ways,
-		Check:      s.Check,
-		VerifyArch: s.VerifyArch,
-		TimeoutMS:  s.Timeout.Milliseconds(),
+		Label:          s.Label,
+		Workload:       s.Workload,
+		Scale:          s.Scale,
+		Streams:        s.Streams,
+		Entries:        s.Entries,
+		Sets:           s.Sets,
+		Ways:           s.Ways,
+		Check:          s.Check,
+		VerifyArch:     s.VerifyArch,
+		SampleInterval: s.SampleInterval,
+		SampleWindow:   s.SampleWindow,
+		TimeoutMS:      s.Timeout.Milliseconds(),
 	}
 	if s.Engine != sim.EngineNone {
 		ws.Engine = s.Engine.String()
@@ -150,20 +159,40 @@ type Result struct {
 	WallNS int64        `json:"wall_ns"`
 	Error  string       `json:"error,omitempty"`
 	Stats  *stats.Stats `json:"stats,omitempty"`
+	// Intervals is the run's interval-telemetry stream, present when the
+	// spec set SampleInterval. Cached results carry the original run's
+	// stream (sampling parameters are part of the cache key).
+	Intervals []obs.Interval `json:"intervals,omitempty"`
+	// IntervalsDropped counts intervals lost to the sampler's bounded
+	// ring (0 = complete stream).
+	IntervalsDropped int `json:"intervals_dropped,omitempty"`
+}
+
+// IntervalRecord is one line of the NDJSON interval endpoints
+// (GET /v1/jobs/{id}/intervals): an interval annotated with the result
+// key and source it belongs to.
+type IntervalRecord struct {
+	// Key is the owning result's display key.
+	Key string `json:"key"`
+	// Source mirrors the owning Result.Source.
+	Source string `json:"source,omitempty"`
+	obs.Interval
 }
 
 // ResultFromSim converts a completed sim.Result into its wire form.
 func ResultFromSim(r sim.Result, source string) Result {
 	out := Result{
-		Index:    r.Index,
-		Key:      r.Key,
-		CacheKey: r.Spec.CanonicalKey(),
-		Source:   source,
-		Program:  r.Program,
-		Engine:   r.EngineName,
-		MIPS:     r.MIPS,
-		WallNS:   r.Wall.Nanoseconds(),
-		Stats:    r.Stats,
+		Index:            r.Index,
+		Key:              r.Key,
+		CacheKey:         r.Spec.CanonicalKey(),
+		Source:           source,
+		Program:          r.Program,
+		Engine:           r.EngineName,
+		MIPS:             r.MIPS,
+		WallNS:           r.Wall.Nanoseconds(),
+		Stats:            r.Stats,
+		Intervals:        r.Intervals,
+		IntervalsDropped: r.IntervalsDropped,
 	}
 	if r.Stats != nil {
 		out.Cycles = r.Stats.Cycles
@@ -180,13 +209,15 @@ func ResultFromSim(r sim.Result, source string) Result {
 // (the experiment drivers) that run against either backend.
 func (r Result) Sim() sim.Result {
 	out := sim.Result{
-		Index:      r.Index,
-		Key:        r.Key,
-		Program:    r.Program,
-		EngineName: r.Engine,
-		Stats:      r.Stats,
-		Wall:       time.Duration(r.WallNS),
-		MIPS:       r.MIPS,
+		Index:            r.Index,
+		Key:              r.Key,
+		Program:          r.Program,
+		EngineName:       r.Engine,
+		Stats:            r.Stats,
+		Wall:             time.Duration(r.WallNS),
+		MIPS:             r.MIPS,
+		Intervals:        r.Intervals,
+		IntervalsDropped: r.IntervalsDropped,
 	}
 	if r.Error != "" {
 		out.Err = errors.New(r.Error)

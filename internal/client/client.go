@@ -206,6 +206,44 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(api.Result) erro
 	return nil
 }
 
+// Intervals consumes the job's NDJSON interval-telemetry stream
+// (GET /v1/jobs/{id}/intervals), calling fn for every interval record of
+// every completed sampled result, in completion order. Like Stream, it
+// returns when the job is done or fn returns an error.
+func (c *Client) Intervals(ctx context.Context, id string, fn func(api.IntervalRecord) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/intervals", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: intervals: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: intervals: %s: %s", resp.Status, apiError(resp))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec api.IntervalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("client: decoding interval record: %w", err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: intervals: %w", err)
+	}
+	return nil
+}
+
 // Health checks /healthz; nil means the daemon is serving.
 func (c *Client) Health(ctx context.Context) error {
 	return c.getJSON(ctx, "/healthz", &map[string]string{})

@@ -117,6 +117,16 @@ type Config struct {
 	// engine, whose reuse test §3.5 parallelizes.
 	RITestsPerCycle int
 
+	// SampleInterval, when positive, attaches an interval-telemetry
+	// sampler (internal/obs) that snapshots the counters every
+	// SampleInterval cycles. Zero disables sampling; the disabled path
+	// costs one integer compare per cycle and keeps the cycle loop
+	// allocation-free either way.
+	SampleInterval uint64
+	// SampleWindow bounds the retained interval ring (0 = obs.DefaultWindow).
+	// Older intervals are overwritten once the run outgrows it.
+	SampleWindow int
+
 	// Tracer, when set, receives pipeline events (see internal/trace);
 	// nil disables tracing.
 	Tracer trace.Tracer

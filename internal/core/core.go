@@ -10,6 +10,7 @@ import (
 	"mssr/internal/frontend"
 	"mssr/internal/isa"
 	"mssr/internal/mem"
+	"mssr/internal/obs"
 	"mssr/internal/rename"
 	"mssr/internal/reuse"
 	"mssr/internal/stats"
@@ -138,6 +139,12 @@ type Core struct {
 	// RGID reset protocol (§3.3.2).
 	suspendCommits int // stream capture suspended until this many commits
 
+	// Interval telemetry. sampleAt is the next sampling boundary; with
+	// no sampler it parks at MaxUint64 so the cycle loop pays a single
+	// never-taken compare.
+	sampler  *obs.Sampler
+	sampleAt uint64
+
 	// Run state.
 	cycle  uint64
 	halted bool
@@ -196,6 +203,9 @@ func New(prog *isa.Program, cfg Config) *Core {
 	}
 	if cfg.DebugCheck {
 		c.checker = emu.New(prog)
+	}
+	if cfg.SampleInterval > 0 {
+		c.sampler = obs.NewSampler(cfg.SampleInterval, cfg.SampleWindow)
 	}
 	c.tracer = cfg.Tracer
 	c.Reset(prog)
@@ -259,12 +269,13 @@ func (c *Core) RunContext(ctx context.Context) error {
 		if done != nil && c.cycle&1023 == 0 {
 			select {
 			case <-done:
-				c.Stats.Cycles = c.cycle
+				c.finishRun()
 				return fmt.Errorf("core: aborted after %d cycles (%d retired): %w", c.cycle, c.Stats.Retired, ctx.Err())
 			default:
 			}
 		}
 		if c.cycle >= c.cfg.MaxCycles {
+			c.finishRun()
 			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.cycle, c.Stats.Retired)
 		}
 		c.cycle++
@@ -276,9 +287,61 @@ func (c *Core) RunContext(ctx context.Context) error {
 		c.issue()
 		c.renameStage()
 		c.fetch()
+		if c.cycle >= c.sampleAt {
+			c.takeSample()
+		}
 	}
-	c.Stats.Cycles = c.cycle
+	c.finishRun()
 	return nil
+}
+
+// finishRun seals the run's counters on every RunContext exit path: the
+// final cycle count, the memory-hierarchy mirror, and the sampler's
+// trailing partial interval.
+func (c *Core) finishRun() {
+	c.Stats.Cycles = c.cycle
+	c.syncMemStats()
+	if c.sampler != nil {
+		c.sampler.Flush(obs.SnapshotOf(c.cycle, c.Stats))
+	}
+}
+
+// takeSample closes the interval ending at the current cycle and arms
+// the next boundary. Only called with a sampler attached (the disabled
+// path parks sampleAt at MaxUint64).
+func (c *Core) takeSample() {
+	c.syncMemStats()
+	c.sampler.Record(obs.SnapshotOf(c.cycle, c.Stats))
+	c.sampleAt += c.cfg.SampleInterval
+}
+
+// syncMemStats mirrors the memory-hierarchy counters into Stats. The
+// hierarchy owns the live counters; results and telemetry samples read
+// them through Stats.
+func (c *Core) syncMemStats() {
+	st, h := c.Stats, c.hier
+	st.L1DHits, st.L1DMisses, st.L1DEvictions = h.L1.Hits, h.L1.Misses, h.L1.Evictions
+	st.L2Hits, st.L2Misses, st.L2Evictions = h.L2.Hits, h.L2.Misses, h.L2.Evictions
+	st.DRAMAccesses = h.DRAMAccesses
+}
+
+// Intervals returns a copy of the run's retained telemetry intervals
+// (nil without a configured SampleInterval). The copy never aliases the
+// sampler's ring, so it survives a pooled core's next Reset.
+func (c *Core) Intervals() []obs.Interval {
+	if c.sampler == nil {
+		return nil
+	}
+	return c.sampler.Intervals()
+}
+
+// IntervalsDropped reports how many early intervals the sampler's ring
+// overwrote (0 without a sampler).
+func (c *Core) IntervalsDropped() int {
+	if c.sampler == nil {
+		return 0
+	}
+	return c.sampler.Dropped()
 }
 
 // Result returns the final architectural state in the same form as the

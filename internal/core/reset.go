@@ -4,6 +4,7 @@ import (
 	"mssr/internal/bpred"
 	"mssr/internal/isa"
 	"mssr/internal/mem"
+	"mssr/internal/obs"
 	"mssr/internal/rename"
 	"mssr/internal/reuse"
 	"mssr/internal/stats"
@@ -23,6 +24,7 @@ type Resettable interface {
 var _ = []Resettable{
 	(*bpred.Unit)(nil),
 	(*mem.Hierarchy)(nil),
+	(*obs.Sampler)(nil),
 	(*rename.RAT)(nil),
 	(*rename.Allocator)(nil),
 	(*rename.Tracker)(nil),
@@ -72,6 +74,11 @@ func (c *Core) Reset(prog *isa.Program) {
 	c.mem.Clear()
 	c.mem.Load(prog)
 	c.suspendCommits = 0
+	c.sampleAt = ^uint64(0)
+	if c.sampler != nil {
+		c.sampler.Reset()
+		c.sampleAt = c.cfg.SampleInterval
+	}
 	c.cycle = 0
 	c.halted = false
 	if c.checker != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"mssr/internal/emu"
 	"mssr/internal/isa"
+	"mssr/internal/obs"
 )
 
 // TestResetEquivalence runs different workloads back-to-back through one
@@ -80,32 +82,92 @@ func TestResetMatchesFresh(t *testing.T) {
 // Reset+rerun of the same workload must allocate nothing. hashyProgram is
 // squash-heavy (its branch defeats TAGE), so this simultaneously pins the
 // regression that squash recovery — formerly a map allocation per event —
-// no longer allocates per flush.
+// no longer allocates per flush. The sampled variant attaches the
+// interval-telemetry sampler (internal/obs), which must record into its
+// preallocated ring without breaking the discipline.
 func TestSteadyStateZeroAllocs(t *testing.T) {
 	prog := hashyProgram(500)
+	sampling := map[string]uint64{"": 0, "sampled": 4096}
+	for name, cfg := range testConfigs() {
+		for variant, interval := range sampling {
+			sub := name
+			if variant != "" {
+				sub = name + "/" + variant
+			}
+			cfg := cfg
+			cfg.SampleInterval = interval
+			t.Run(sub, func(t *testing.T) {
+				cfg.MaxCycles = 50_000_000
+				c := New(prog, cfg)
+				if err := c.Run(); err != nil { // warm-up: grow everything once
+					t.Fatalf("warm-up: %v", err)
+				}
+				if c.Stats.Flushes < 100 {
+					t.Fatalf("workload not squash-heavy enough to pin recovery allocations: %d flushes", c.Stats.Flushes)
+				}
+				var runErr error
+				allocs := testing.AllocsPerRun(2, func() {
+					c.Reset(prog)
+					if err := c.Run(); err != nil {
+						runErr = err
+					}
+				})
+				if runErr != nil {
+					t.Fatalf("measured run: %v", runErr)
+				}
+				if allocs != 0 {
+					t.Errorf("steady-state run allocated %.1f objects (cycles=%d, flushes=%d); want 0",
+						allocs, c.Stats.Cycles, c.Stats.Flushes)
+				}
+			})
+		}
+	}
+}
+
+// TestSampledIntervalsPooledVsFresh extends the fresh==Reset contract to
+// the telemetry stream: the interval NDJSON emitted by a pooled (Reset)
+// core must be byte-identical to the one from a freshly built core, under
+// every engine configuration. Any difference means either the sampler
+// leaks state across Reset or the simulation itself diverged.
+func TestSampledIntervalsPooledVsFresh(t *testing.T) {
+	progA := aliasProgram(200)
+	progB := hashyProgram(400)
 	for name, cfg := range testConfigs() {
 		t.Run(name, func(t *testing.T) {
 			cfg.MaxCycles = 50_000_000
-			c := New(prog, cfg)
-			if err := c.Run(); err != nil { // warm-up: grow everything once
-				t.Fatalf("warm-up: %v", err)
+			cfg.SampleInterval = 256
+			cfg.SampleWindow = 4096
+			pooled := New(progA, cfg)
+			if err := pooled.Run(); err != nil {
+				t.Fatalf("pooled first run: %v", err)
 			}
-			if c.Stats.Flushes < 100 {
-				t.Fatalf("workload not squash-heavy enough to pin recovery allocations: %d flushes", c.Stats.Flushes)
+			pooled.Reset(progB)
+			if err := pooled.Run(); err != nil {
+				t.Fatalf("pooled reset run: %v", err)
 			}
-			var runErr error
-			allocs := testing.AllocsPerRun(2, func() {
-				c.Reset(prog)
-				if err := c.Run(); err != nil {
-					runErr = err
-				}
-			})
-			if runErr != nil {
-				t.Fatalf("measured run: %v", runErr)
+			fresh := New(progB, cfg)
+			if err := fresh.Run(); err != nil {
+				t.Fatalf("fresh run: %v", err)
 			}
-			if allocs != 0 {
-				t.Errorf("steady-state run allocated %.1f objects (cycles=%d, flushes=%d); want 0",
-					allocs, c.Stats.Cycles, c.Stats.Flushes)
+			ivs := fresh.Intervals()
+			if len(ivs) == 0 {
+				t.Fatal("no intervals recorded; workload too short for interval 256?")
+			}
+			var pooledOut, freshOut bytes.Buffer
+			if err := obs.WriteNDJSON(&pooledOut, pooled.Intervals()); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.WriteNDJSON(&freshOut, ivs); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pooledOut.Bytes(), freshOut.Bytes()) {
+				t.Fatalf("interval NDJSON diverged between pooled and fresh cores:\npooled:\n%s\nfresh:\n%s",
+					pooledOut.String(), freshOut.String())
+			}
+			// The memory-hierarchy mirror must be live: both programs load
+			// every iteration, so L1D traffic is guaranteed.
+			if fresh.Stats.L1DHits+fresh.Stats.L1DMisses == 0 {
+				t.Error("stats carry no L1D activity; syncMemStats not wired?")
 			}
 		})
 	}

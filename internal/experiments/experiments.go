@@ -68,21 +68,22 @@ func runSpecs(specs []sim.Spec) (map[string]*stats.Stats, error) {
 // expect. They describe runs by registry workload name and scale — not
 // by pre-built program — so every sweep is wire-serializable and can be
 // submitted to an msrd daemon, where the spec's canonical key addresses
-// the daemon's result cache.
+// the daemon's result cache. All of them apply the SetSampling knob, so
+// msrbench -stats-interval attaches interval telemetry to every sweep.
 func baseSpec(key, workload string, scale int) sim.Spec {
-	return sim.Spec{Label: key, Workload: workload, Scale: scale}
+	return sampled(sim.Spec{Label: key, Workload: workload, Scale: scale})
 }
 
 func rgidSpec(key, workload string, scale, streams, entries int) sim.Spec {
-	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRGID, Streams: streams, Entries: entries}
+	return sampled(sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRGID, Streams: streams, Entries: entries})
 }
 
 func riSpec(key, workload string, scale, sets, ways int) sim.Spec {
-	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRI, Sets: sets, Ways: ways}
+	return sampled(sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: sim.EngineRI, Sets: sets, Ways: ways})
 }
 
 func dirSpec(key, workload string, scale int, engine sim.Engine, sets, ways int) sim.Spec {
-	return sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: engine, Sets: sets, Ways: ways}
+	return sampled(sim.Spec{Label: key, Workload: workload, Scale: scale, Engine: engine, Sets: sets, Ways: ways})
 }
 
 // pct formats a fraction as a percentage.

@@ -207,6 +207,70 @@ func TestRunSpecsAggregatesErrors(t *testing.T) {
 	}
 }
 
+// TestPhasesShape runs the phase-behaviour experiment at tiny scale with
+// a small sampling interval (the scale-0 runs are short) and checks the
+// telemetry stream and table structure.
+func TestPhasesShape(t *testing.T) {
+	SetSampling(64)
+	defer SetSampling(0)
+	r, err := Phases(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Interval != 64 {
+		t.Fatalf("interval = %d, want the SetSampling value", r.Interval)
+	}
+	if len(r.Workloads) != 11 {
+		t.Fatalf("phases covers SPEC-like workloads (11), got %d", len(r.Workloads))
+	}
+	for i := range r.Workloads {
+		w := &r.Workloads[i]
+		if len(w.Intervals) == 0 {
+			t.Errorf("%s: no intervals sampled", w.Name)
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			ipc, reuse := w.Quarter(q)
+			if ipc < 0 || reuse < 0 || reuse > 1 {
+				t.Errorf("%s q%d: implausible rates ipc=%v reuse=%v", w.Name, q+1, ipc, reuse)
+			}
+		}
+		if ramp := w.ReuseRamp(); ramp < -1 || ramp > 1 {
+			t.Errorf("%s: reuse ramp %v out of range", w.Name, ramp)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Phase behaviour", "reuse%", "ramp", "sjeng", "leela"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSetSamplingAttaches pins that the sampling knob reaches the specs
+// the experiment helpers build — and therefore their canonical keys, so
+// sampled sweeps cannot collide with unsampled daemon cache entries.
+func TestSetSamplingAttaches(t *testing.T) {
+	if s := rgidSpec("k", "bfs", 0, 4, 64); s.SampleInterval != 0 {
+		t.Fatalf("sampling attached while knob off: %d", s.SampleInterval)
+	}
+	SetSampling(128)
+	defer SetSampling(0)
+	for _, s := range []sim.Spec{
+		baseSpec("k", "bfs", 0),
+		rgidSpec("k", "bfs", 0, 4, 64),
+		riSpec("k", "bfs", 0, 64, 4),
+		dirSpec("k", "bfs", 0, sim.EngineDIRValue, 64, 4),
+	} {
+		if s.SampleInterval != 128 {
+			t.Errorf("%s: SampleInterval = %d, want 128", s.Label, s.SampleInterval)
+		}
+		if !strings.Contains(s.CanonicalKey(), "+iv128") {
+			t.Errorf("%s: canonical key %q lacks sampling params", s.Label, s.CanonicalKey())
+		}
+	}
+}
+
 // TestSetRunner checks msrbench's runner swap takes effect for
 // subsequent sweeps.
 func TestSetRunner(t *testing.T) {

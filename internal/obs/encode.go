@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteNDJSON writes one JSON object per interval, newline-delimited.
+// The encoding is deterministic: identical intervals produce identical
+// bytes, which the pooled-vs-fresh determinism tests rely on.
+func WriteNDJSON(w io.Writer, ivs []Interval) error {
+	enc := json.NewEncoder(w)
+	for i := range ivs {
+		if err := enc.Encode(&ivs[i]); err != nil {
+			return fmt.Errorf("obs: encoding interval %d: %w", ivs[i].Index, err)
+		}
+	}
+	return nil
+}
+
+// csvColumns is the CSV column order; it mirrors the Interval field
+// order so the two encodings agree on what an interval is.
+var csvColumns = []string{
+	"index", "start_cycle", "end_cycle",
+	"retired", "fetched", "flushes",
+	"branches", "branch_mispredicts", "jump_mispredicts",
+	"reuse_tests", "reuse_hits", "squashed_streams", "reconvergences", "rgid_resets",
+	"l1d_hits", "l1d_misses", "l2_hits", "l2_misses", "dram_accesses",
+	"ipc", "reuse_rate", "mpki", "l1d_miss_rate",
+}
+
+// CSVHeader returns the comma-joined column names of CSVRow.
+func CSVHeader() string { return strings.Join(csvColumns, ",") }
+
+// CSVRow renders the interval as one CSV row matching CSVHeader. Floats
+// use the shortest round-trippable representation, keeping rows
+// byte-deterministic.
+func (iv *Interval) CSVRow() string {
+	var sb strings.Builder
+	u := func(v uint64) {
+		sb.WriteString(strconv.FormatUint(v, 10))
+		sb.WriteByte(',')
+	}
+	u(uint64(iv.Index))
+	u(iv.Start)
+	u(iv.End)
+	u(iv.Retired)
+	u(iv.Fetched)
+	u(iv.Flushes)
+	u(iv.Branches)
+	u(iv.BranchMispredicts)
+	u(iv.JumpMispredicts)
+	u(iv.ReuseTests)
+	u(iv.ReuseHits)
+	u(iv.SquashedStreams)
+	u(iv.Reconvergences)
+	u(iv.RGIDResets)
+	u(iv.L1DHits)
+	u(iv.L1DMisses)
+	u(iv.L2Hits)
+	u(iv.L2Misses)
+	u(iv.DRAMAccesses)
+	f := func(v float64) { sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64)) }
+	f(iv.IPC)
+	sb.WriteByte(',')
+	f(iv.ReuseRate)
+	sb.WriteByte(',')
+	f(iv.MPKI)
+	sb.WriteByte(',')
+	f(iv.L1DMissRate)
+	return sb.String()
+}
+
+// WriteCSV writes a header line followed by one row per interval.
+func WriteCSV(w io.Writer, ivs []Interval) error {
+	if _, err := fmt.Fprintln(w, CSVHeader()); err != nil {
+		return fmt.Errorf("obs: writing csv header: %w", err)
+	}
+	for i := range ivs {
+		if _, err := fmt.Fprintln(w, ivs[i].CSVRow()); err != nil {
+			return fmt.Errorf("obs: writing interval %d: %w", ivs[i].Index, err)
+		}
+	}
+	return nil
+}

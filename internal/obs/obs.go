@@ -1,0 +1,237 @@
+// Package obs is the interval-telemetry engine: an allocation-free
+// time-series sampler over the simulator's cumulative counters. Every N
+// cycles the core snapshots its stats.Stats (plus the L1D/L2/DRAM
+// counters of internal/mem) into a Snapshot; the Sampler differences
+// consecutive snapshots into Interval records — per-window deltas with
+// the derived rates (IPC, reuse hit rate, branch MPKI, L1D miss rate)
+// the paper's whole-run aggregates hide: warmup, reuse-rate ramp after
+// RGID resets, mispredict bursts.
+//
+// The Sampler preallocates a fixed ring of Interval records at
+// construction and never allocates afterwards, so an attached sampler
+// keeps the cycle loop's zero-allocation discipline (guarded by
+// core.TestSteadyStateZeroAllocs). When a run outlives the ring, the
+// oldest intervals are overwritten and Dropped reports how many; the
+// absolute Index on each record keeps the gap visible downstream.
+package obs
+
+import "mssr/internal/stats"
+
+// DefaultWindow is the interval-ring capacity used when a sampler is
+// requested without an explicit window.
+const DefaultWindow = 1024
+
+// Snapshot is the cumulative counter state at one cycle boundary. It is
+// a plain value: building one costs no allocation.
+type Snapshot struct {
+	Cycle             uint64
+	Retired           uint64
+	Fetched           uint64
+	Flushes           uint64
+	Branches          uint64
+	BranchMispredicts uint64
+	JumpMispredicts   uint64
+	ReuseTests        uint64
+	ReuseHits         uint64
+	SquashedStreams   uint64
+	Reconvergences    uint64
+	RGIDResets        uint64
+	L1DHits           uint64
+	L1DMisses         uint64
+	L2Hits            uint64
+	L2Misses          uint64
+	DRAMAccesses      uint64
+}
+
+// SnapshotOf builds the cumulative snapshot at cycle from st. The memory
+// counters must already be mirrored into st (the core does this before
+// every sample; see Core.syncMemStats).
+func SnapshotOf(cycle uint64, st *stats.Stats) Snapshot {
+	return Snapshot{
+		Cycle:             cycle,
+		Retired:           st.Retired,
+		Fetched:           st.Fetched,
+		Flushes:           st.Flushes,
+		Branches:          st.Branches,
+		BranchMispredicts: st.BranchMispredicts,
+		JumpMispredicts:   st.JumpMispredicts,
+		ReuseTests:        st.ReuseTests,
+		ReuseHits:         st.ReuseHits,
+		SquashedStreams:   st.SquashedStreams,
+		Reconvergences:    st.Reconvergences,
+		RGIDResets:        st.RGIDResets,
+		L1DHits:           st.L1DHits,
+		L1DMisses:         st.L1DMisses,
+		L2Hits:            st.L2Hits,
+		L2Misses:          st.L2Misses,
+		DRAMAccesses:      st.DRAMAccesses,
+	}
+}
+
+// Interval is the delta between two consecutive snapshots plus the rates
+// derived from it. The struct is flat and self-describing so records
+// serialize directly as NDJSON lines or CSV rows.
+type Interval struct {
+	// Index is the absolute interval number since the run began; gaps
+	// against a record's position reveal ring overwrites.
+	Index int `json:"index"`
+	// Start and End bound the window in cycles: [Start, End).
+	Start uint64 `json:"start_cycle"`
+	End   uint64 `json:"end_cycle"`
+
+	// Counter deltas over the window.
+	Retired           uint64 `json:"retired"`
+	Fetched           uint64 `json:"fetched"`
+	Flushes           uint64 `json:"flushes"`
+	Branches          uint64 `json:"branches"`
+	BranchMispredicts uint64 `json:"branch_mispredicts"`
+	JumpMispredicts   uint64 `json:"jump_mispredicts"`
+	ReuseTests        uint64 `json:"reuse_tests"`
+	ReuseHits         uint64 `json:"reuse_hits"`
+	SquashedStreams   uint64 `json:"squashed_streams"`
+	Reconvergences    uint64 `json:"reconvergences"`
+	RGIDResets        uint64 `json:"rgid_resets"`
+	L1DHits           uint64 `json:"l1d_hits"`
+	L1DMisses         uint64 `json:"l1d_misses"`
+	L2Hits            uint64 `json:"l2_hits"`
+	L2Misses          uint64 `json:"l2_misses"`
+	DRAMAccesses      uint64 `json:"dram_accesses"`
+
+	// Derived per-interval rates.
+	IPC         float64 `json:"ipc"`
+	ReuseRate   float64 `json:"reuse_rate"`
+	MPKI        float64 `json:"mpki"`
+	L1DMissRate float64 `json:"l1d_miss_rate"`
+}
+
+// Cycles returns the window length.
+func (iv *Interval) Cycles() uint64 { return iv.End - iv.Start }
+
+// intervalBetween differences prev and cur into the interval record at
+// absolute index idx.
+func intervalBetween(idx int, prev, cur Snapshot) Interval {
+	iv := Interval{
+		Index:             idx,
+		Start:             prev.Cycle,
+		End:               cur.Cycle,
+		Retired:           cur.Retired - prev.Retired,
+		Fetched:           cur.Fetched - prev.Fetched,
+		Flushes:           cur.Flushes - prev.Flushes,
+		Branches:          cur.Branches - prev.Branches,
+		BranchMispredicts: cur.BranchMispredicts - prev.BranchMispredicts,
+		JumpMispredicts:   cur.JumpMispredicts - prev.JumpMispredicts,
+		ReuseTests:        cur.ReuseTests - prev.ReuseTests,
+		ReuseHits:         cur.ReuseHits - prev.ReuseHits,
+		SquashedStreams:   cur.SquashedStreams - prev.SquashedStreams,
+		Reconvergences:    cur.Reconvergences - prev.Reconvergences,
+		RGIDResets:        cur.RGIDResets - prev.RGIDResets,
+		L1DHits:           cur.L1DHits - prev.L1DHits,
+		L1DMisses:         cur.L1DMisses - prev.L1DMisses,
+		L2Hits:            cur.L2Hits - prev.L2Hits,
+		L2Misses:          cur.L2Misses - prev.L2Misses,
+		DRAMAccesses:      cur.DRAMAccesses - prev.DRAMAccesses,
+	}
+	if cycles := iv.End - iv.Start; cycles > 0 {
+		iv.IPC = float64(iv.Retired) / float64(cycles)
+	}
+	if iv.Retired > 0 {
+		iv.ReuseRate = float64(iv.ReuseHits) / float64(iv.Retired)
+		iv.MPKI = 1000 * float64(iv.BranchMispredicts+iv.JumpMispredicts) / float64(iv.Retired)
+	}
+	if accesses := iv.L1DHits + iv.L1DMisses; accesses > 0 {
+		iv.L1DMissRate = float64(iv.L1DMisses) / float64(accesses)
+	}
+	return iv
+}
+
+// Sampler turns a stream of cumulative snapshots into interval records,
+// holding the most recent window of them in a preallocated ring. The
+// zero value is not usable; construct with NewSampler. Sampler is not
+// safe for concurrent use — it belongs to one core.
+type Sampler struct {
+	every uint64
+	ring  []Interval
+	n     int // total intervals recorded since Reset
+	prev  Snapshot
+}
+
+// NewSampler builds a sampler that expects a snapshot every `every`
+// cycles and retains the last `window` intervals (DefaultWindow when
+// window <= 0). every must be positive.
+func NewSampler(every uint64, window int) *Sampler {
+	if every == 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Sampler{every: every, ring: make([]Interval, window)}
+}
+
+// Every returns the sampling interval in cycles.
+func (s *Sampler) Every() uint64 { return s.every }
+
+// Record closes the interval ending at snap, overwriting the oldest
+// record if the ring is full. It never allocates.
+func (s *Sampler) Record(snap Snapshot) {
+	s.ring[s.n%len(s.ring)] = intervalBetween(s.n, s.prev, snap)
+	s.n++
+	s.prev = snap
+}
+
+// Flush records the trailing partial interval ending at snap, if any
+// cycles elapsed since the last boundary. Call it once when a run ends.
+func (s *Sampler) Flush(snap Snapshot) {
+	if snap.Cycle > s.prev.Cycle {
+		s.Record(snap)
+	}
+}
+
+// Reset restores the pristine post-construction state in place, keeping
+// the ring's backing array (the core's Resettable seam).
+func (s *Sampler) Reset() {
+	s.n = 0
+	s.prev = Snapshot{}
+}
+
+// Len reports how many intervals are retained (at most the window).
+func (s *Sampler) Len() int {
+	if s.n < len(s.ring) {
+		return s.n
+	}
+	return len(s.ring)
+}
+
+// Total reports how many intervals were recorded since Reset, including
+// any the ring has since overwritten.
+func (s *Sampler) Total() int { return s.n }
+
+// Dropped reports how many early intervals the ring overwrote.
+func (s *Sampler) Dropped() int {
+	if d := s.n - len(s.ring); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// AppendTo appends the retained intervals to dst in recording order and
+// returns the extended slice. The records are copies: they stay valid
+// after the sampler is Reset or overwritten, which is what lets pooled
+// cores hand intervals to a result without aliasing pooled state.
+func (s *Sampler) AppendTo(dst []Interval) []Interval {
+	if s.n <= len(s.ring) {
+		return append(dst, s.ring[:s.n]...)
+	}
+	at := s.n % len(s.ring)
+	dst = append(dst, s.ring[at:]...)
+	return append(dst, s.ring[:at]...)
+}
+
+// Intervals returns the retained intervals in recording order (nil when
+// none were recorded).
+func (s *Sampler) Intervals() []Interval {
+	if s.n == 0 {
+		return nil
+	}
+	return s.AppendTo(make([]Interval, 0, s.Len()))
+}

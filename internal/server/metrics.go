@@ -3,8 +3,61 @@ package server
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
+	"time"
 )
+
+// durationBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits to multi-minute SPEC-scale simulations.
+var durationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
+}
+
+// histogram is a Prometheus-style cumulative histogram of durations.
+// Observations and scrapes are concurrent: per-bucket counts, the total
+// and the sum are all atomics (the sum in integer nanoseconds, so no
+// float CAS loop is needed). Rendered counts may be momentarily ahead of
+// the rendered sum under concurrent observation, which Prometheus
+// tolerates between scrapes.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound; observations beyond all bounds land in +Inf (total - sum of counts)
+	total  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	for i, b := range h.bounds {
+		if secs <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// write renders the histogram in Prometheus text exposition format:
+// cumulative {name}_bucket{le="..."} series ending in le="+Inf", then
+// {name}_sum and {name}_count.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total.Load())
+	fmt.Fprintf(w, "%s_sum %.6f\n", name, float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
 
 // metrics holds the daemon's counters, exported in Prometheus text
 // exposition format on /metrics. All fields are atomics: they are
@@ -26,6 +79,26 @@ type metrics struct {
 	simRetired  atomic.Uint64 // cumulative retired instructions
 	simWallNS   atomic.Int64  // cumulative simulation wall time
 	streamConns atomic.Int64  // gauge: open NDJSON streams
+
+	streamErrors atomic.Uint64 // NDJSON stream records lost to encode/write failures
+
+	// Memory hierarchy totals, mirrored from executed simulations' stats.
+	l1dHits      atomic.Uint64
+	l1dMisses    atomic.Uint64
+	l1dEvictions atomic.Uint64
+	l2Hits       atomic.Uint64
+	l2Misses     atomic.Uint64
+	l2Evictions  atomic.Uint64
+	dramAccesses atomic.Uint64
+
+	requestDur *histogram // HTTP request handling latency
+	simDur     *histogram // executed simulation wall time
+}
+
+// init allocates the histograms; call once before serving.
+func (m *metrics) init() {
+	m.requestDur = newHistogram(durationBuckets)
+	m.simDur = newHistogram(durationBuckets)
 }
 
 // write renders every metric. queueDepth and cacheLen are sampled by the
@@ -57,4 +130,14 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int) {
 	emit("msrd_sim_mips", "Aggregate simulated throughput: retired instructions per simulation wall second, in millions.", "gauge",
 		fmt.Sprintf("%.6f", mips))
 	emit("msrd_stream_connections", "Open NDJSON result streams.", "gauge", m.streamConns.Load())
+	emit("msrd_stream_errors_total", "NDJSON stream records lost to encode or write failures.", "counter", m.streamErrors.Load())
+	emit("msrd_sim_l1d_hits_total", "Cumulative L1D cache hits across executed simulations.", "counter", m.l1dHits.Load())
+	emit("msrd_sim_l1d_misses_total", "Cumulative L1D cache misses across executed simulations.", "counter", m.l1dMisses.Load())
+	emit("msrd_sim_l1d_evictions_total", "Cumulative L1D cache evictions across executed simulations.", "counter", m.l1dEvictions.Load())
+	emit("msrd_sim_l2_hits_total", "Cumulative L2 cache hits across executed simulations.", "counter", m.l2Hits.Load())
+	emit("msrd_sim_l2_misses_total", "Cumulative L2 cache misses across executed simulations.", "counter", m.l2Misses.Load())
+	emit("msrd_sim_l2_evictions_total", "Cumulative L2 cache evictions across executed simulations.", "counter", m.l2Evictions.Load())
+	emit("msrd_sim_dram_accesses_total", "Cumulative DRAM accesses across executed simulations.", "counter", m.dramAccesses.Load())
+	m.requestDur.write(w, "msrd_request_duration_seconds", "HTTP request handling latency.")
+	m.simDur.write(w, "msrd_sim_duration_seconds", "Executed simulation wall time.")
 }

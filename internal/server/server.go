@@ -24,6 +24,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -60,6 +62,11 @@ type Config struct {
 	// case) builds a sim.Runner per job, wired with an observer that
 	// publishes completions live; tests inject controllable fakes.
 	Backend sim.Backend
+	// Logger receives the daemon's structured logs: one line per HTTP
+	// request (request id, method, path, status, duration) and the job
+	// lifecycle (submit, start with queue latency, finish with outcome).
+	// nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +81,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.Logger == nil {
+		// A handler at a level no record reaches; slog.DiscardHandler
+		// needs go1.24 and the module declares 1.22.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
 	return c
 }
@@ -103,6 +115,8 @@ type Server struct {
 	flights  map[string]*flight
 
 	nextID  atomic.Uint64
+	nextReq atomic.Uint64
+	log     *slog.Logger
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -118,7 +132,9 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueLimit),
 		flights: make(map[string]*flight),
+		log:     cfg.Logger,
 	}
+	s.metrics.init()
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -127,13 +143,57 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/intervals", s.handleIntervals)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response code for the request log and the
+// latency histogram. It passes Flush through so the NDJSON stream
+// handlers keep their incremental delivery behind the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler: every request gets an id, a latency
+// observation and one structured log line.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := fmt.Sprintf("r%d", s.nextReq.Add(1))
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	s.metrics.requestDur.observe(dur)
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	s.log.Info("request",
+		"request_id", rid,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_ms", float64(dur.Microseconds())/1000)
+}
 
 // Shutdown drains the daemon: no new submissions are admitted, queued
 // and running jobs are given until ctx's deadline to finish, then the
@@ -183,7 +243,12 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
-	j.start(time.Now())
+	started := time.Now()
+	j.start(started)
+	s.log.Info("job start",
+		"job_id", j.id,
+		"specs", len(j.specs),
+		"queue_ms", float64(started.Sub(j.submitted).Microseconds())/1000)
 
 	type joined struct {
 		idx int
@@ -267,11 +332,22 @@ func (s *Server) runJob(j *job) {
 	}
 
 	j.finish(time.Now(), nil)
+	outcome := "completed"
 	if j.failed() {
 		s.metrics.jobsFailed.Add(1)
+		outcome = "failed"
 	} else {
 		s.metrics.jobsCompleted.Add(1)
 	}
+	st := j.status()
+	s.log.Info("job finish",
+		"job_id", j.id,
+		"outcome", outcome,
+		"specs", len(j.specs),
+		"ran", len(leaders),
+		"cache_hits", st.CacheHits,
+		"dedup_joins", st.DedupJoins,
+		"duration_ms", float64(st.Finished.Sub(st.Started).Microseconds())/1000)
 }
 
 // finishLeader converts a leader's sim result, settles its flight
@@ -284,12 +360,24 @@ func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
 		s.metrics.simsRun.Add(1)
 		if r.Err != nil {
 			s.metrics.simsFailed.Add(1)
+			s.log.Warn("sim failed", "job_id", j.id, "spec_key", res.CacheKey, "error", r.Err.Error())
+		} else {
+			s.log.Debug("sim done", "job_id", j.id, "spec_key", res.CacheKey,
+				"wall_ms", float64(r.Wall.Microseconds())/1000)
 		}
 		if r.Stats != nil {
 			s.metrics.simCycles.Add(r.Stats.Cycles)
 			s.metrics.simRetired.Add(r.Stats.Retired)
+			s.metrics.l1dHits.Add(r.Stats.L1DHits)
+			s.metrics.l1dMisses.Add(r.Stats.L1DMisses)
+			s.metrics.l1dEvictions.Add(r.Stats.L1DEvictions)
+			s.metrics.l2Hits.Add(r.Stats.L2Hits)
+			s.metrics.l2Misses.Add(r.Stats.L2Misses)
+			s.metrics.l2Evictions.Add(r.Stats.L2Evictions)
+			s.metrics.dramAccesses.Add(r.Stats.DRAMAccesses)
 		}
 		s.metrics.simWallNS.Add(r.Wall.Nanoseconds())
+		s.metrics.simDur.observe(r.Wall)
 
 		canonical := res
 		canonical.Index = -1
@@ -372,6 +460,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if !admitted {
 		s.metrics.jobsRejected.Add(1)
+		s.log.Warn("job rejected", "specs", len(specs), "queue_limit", s.cfg.QueueLimit)
 		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests, api.Error{
@@ -381,6 +470,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	s.log.Info("job submitted", "job_id", j.id, "specs", len(specs))
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: j.id, Total: len(specs)})
 }
 
@@ -417,12 +507,55 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := enc.Encode(e); err != nil {
+			s.streamError(j.id, "stream", err)
 			return
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+}
+
+// handleIntervals streams every completed result's interval-telemetry
+// records as NDJSON (api.IntervalRecord), in completion order, blocking
+// like /stream until the job is done. Results without intervals
+// (unsampled specs, failures) contribute nothing.
+func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.metrics.streamConns.Add(1)
+	defer s.metrics.streamConns.Add(-1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		e, ok := j.next(i, r.Context().Done())
+		if !ok {
+			return
+		}
+		for k := range e.Intervals {
+			rec := api.IntervalRecord{Key: e.Key, Source: e.Source, Interval: e.Intervals[k]}
+			if err := enc.Encode(&rec); err != nil {
+				s.streamError(j.id, "intervals", err)
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// streamError counts and logs one lost NDJSON stream record, so a
+// truncated stream is visible on /metrics and in the logs rather than
+// silent.
+func (s *Server) streamError(jobID, endpoint string, err error) {
+	s.metrics.streamErrors.Add(1)
+	s.log.Warn("stream encode failed", "job_id", jobID, "endpoint", endpoint, "error", err.Error())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

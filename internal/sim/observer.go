@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mssr/internal/obs"
 	"mssr/internal/stats"
 )
 
@@ -89,16 +90,18 @@ func NewJSONStream(w io.Writer) *JSONStream { return &JSONStream{enc: json.NewEn
 
 // jobJSON is the wire shape of one job result.
 type jobJSON struct {
-	Key     string       `json:"key"`
-	Program string       `json:"program,omitempty"`
-	Engine  string       `json:"engine,omitempty"`
-	Cycles  uint64       `json:"cycles,omitempty"`
-	Retired uint64       `json:"retired,omitempty"`
-	IPC     float64      `json:"ipc,omitempty"`
-	MIPS    float64      `json:"mips,omitempty"`
-	WallNS  int64        `json:"wall_ns"`
-	Error   string       `json:"error,omitempty"`
-	Stats   *stats.Stats `json:"stats,omitempty"`
+	Key              string         `json:"key"`
+	Program          string         `json:"program,omitempty"`
+	Engine           string         `json:"engine,omitempty"`
+	Cycles           uint64         `json:"cycles,omitempty"`
+	Retired          uint64         `json:"retired,omitempty"`
+	IPC              float64        `json:"ipc,omitempty"`
+	MIPS             float64        `json:"mips,omitempty"`
+	WallNS           int64          `json:"wall_ns"`
+	Error            string         `json:"error,omitempty"`
+	Stats            *stats.Stats   `json:"stats,omitempty"`
+	Intervals        []obs.Interval `json:"intervals,omitempty"`
+	IntervalsDropped int            `json:"intervals_dropped,omitempty"`
 }
 
 // OnStart implements Observer.
@@ -107,12 +110,14 @@ func (j *JSONStream) OnStart(index, total int, key string) {}
 // OnFinish implements Observer.
 func (j *JSONStream) OnFinish(index, total int, r Result) {
 	rec := jobJSON{
-		Key:     r.Key,
-		Program: r.Program,
-		Engine:  r.EngineName,
-		MIPS:    r.MIPS,
-		WallNS:  r.Wall.Nanoseconds(),
-		Stats:   r.Stats,
+		Key:              r.Key,
+		Program:          r.Program,
+		Engine:           r.EngineName,
+		MIPS:             r.MIPS,
+		WallNS:           r.Wall.Nanoseconds(),
+		Stats:            r.Stats,
+		Intervals:        r.Intervals,
+		IntervalsDropped: r.IntervalsDropped,
 	}
 	if r.Stats != nil {
 		rec.Cycles = r.Stats.Cycles
@@ -136,4 +141,80 @@ func (j *JSONStream) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// IntervalStream emits every finished job's interval-telemetry records
+// (Result.Intervals), each annotated with the job key so one file can
+// carry a whole sweep. The NDJSON form writes one object per interval;
+// the CSV form writes one header plus one row per interval with the key
+// as the first column. Like JSONStream, the first write failure is
+// recorded and reported by Err rather than panicking the worker pool.
+type IntervalStream struct {
+	mu          sync.Mutex
+	w           io.Writer
+	csv         bool
+	wroteHeader bool
+	err         error
+}
+
+// NewIntervalStream returns an IntervalStream writing NDJSON to w.
+func NewIntervalStream(w io.Writer) *IntervalStream { return &IntervalStream{w: w} }
+
+// NewIntervalCSVStream returns an IntervalStream writing CSV to w.
+func NewIntervalCSVStream(w io.Writer) *IntervalStream { return &IntervalStream{w: w, csv: true} }
+
+// keyedInterval is the NDJSON wire shape: the interval's own fields plus
+// the job key.
+type keyedInterval struct {
+	Key string `json:"key"`
+	obs.Interval
+}
+
+// OnStart implements Observer.
+func (s *IntervalStream) OnStart(index, total int, key string) {}
+
+// OnFinish implements Observer.
+func (s *IntervalStream) OnFinish(index, total int, r Result) {
+	if len(r.Intervals) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if s.csv {
+		s.err = s.writeCSV(r)
+		return
+	}
+	enc := json.NewEncoder(s.w)
+	for i := range r.Intervals {
+		if err := enc.Encode(&keyedInterval{Key: r.Key, Interval: r.Intervals[i]}); err != nil {
+			s.err = fmt.Errorf("sim: interval stream: encoding %s: %w", r.Key, err)
+			return
+		}
+	}
+}
+
+func (s *IntervalStream) writeCSV(r Result) error {
+	if !s.wroteHeader {
+		if _, err := fmt.Fprintln(s.w, "key,"+obs.CSVHeader()); err != nil {
+			return fmt.Errorf("sim: interval stream: writing header: %w", err)
+		}
+		s.wroteHeader = true
+	}
+	for i := range r.Intervals {
+		if _, err := fmt.Fprintln(s.w, r.Key+","+r.Intervals[i].CSVRow()); err != nil {
+			return fmt.Errorf("sim: interval stream: writing %s: %w", r.Key, err)
+		}
+	}
+	return nil
+}
+
+// Err returns the first write failure of the stream, nil if every record
+// was written.
+func (s *IntervalStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }

@@ -11,6 +11,7 @@ import (
 
 	"mssr/internal/core"
 	"mssr/internal/emu"
+	"mssr/internal/obs"
 	"mssr/internal/stats"
 )
 
@@ -31,6 +32,13 @@ type Result struct {
 	// error it holds the counters up to the abort; on earlier failures it
 	// is nil.
 	Stats *stats.Stats
+	// Intervals is the run's interval-telemetry stream, populated when the
+	// spec set SampleInterval (nil otherwise). The slice is a copy — it
+	// never aliases pooled-core state.
+	Intervals []obs.Interval
+	// IntervalsDropped counts intervals the sampler's bounded ring
+	// overwrote before the run finished (0 = complete stream).
+	IntervalsDropped int
 	// Arch is the final architectural state (populated when VerifyArch is
 	// set and the run completed).
 	Arch emu.Result
@@ -223,6 +231,8 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 	res.EngineName = c.EngineName()
 	runErr := c.RunContext(ctx)
 	res.Stats = c.Stats.Clone()
+	res.Intervals = c.Intervals()
+	res.IntervalsDropped = c.IntervalsDropped()
 	var got emu.Result
 	if runErr == nil && s.VerifyArch {
 		got = c.Result()

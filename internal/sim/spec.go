@@ -168,6 +168,14 @@ type Spec struct {
 	// functional emulator after the run; a mismatch is a job error.
 	VerifyArch bool
 
+	// SampleInterval, when positive, attaches the interval-telemetry
+	// sampler (internal/obs): the core snapshots its counters every
+	// SampleInterval cycles and the Result carries the derived per-interval
+	// rates. Zero disables sampling.
+	SampleInterval uint64
+	// SampleWindow bounds the retained interval ring (0 = obs.DefaultWindow).
+	SampleWindow int
+
 	// Timeout bounds the job's wall time (0 = the Runner's default).
 	Timeout time.Duration
 	// Tracer, when set, receives pipeline events.
@@ -213,6 +221,12 @@ func (s *Spec) Validate() error {
 	}
 	if _, ok := s.Loads.reuse(); !ok && s.Loads != LoadDefault {
 		errs = append(errs, fmt.Errorf("unknown load policy %d", int(s.Loads)))
+	}
+	if s.SampleWindow < 0 {
+		errs = append(errs, fmt.Errorf("negative sample window %d", s.SampleWindow))
+	}
+	if s.SampleWindow > 0 && s.SampleInterval == 0 {
+		errs = append(errs, errors.New("SampleWindow set without SampleInterval"))
 	}
 	if s.Timeout < 0 {
 		errs = append(errs, fmt.Errorf("negative timeout %s", s.Timeout))
@@ -274,6 +288,15 @@ func (s *Spec) CanonicalKey() string {
 	if s.VerifyArch {
 		sb.WriteString("+verify")
 	}
+	// Sampling is part of the content identity: sampled results carry the
+	// interval stream, so a cached unsampled result must not satisfy a
+	// sampled request (and vice versa).
+	if s.SampleInterval > 0 {
+		fmt.Fprintf(&sb, "+iv%d", s.SampleInterval)
+		if s.SampleWindow > 0 {
+			fmt.Fprintf(&sb, "w%d", s.SampleWindow)
+		}
+	}
 	if s.TuneKey != "" {
 		sb.WriteString("+" + s.TuneKey)
 	}
@@ -306,6 +329,14 @@ func (s *Spec) poolKey() string {
 	}
 	if s.Check {
 		sb.WriteString("+check")
+	}
+	// The sampler is preallocated at construction, so sampled and
+	// unsampled cores (and different geometries) are different builds.
+	if s.SampleInterval > 0 {
+		fmt.Fprintf(&sb, "+iv%d", s.SampleInterval)
+		if s.SampleWindow > 0 {
+			fmt.Fprintf(&sb, "w%d", s.SampleWindow)
+		}
 	}
 	if s.TuneKey != "" {
 		sb.WriteString("+" + s.TuneKey)
@@ -373,6 +404,8 @@ func (s *Spec) Config() (core.Config, error) {
 		cfg.DIR.LoadPolicy = lp
 	}
 	cfg.DebugCheck = s.Check
+	cfg.SampleInterval = s.SampleInterval
+	cfg.SampleWindow = s.SampleWindow
 	cfg.Tracer = s.Tracer
 	if s.Tune != nil {
 		s.Tune(&cfg)

@@ -74,6 +74,17 @@ type Stats struct {
 	BloomFilterRejects  uint64 // reuse blocked by the Bloom filter variant
 	StoreSetPredictions uint64
 
+	// Memory hierarchy, mirrored from internal/mem by the core at every
+	// telemetry sample and at run end (the counters accumulate inside
+	// mem.Cache; these fields make them part of every result).
+	L1DHits      uint64
+	L1DMisses    uint64
+	L1DEvictions uint64
+	L2Hits       uint64
+	L2Misses     uint64
+	L2Evictions  uint64
+	DRAMAccesses uint64
+
 	// Reconvergence classification (Figure 4).
 	ReconvByType [numReconvTypes]uint64
 
@@ -143,6 +154,14 @@ func (s *Stats) ReuseRate() float64 {
 		return 0
 	}
 	return float64(s.ReuseHits) / float64(s.Retired)
+}
+
+// L1DMissRate returns the fraction of L1D accesses that missed.
+func (s *Stats) L1DMissRate() float64 {
+	if s.L1DHits+s.L1DMisses == 0 {
+		return 0
+	}
+	return float64(s.L1DMisses) / float64(s.L1DHits+s.L1DMisses)
 }
 
 // AddReconv records one detected reconvergence of type t at stream distance

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"mssr/internal/isa"
@@ -82,6 +83,53 @@ func (w *Writer) Emit(e Event) {
 		return
 	}
 	fmt.Fprintf(w.W, "%8d %-10s pc=%#x %s\n", e.Cycle, e.Kind, e.PC, e.Note)
+}
+
+// ParseLine parses one line of Writer's event-log format back into an
+// Event. The structured fields — cycle, kind, seq, pc — round-trip
+// exactly; the free-text remainder (the rendered instruction and the
+// note, which Writer does not delimit) is returned in Note verbatim.
+func ParseLine(line string) (Event, error) {
+	var e Event
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return e, fmt.Errorf("trace: short event line %q", line)
+	}
+	cycle, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad cycle in %q: %w", line, err)
+	}
+	e.Cycle = cycle
+	kind := -1
+	for k, name := range kindNames {
+		if fields[1] == name {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return e, fmt.Errorf("trace: unknown event kind %q in %q", fields[1], line)
+	}
+	e.Kind = Kind(kind)
+	i := 2
+	if rest, ok := strings.CutPrefix(fields[i], "seq="); ok {
+		seq, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("trace: bad seq in %q: %w", line, err)
+		}
+		e.Seq = seq
+		i++
+	}
+	if i >= len(fields) || !strings.HasPrefix(fields[i], "pc=") {
+		return e, fmt.Errorf("trace: missing pc field in %q", line)
+	}
+	pc, err := strconv.ParseUint(strings.TrimPrefix(fields[i], "pc="), 0, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad pc in %q: %w", line, err)
+	}
+	e.PC = pc
+	e.Note = strings.Join(fields[i+1:], " ")
+	return e, nil
 }
 
 // Pipeline collects per-instruction stage timing and renders a

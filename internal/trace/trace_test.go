@@ -145,3 +145,52 @@ func TestMultiFansOut(t *testing.T) {
 		t.Error("multi did not fan out")
 	}
 }
+
+func TestParseLineRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	events := []Event{
+		ev(3, KindRename, 7),
+		{Cycle: 12, Kind: KindRedirect, PC: 0x2040, Note: "target=0x1000"},
+		ev(900, KindCommit, 123),
+		{Cycle: 901, Kind: KindReconverge, PC: 0x1010, Note: "stream 2"},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("emitted %d lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		got, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		want := events[i]
+		if got.Cycle != want.Cycle || got.Kind != want.Kind || got.Seq != want.Seq || got.PC != want.PC {
+			t.Errorf("line %d round-trip mismatch:\nwant %+v\ngot  %+v", i, want, got)
+		}
+		// Frontend-only events carry the note verbatim; seq lines append
+		// the rendered instruction before it, so containment is the
+		// strongest guarantee ParseLine makes for Note.
+		if want.Note != "" && !strings.Contains(got.Note, want.Note) {
+			t.Errorf("line %d note %q lost: got %q", i, want.Note, got.Note)
+		}
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"notanumber fetch pc=0x1",
+		"3 warp pc=0x1",
+		"3 fetch seq=9",
+		"3 fetch seq=x pc=0x1",
+		"3 fetch pc=zzz",
+	} {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) accepted garbage", line)
+		}
+	}
+}
