@@ -11,7 +11,8 @@
 //	                              # repeated regenerations are served from
 //	                              # its content-addressed result cache
 //	msrbench -exp perf            # simulator-throughput benchmark; writes
-//	                              # BENCH_PR3.json (see -perf-out)
+//	                              # BENCH_PR5.json (see -perf-out); use
+//	                              # -perf-min-mcf to fail on regression
 //	msrbench -exp phases -stats-interval 4096 -stats-out phases.ndjson
 //	                              # phase-behaviour table plus the raw
 //	                              # per-interval telemetry stream (CSV when
@@ -49,7 +50,8 @@ func run() int {
 		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
 		statsIv  = flag.Uint64("stats-interval", 0, "attach interval telemetry to every sweep, sampled every N cycles (0 = off; implied 4096 by -stats-out)")
 		statsOut = flag.String("stats-out", "", `write the per-interval telemetry of every run to this file: NDJSON, or CSV when the name ends in .csv ("-" = stdout)`)
-		perfOut  = flag.String("perf-out", "BENCH_PR3.json", "write the perf experiment's JSON document here")
+		perfOut  = flag.String("perf-out", "BENCH_PR5.json", "write the perf experiment's JSON document here")
+		perfMin  = flag.Float64("perf-min-mcf", 0, "fail the perf experiment if mcf's pooled MIPS falls below this floor (0 = no check)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -160,7 +162,14 @@ func run() int {
 			if err := os.WriteFile(*perfOut, []byte(r.JSON()), 0o644); err != nil {
 				return "", err
 			}
-			return r.Render() + "wrote " + *perfOut + "\n", nil
+			out := r.Render() + "wrote " + *perfOut + "\n"
+			if *perfMin > 0 {
+				if err := r.CheckFloor("mcf", *perfMin); err != nil {
+					return out, err
+				}
+				out += fmt.Sprintf("mcf throughput floor %.3f MIPS: ok\n", *perfMin)
+			}
+			return out, nil
 		}},
 	}
 

@@ -138,6 +138,22 @@ type Config struct {
 	MaxCycles uint64
 }
 
+// maxCompletionLatency bounds how many cycles past issue any instruction
+// can be scheduled to complete under this configuration; it sizes the
+// completion wheel. The worst case is a load that misses every level
+// (issue + 1 + L1 + L2 + DRAM); multiply, divide and store-forwarding
+// latencies are covered alongside.
+func (c *Config) maxCompletionLatency() uint64 {
+	memLat := c.Mem.L1Latency + c.Mem.L2Latency + c.Mem.DRAMLat
+	lat := uint64(1)
+	for _, l := range []uint64{c.MulLat, c.DivLat, 1 + c.FwdLat, 1 + memLat} {
+		if l > lat {
+			lat = l
+		}
+	}
+	return lat + 1
+}
+
 // DefaultConfig returns the paper's Table 3 baseline with squash reuse
 // disabled.
 func DefaultConfig() Config {

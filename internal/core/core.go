@@ -64,6 +64,16 @@ type robEntry struct {
 	memValue uint64
 	fwdFrom  uint64 // seq of the forwarding store; 0 = memory
 	halt     bool
+
+	// LSQ back-pointers, set at rename. lsqAbs is this instruction's own
+	// absolute index in its load/store queue — the O(1) seq→entry
+	// resolution that replaced the linear lsqFind scan. peerBound is the
+	// opposite queue's tail at rename time: for a load, the absolute
+	// index one past the youngest older store (the forwarding-scan
+	// bound); for a store, the absolute index of the oldest younger load
+	// (the violation-scan start).
+	lsqAbs    uint64
+	peerBound uint64
 }
 
 // lsqEntry is one load- or store-queue entry.
@@ -74,6 +84,17 @@ type lsqEntry struct {
 	executed bool
 	fwdFrom  uint64 // loads: forwarding store seq, 0 = memory
 	reused   bool
+}
+
+// rsEntry is one reservation-station slot: the few fields the issue scan
+// needs, packed contiguously so waking up a stalled station is a walk
+// over a compact array instead of a pointer chase through 200-byte ROB
+// entries scattered across cache lines.
+type rsEntry struct {
+	seq      uint64
+	srcPregs [2]rename.PhysReg
+	nsrc     uint8
+	bru      bool // branch/jump-register: competes for BRU ports
 }
 
 // Core is the out-of-order processor model executing one program.
@@ -118,15 +139,25 @@ type Core struct {
 
 	// Scheduler. The reservation stations keep their full configured
 	// capacity preallocated; issue and squash compact them in place, so
-	// the cycle loop never reallocates them.
-	iq        []uint64     // ALU/BRU reservation station (rename seqs, in order)
-	memIQ     []uint64     // LSU reservation station
-	executing []uint64     // issued, completing at doneAt
-	verifQ    ring[uint64] // reused loads awaiting verification issue
+	// the cycle loop never reallocates them. Issued instructions are
+	// scheduled on the completion wheel keyed by doneAt; writeback drains
+	// exactly one bucket per cycle.
+	iq     []rsEntry    // ALU/BRU reservation station (program order)
+	memIQ  []rsEntry    // LSU reservation station
+	wheel  doneWheel    // issued, bucketed by completion cycle
+	verifQ ring[uint64] // reused loads awaiting verification issue
 
 	// LSQ (front-popped at commit, so rings rather than slices).
 	loadQ  ring[lsqEntry]
 	storeQ ring[lsqEntry]
+
+	// storeExec tracks which store-queue entries have executed, one bit
+	// per physical storeQ slot (slots are residency-stable, see
+	// ring.Slot). The forwarding scan in readForLoad tests these bits and
+	// dereferences only executed stores; storeExecCount lets a scan with
+	// no executed stores anywhere skip straight to memory.
+	storeExec      []uint64
+	storeExecCount int
 
 	// squashDests is the per-squash destination-register scratch bitmap
 	// (indexed by PhysReg), marked and fully cleared within each
@@ -181,11 +212,12 @@ func New(prog *isa.Program, cfg Config) *Core {
 		robMask:     robLen - 1,
 		fetchQ:      newRing[fetchedEntry](cfg.FetchQueue),
 		verifQ:      newRing[uint64](cfg.LoadQueue),
-		iq:          make([]uint64, 0, cfg.IQSize),
-		memIQ:       make([]uint64, 0, cfg.MemIQSize),
-		executing:   make([]uint64, 0, cfg.ROBSize),
+		iq:          make([]rsEntry, 0, cfg.IQSize),
+		memIQ:       make([]rsEntry, 0, cfg.MemIQSize),
+		wheel:       newDoneWheel(cfg.maxCompletionLatency()),
 		loadQ:       newRing[lsqEntry](cfg.LoadQueue),
 		storeQ:      newRing[lsqEntry](cfg.StoreQueue),
+		storeExec:   make([]uint64, (cfg.StoreQueue+63)/64),
 		squashDests: make([]bool, cfg.PhysRegs),
 		mem:         emu.NewMemory(),
 	}
@@ -253,6 +285,32 @@ func (c *Core) entry(seq uint64) *robEntry {
 }
 
 func (c *Core) tailSeq() uint64 { return c.headSeq + uint64(c.count) }
+
+// storeExecuted reports whether the store at absolute index abs has
+// executed, via the per-slot bitmap (no entry dereference).
+func (c *Core) storeExecuted(abs uint64) bool {
+	s := c.storeQ.Slot(abs)
+	return c.storeExec[s>>6]&(1<<uint(s&63)) != 0
+}
+
+// markStoreExecuted sets the executed bit for the store at abs. Called
+// exactly once per store, at writeback.
+func (c *Core) markStoreExecuted(abs uint64) {
+	s := c.storeQ.Slot(abs)
+	c.storeExec[s>>6] |= 1 << uint(s&63)
+	c.storeExecCount++
+}
+
+// unmarkStoreExecuted clears the executed bit for the store at abs if
+// set (commit and squash paths; squashed stores may not have executed).
+func (c *Core) unmarkStoreExecuted(abs uint64) {
+	s := c.storeQ.Slot(abs)
+	w, b := s>>6, uint64(1)<<uint(s&63)
+	if c.storeExec[w]&b != 0 {
+		c.storeExec[w] &^= b
+		c.storeExecCount--
+	}
+}
 
 // Run simulates until the program halts, returning ErrCycleLimit if it
 // does not.
@@ -352,7 +410,7 @@ func (c *Core) Result() emu.Result {
 		r.Regs[i] = c.prf[c.rat.Get(isa.Reg(i)).Preg]
 	}
 	r.Regs[isa.Zero] = 0
-	r.MemDigest = c.mem.Digest()
+	r.MemDigest = c.mem.Hash()
 	r.Retired = c.Stats.Retired
 	return r
 }

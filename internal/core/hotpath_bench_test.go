@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"mssr/internal/asm"
+)
+
+// benchLoadCore returns a core whose store queue is half full of
+// executed stores at distinct addresses — the state the forwarding scan
+// sees on a memory-bound workload.
+func benchLoadCore() *Core {
+	p := asm.MustAssemble("bench", `
+    halt
+`)
+	c := New(p, DefaultConfig())
+	n := c.cfg.StoreQueue / 2
+	for i := 0; i < n; i++ {
+		abs := c.storeQ.Push(lsqEntry{
+			seq:      uint64(i + 1),
+			addr:     uint64(0x1000 + i*8),
+			value:    uint64(i),
+			executed: true,
+		})
+		c.markStoreExecuted(abs)
+	}
+	return c
+}
+
+// BenchmarkReadForLoad measures the store-to-load forwarding scan. The
+// forward-hit case matches the oldest queued store (worst-case scan
+// depth over the executed bitmap); the memory case matches nothing and
+// falls through to committed memory via the cache hierarchy.
+func BenchmarkReadForLoad(b *testing.B) {
+	c := benchLoadCore()
+	e := &robEntry{seq: c.storeQ.Tail() + 1, peerBound: c.storeQ.Tail()}
+	b.Run("forward-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _, _ := c.readForLoad(e, 0x1000)
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("miss-to-memory", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _, _ := c.readForLoad(e, 0x80000)
+			sink += v
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkWheelScheduleDrain measures the writeback pick structure: one
+// cycle's worth of completion scheduling (issue side) plus the bucket
+// drain and oldest-first ordering (writeback side). This is the path
+// that replaced the O(n²) oldest-finished re-scan.
+func BenchmarkWheelScheduleDrain(b *testing.B) {
+	cfg := DefaultConfig()
+	w := newDoneWheel(cfg.maxCompletionLatency())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycle uint64
+	var sink int
+	for i := 0; i < b.N; i++ {
+		cycle++
+		for j := uint64(0); j < 8; j++ {
+			w.add(cycle, cycle+1+(j&3)*7, uint64(i)*8+j, uint64(i))
+		}
+		bucket := w.take(cycle)
+		sortBySeq(bucket)
+		sink += len(bucket)
+	}
+	_ = sink
+}

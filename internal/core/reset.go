@@ -65,9 +65,11 @@ func (c *Core) Reset(prog *isa.Program) {
 	c.verifQ.Clear()
 	c.iq = c.iq[:0]
 	c.memIQ = c.memIQ[:0]
-	c.executing = c.executing[:0]
+	c.wheel.reset()
 	c.loadQ.Clear()
 	c.storeQ.Clear()
+	clear(c.storeExec)
+	c.storeExecCount = 0
 	for i := range c.squashDests {
 		c.squashDests[i] = false
 	}

@@ -1,17 +1,27 @@
 package core
 
 // ring is a fixed-capacity FIFO over a preallocated backing array. The
-// cycle loop's front-popped queues (fetch queue, verification queue) use
-// it instead of append/re-slice []T, which leaks capacity through the
+// cycle loop's front-popped queues (fetch queue, verification queue, LSQ)
+// use it instead of append/re-slice []T, which leaks capacity through the
 // slice header on every pop and forces a reallocation each time append
 // catches up — the dominant steady-state allocation pattern this
 // refactor removes. Push panics on overflow: every caller checks the
 // structural limit before enqueueing, so an overflow is a core bug, not
 // backpressure.
+//
+// Every element also has a stable absolute index: the Push count at the
+// time it was enqueued. Base()/Tail() delimit the live window and
+// AtAbs(abs) resolves an absolute index in O(1), which is what gives the
+// LSQ its seq→entry lookup without scanning — an entry's absolute index
+// never changes as older entries pop, and Truncate (squash) only ever
+// removes a suffix. The physical slot Slot(abs) is stable for the same
+// reason, so parallel per-slot state (the store-queue executed bitmap)
+// stays valid across pops.
 type ring[T any] struct {
 	buf  []T
 	head int
 	n    int
+	base uint64 // absolute index of the front element
 }
 
 // newRing returns a ring holding at most capacity elements.
@@ -22,8 +32,24 @@ func newRing[T any](capacity int) ring[T] {
 // Len reports the number of queued elements.
 func (r *ring[T]) Len() int { return r.n }
 
-// Push enqueues v at the back.
-func (r *ring[T]) Push(v T) {
+// Base returns the absolute index of the front element.
+func (r *ring[T]) Base() uint64 { return r.base }
+
+// Tail returns the absolute index one past the back element; an element
+// pushed now would receive this index.
+func (r *ring[T]) Tail() uint64 { return r.base + uint64(r.n) }
+
+// Push enqueues v at the back and returns its absolute index.
+func (r *ring[T]) Push(v T) uint64 {
+	*r.PushSlot() = v
+	return r.base + uint64(r.n) - 1
+}
+
+// PushSlot enqueues a zero-value-agnostic slot at the back and returns a
+// pointer to it, letting hot paths fill large elements in place instead
+// of copying a stack temporary in. The slot may hold stale data from a
+// previous occupant; the caller must assign every field it reads back.
+func (r *ring[T]) PushSlot() *T {
 	if r.n == len(r.buf) {
 		panic("core: ring overflow")
 	}
@@ -31,8 +57,8 @@ func (r *ring[T]) Push(v T) {
 	if i >= len(r.buf) {
 		i -= len(r.buf)
 	}
-	r.buf[i] = v
 	r.n++
+	return &r.buf[i]
 }
 
 // Front returns a pointer to the oldest element. The pointer is valid
@@ -57,6 +83,25 @@ func (r *ring[T]) At(i int) *T {
 	return &r.buf[j]
 }
 
+// AtAbs returns a pointer to the element with absolute index abs.
+func (r *ring[T]) AtAbs(abs uint64) *T {
+	if abs < r.base || abs >= r.base+uint64(r.n) {
+		panic("core: ring absolute index out of range")
+	}
+	return r.At(int(abs - r.base))
+}
+
+// Slot returns the physical backing-array slot of absolute index abs.
+// Slots are stable for an element's whole residency: pops advance head
+// and base together and Truncate only drops the back.
+func (r *ring[T]) Slot(abs uint64) int {
+	j := r.head + int(abs-r.base)
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return j
+}
+
 // PopFront dequeues the oldest element.
 func (r *ring[T]) PopFront() T {
 	if r.n == 0 {
@@ -68,16 +113,31 @@ func (r *ring[T]) PopFront() T {
 		r.head = 0
 	}
 	r.n--
+	r.base++
 	return v
+}
+
+// Truncate drops every element with absolute index >= tail, keeping the
+// front of the queue intact — the squash shape: younger entries are
+// always a suffix.
+func (r *ring[T]) Truncate(tail uint64) {
+	if tail < r.base {
+		tail = r.base
+	}
+	if keep := int(tail - r.base); keep < r.n {
+		r.n = keep
+	}
 }
 
 // Clear drops every element, keeping the backing array.
 func (r *ring[T]) Clear() {
-	r.head, r.n = 0, 0
+	r.head, r.n, r.base = 0, 0, 0
 }
 
 // Filter keeps only the elements keep reports true for, preserving
-// order, in place.
+// order, in place. Filtering compacts survivors toward the front, so
+// absolute indices of moved elements change; only queues that never use
+// AtAbs/Slot (the verification queue) may use it.
 func (r *ring[T]) Filter(keep func(T) bool) {
 	kept := 0
 	for i := 0; i < r.n; i++ {

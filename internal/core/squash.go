@@ -150,21 +150,35 @@ func (c *Core) squashFrom(firstSeq uint64) {
 	c.count = int(firstSeq - c.headSeq)
 	c.nextSeq = firstSeq
 
-	c.iq = filterSeqs(c.iq, firstSeq)
-	c.memIQ = filterSeqs(c.memIQ, firstSeq)
-	c.executing = filterSeqs(c.executing, firstSeq)
+	c.iq = filterRS(c.iq, firstSeq)
+	c.memIQ = filterRS(c.memIQ, firstSeq)
+	// The completion wheel is deliberately not touched: its stale records
+	// are filtered at drain time by the ROB-window and fseq checks.
 	c.verifQ.Filter(func(s uint64) bool { return s < firstSeq })
-	keepOlder := func(e lsqEntry) bool { return e.seq < firstSeq }
-	c.loadQ.Filter(keepOlder)
-	c.storeQ.Filter(keepOlder)
+
+	// LSQ entries are in seq order, and the squash set is always a suffix,
+	// so recovery truncates from the back — O(squashed) instead of the
+	// former full-queue filter. Squashed stores give their executed bits
+	// back before their slots can be reused.
+	lt := c.loadQ.Tail()
+	for lt > c.loadQ.Base() && c.loadQ.AtAbs(lt-1).seq >= firstSeq {
+		lt--
+	}
+	c.loadQ.Truncate(lt)
+	st := c.storeQ.Tail()
+	for st > c.storeQ.Base() && c.storeQ.AtAbs(st-1).seq >= firstSeq {
+		c.unmarkStoreExecuted(st - 1)
+		st--
+	}
+	c.storeQ.Truncate(st)
 	c.fetchQ.Clear()
 }
 
-func filterSeqs(q []uint64, firstSeq uint64) []uint64 {
+func filterRS(q []rsEntry, firstSeq uint64) []rsEntry {
 	out := q[:0]
-	for _, s := range q {
-		if s < firstSeq {
-			out = append(out, s)
+	for i := range q {
+		if q[i].seq < firstSeq {
+			out = append(out, q[i])
 		}
 	}
 	return out

@@ -22,15 +22,14 @@ func (c *Core) fetch() {
 			return
 		}
 		firstFseq := c.fseq + 1
-		for _, fi := range blk.Instrs {
+		for i := range blk.Instrs {
 			c.fseq++
-			c.fetchQ.Push(fetchedEntry{
-				fi:      fi,
-				fseq:    c.fseq,
-				readyAt: c.cycle + c.cfg.FrontendDelay,
-			})
+			fe := c.fetchQ.PushSlot()
+			fe.fi = blk.Instrs[i]
+			fe.fseq = c.fseq
+			fe.readyAt = c.cycle + c.cfg.FrontendDelay
 			if c.tracer != nil {
-				c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindFetch, Fseq: c.fseq, PC: fi.PC, Instr: fi.Instr})
+				c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindFetch, Fseq: c.fseq, PC: fe.fi.PC, Instr: fe.fi.Instr})
 			}
 		}
 		before := c.Stats.Reconvergences
@@ -56,7 +55,10 @@ func (c *Core) renameStage() {
 		if c.count == c.cfg.ROBSize {
 			break
 		}
-		fe := *c.fetchQ.Front()
+		// Pointer into the ring slot: valid through this iteration because
+		// rename never pushes to the fetch queue (fetch runs later in the
+		// cycle) and PopFront leaves the slot contents in place.
+		fe := c.fetchQ.Front()
 		in := fe.fi.Instr
 		cls := in.Class()
 
@@ -207,13 +209,14 @@ func (c *Core) renameStage() {
 				c.prfReady[e.destPreg] = true
 			}
 		case isa.ClassLoad:
-			c.loadQ.Push(lsqEntry{seq: seq})
+			e.lsqAbs = c.loadQ.Push(lsqEntry{seq: seq})
+			e.peerBound = c.storeQ.Tail()
 			if e.reused {
 				// Reused load: consumers are unblocked now, but the value
 				// must be verified by re-execution before commit (§3.8.3).
 				e.memAddr = grant.MemAddr
 				e.memValue = e.result
-				lq := c.loadQ.At(c.loadQ.Len() - 1)
+				lq := c.loadQ.AtAbs(e.lsqAbs)
 				lq.addr = grant.MemAddr
 				lq.value = e.result
 				lq.executed = true
@@ -222,23 +225,24 @@ func (c *Core) renameStage() {
 				e.verifPending = true
 				c.verifQ.Push(seq)
 			} else {
-				c.memIQ = append(c.memIQ, seq)
+				c.memIQ = append(c.memIQ, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
 				e.inIQ = true
 			}
 		case isa.ClassStore:
-			c.storeQ.Push(lsqEntry{seq: seq})
-			c.memIQ = append(c.memIQ, seq)
+			e.lsqAbs = c.storeQ.Push(lsqEntry{seq: seq})
+			e.peerBound = c.loadQ.Tail()
+			c.memIQ = append(c.memIQ, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
 			e.inIQ = true
 		case isa.ClassBranch, isa.ClassJumpR:
 			if c.checkpointsInFlight < c.cfg.RATCheckpoints {
 				e.hasCheckpoint = true
 				c.checkpointsInFlight++
 			}
-			c.iq = append(c.iq, seq)
+			c.iq = append(c.iq, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc), bru: true})
 			e.inIQ = true
 		default:
 			if !e.reused {
-				c.iq = append(c.iq, seq)
+				c.iq = append(c.iq, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
 				e.inIQ = true
 			}
 		}
@@ -263,56 +267,66 @@ func (c *Core) issue() {
 		seq := c.verifQ.PopFront()
 		lsu--
 		e := c.entry(seq)
-		val, _, lat := c.readForLoad(seq, e.memAddr)
+		val, _, lat := c.readForLoad(e, e.memAddr)
 		e.verifOK = val == e.result
 		e.doneAt = c.cycle + 1 + lat
 		e.issued = true
-		c.executing = append(c.executing, seq)
+		c.schedule(e)
 	}
 
-	// Memory reservation station: loads and stores on the LSU ports.
+	// Memory reservation station: loads and stores on the LSU ports. The
+	// wakeup scan touches only the compact rsEntry records; the ROB entry
+	// is dereferenced once, at issue.
 	for i := 0; i < len(c.memIQ) && lsu > 0; {
-		seq := c.memIQ[i]
-		e := c.entry(seq)
-		if !c.sourcesReady(e) {
+		rs := &c.memIQ[i]
+		if !c.rsReady(rs) {
 			i++
 			continue
 		}
 		lsu--
-		c.execute(e)
+		c.execute(c.entry(rs.seq))
 		c.memIQ = append(c.memIQ[:i], c.memIQ[i+1:]...)
 	}
 
 	// ALU/BRU reservation station.
 	for i := 0; i < len(c.iq) && (alu > 0 || bru > 0); {
-		seq := c.iq[i]
-		e := c.entry(seq)
-		isBRU := e.instr.Class() == isa.ClassBranch || e.instr.Class() == isa.ClassJumpR
-		if isBRU && bru == 0 || !isBRU && alu == 0 {
+		rs := &c.iq[i]
+		if rs.bru && bru == 0 || !rs.bru && alu == 0 {
 			i++
 			continue
 		}
-		if !c.sourcesReady(e) {
+		if !c.rsReady(rs) {
 			i++
 			continue
 		}
-		if isBRU {
+		if rs.bru {
 			bru--
 		} else {
 			alu--
 		}
-		c.execute(e)
+		c.execute(c.entry(rs.seq))
 		c.iq = append(c.iq[:i], c.iq[i+1:]...)
 	}
 }
 
-func (c *Core) sourcesReady(e *robEntry) bool {
-	for i := 0; i < e.nsrc; i++ {
-		if !c.prfReady[e.srcPregs[i]] {
+func (c *Core) rsReady(rs *rsEntry) bool {
+	for i := 0; i < int(rs.nsrc); i++ {
+		if !c.prfReady[rs.srcPregs[i]] {
 			return false
 		}
 	}
 	return true
+}
+
+// schedule books e's completion on the wheel. doneAt is clamped forward
+// to the next cycle: writeback has already drained the current cycle's
+// bucket by the time issue runs.
+func (c *Core) schedule(e *robEntry) {
+	at := e.doneAt
+	if at <= c.cycle {
+		at = c.cycle + 1
+	}
+	c.wheel.add(c.cycle, at, e.seq, e.fseq)
 }
 
 // execute computes an instruction's architectural outcome and schedules
@@ -348,12 +362,12 @@ func (c *Core) execute(e *robEntry) {
 		e.doneAt = c.cycle + 1
 	case isa.ClassLoad:
 		e.memAddr = out.MemAddr
-		val, fwd, lat := c.readForLoad(e.seq, e.memAddr)
+		val, fwd, lat := c.readForLoad(e, e.memAddr)
 		e.result = val
 		e.memValue = val
 		e.fwdFrom = fwd
 		e.doneAt = c.cycle + 1 + lat
-		lq := c.lsqFind(&c.loadQ, e.seq)
+		lq := c.loadQ.AtAbs(e.lsqAbs)
 		lq.addr = e.memAddr
 		lq.value = val
 		lq.fwdFrom = fwd
@@ -368,7 +382,7 @@ func (c *Core) execute(e *robEntry) {
 	}
 	e.issued = true
 	e.inIQ = false
-	c.executing = append(c.executing, e.seq)
+	c.schedule(e)
 	c.emitTrace(trace.KindIssue, e, "")
 }
 
@@ -376,53 +390,55 @@ func (c *Core) execute(e *robEntry) {
 // youngest older executed store with a matching address, else committed
 // memory through the cache hierarchy. It returns the value, the forwarding
 // store's seq (0 = memory), and the access latency.
-func (c *Core) readForLoad(loadSeq, addr uint64) (uint64, uint64, uint64) {
+//
+// Older stores are exactly the absolute range [storeQ.Base(), e.peerBound):
+// peerBound is the store-queue tail captured when the load renamed, and
+// stores below Base have committed to memory already. The scan walks that
+// window youngest-first, testing the executed bitmap before touching the
+// entry, and skips entirely when no store in the machine has executed.
+func (c *Core) readForLoad(e *robEntry, addr uint64) (uint64, uint64, uint64) {
 	a := addr &^ 7
-	for i := c.storeQ.Len() - 1; i >= 0; i-- {
-		s := c.storeQ.At(i)
-		if s.seq >= loadSeq {
-			continue
-		}
-		if s.executed && s.addr&^7 == a {
-			return s.value, s.seq, c.cfg.FwdLat
+	if c.storeExecCount > 0 {
+		base := c.storeQ.Base()
+		for abs := e.peerBound; abs > base; {
+			abs--
+			if !c.storeExecuted(abs) {
+				continue
+			}
+			s := c.storeQ.AtAbs(abs)
+			if s.addr&^7 == a {
+				return s.value, s.seq, c.cfg.FwdLat
+			}
 		}
 	}
 	return c.mem.Read(a), 0, c.hier.Access(a)
-}
-
-// lsqFind locates the LSQ entry for seq.
-func (c *Core) lsqFind(q *ring[lsqEntry], seq uint64) *lsqEntry {
-	for i := 0; i < q.Len(); i++ {
-		if e := q.At(i); e.seq == seq {
-			return e
-		}
-	}
-	panic(fmt.Sprintf("core: LSQ entry for seq %d missing", seq))
 }
 
 // writeback retires execution results into the PRF, resolves branches
 // (flushing on mispredictions), performs store-side violation checks and
 // completes reused-load verification.
 func (c *Core) writeback() {
-	for {
-		// Pick the oldest finished instruction; flushes triggered by one
-		// writeback remove squashed entries from c.executing, so
-		// re-scanning after each step is required for correctness.
-		best := -1
-		for i, seq := range c.executing {
-			if c.entry(seq).doneAt > c.cycle {
-				continue
-			}
-			if best < 0 || seq < c.executing[best] {
-				best = i
-			}
+	// Every instruction finishing this cycle sits in exactly one wheel
+	// bucket: writeback drains all ready completions each cycle and issue
+	// (which runs after writeback) schedules no earlier than cycle+1, so
+	// nothing ready can hide in another bucket. Draining oldest-first
+	// reproduces the former oldest-finished re-scan ordering; squashed
+	// leftovers are filtered by the ROB-window and fseq checks, which is
+	// what lets mid-writeback flushes leave the wheel untouched.
+	bucket := c.wheel.take(c.cycle)
+	if len(bucket) == 0 {
+		return
+	}
+	sortBySeq(bucket)
+	for _, de := range bucket {
+		seq := de.seq
+		if seq < c.headSeq || seq >= c.headSeq+uint64(c.count) {
+			continue // squashed (or a recycled seq not yet reassigned)
 		}
-		if best < 0 {
-			return
-		}
-		seq := c.executing[best]
-		c.executing = append(c.executing[:best], c.executing[best+1:]...)
 		e := c.entry(seq)
+		if e.fseq != de.fseq {
+			continue // squashed and the rename seq was recycled
+		}
 
 		if e.verifPending {
 			// Reused-load verification result (§3.8.3).
@@ -446,10 +462,11 @@ func (c *Core) writeback() {
 
 		switch e.instr.Class() {
 		case isa.ClassStore:
-			s := c.lsqFind(&c.storeQ, seq)
+			s := c.storeQ.AtAbs(e.lsqAbs)
 			s.addr = e.memAddr
 			s.value = e.memValue
 			s.executed = true
+			c.markStoreExecuted(e.lsqAbs)
 			c.engine.NoteStore(e.memAddr)
 			if victim, ok := c.storeViolationScan(e); ok {
 				c.violationFlush(victim, false)
@@ -465,12 +482,19 @@ func (c *Core) writeback() {
 
 // storeViolationScan implements the store-side load-queue search: a
 // younger executed load with a matching address that did not get its data
-// from this store (or a younger one) read stale data.
+// from this store (or a younger one) read stale data. Younger loads are
+// exactly the absolute range [st.peerBound, loadQ.Tail()): peerBound is
+// the load-queue tail captured when the store renamed, so the scan never
+// touches the older loads the previous full-queue walk had to skip over.
 func (c *Core) storeViolationScan(st *robEntry) (uint64, bool) {
 	a := st.memAddr &^ 7
-	for i := 0; i < c.loadQ.Len(); i++ {
-		l := c.loadQ.At(i)
-		if l.seq <= st.seq || !l.executed {
+	abs := st.peerBound
+	if b := c.loadQ.Base(); abs < b {
+		abs = b
+	}
+	for tail := c.loadQ.Tail(); abs < tail; abs++ {
+		l := c.loadQ.AtAbs(abs)
+		if !l.executed {
 			continue
 		}
 		if l.addr&^7 == a && l.fwdFrom < st.seq {
@@ -517,6 +541,7 @@ func (c *Core) commit() {
 			}
 			c.mem.Write(e.memAddr, e.memValue)
 			c.hier.Access(e.memAddr)
+			c.unmarkStoreExecuted(c.storeQ.Base())
 			c.storeQ.PopFront()
 		}
 		if e.hasCheckpoint {

@@ -1,0 +1,75 @@
+package core
+
+// doneEntry identifies one issued instruction awaiting writeback. The
+// fetch sequence rides along as the liveness stamp: rename sequences are
+// recycled after a squash, fetch sequences never are, so a wheel entry
+// whose fseq no longer matches the ROB is a squash leftover and is
+// skipped when its cycle comes up.
+type doneEntry struct {
+	seq  uint64
+	fseq uint64
+}
+
+// doneWheel is the ordered completion structure behind writeback: a
+// timing wheel of per-cycle buckets keyed by doneAt. Scheduling a
+// completion is an append into the bucket doneAt & mask; collecting a
+// cycle's finishers is draining exactly one bucket. This replaces the
+// former executing-slice scan, which re-selected the oldest finished
+// instruction from the whole in-flight set after every single writeback
+// (O(n²) per cycle on memory-bound workloads where n rides the ROB size).
+//
+// Squash safety: squashes never touch the wheel. A squashed entry's
+// bucket record goes stale and is filtered at drain time by the fseq
+// stamp — cheaper than eagerly deleting from future buckets, and immune
+// to the mid-writeback squashes that forced the old implementation to
+// re-scan.
+type doneWheel struct {
+	slots [][]doneEntry
+	mask  uint64
+}
+
+// newDoneWheel returns a wheel able to schedule completions up to span
+// cycles ahead.
+func newDoneWheel(span uint64) doneWheel {
+	n := uint64(ceilPow2(int(span + 1)))
+	return doneWheel{slots: make([][]doneEntry, n), mask: n - 1}
+}
+
+// add schedules (seq, fseq) to be drained at cycle doneAt. now is the
+// current cycle; doneAt must be in (now, now+mask], which the core
+// guarantees by sizing the wheel from the maximum configured latency.
+func (w *doneWheel) add(now, doneAt uint64, seq, fseq uint64) {
+	if doneAt-now > w.mask {
+		panic("core: completion scheduled beyond the wheel span")
+	}
+	i := doneAt & w.mask
+	w.slots[i] = append(w.slots[i], doneEntry{seq: seq, fseq: fseq})
+}
+
+// take returns cycle's bucket and leaves it empty (capacity retained).
+// The returned slice is owned by the caller until the same bucket index
+// comes around again, a full wheel period later.
+func (w *doneWheel) take(cycle uint64) []doneEntry {
+	i := cycle & w.mask
+	s := w.slots[i]
+	w.slots[i] = s[:0]
+	return s
+}
+
+// reset empties every bucket, keeping grown capacity for the pooling
+// contract.
+func (w *doneWheel) reset() {
+	for i := range w.slots {
+		w.slots[i] = w.slots[i][:0]
+	}
+}
+
+// sortBySeq orders a drained bucket oldest-first (insertion sort: buckets
+// are small and nearly sorted, and the cycle loop must not allocate).
+func sortBySeq(s []doneEntry) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].seq > s[j].seq; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -33,7 +33,7 @@ func New(p *isa.Program) *Emulator {
 }
 
 // Reset reinitializes the emulator in place to run p from scratch,
-// keeping the memory's bucket storage.
+// keeping the memory's pooled page storage.
 func (e *Emulator) Reset(p *isa.Program) {
 	e.Prog = p
 	e.Regs = [isa.NumArchRegs]uint64{}
@@ -114,7 +114,7 @@ type Result struct {
 
 // Result captures the current architectural state.
 func (e *Emulator) Result() Result {
-	return Result{Regs: e.Regs, MemDigest: e.Mem.Digest(), Retired: e.Retired}
+	return Result{Regs: e.Regs, MemDigest: e.Mem.Hash(), Retired: e.Retired}
 }
 
 // RunProgram is a convenience wrapper: execute p to completion and return

@@ -32,7 +32,7 @@ func TestMemoryBasics(t *testing.T) {
 	}
 }
 
-func TestMemoryDigestAndEqual(t *testing.T) {
+func TestMemoryHashAndEqual(t *testing.T) {
 	a, b := NewMemory(), NewMemory()
 	for i := uint64(0); i < 64; i++ {
 		a.Write(i*8, i+1)
@@ -40,11 +40,11 @@ func TestMemoryDigestAndEqual(t *testing.T) {
 	for i := int64(63); i >= 0; i-- {
 		b.Write(uint64(i)*8, uint64(i)+1)
 	}
-	if a.Digest() != b.Digest() || !a.Equal(b) {
-		t.Error("identical contents must digest equal regardless of write order")
+	if a.Hash() != b.Hash() || !a.Equal(b) {
+		t.Error("identical contents must hash equal regardless of write order")
 	}
 	b.Write(8, 99)
-	if a.Digest() == b.Digest() || a.Equal(b) {
+	if a.Hash() == b.Hash() || a.Equal(b) {
 		t.Error("different contents must differ")
 	}
 	b.Write(8, 2)

@@ -1,0 +1,63 @@
+package emu
+
+import "testing"
+
+// benchWords is larger than one page so the benchmarks cross page
+// boundaries, and fixed so steady-state iterations touch only
+// already-materialized pages (the pooling-relevant regime).
+const benchWords = 4 * pageWords
+
+func benchMemory() *Memory {
+	m := NewMemory()
+	for i := 0; i < benchWords; i++ {
+		m.Write(uint64(i)*8, uint64(i)+1)
+	}
+	return m
+}
+
+func BenchmarkMemoryRead(b *testing.B) {
+	m := benchMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.Read(uint64(i%benchWords) * 8)
+	}
+	_ = sink
+}
+
+func BenchmarkMemoryWrite(b *testing.B) {
+	m := benchMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Write(uint64(i%benchWords)*8, uint64(i))
+	}
+}
+
+// BenchmarkMemoryWriteSparse touches one word per page across a wide
+// address range: the regime where the old sorted-key Digest made every
+// hash O(n log n) and where page granularity pays or doesn't.
+func BenchmarkMemoryWriteSparse(b *testing.B) {
+	m := NewMemory()
+	const pages = 256
+	for i := 0; i < pages; i++ {
+		m.Write(uint64(i)*PageBytes, uint64(i)+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Write(uint64(i%pages)*PageBytes, uint64(i)+1)
+	}
+}
+
+func BenchmarkMemoryHash(b *testing.B) {
+	m := benchMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Hash()
+	}
+	_ = sink
+}

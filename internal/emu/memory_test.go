@@ -1,0 +1,203 @@
+package emu
+
+import (
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"mssr/internal/randprog"
+)
+
+// mapMemory is the retained reference implementation of the sparse memory
+// contract: the pre-paging map[uint64]uint64 with write-zero-deletes
+// semantics. The differential tests below hold the paged Memory to it
+// bit-for-bit, including the Hash algorithm (FNV-1a over ascending
+// (address, value) pairs), which the paged walk must reproduce exactly.
+type mapMemory struct {
+	words map[uint64]uint64
+}
+
+func newMapMemory() *mapMemory { return &mapMemory{words: make(map[uint64]uint64)} }
+
+func (m *mapMemory) Read(addr uint64) uint64 { return m.words[addr&^7] }
+
+func (m *mapMemory) Write(addr, val uint64) {
+	a := addr &^ 7
+	if val == 0 {
+		delete(m.words, a)
+		return
+	}
+	m.words[a] = val
+}
+
+func (m *mapMemory) Len() int { return len(m.words) }
+
+func (m *mapMemory) sortedAddrs() []uint64 {
+	addrs := make([]uint64, 0, len(m.words))
+	for a := range m.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+func (m *mapMemory) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, a := range m.sortedAddrs() {
+		v := m.words[a]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(a >> (8 * i))
+			buf[8+i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func (m *mapMemory) Snapshot() []Word {
+	out := make([]Word, 0, len(m.words))
+	for _, a := range m.sortedAddrs() {
+		out = append(out, Word{Addr: a, Val: m.words[a]})
+	}
+	return out
+}
+
+// diffCheck asserts the paged memory and the map reference agree on every
+// observable: per-address reads, Len, Hash, Equal-with-clone, and the
+// Snapshot contents and ordering.
+func diffCheck(t *testing.T, tag string, got *Memory, want *mapMemory) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: Len = %d, reference %d", tag, got.Len(), want.Len())
+	}
+	if got.Hash() != want.Hash() {
+		t.Fatalf("%s: Hash = %#x, reference %#x", tag, got.Hash(), want.Hash())
+	}
+	gs, ws := got.Snapshot(), want.Snapshot()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: Snapshot has %d words, reference %d", tag, len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("%s: Snapshot[%d] = %+v, reference %+v (ordering or content)", tag, i, gs[i], ws[i])
+		}
+		if i > 0 && gs[i].Addr <= gs[i-1].Addr {
+			t.Fatalf("%s: Snapshot not strictly ascending at %d: %#x after %#x", tag, i, gs[i].Addr, gs[i-1].Addr)
+		}
+	}
+	for a, v := range want.words {
+		if g := got.Read(a); g != v {
+			t.Fatalf("%s: Read(%#x) = %d, reference %d", tag, a, g, v)
+		}
+	}
+	// Probe around every live word (including never-written neighbours
+	// and page-boundary crossings) for phantom values.
+	for _, w := range ws {
+		for _, off := range []uint64{8, 16, PageBytes - 8, PageBytes, PageBytes + 8} {
+			for _, a := range []uint64{w.Addr + off, w.Addr - off} {
+				if g, r := got.Read(a), want.Read(a); g != r {
+					t.Fatalf("%s: Read(%#x) = %d, reference %d", tag, a, g, r)
+				}
+			}
+		}
+	}
+	if c := got.Clone(); !got.Equal(c) || !c.Equal(got) {
+		t.Fatalf("%s: memory not Equal to its own clone", tag)
+	}
+}
+
+// TestMemoryDifferentialRandprog drives the paged memory and the map
+// reference with the store streams of random programs: the functional
+// emulator (whose Mem is the paged implementation) executes each program
+// while every architectural store is mirrored into the reference.
+func TestMemoryDifferentialRandprog(t *testing.T) {
+	cfg := randprog.DefaultConfig()
+	cfg.DataWords = 2048 // 16 KB: force the data region across several pages
+	for seed := int64(0); seed < 25; seed++ {
+		p := randprog.Generate(seed, cfg)
+		e := New(p)
+		ref := newMapMemory()
+		for _, seg := range p.Data {
+			for i, w := range seg.Words {
+				ref.Write(seg.Addr+uint64(i)*8, w)
+			}
+		}
+		steps := 0
+		for !e.Halted {
+			if steps++; steps > 2_000_000 {
+				t.Fatalf("seed %d: program did not halt", seed)
+			}
+			info := e.Step()
+			if info.Instr.IsStore() {
+				ref.Write(info.Outcome.MemAddr, info.Outcome.Result)
+			}
+		}
+		diffCheck(t, p.Name, e.Mem, ref)
+	}
+}
+
+// TestMemoryDifferentialReuse pins the pooled-page path: Clear must
+// return a memory to a state indistinguishable from fresh, and a reused
+// memory must stay equivalent to the reference on the next program.
+func TestMemoryDifferentialReuse(t *testing.T) {
+	cfg := randprog.DefaultConfig()
+	cfg.DataWords = 1024
+	e := New(randprog.Generate(1, cfg))
+	for seed := int64(2); seed < 6; seed++ {
+		p := randprog.Generate(seed, cfg)
+		e.Reset(p) // Clear + Load on the pooled pages
+		ref := newMapMemory()
+		for _, seg := range p.Data {
+			for i, w := range seg.Words {
+				ref.Write(seg.Addr+uint64(i)*8, w)
+			}
+		}
+		for !e.Halted {
+			info := e.Step()
+			if info.Instr.IsStore() {
+				ref.Write(info.Outcome.MemAddr, info.Outcome.Result)
+			}
+		}
+		diffCheck(t, p.Name, e.Mem, ref)
+	}
+}
+
+// TestMemoryZeroWriteErasure is the convergence edge case: writing zero
+// must erase the word so memories that reached the same contents through
+// different write histories compare equal — including a page that was
+// dirtied and fully zeroed versus one never touched.
+func TestMemoryZeroWriteErasure(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	// a dirties two pages and then zeroes everything it wrote.
+	a.Write(0x100, 5)
+	a.Write(0x100+2*PageBytes, 7)
+	a.Write(0x100, 0)
+	a.Write(0x100+2*PageBytes, 0)
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d after zeroing every word, want 0", a.Len())
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("fully-zeroed memory must equal a fresh one (both directions)")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("fully-zeroed memory must hash like a fresh one")
+	}
+	if n := len(a.Snapshot()); n != 0 {
+		t.Errorf("Snapshot has %d words after full erasure, want 0", n)
+	}
+	// Convergence with surviving words on other pages.
+	a.Write(0x9000, 1)
+	b.Write(0x9000, 3)
+	b.Write(0x9000, 1)
+	b.Write(0xABC0, 2)
+	b.Write(0xABC0, 0)
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Error("converged contents must compare and hash equal")
+	}
+	// Zero-writes to untouched locations must not materialize state.
+	b.Write(0x50_0000, 0)
+	if !a.Equal(b) || b.Len() != 1 {
+		t.Error("zero write to untouched address must be a no-op")
+	}
+}

@@ -170,10 +170,27 @@ func Perf(scale int) (*PerfResult, error) {
 	return r, nil
 }
 
-// JSON renders the BENCH_PR3.json document.
+// JSON renders the BENCH_PR5.json document.
 func (r *PerfResult) JSON() string {
 	b, _ := json.MarshalIndent(r, "", "  ")
 	return string(b) + "\n"
+}
+
+// CheckFloor fails when the named workload's pooled throughput falls
+// below minMIPS — the CI regression gate for the hot-path work (mcf is
+// the memory-bound canary; its floor is the figure recorded in the
+// previous PR's BENCH document).
+func (r *PerfResult) CheckFloor(name string, minMIPS float64) error {
+	for _, w := range r.Workloads {
+		if w.Name != name {
+			continue
+		}
+		if w.MIPS < minMIPS {
+			return fmt.Errorf("perf regression: %s at %.3f MIPS, below the %.3f floor", name, w.MIPS, minMIPS)
+		}
+		return nil
+	}
+	return fmt.Errorf("perf floor: workload %q not in the result set", name)
 }
 
 // Render prints the throughput table.

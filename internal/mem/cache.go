@@ -10,23 +10,32 @@ package mem
 import "fmt"
 
 // Cache is one level of set-associative cache with true-LRU replacement.
+//
+// The tag, valid and LRU state live in flat backing slices indexed by
+// set*ways+way (valid bits packed one word per set), with the set mask
+// and tag shift precomputed at construction — an access is a handful of
+// masked loads on contiguous memory, with no per-access log2 and no
+// per-set slice headers to chase.
 type Cache struct {
 	name      string
 	sets      int
 	ways      int
 	lineShift uint
+	tagShift  uint   // lineShift + log2(sets), precomputed
+	setMask   uint64 // sets - 1
 	latency   uint64
 
-	tags  [][]uint64 // [set][way], valid encoded separately
-	valid [][]bool
-	lru   [][]uint8 // smaller = older
+	tags  []uint64 // sets*ways, flat; row base = set*ways
+	lru   []uint8  // sets*ways, flat; smaller = older
+	valid []uint64 // per-set way bitmask (bit w = way w valid)
 
 	Hits, Misses, Evictions uint64
 }
 
 // NewCache builds a cache of sizeBytes with the given associativity,
 // 64-byte lines, and access latency in cycles. sizeBytes must be divisible
-// by ways*64 and the resulting set count must be a power of two.
+// by ways*64, the resulting set count must be a power of two, and ways
+// must fit the per-set valid mask (<= 64).
 func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
 	const lineBytes = 64
 	if sizeBytes%(ways*lineBytes) != 0 {
@@ -36,15 +45,21 @@ func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: %s set count %d not a power of two", name, sets))
 	}
-	c := &Cache{name: name, sets: sets, ways: ways, lineShift: 6, latency: latency}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint8, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]uint64, ways)
-		c.valid[i] = make([]bool, ways)
-		c.lru[i] = make([]uint8, ways)
+	if ways > 64 {
+		panic(fmt.Sprintf("mem: %s associativity %d exceeds the 64-way valid mask", name, ways))
 	}
+	setBits := uint(0)
+	for 1<<setBits < sets {
+		setBits++
+	}
+	c := &Cache{
+		name: name, sets: sets, ways: ways,
+		lineShift: 6, tagShift: 6 + setBits, setMask: uint64(sets - 1),
+		latency: latency,
+	}
+	c.tags = make([]uint64, sets*ways)
+	c.lru = make([]uint8, sets*ways)
+	c.valid = make([]uint64, sets)
 	return c
 }
 
@@ -52,16 +67,16 @@ func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
 func (c *Cache) Latency() uint64 { return c.latency }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	line := addr >> c.lineShift
-	return int(line) & (c.sets - 1), line >> uint(log2(c.sets))
+	return int((addr >> c.lineShift) & c.setMask), addr >> c.tagShift
 }
 
 // Lookup probes the cache, updating LRU state and counters on hit.
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
+	vm, base := c.valid[set], set*c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.touch(set, w)
+		if vm&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+			c.touch(base, w)
 			c.Hits++
 			return true
 		}
@@ -73,59 +88,52 @@ func (c *Cache) Lookup(addr uint64) bool {
 // Insert fills the line containing addr, evicting the LRU way if needed.
 func (c *Cache) Insert(addr uint64) {
 	set, tag := c.index(addr)
+	vm, base := c.valid[set], set*c.ways
 	// Already present (e.g. two misses to the same line in flight)?
 	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.touch(set, w)
+		if vm&(1<<uint(w)) != 0 && c.tags[base+w] == tag {
+			c.touch(base, w)
 			return
 		}
 	}
 	victim := 0
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[set][w] {
+		if vm&(1<<uint(w)) == 0 {
 			victim = w
 			break
 		}
-		if c.lru[set][w] < c.lru[set][victim] {
+		if c.lru[base+w] < c.lru[base+victim] {
 			victim = w
 		}
 	}
-	if c.valid[set][victim] {
+	if vm&(1<<uint(victim)) != 0 {
 		c.Evictions++
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.touch(set, victim)
+	c.valid[set] = vm | 1<<uint(victim)
+	c.tags[base+victim] = tag
+	c.touch(base, victim)
 }
 
-// touch makes way w the most recently used in set.
-func (c *Cache) touch(set, w int) {
-	old := c.lru[set][w]
-	for i := 0; i < c.ways; i++ {
-		if c.lru[set][i] > old {
-			c.lru[set][i]--
+// touch makes way w the most recently used in the set whose row starts at
+// base.
+func (c *Cache) touch(base, w int) {
+	row := c.lru[base : base+c.ways : base+c.ways]
+	old := row[w]
+	for i := range row {
+		if row[i] > old {
+			row[i]--
 		}
 	}
-	c.lru[set][w] = uint8(c.ways - 1)
+	row[w] = uint8(c.ways - 1)
 }
 
-// Reset clears contents and counters.
+// Reset clears contents and counters. Invalidating the packed valid words
+// is enough to drop every line; tags become unreachable and the LRU ages
+// are re-zeroed for the fresh==Reset contract.
 func (c *Cache) Reset() {
-	for s := range c.valid {
-		for w := range c.valid[s] {
-			c.valid[s][w] = false
-			c.lru[s][w] = 0
-		}
-	}
+	clear(c.valid)
+	clear(c.lru)
 	c.Hits, c.Misses, c.Evictions = 0, 0, 0
-}
-
-func log2(n int) int {
-	k := 0
-	for 1<<k < n {
-		k++
-	}
-	return k
 }
 
 // Config parameterizes a hierarchy; the zero value is invalid — use

@@ -1,0 +1,35 @@
+package mem
+
+import "testing"
+
+// BenchmarkHierarchyAccessHit models the common case: a working set that
+// fits in L1, so every access is a tag match in one flattened set.
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	const workingSet = 8 * 1024 // bytes, well inside L1
+	for a := uint64(0); a < workingSet; a += 64 {
+		h.Access(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Access(uint64(i*64) % workingSet)
+	}
+	_ = sink
+}
+
+// BenchmarkHierarchyAccessStream strides through a range larger than L2,
+// exercising the miss/evict/insert path at every level.
+func BenchmarkHierarchyAccessStream(b *testing.B) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	span := uint64(4 * cfg.L2Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Access(uint64(i*64) % span)
+	}
+	_ = sink
+}
