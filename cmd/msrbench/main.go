@@ -11,8 +11,10 @@
 //	                              # repeated regenerations are served from
 //	                              # its content-addressed result cache
 //	msrbench -exp perf            # simulator-throughput benchmark; writes
-//	                              # BENCH_PR5.json (see -perf-out); use
+//	                              # BENCH_PR6.json (see -perf-out); use
 //	                              # -perf-min-mcf to fail on regression
+//	msrbench -batch=false         # disable lockstep batch grouping of
+//	                              # same-workload specs within a sweep
 //	msrbench -exp phases -stats-interval 4096 -stats-out phases.ndjson
 //	                              # phase-behaviour table plus the raw
 //	                              # per-interval telemetry stream (CSV when
@@ -48,9 +50,10 @@ func run() int {
 		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
 		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
+		batch    = flag.Bool("batch", true, "group a sweep's same-workload specs into lockstep batch runs over a shared instruction stream (in-process runs; for -remote see msrd -batch)")
 		statsIv  = flag.Uint64("stats-interval", 0, "attach interval telemetry to every sweep, sampled every N cycles (0 = off; implied 4096 by -stats-out)")
 		statsOut = flag.String("stats-out", "", `write the per-interval telemetry of every run to this file: NDJSON, or CSV when the name ends in .csv ("-" = stdout)`)
-		perfOut  = flag.String("perf-out", "BENCH_PR5.json", "write the perf experiment's JSON document here")
+		perfOut  = flag.String("perf-out", "BENCH_PR6.json", "write the perf experiment's JSON document here")
 		perfMin  = flag.Float64("perf-min-mcf", 0, "fail the perf experiment if mcf's pooled MIPS falls below this floor (0 = no check)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -108,6 +111,7 @@ func run() int {
 			Jobs:     *jobs,
 			Timeout:  *timeout,
 			Observer: sim.Observers(obs...),
+			Batching: *batch,
 		})
 	}
 

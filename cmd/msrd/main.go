@@ -44,6 +44,7 @@ func main() {
 		cacheSize  = flag.Int("cache", 4096, "result cache entries (negative disables caching)")
 		timeout    = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
 		jobTimeout = flag.Duration("job-timeout", 0, "whole-job wall-time limit (0 = none)")
+		batch      = flag.Bool("batch", true, "group a job's same-workload specs into lockstep batch runs over a shared instruction stream")
 		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
@@ -66,6 +67,7 @@ func main() {
 		CacheEntries:   *cacheSize,
 		DefaultTimeout: *timeout,
 		JobTimeout:     *jobTimeout,
+		Batch:          *batch,
 		RetryAfter:     *retryAfter,
 		Logger:         logger,
 	}

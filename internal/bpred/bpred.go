@@ -71,8 +71,9 @@ type Unit struct {
 
 	histLo, histHi uint64 // global history, bit 0 = most recent
 
-	ras   []uint64
-	rasSP int32
+	ras     []uint64
+	rasSP   int32
+	rasMask int32 // len(ras)-1 when a power of two, else -1 (divide)
 
 	indTags    []uint32
 	indTargets []uint64
@@ -81,6 +82,15 @@ type Unit struct {
 	lfsr    uint32 // allocation tie-breaking
 
 	candScratch []int // allocate()'s candidate list, reused across calls
+
+	// Per-table index and tag of the most recent lookup descent. The
+	// provider/alternate reads, Train's counter update and allocate all
+	// address the same (pc, snapshot) the descent hashed; caching the
+	// hashes avoids re-folding the history for each of those touches.
+	// Only tables the descent visited (provider and above, plus the
+	// alternate) are current — exactly the set the consumers read.
+	idxScratch []int32
+	tagScratch []uint16
 }
 
 // New builds a predictor.
@@ -93,6 +103,12 @@ func New(cfg Config) *Unit {
 		indTargets:  make([]uint64, 1<<cfg.IndirectBits),
 		lfsr:        0xace1,
 		candScratch: make([]int, 0, len(cfg.HistLengths)),
+		idxScratch:  make([]int32, len(cfg.HistLengths)),
+		tagScratch:  make([]uint16, len(cfg.HistLengths)),
+	}
+	u.rasMask = -1
+	if n := int32(cfg.RASSize); n > 0 && n&(n-1) == 0 {
+		u.rasMask = n - 1
 	}
 	for i := range u.bimodal {
 		u.bimodal[i] = 1 // weakly not-taken
@@ -145,13 +161,23 @@ func (u *Unit) Restore(s Snapshot) {
 }
 
 func (u *Unit) topIndex() int {
+	// For the power-of-two sizes used in practice the Euclidean modulus
+	// is a two's-complement mask (identical for negative stack pointers
+	// too); odd sizes keep the double-mod.
+	if u.rasMask >= 0 {
+		return int(uint32(u.rasSP-1) & uint32(u.rasMask))
+	}
 	n := int32(len(u.ras))
 	return int(((u.rasSP-1)%n + n) % n)
 }
 
 // PushRAS records a call's return address.
 func (u *Unit) PushRAS(ret uint64) {
-	u.ras[int(u.rasSP)%len(u.ras)] = ret
+	if u.rasMask >= 0 {
+		u.ras[uint32(u.rasSP)&uint32(u.rasMask)] = ret
+	} else {
+		u.ras[int(u.rasSP)%len(u.ras)] = ret
+	}
 	u.rasSP++
 }
 
@@ -189,12 +215,15 @@ func foldedHistory(lo, hi uint64, length, bits int) uint64 {
 	} else {
 		h = lo & ((1 << uint(length)) - 1)
 	}
-	var f uint64
-	for h != 0 {
-		f ^= h & ((1 << uint(bits)) - 1)
-		h >>= uint(bits)
+	// Fold by doubling: after the passes s = bits, 2*bits, 4*bits, ...,
+	// bit i of h is the xor of the original bits i, i+bits, i+2*bits, ...
+	// across the whole word, so the masked low chunk equals the xor of
+	// all bits-wide chunks — the same fold as shifting chunk by chunk,
+	// in O(log) passes.
+	for s := uint(bits); s < 64; s *= 2 {
+		h ^= h >> s
 	}
-	return f
+	return h & ((1 << uint(bits)) - 1)
 }
 
 func (u *Unit) tableIndex(t int, pc uint64, s Snapshot) int {
@@ -221,8 +250,12 @@ func (u *Unit) lookup(pc uint64, s Snapshot) (provider int, pred, altPred bool) 
 	provider = -1
 	alt := -1
 	for t := len(u.tables) - 1; t >= 0; t-- {
-		e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
-		if e.tag == u.tableTag(t, pc, s) {
+		idx := u.tableIndex(t, pc, s)
+		tag := u.tableTag(t, pc, s)
+		u.idxScratch[t] = int32(idx)
+		u.tagScratch[t] = tag
+		e := &u.tables[t].entries[idx]
+		if e.tag == tag {
 			if provider < 0 {
 				provider = t
 			} else {
@@ -234,11 +267,11 @@ func (u *Unit) lookup(pc uint64, s Snapshot) (provider int, pred, altPred bool) 
 	bimodalPred := u.bimodal[u.bimodalIndex(pc)] >= 2
 	altPred = bimodalPred
 	if alt >= 0 {
-		altPred = u.tables[alt].entries[u.tableIndex(alt, pc, s)].ctr >= 0
+		altPred = u.tables[alt].entries[u.idxScratch[alt]].ctr >= 0
 	}
 	pred = bimodalPred
 	if provider >= 0 {
-		pred = u.tables[provider].entries[u.tableIndex(provider, pc, s)].ctr >= 0
+		pred = u.tables[provider].entries[u.idxScratch[provider]].ctr >= 0
 	}
 	return provider, pred, altPred
 }
@@ -270,7 +303,7 @@ func (u *Unit) Train(pc uint64, s Snapshot, taken bool) {
 
 	// Update the provider's counter (or the bimodal base).
 	if provider >= 0 {
-		e := &u.tables[provider].entries[u.tableIndex(provider, pc, s)]
+		e := &u.tables[provider].entries[u.idxScratch[provider]]
 		e.ctr = bump3(e.ctr, taken)
 		if pred != altPred {
 			if pred == taken {
@@ -304,7 +337,7 @@ func (u *Unit) allocate(from int, pc uint64, s Snapshot, taken bool) {
 	// mispredict-path routine allocation-free.
 	candidates := u.candScratch[:0]
 	for t := from; t < len(u.tables); t++ {
-		e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
+		e := &u.tables[t].entries[u.idxScratch[t]]
 		if e.u == 0 {
 			candidates = append(candidates, t)
 		}
@@ -313,7 +346,7 @@ func (u *Unit) allocate(from int, pc uint64, s Snapshot, taken bool) {
 	if len(candidates) == 0 {
 		// Age everything so allocation succeeds eventually.
 		for t := from; t < len(u.tables); t++ {
-			e := &u.tables[t].entries[u.tableIndex(t, pc, s)]
+			e := &u.tables[t].entries[u.idxScratch[t]]
 			if e.u > 0 {
 				e.u--
 			}
@@ -326,8 +359,8 @@ func (u *Unit) allocate(from int, pc uint64, s Snapshot, taken bool) {
 	if len(candidates) > 1 && u.nextRand()&3 == 0 {
 		pick = candidates[1]
 	}
-	e := &u.tables[pick].entries[u.tableIndex(pick, pc, s)]
-	e.tag = u.tableTag(pick, pc, s)
+	e := &u.tables[pick].entries[u.idxScratch[pick]]
+	e.tag = u.tagScratch[pick]
 	e.u = 0
 	if taken {
 		e.ctr = 0

@@ -90,13 +90,6 @@ type lsqEntry struct {
 // needs, packed contiguously so waking up a stalled station is a walk
 // over a compact array instead of a pointer chase through 200-byte ROB
 // entries scattered across cache lines.
-type rsEntry struct {
-	seq      uint64
-	srcPregs [2]rename.PhysReg
-	nsrc     uint8
-	bru      bool // branch/jump-register: competes for BRU ports
-}
-
 // Core is the out-of-order processor model executing one program.
 type Core struct {
 	cfg  Config
@@ -110,7 +103,14 @@ type Core struct {
 	alloc   *rename.Allocator
 	tracker *rename.Tracker
 	engine  reuse.Engine
-	Stats   *stats.Stats
+	// tryAll: the engine's TryReuse must observe every renamed
+	// instruction (side effects beyond the reuse test itself); tryNever:
+	// TryReuse is a pure no-op. Both let rename skip the call — and the
+	// Request construction it pays for — when nothing can come of it;
+	// when the call happens, it is unchanged. See Core.renameStage.
+	tryAll   bool
+	tryNever bool
+	Stats    *stats.Stats
 
 	// Physical register file.
 	prf      []uint64
@@ -127,9 +127,11 @@ type Core struct {
 	headSeq uint64 // seq of the head entry
 	nextSeq uint64 // next rename seq
 
-	// Fetch.
+	// Fetch. fetchSlot is the pre-bound nextFetchSlot method value handed
+	// to frontend.NextBlockInto, built once so fetch never allocates.
 	fseq            uint64
 	fetchQ          ring[fetchedEntry]
+	fetchSlot       func() *frontend.FetchedInstr
 	lastRedirectSeq uint64
 
 	// Rename checkpoints (Table 2's 32-checkpoint budget) and the
@@ -142,8 +144,8 @@ type Core struct {
 	// the cycle loop never reallocates them. Issued instructions are
 	// scheduled on the completion wheel keyed by doneAt; writeback drains
 	// exactly one bucket per cycle.
-	iq     []rsEntry    // ALU/BRU reservation station (program order)
-	memIQ  []rsEntry    // LSU reservation station
+	iqs    sched        // ALU/BRU reservation station (event-driven; see sched)
+	mems   sched        // LSU reservation station
 	wheel  doneWheel    // issued, bucketed by completion cycle
 	verifQ ring[uint64] // reused loads awaiting verification issue
 
@@ -182,8 +184,14 @@ type Core struct {
 
 	tracer trace.Tracer
 
-	// Debug lockstep checker.
-	checker *emu.Emulator
+	// Debug lockstep checker. checker is the core-private emulator built
+	// when cfg.DebugCheck is set; a batch driver overrides it with a
+	// shared replayed stream (checkStream + this core's read cursor
+	// checkIdx) so M lockstep variants consume one architectural
+	// execution instead of stepping M private emulators.
+	checker     *emu.Emulator
+	checkStream *archStream
+	checkIdx    uint64
 }
 
 type fetchedEntry struct {
@@ -199,21 +207,26 @@ type fetchedEntry struct {
 func New(prog *isa.Program, cfg Config) *Core {
 	robLen := ceilPow2(cfg.ROBSize)
 	c := &Core{
-		cfg:         cfg,
-		bp:          bpred.New(cfg.BP),
-		hier:        mem.NewHierarchy(cfg.Mem),
-		rat:         rename.NewRAT(),
-		alloc:       rename.NewAllocator(cfg.RGIDBits),
-		tracker:     rename.NewTracker(cfg.PhysRegs, isa.NumArchRegs),
-		Stats:       &stats.Stats{},
-		prf:         make([]uint64, cfg.PhysRegs),
-		prfReady:    make([]bool, cfg.PhysRegs),
-		rob:         make([]robEntry, robLen),
-		robMask:     robLen - 1,
-		fetchQ:      newRing[fetchedEntry](cfg.FetchQueue),
-		verifQ:      newRing[uint64](cfg.LoadQueue),
-		iq:          make([]rsEntry, 0, cfg.IQSize),
-		memIQ:       make([]rsEntry, 0, cfg.MemIQSize),
+		cfg:      cfg,
+		bp:       bpred.New(cfg.BP),
+		hier:     mem.NewHierarchy(cfg.Mem),
+		rat:      rename.NewRAT(),
+		alloc:    rename.NewAllocator(cfg.RGIDBits),
+		tracker:  rename.NewTracker(cfg.PhysRegs, isa.NumArchRegs),
+		Stats:    &stats.Stats{},
+		prf:      make([]uint64, cfg.PhysRegs),
+		prfReady: make([]bool, cfg.PhysRegs),
+		rob:      make([]robEntry, robLen),
+		robMask:  robLen - 1,
+		fetchQ:   newRing[fetchedEntry](cfg.FetchQueue),
+		verifQ:   newRing[uint64](cfg.LoadQueue),
+		// In-flight instructions are bounded by the ROB, and the
+		// dispatch-side IQSize/MemIQSize tests do not in fact stall (a
+		// break inside the hazard switch leaves the switch only), so the
+		// station pools must admit a full ROB's worth of entries to
+		// reproduce the established model behaviour exactly.
+		iqs:         newSched(cfg.ROBSize, cfg.PhysRegs),
+		mems:        newSched(cfg.ROBSize, cfg.PhysRegs),
 		wheel:       newDoneWheel(cfg.maxCompletionLatency()),
 		loadQ:       newRing[lsqEntry](cfg.LoadQueue),
 		storeQ:      newRing[lsqEntry](cfg.StoreQueue),
@@ -222,16 +235,23 @@ func New(prog *isa.Program, cfg Config) *Core {
 		mem:         emu.NewMemory(),
 	}
 	c.fu = frontend.New(prog, c.bp)
+	c.fetchSlot = c.nextFetchSlot
 	switch cfg.Reuse {
 	case ReuseMultiStream:
 		c.engine = reuse.NewMultiStream(cfg.MS, (*kernel)(c), c.Stats)
+		// The armed/walk protocol observes every renamed instruction.
+		c.tryAll = true
 	case ReuseRI:
 		c.engine = reuse.NewRegisterIntegration(cfg.RI, (*kernel)(c), c.Stats)
 		c.tracker.OnFree = func(p rename.PhysReg) { c.engine.OnPregFreed(p) }
 	case ReuseDIR:
 		c.engine = reuse.NewDIR(cfg.DIR, (*kernel)(c), c.Stats)
+		// The name scheme invalidates entries on every renamed
+		// destination, so it too must see every instruction.
+		c.tryAll = cfg.DIR.Scheme == reuse.DIRName
 	default:
 		c.engine = reuse.NewNone()
+		c.tryNever = true
 	}
 	if cfg.DebugCheck {
 		c.checker = emu.New(prog)
@@ -322,18 +342,31 @@ func (c *Core) Run() error { return c.RunContext(context.Background()) }
 // run returns ctx's error (wrapped) with Stats reflecting progress so
 // far.
 func (c *Core) RunContext(ctx context.Context) error {
+	err := c.stepUntil(ctx, ^uint64(0))
+	c.finishRun()
+	return err
+}
+
+// stepUntil advances the pipeline until the core halts, at least
+// retireTarget instructions have retired, ctx is cancelled, or the cycle
+// limit elapses. It is the resumable inner loop RunContext and the batch
+// driver share: pausing at a retire target and resuming is
+// cycle-for-cycle identical to an uninterrupted run, because every
+// stopping condition is evaluated at the loop head from state the loop
+// itself maintains. stepUntil does not seal the run's counters — the
+// caller invokes finishRun exactly once, after the final stepUntil call,
+// so the sampler's trailing partial interval is flushed a single time.
+func (c *Core) stepUntil(ctx context.Context, retireTarget uint64) error {
 	done := ctx.Done()
-	for !c.halted {
+	for !c.halted && c.Stats.Retired < retireTarget {
 		if done != nil && c.cycle&1023 == 0 {
 			select {
 			case <-done:
-				c.finishRun()
 				return fmt.Errorf("core: aborted after %d cycles (%d retired): %w", c.cycle, c.Stats.Retired, ctx.Err())
 			default:
 			}
 		}
 		if c.cycle >= c.cfg.MaxCycles {
-			c.finishRun()
 			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.cycle, c.Stats.Retired)
 		}
 		c.cycle++
@@ -349,7 +382,6 @@ func (c *Core) RunContext(ctx context.Context) error {
 			c.takeSample()
 		}
 	}
-	c.finishRun()
 	return nil
 }
 

@@ -63,8 +63,8 @@ func (c *Core) Reset(prog *isa.Program) {
 	c.renameBlockedUntil = 0
 	c.fetchQ.Clear()
 	c.verifQ.Clear()
-	c.iq = c.iq[:0]
-	c.memIQ = c.memIQ[:0]
+	c.iqs.reset()
+	c.mems.reset()
 	c.wheel.reset()
 	c.loadQ.Clear()
 	c.storeQ.Clear()
@@ -86,4 +86,8 @@ func (c *Core) Reset(prog *isa.Program) {
 	if c.checker != nil {
 		c.checker.Reset(prog)
 	}
+	// Any batch-shared check stream belongs to the previous run; the
+	// batch driver re-attaches after Reset.
+	c.checkStream = nil
+	c.checkIdx = 0
 }

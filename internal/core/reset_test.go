@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"mssr/internal/emu"
@@ -122,6 +123,46 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			})
 		}
 	}
+
+	// Batched: all twelve configs stepping the shared stream in lockstep,
+	// with commit-time checking consuming the shared architectural replay.
+	// The Batch is constructed once; steady-state reuse (reset members +
+	// Run) must allocate nothing, stream stepping included.
+	t.Run("batched", func(t *testing.T) {
+		cfgs := testConfigs()
+		names := batchTestNames()
+		cores := make([]*Core, len(names))
+		for i, name := range names {
+			cfg := cfgs[name]
+			cfg.DebugCheck = true
+			cfg.MaxCycles = 50_000_000
+			cores[i] = New(prog, cfg)
+		}
+		b, err := NewBatch(cores, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var runErrs []error
+		run := func() {
+			for _, c := range cores {
+				c.Reset(prog)
+			}
+			for _, err := range b.Run(ctx) {
+				if err != nil {
+					runErrs = append(runErrs, err)
+				}
+			}
+		}
+		run() // warm-up: grow every structure, stream ring included
+		allocs := testing.AllocsPerRun(2, run)
+		if len(runErrs) > 0 {
+			t.Fatalf("batched runs failed: %v", runErrs)
+		}
+		if allocs != 0 {
+			t.Errorf("steady-state batched run allocated %.1f objects; want 0", allocs)
+		}
+	})
 }
 
 // TestSampledIntervalsPooledVsFresh extends the fresh==Reset contract to

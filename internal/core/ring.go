@@ -117,6 +117,22 @@ func (r *ring[T]) PopFront() T {
 	return v
 }
 
+// DropFront dequeues the oldest element without copying it out — the hot
+// variant of PopFront for callers that have already read the front (or
+// don't need it). The slot's contents stay in place until a PushSlot
+// reuses it.
+func (r *ring[T]) DropFront() {
+	if r.n == 0 {
+		panic("core: ring empty")
+	}
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	r.base++
+}
+
 // Truncate drops every element with absolute index >= tail, keeping the
 // front of the queue intact — the squash shape: younger entries are
 // always a suffix.

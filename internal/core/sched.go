@@ -1,0 +1,239 @@
+package core
+
+import "mssr/internal/rename"
+
+// sched is an event-driven reservation station. The former
+// implementation kept entries in a slice and re-scanned all of them
+// whenever a register wrote back; on stall-heavy workloads almost every
+// scan walked dozens of operand-blocked entries to find the one or two
+// a wakeup had actually unblocked. Here the scan is inverted into the
+// classic wakeup design: each entry counts its unready sources, every
+// pending source sits on a per-register waiter list, and a register
+// write moves exactly the entries it unblocked onto a seq-ordered ready
+// list. Issue then walks only ready entries.
+//
+// Selection is bit-identical to the scan it replaces: the ready list is
+// kept in seq order, which is the order entries sat in the old slice,
+// and readiness itself is the same prfReady predicate — a source is
+// registered as pending exactly when prfReady was false at dispatch,
+// and prfReady never falls while a consumer is resident (a source
+// register cannot be recycled under a live reader). Port budgets are
+// spent walking the ready list in that same order, so the set of
+// instructions issued each cycle, and their order, are unchanged.
+//
+// All links are slot indices into pool; -1 terminates. Waiter-list
+// nodes are (entry, source-slot) pairs encoded as slot*2+k, so an entry
+// can wait on both of its sources independently (including the same
+// register twice).
+type sched struct {
+	pool []schedEntry
+	free int32 // free-slot list through stNext
+
+	headSt, tailSt   int32 // resident entries, program (seq) order
+	headRdy, tailRdy int32 // ready entries, seq order
+
+	waitHead []int32 // per-physical-register waiter list heads
+	n        int     // resident entries
+}
+
+type schedEntry struct {
+	seq      uint64
+	srcPregs [2]rename.PhysReg
+	nsrc     uint8
+	bru      bool // branch/jump-register: competes for BRU ports
+	nwait    uint8
+	inReady  bool
+	pending  [2]bool // source k registered on a waiter list
+
+	stPrev, stNext   int32
+	rdyPrev, rdyNext int32
+	wPrev, wNext     [2]int32 // waiter-list links, node id = slot*2+k
+}
+
+func newSched(size, pregs int) sched {
+	s := sched{
+		pool:     make([]schedEntry, size),
+		waitHead: make([]int32, pregs),
+	}
+	s.reset()
+	return s
+}
+
+// reset empties the station; pooled cores call it between runs, so it
+// also rebuilds the free list deterministically (slot 0 first).
+func (s *sched) reset() {
+	for i := range s.pool {
+		s.pool[i] = schedEntry{stNext: int32(i + 1)}
+	}
+	if len(s.pool) > 0 {
+		s.pool[len(s.pool)-1].stNext = -1
+		s.free = 0
+	} else {
+		s.free = -1
+	}
+	s.headSt, s.tailSt = -1, -1
+	s.headRdy, s.tailRdy = -1, -1
+	for i := range s.waitHead {
+		s.waitHead[i] = -1
+	}
+	s.n = 0
+}
+
+// insert dispatches an entry. Callers check Len against the station
+// capacity first, exactly as they bounded the former slice.
+func (s *sched) insert(seq uint64, srcPregs [2]rename.PhysReg, nsrc uint8, bru bool, prfReady []bool) {
+	i := s.free
+	e := &s.pool[i]
+	s.free = e.stNext
+
+	e.seq = seq
+	e.srcPregs = srcPregs
+	e.nsrc = nsrc
+	e.bru = bru
+	e.nwait = 0
+	e.inReady = false
+	e.pending[0], e.pending[1] = false, false
+
+	// Program-order tail append: seq is allocated in dispatch order.
+	e.stPrev, e.stNext = s.tailSt, -1
+	if s.tailSt >= 0 {
+		s.pool[s.tailSt].stNext = i
+	} else {
+		s.headSt = i
+	}
+	s.tailSt = i
+
+	for k := uint8(0); k < nsrc; k++ {
+		p := srcPregs[k]
+		if prfReady[p] {
+			continue
+		}
+		e.nwait++
+		e.pending[k] = true
+		nid := i*2 + int32(k)
+		e.wPrev[k] = -1
+		e.wNext[k] = s.waitHead[p]
+		if h := s.waitHead[p]; h >= 0 {
+			s.pool[h/2].wPrev[h&1] = nid
+		}
+		s.waitHead[p] = nid
+	}
+	if e.nwait == 0 {
+		// Highest seq resident, so the ready tail keeps seq order.
+		e.inReady = true
+		e.rdyPrev, e.rdyNext = s.tailRdy, -1
+		if s.tailRdy >= 0 {
+			s.pool[s.tailRdy].rdyNext = i
+		} else {
+			s.headRdy = i
+		}
+		s.tailRdy = i
+	}
+	s.n++
+}
+
+// wake drains physical register p's waiter list: p just became ready,
+// so every pending source naming it resolves, and entries whose last
+// pending source this was join the ready list at their seq position.
+func (s *sched) wake(p rename.PhysReg) {
+	nid := s.waitHead[p]
+	if nid < 0 {
+		return
+	}
+	s.waitHead[p] = -1
+	for nid >= 0 {
+		i, k := nid/2, nid&1
+		e := &s.pool[i]
+		next := e.wNext[k]
+		e.pending[k] = false
+		e.nwait--
+		if e.nwait == 0 {
+			s.insertReady(i)
+		}
+		nid = next
+	}
+}
+
+// insertReady places slot i into the ready list at its seq position,
+// searching from the tail (woken entries are usually among the oldest
+// resident, but the ready list itself is short).
+func (s *sched) insertReady(i int32) {
+	e := &s.pool[i]
+	e.inReady = true
+	after := s.tailRdy
+	for after >= 0 && s.pool[after].seq > e.seq {
+		after = s.pool[after].rdyPrev
+	}
+	e.rdyPrev = after
+	if after >= 0 {
+		e.rdyNext = s.pool[after].rdyNext
+		s.pool[after].rdyNext = i
+	} else {
+		e.rdyNext = s.headRdy
+		s.headRdy = i
+	}
+	if e.rdyNext >= 0 {
+		s.pool[e.rdyNext].rdyPrev = i
+	} else {
+		s.tailRdy = i
+	}
+}
+
+// remove deletes slot i (issued or squashed): unlinks the station
+// list, the ready list if present, and any pending waiter nodes.
+func (s *sched) remove(i int32) {
+	e := &s.pool[i]
+	if e.stPrev >= 0 {
+		s.pool[e.stPrev].stNext = e.stNext
+	} else {
+		s.headSt = e.stNext
+	}
+	if e.stNext >= 0 {
+		s.pool[e.stNext].stPrev = e.stPrev
+	} else {
+		s.tailSt = e.stPrev
+	}
+	if e.inReady {
+		if e.rdyPrev >= 0 {
+			s.pool[e.rdyPrev].rdyNext = e.rdyNext
+		} else {
+			s.headRdy = e.rdyNext
+		}
+		if e.rdyNext >= 0 {
+			s.pool[e.rdyNext].rdyPrev = e.rdyPrev
+		} else {
+			s.tailRdy = e.rdyPrev
+		}
+		e.inReady = false
+	}
+	for k := uint8(0); k < e.nsrc; k++ {
+		if !e.pending[k] {
+			continue
+		}
+		e.pending[k] = false
+		pv, nx := e.wPrev[k], e.wNext[k]
+		if pv >= 0 {
+			s.pool[pv/2].wNext[pv&1] = nx
+		} else {
+			s.waitHead[e.srcPregs[k]] = nx
+		}
+		if nx >= 0 {
+			s.pool[nx/2].wPrev[nx&1] = pv
+		}
+	}
+	e.stNext = s.free
+	s.free = i
+	s.n--
+}
+
+// squashTail drops every resident entry with seq >= firstSeq. The
+// station list is seq-ordered, so the squash set is a suffix —
+// O(squashed) instead of the former full-station filter.
+func (s *sched) squashTail(firstSeq uint64) {
+	for s.tailSt >= 0 && s.pool[s.tailSt].seq >= firstSeq {
+		s.remove(s.tailSt)
+	}
+}
+
+// Len reports resident entries (the dispatch structural-hazard bound).
+func (s *sched) Len() int { return s.n }

@@ -150,8 +150,9 @@ func (c *Core) squashFrom(firstSeq uint64) {
 	c.count = int(firstSeq - c.headSeq)
 	c.nextSeq = firstSeq
 
-	c.iq = filterRS(c.iq, firstSeq)
-	c.memIQ = filterRS(c.memIQ, firstSeq)
+	// Station lists are seq-ordered, so the squash set is a suffix.
+	c.iqs.squashTail(firstSeq)
+	c.mems.squashTail(firstSeq)
 	// The completion wheel is deliberately not touched: its stale records
 	// are filtered at drain time by the ROB-window and fseq checks.
 	c.verifQ.Filter(func(s uint64) bool { return s < firstSeq })
@@ -172,16 +173,6 @@ func (c *Core) squashFrom(firstSeq uint64) {
 	}
 	c.storeQ.Truncate(st)
 	c.fetchQ.Clear()
-}
-
-func filterRS(q []rsEntry, firstSeq uint64) []rsEntry {
-	out := q[:0]
-	for i := range q {
-		if q[i].seq < firstSeq {
-			out = append(out, q[i])
-		}
-	}
-	return out
 }
 
 // maybeRGIDReset runs the global RGID reset protocol (§3.3.2): triggered

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"mssr/internal/emu"
+	"mssr/internal/frontend"
 	"mssr/internal/isa"
 	"mssr/internal/rename"
 	"mssr/internal/reuse"
@@ -11,34 +13,44 @@ import (
 
 // fetch forms up to BlocksPerCycle prediction blocks and enqueues their
 // instructions toward rename, feeding each block to the reuse engine's
-// fetch-side reconvergence detection.
+// fetch-side reconvergence detection. The frontend writes each fetched
+// instruction straight into its fetch-queue slot (NextBlockInto), so the
+// hottest producer loop in the machine copies nothing.
 func (c *Core) fetch() {
 	for b := 0; b < c.cfg.BlocksPerCycle; b++ {
 		if c.fetchQ.Len()+isa.FetchBlockInstrs > c.cfg.FetchQueue {
 			return
 		}
-		blk, ok := c.fu.NextBlock()
+		firstFseq := c.fseq + 1
+		blk, n, ok := c.fu.NextBlockInto(c.fetchSlot)
 		if !ok {
 			return
 		}
-		firstFseq := c.fseq + 1
-		for i := range blk.Instrs {
-			c.fseq++
-			fe := c.fetchQ.PushSlot()
-			fe.fi = blk.Instrs[i]
-			fe.fseq = c.fseq
-			fe.readyAt = c.cycle + c.cfg.FrontendDelay
-			if c.tracer != nil {
-				c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindFetch, Fseq: c.fseq, PC: fe.fi.PC, Instr: fe.fi.Instr})
+		if c.tracer != nil {
+			for abs := c.fetchQ.Tail() - uint64(n); abs < c.fetchQ.Tail(); abs++ {
+				fe := c.fetchQ.AtAbs(abs)
+				c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindFetch, Fseq: fe.fseq, PC: fe.fi.PC, Instr: fe.fi.Instr})
 			}
 		}
 		before := c.Stats.Reconvergences
-		c.engine.ObserveBlock(blk.StartPC, blk.EndPC, firstFseq, len(blk.Instrs), c.lastRedirectSeq)
+		c.engine.ObserveBlock(blk.StartPC, blk.EndPC, firstFseq, n, c.lastRedirectSeq)
 		if c.tracer != nil && c.Stats.Reconvergences > before {
 			c.tracer.Emit(trace.Event{Cycle: c.cycle, Kind: trace.KindReconverge, PC: blk.StartPC,
 				Note: fmt.Sprintf("block %#x..%#x", blk.StartPC, blk.EndPC)})
 		}
 	}
+}
+
+// nextFetchSlot is the destination callback fetch hands the frontend: it
+// claims the next fetch-queue slot, stamps the fetch sequence and the
+// frontend-delay readiness cycle, and exposes the embedded FetchedInstr
+// for the frontend to fill in place.
+func (c *Core) nextFetchSlot() *frontend.FetchedInstr {
+	c.fseq++
+	fe := c.fetchQ.PushSlot()
+	fe.fseq = c.fseq
+	fe.readyAt = c.cycle + c.cfg.FrontendDelay
+	return &fe.fi
 }
 
 // renameStage renames and dispatches up to RenameWidth instructions,
@@ -66,21 +78,21 @@ func (c *Core) renameStage() {
 		// take before consuming the reuse-engine walk state.
 		switch cls {
 		case isa.ClassLoad:
-			if c.loadQ.Len() >= c.cfg.LoadQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+			if c.loadQ.Len() >= c.cfg.LoadQueue || c.mems.Len() >= c.cfg.MemIQSize {
 				break
 			}
 		case isa.ClassStore:
-			if c.storeQ.Len() >= c.cfg.StoreQueue || len(c.memIQ) >= c.cfg.MemIQSize {
+			if c.storeQ.Len() >= c.cfg.StoreQueue || c.mems.Len() >= c.cfg.MemIQSize {
 				break
 			}
 		case isa.ClassBranch, isa.ClassJumpR:
-			if len(c.iq) >= c.cfg.IQSize {
+			if c.iqs.Len() >= c.cfg.IQSize {
 				break
 			}
 		case isa.ClassNop, isa.ClassHalt, isa.ClassJump:
 			// No issue resources needed.
 		default:
-			if len(c.iq) >= c.cfg.IQSize {
+			if c.iqs.Len() >= c.cfg.IQSize {
 				break
 			}
 		}
@@ -94,31 +106,51 @@ func (c *Core) renameStage() {
 			}
 		}
 
-		// Commit to renaming this instruction.
-		c.fetchQ.PopFront()
+		// Commit to renaming this instruction. The ROB slot still holds a
+		// previous occupant's fields, so every field is stored explicitly —
+		// field-by-field rather than via a struct literal, which would
+		// build a 224-byte temporary and duffcopy it in (the hottest copy
+		// in the profile before this refactor).
+		c.fetchQ.DropFront()
 		seq := c.nextSeq
 		c.nextSeq++
 		pos := (c.headIdx + c.count) & c.robMask
 		c.count++
 		e := &c.rob[pos]
-		*e = robEntry{
-			seq:       seq,
-			fseq:      fe.fseq,
-			pc:        fe.fi.PC,
-			instr:     in,
-			predTaken: fe.fi.PredTaken,
-			predNext:  fe.fi.PredNextPC,
-			snapshot:  fe.fi.Snapshot,
-			isCall:    fe.fi.IsCall,
-			isReturn:  fe.fi.IsReturn,
-			destPreg:  rename.NoPreg,
-			destGen:   rename.NullRGID,
-			nsrc:      in.NumSources(),
-		}
-		for i := 0; i < e.nsrc; i++ {
-			m := c.rat.Get(in.Src(i))
-			e.srcPregs[i] = m.Preg
-			e.srcGens[i] = m.Gen
+		e.seq = seq
+		e.fseq = fe.fseq
+		e.pc = fe.fi.PC
+		e.instr = in
+		e.predTaken = fe.fi.PredTaken
+		e.predNext = fe.fi.PredNextPC
+		e.snapshot = fe.fi.Snapshot
+		e.isCall = fe.fi.IsCall
+		e.isReturn = fe.fi.IsReturn
+		e.hasDest = false
+		e.destPreg = rename.NoPreg
+		e.destGen = rename.NullRGID
+		e.oldMap = rename.Mapping{}
+		e.srcPregs[0], e.srcPregs[1] = 0, 0
+		e.srcGens[0], e.srcGens[1] = 0, 0
+		e.nsrc = in.NumSources()
+		e.inIQ, e.issued, e.executed, e.completed = false, false, false, false
+		e.doneAt = 0
+		e.reused, e.verifPending, e.verifOK = false, false, false
+		e.mispredicted, e.hasCheckpoint = false, false
+		e.result, e.taken, e.nextPC = 0, false, 0
+		e.memAddr, e.memValue, e.fwdFrom = 0, 0, 0
+		e.halt = false
+		e.lsqAbs, e.peerBound = 0, 0
+		// Source 0 is always Rs1 and source 1 always Rs2; reading the
+		// fields directly avoids re-deriving the source count per operand
+		// the way Instruction.Src does.
+		if e.nsrc > 0 {
+			m := c.rat.Get(in.Rs1)
+			e.srcPregs[0], e.srcGens[0] = m.Preg, m.Gen
+			if e.nsrc > 1 {
+				m := c.rat.Get(in.Rs2)
+				e.srcPregs[1], e.srcGens[1] = m.Preg, m.Gen
+			}
 		}
 		c.Stats.Fetched++
 
@@ -130,15 +162,19 @@ func (c *Core) renameStage() {
 			riTests >= c.cfg.RITestsPerCycle
 		if !riLimited {
 			if c.cfg.Reuse == ReuseRI {
+				// A non-reusable instruction still consumes a serialized
+				// table-port slot, exactly as before the call was gated.
 				riTests++
 			}
-			grant, granted = c.engine.TryReuse(reuse.Request{
-				Seq:      fe.fseq,
-				PC:       e.pc,
-				Instr:    in,
-				SrcGens:  e.srcGens,
-				SrcPregs: e.srcPregs,
-			})
+			if c.tryAll || (!c.tryNever && reuse.Reusable(in)) {
+				grant, granted = c.engine.TryReuse(reuse.Request{
+					Seq:      fe.fseq,
+					PC:       e.pc,
+					Instr:    in,
+					SrcGens:  e.srcGens,
+					SrcPregs: e.srcPregs,
+				})
+			}
 		}
 		if granted && !in.HasDest() {
 			panic(fmt.Sprintf("core: engine granted reuse for %v without destination", in))
@@ -156,6 +192,7 @@ func (c *Core) renameStage() {
 				}
 				c.prf[p] = grant.Value
 				c.prfReady[p] = true
+				c.wake(p)
 				e.destPreg = p
 				e.destGen = c.alloc.Alloc(in.Rd)
 				e.result = grant.Value
@@ -207,6 +244,7 @@ func (c *Core) renameStage() {
 				e.result = e.pc + isa.InstrBytes
 				c.prf[e.destPreg] = e.result
 				c.prfReady[e.destPreg] = true
+				c.wake(e.destPreg)
 			}
 		case isa.ClassLoad:
 			e.lsqAbs = c.loadQ.Push(lsqEntry{seq: seq})
@@ -225,24 +263,24 @@ func (c *Core) renameStage() {
 				e.verifPending = true
 				c.verifQ.Push(seq)
 			} else {
-				c.memIQ = append(c.memIQ, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
+				c.mems.insert(seq, e.srcPregs, uint8(e.nsrc), false, c.prfReady)
 				e.inIQ = true
 			}
 		case isa.ClassStore:
 			e.lsqAbs = c.storeQ.Push(lsqEntry{seq: seq})
 			e.peerBound = c.loadQ.Tail()
-			c.memIQ = append(c.memIQ, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
+			c.mems.insert(seq, e.srcPregs, uint8(e.nsrc), false, c.prfReady)
 			e.inIQ = true
 		case isa.ClassBranch, isa.ClassJumpR:
 			if c.checkpointsInFlight < c.cfg.RATCheckpoints {
 				e.hasCheckpoint = true
 				c.checkpointsInFlight++
 			}
-			c.iq = append(c.iq, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc), bru: true})
+			c.iqs.insert(seq, e.srcPregs, uint8(e.nsrc), true, c.prfReady)
 			e.inIQ = true
 		default:
 			if !e.reused {
-				c.iq = append(c.iq, rsEntry{seq: seq, srcPregs: e.srcPregs, nsrc: uint8(e.nsrc)})
+				c.iqs.insert(seq, e.srcPregs, uint8(e.nsrc), false, c.prfReady)
 				e.inIQ = true
 			}
 		}
@@ -259,6 +297,13 @@ func (c *Core) renameStage() {
 
 // issue selects ready instructions within the cycle's functional-unit
 // budgets, executes them, and schedules their completion.
+//
+// Each reservation station keeps its operand-ready entries on a
+// seq-ordered ready list (see sched), so issue walks exactly the
+// issuable set instead of scanning every resident entry. The walk
+// order is the order entries occupied the former slice, and port
+// budgets are spent along it, so selection is bit-identical to the
+// scan it replaces.
 func (c *Core) issue() {
 	alu, bru, lsu := c.cfg.ALUs, c.cfg.BRUs, c.cfg.LSUs
 
@@ -274,48 +319,46 @@ func (c *Core) issue() {
 		c.schedule(e)
 	}
 
-	// Memory reservation station: loads and stores on the LSU ports. The
-	// wakeup scan touches only the compact rsEntry records; the ROB entry
-	// is dereferenced once, at issue.
-	for i := 0; i < len(c.memIQ) && lsu > 0; {
-		rs := &c.memIQ[i]
-		if !c.rsReady(rs) {
-			i++
-			continue
-		}
+	// Memory reservation station: loads and stores on the LSU ports.
+	// execute() never mutates station residency or prfReady, so saving
+	// the next link before removal keeps the walk safe.
+	for i := c.mems.headRdy; i >= 0 && lsu > 0; {
+		next := c.mems.pool[i].rdyNext
+		seq := c.mems.pool[i].seq
 		lsu--
-		c.execute(c.entry(rs.seq))
-		c.memIQ = append(c.memIQ[:i], c.memIQ[i+1:]...)
+		c.mems.remove(i)
+		c.execute(c.entry(seq))
+		i = next
 	}
 
-	// ALU/BRU reservation station.
-	for i := 0; i < len(c.iq) && (alu > 0 || bru > 0); {
-		rs := &c.iq[i]
-		if rs.bru && bru == 0 || !rs.bru && alu == 0 {
-			i++
-			continue
-		}
-		if !c.rsReady(rs) {
-			i++
-			continue
-		}
-		if rs.bru {
-			bru--
-		} else {
+	// ALU/BRU reservation station: two port classes share one station,
+	// so the walk continues while either budget remains and skips ready
+	// entries whose port class is exhausted — exactly the old scan.
+	for i := c.iqs.headRdy; i >= 0 && (alu > 0 || bru > 0); {
+		e := &c.iqs.pool[i]
+		next := e.rdyNext
+		if e.bru {
+			if bru > 0 {
+				bru--
+				seq := e.seq
+				c.iqs.remove(i)
+				c.execute(c.entry(seq))
+			}
+		} else if alu > 0 {
 			alu--
+			seq := e.seq
+			c.iqs.remove(i)
+			c.execute(c.entry(seq))
 		}
-		c.execute(c.entry(rs.seq))
-		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		i = next
 	}
 }
 
-func (c *Core) rsReady(rs *rsEntry) bool {
-	for i := 0; i < int(rs.nsrc); i++ {
-		if !c.prfReady[rs.srcPregs[i]] {
-			return false
-		}
-	}
-	return true
+// wake propagates the write of physical register p to both stations:
+// entries whose last unready source was p move onto the ready lists.
+func (c *Core) wake(p rename.PhysReg) {
+	c.iqs.wake(p)
+	c.mems.wake(p)
 }
 
 // schedule books e's completion on the wheel. doneAt is clamped forward
@@ -455,6 +498,7 @@ func (c *Core) writeback() {
 		if e.hasDest {
 			c.prf[e.destPreg] = e.result
 			c.prfReady[e.destPreg] = true
+			c.wake(e.destPreg)
 		}
 		e.executed = true
 		e.completed = true
@@ -534,7 +578,7 @@ func (c *Core) commit() {
 			if c.loadQ.Len() == 0 || c.loadQ.Front().seq != e.seq {
 				panic("core: load queue out of sync at commit")
 			}
-			c.loadQ.PopFront()
+			c.loadQ.DropFront()
 		case isa.ClassStore:
 			if c.storeQ.Len() == 0 || c.storeQ.Front().seq != e.seq {
 				panic("core: store queue out of sync at commit")
@@ -542,7 +586,7 @@ func (c *Core) commit() {
 			c.mem.Write(e.memAddr, e.memValue)
 			c.hier.Access(e.memAddr)
 			c.unmarkStoreExecuted(c.storeQ.Base())
-			c.storeQ.PopFront()
+			c.storeQ.DropFront()
 		}
 		if e.hasCheckpoint {
 			c.checkpointsInFlight--
@@ -569,10 +613,26 @@ func (c *Core) commit() {
 }
 
 // debugCheck compares one committing instruction against the lockstep
-// functional emulator and panics on divergence — the repository's golden
-// invariant that squash reuse never changes architectural behaviour.
+// architectural reference and panics on divergence — the repository's
+// golden invariant that squash reuse never changes architectural
+// behaviour. The reference is either the core-private emulator
+// (standalone runs) or a batch's shared replay stream; the two are
+// bit-identical sources, since the stream records the same emulator's
+// StepInfo and Step writes Regs[Rd] = Outcome.Result for every
+// destination-carrying instruction.
 func (c *Core) debugCheck(e *robEntry) {
-	info := c.checker.Step()
+	var info emu.StepInfo
+	var destWant uint64
+	if c.checkStream != nil {
+		info = c.checkStream.at(c.checkIdx)
+		c.checkIdx++
+		destWant = info.Outcome.Result
+	} else {
+		info = c.checker.Step()
+		if e.hasDest {
+			destWant = c.checker.Regs[e.instr.Rd]
+		}
+	}
 	fail := func(what string, got, want interface{}) {
 		panic(fmt.Sprintf("core: lockstep divergence at pc=0x%x seq=%d (%v): %s = %v, emulator has %v",
 			e.pc, e.seq, e.instr, what, got, want))
@@ -581,8 +641,8 @@ func (c *Core) debugCheck(e *robEntry) {
 		fail("pc", fmt.Sprintf("0x%x", e.pc), fmt.Sprintf("0x%x", info.PC))
 	}
 	if e.hasDest {
-		if want := c.checker.Regs[e.instr.Rd]; e.result != want {
-			fail("result", e.result, want)
+		if e.result != destWant {
+			fail("result", e.result, destWant)
 		}
 	}
 	if e.instr.IsStore() {

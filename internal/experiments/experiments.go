@@ -31,9 +31,12 @@ import (
 // its -jobs bound and -progress/-json observers through every
 // experiment, or — with -remote — to submit every sweep to an msrd
 // daemon through internal/client instead of simulating in-process.
+// Batching is on by default: the figure/phase sweeps submit many specs
+// over the same workload, which the runner folds into lockstep batch
+// groups (bit-identical results, one shared instruction stream each).
 var (
 	runnerMu sync.Mutex
-	runner   sim.Backend = &sim.Runner{}
+	runner   sim.Backend = &sim.Runner{Batching: true}
 )
 
 // SetRunner replaces the backend all experiments execute through.

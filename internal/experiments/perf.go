@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
+	"mssr/internal/core"
 	"mssr/internal/sim"
 	"mssr/internal/workloads"
 )
@@ -18,6 +21,17 @@ import (
 // the refactor bought stays visible; on other hosts only the ratio is
 // meaningful, not the absolute MIPS.
 const baselineSpecMIPS = 0.485
+
+// pr5SpecMIPS is the SPEC-like pooled aggregate recorded in
+// BENCH_PR5.json on the reference host, before the batched SoA sweep
+// work. The batched grid reports its aggregate as a multiple of this
+// figure; as with baselineSpecMIPS, only the ratio is meaningful off
+// the reference host.
+const pr5SpecMIPS = 1.0514
+
+// gridPasses is how many times each grid mode (batched, sequential) is
+// timed; the fastest pass of each is recorded. See perfGrid.
+const gridPasses = 2
 
 // PerfWorkload is one workload's throughput measurement.
 type PerfWorkload struct {
@@ -41,7 +55,48 @@ type PerfSuite struct {
 	PoolSpeedup float64 `json:"pool_speedup"`
 }
 
-// PerfResult is the simulator-throughput benchmark behind BENCH_PR3.json.
+// PerfGridVariant is one engine configuration's aggregate across the
+// grid workloads: total retired instructions over total wall time, in
+// both execution modes. Batched wall is the variant's own in-pipeline
+// time (the shared stream stepping and the once-per-group reference
+// emulation are not billed to any one variant), so its MIPS reads
+// slightly above the sequential figure, which pays the reference
+// emulation on every run.
+type PerfGridVariant struct {
+	Config         string  `json:"config"`
+	MIPS           float64 `json:"mips_batched"`
+	SequentialMIPS float64 `json:"mips_sequential"`
+	Retired        uint64  `json:"retired"`
+}
+
+// PerfGrid is the batched-sweep benchmark: the twelve standard engine
+// configurations over every SPEC-like workload, run once as lockstep
+// batch groups (one group per workload, all twelve variants stepping
+// the shared instruction stream) and once sequentially, on the same
+// warm core pool. Both aggregates are end-to-end sweep throughput —
+// total retired instructions over the wall-clock of the whole pass —
+// so program residency and the once-per-group architectural
+// verification all count. Identical records the correctness gate:
+// every run's stats were byte-identical across the two modes (a
+// divergence fails the experiment before this document is written).
+type PerfGrid struct {
+	Workloads int `json:"workloads"`
+	Configs   int `json:"configs"`
+	Runs      int `json:"runs"`
+	// Passes is how many timed passes each mode ran; the MIPS figures
+	// are from each mode's fastest pass.
+	Passes         int               `json:"passes_per_mode"`
+	MIPS           float64           `json:"mips_batched"`
+	SequentialMIPS float64           `json:"mips_sequential"`
+	BatchSpeedup   float64           `json:"batch_speedup"`
+	Identical      bool              `json:"identical"`
+	PR5SpecMIPS    float64           `json:"pr5_spec_mips"`
+	SpeedupVsPR5   float64           `json:"speedup_vs_pr5"`
+	Variants       []PerfGridVariant `json:"variants"`
+}
+
+// PerfResult is the simulator-throughput benchmark behind the BENCH_PR*
+// documents (currently BENCH_PR6.json).
 type PerfResult struct {
 	Scale  int    `json:"scale"`
 	Engine string `json:"engine"`
@@ -59,6 +114,42 @@ type PerfResult struct {
 	// discipline the refactor enforces; ~0 when the cycle loop is clean.
 	AllocsPerCycle float64        `json:"allocs_per_cycle"`
 	Workloads      []PerfWorkload `json:"workloads"`
+	// Grid is the batched 12-config sweep measurement.
+	Grid PerfGrid `json:"grid"`
+}
+
+// gridVariants are the twelve standard engine configurations — the same
+// set internal/core's equivalence tests sweep — expressed as spec
+// mutations. They differ in engine, geometry, load policy and tuning,
+// which is exactly the per-variant freedom a lockstep batch group
+// allows.
+var gridVariants = []struct {
+	name string
+	set  func(*sim.Spec)
+}{
+	{"none", func(s *sim.Spec) {}},
+	{"rgid-1x64", func(s *sim.Spec) { s.Engine, s.Streams, s.Entries = sim.EngineRGID, 1, 64 }},
+	{"rgid-2x64", func(s *sim.Spec) { s.Engine, s.Streams, s.Entries = sim.EngineRGID, 2, 64 }},
+	{"rgid-4x64", func(s *sim.Spec) { s.Engine, s.Streams, s.Entries = sim.EngineRGID, 4, 64 }},
+	{"rgid-4x16", func(s *sim.Spec) { s.Engine, s.Streams, s.Entries = sim.EngineRGID, 4, 16 }},
+	{"rgid-bloom", func(s *sim.Spec) {
+		s.Engine, s.Streams, s.Entries = sim.EngineRGID, 4, 64
+		s.Loads = sim.LoadBloom
+	}},
+	{"rgid-noload", func(s *sim.Spec) {
+		s.Engine, s.Streams, s.Entries = sim.EngineRGID, 4, 64
+		s.Loads = sim.LoadNoReuse
+	}},
+	{"rgid-tiny", func(s *sim.Spec) {
+		s.Engine, s.Streams, s.Entries = sim.EngineRGID, 4, 64
+		// 3-bit RGIDs force frequent overflow resets.
+		s.Tune = func(c *core.Config) { c.RGIDBits = 3 }
+		s.TuneKey = "rgid3"
+	}},
+	{"ri-64x4", func(s *sim.Spec) { s.Engine, s.Sets, s.Ways = sim.EngineRI, 64, 4 }},
+	{"ri-64x1", func(s *sim.Spec) { s.Engine, s.Sets, s.Ways = sim.EngineRI, 64, 1 }},
+	{"dir-value", func(s *sim.Spec) { s.Engine, s.Sets, s.Ways = sim.EngineDIRValue, 64, 4 }},
+	{"dir-name", func(s *sim.Spec) { s.Engine, s.Sets, s.Ways = sim.EngineDIRName, 64, 4 }},
 }
 
 // perfSpecs builds the sweep: every SPEC-like and GAP-like workload
@@ -80,12 +171,150 @@ func perfSpecs(scale int) ([]sim.Spec, error) {
 	return specs, nil
 }
 
+// perfGridSpecs builds the 12-config SPEC-like grid: every SPEC-like
+// workload under every standard engine configuration, with one program
+// built up front and shared by the workload's twelve specs — the
+// pointer identity the batch grouping keys on. variantOf maps each
+// spec back to its gridVariants index; nWork counts the workloads.
+func perfGridSpecs(scale int) (specs []sim.Spec, variantOf []int, nWork int, err error) {
+	for _, suite := range []string{"spec2006", "spec2017"} {
+		for _, w := range workloads.Suite(suite) {
+			p, err := workloads.Build(w.Name, scale)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("build %s: %w", w.Name, err)
+			}
+			nWork++
+			for vi, v := range gridVariants {
+				s := sim.Spec{
+					Label:   w.Name + "/" + v.name,
+					Program: p,
+					// The final architectural state of every member is
+					// cross-checked against the emulator; under batching
+					// the reference emulation runs once per group.
+					VerifyArch: true,
+				}
+				v.set(&s)
+				specs = append(specs, s)
+				variantOf = append(variantOf, vi)
+			}
+		}
+	}
+	return specs, variantOf, nWork, nil
+}
+
+// perfGrid measures the batched grid: gridPasses batched passes (one
+// lockstep group per workload) and gridPasses sequential passes over
+// identical specs, both modes on the same warm pool, keeping each
+// mode's fastest pass and byte-comparing every run's stats between the
+// modes. The pool is pre-warmed with a tiny batched run so no measured
+// pass pays core construction; the batched passes go first, which if
+// anything biases against them (the sequential passes inherit cores
+// whose memory pages the full-scale workloads already grew).
+func perfGrid(ctx context.Context, scale int) (*PerfGrid, error) {
+	specs, variantOf, nWork, err := perfGridSpecs(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	runner := &sim.Runner{Jobs: 1, Batching: true}
+	warm := make([]sim.Spec, len(gridVariants))
+	for i, v := range gridVariants {
+		s := sim.Spec{Label: "warm/" + v.name, Workload: "astar", Scale: 0}
+		v.set(&s)
+		warm[i] = s
+	}
+	if _, err := runner.Run(ctx, warm); err != nil {
+		return nil, err
+	}
+
+	// Each mode is timed gridPasses times and the fastest pass is kept:
+	// the runs are deterministic, so back-to-back passes do identical
+	// work, and the minimum wall is the standard estimator that rejects
+	// interference noise on a shared host (single passes swing ±10%).
+	measure := func() ([]sim.Result, float64, error) {
+		var best []sim.Result
+		bestWall := -1.0
+		for pass := 0; pass < gridPasses; pass++ {
+			start := time.Now()
+			res, err := runner.Run(ctx, specs)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, 0, err
+			}
+			if bestWall < 0 || wall < bestWall {
+				best, bestWall = res, wall
+			}
+		}
+		return best, bestWall, nil
+	}
+	batched, batchedWall, err := measure()
+	if err != nil {
+		return nil, err
+	}
+	runner.Batching = false
+	sequential, sequentialWall, err := measure()
+	if err != nil {
+		return nil, err
+	}
+
+	g := &PerfGrid{
+		Workloads:   nWork,
+		Configs:     len(gridVariants),
+		Runs:        len(specs),
+		Passes:      gridPasses,
+		Identical:   true,
+		PR5SpecMIPS: pr5SpecMIPS,
+	}
+	type agg struct {
+		retired              uint64
+		wall, sequentialWall float64
+	}
+	per := make([]agg, len(gridVariants))
+	var totalRetired uint64
+	for i := range specs {
+		b, s := &batched[i], &sequential[i]
+		bb, _ := json.Marshal(b.Stats)
+		sb, _ := json.Marshal(s.Stats)
+		if !bytes.Equal(bb, sb) {
+			g.Identical = false
+			return nil, fmt.Errorf("perf grid: %s: batched stats diverge from sequential:\nbatched:    %s\nsequential: %s",
+				b.Key, bb, sb)
+		}
+		totalRetired += b.Stats.Retired
+		a := &per[variantOf[i]]
+		a.retired += b.Stats.Retired
+		a.wall += b.Wall.Seconds()
+		a.sequentialWall += s.Wall.Seconds()
+	}
+	mips := func(retired uint64, wall float64) float64 {
+		if wall <= 0 {
+			return 0
+		}
+		return float64(retired) / wall / 1e6
+	}
+	for vi, v := range gridVariants {
+		g.Variants = append(g.Variants, PerfGridVariant{
+			Config:         v.name,
+			MIPS:           mips(per[vi].retired, per[vi].wall),
+			SequentialMIPS: mips(per[vi].retired, per[vi].sequentialWall),
+			Retired:        per[vi].retired,
+		})
+	}
+	g.MIPS = mips(totalRetired, batchedWall)
+	g.SequentialMIPS = mips(totalRetired, sequentialWall)
+	if g.SequentialMIPS > 0 {
+		g.BatchSpeedup = g.MIPS / g.SequentialMIPS
+	}
+	g.SpeedupVsPR5 = g.MIPS / pr5SpecMIPS
+	return g, nil
+}
+
 // Perf measures simulator throughput. It always simulates in-process —
 // host wall-clock is the quantity under test, so the shared backend
 // (which may point at a remote daemon) is deliberately bypassed. Three
 // serial passes: pooling disabled, a pool warm-up, and a measured
 // steady-state pass on the warm pool with the allocation counter read
-// around it.
+// around it. The batched 12-config grid (see PerfGrid) runs last.
 func Perf(scale int) (*PerfResult, error) {
 	ctx := context.Background()
 	specs, err := perfSpecs(scale)
@@ -167,10 +396,16 @@ func Perf(scale int) (*PerfResult, error) {
 	if totalCycles > 0 {
 		r.AllocsPerCycle = float64(after.Mallocs-before.Mallocs) / float64(totalCycles)
 	}
+
+	grid, err := perfGrid(ctx, scale)
+	if err != nil {
+		return nil, err
+	}
+	r.Grid = *grid
 	return r, nil
 }
 
-// JSON renders the BENCH_PR5.json document.
+// JSON renders the BENCH_PR6.json document.
 func (r *PerfResult) JSON() string {
 	b, _ := json.MarshalIndent(r, "", "  ")
 	return string(b) + "\n"
@@ -209,5 +444,18 @@ func (r *PerfResult) Render() string {
 	fmt.Fprintf(&sb, "vs pre-refactor baseline (%.3f MIPS on the reference host): %.2fx\n",
 		r.BaselineSpecMIPS, r.SpeedupVsBaseline)
 	fmt.Fprintf(&sb, "steady-state allocations: %.4f objects per simulated cycle\n", r.AllocsPerCycle)
+	g := &r.Grid
+	if g.Runs > 0 {
+		fmt.Fprintf(&sb, "\nBatched grid: %d configs x %d SPEC-like workloads (%d runs), lockstep groups vs sequential, best of %d passes per mode\n",
+			g.Configs, g.Workloads, g.Runs, g.Passes)
+		fmt.Fprintf(&sb, "%-18s%12s%12s%12s\n", "config", "batched", "sequential", "retired")
+		for _, v := range g.Variants {
+			fmt.Fprintf(&sb, "%-18s%12.2f%12.2f%12d\n", v.Config, v.MIPS, v.SequentialMIPS, v.Retired)
+		}
+		fmt.Fprintf(&sb, "grid aggregate: %.3f MIPS batched, %.3f sequential (batch speedup %.2fx); stats byte-identical: %v\n",
+			g.MIPS, g.SequentialMIPS, g.BatchSpeedup, g.Identical)
+		fmt.Fprintf(&sb, "vs BENCH_PR5 SPEC aggregate (%.4f MIPS on the reference host): %.2fx\n",
+			g.PR5SpecMIPS, g.SpeedupVsPR5)
+	}
 	return sb.String()
 }

@@ -55,13 +55,20 @@ type Unit struct {
 	stalled bool // a HALT was fetched; wait for a redirect or the end
 
 	// instrs backs Block.Instrs so block formation never allocates; the
-	// returned slice is valid until the next NextBlock call.
-	instrs [isa.FetchBlockInstrs]FetchedInstr
+	// returned slice is valid until the next NextBlock call. scratch is
+	// the fill cursor handed out by scratchSlot.
+	instrs  [isa.FetchBlockInstrs]FetchedInstr
+	scratch int
+	// scratchFn is the pre-bound scratchSlot method value, built once so
+	// NextBlock never allocates a closure per block.
+	scratchFn func() *FetchedInstr
 }
 
 // New builds a fetch unit starting at the program entry.
 func New(prog *isa.Program, bp *bpred.Unit) *Unit {
-	return &Unit{prog: prog, bp: bp, pc: prog.Base}
+	u := &Unit{prog: prog, bp: bp, pc: prog.Base}
+	u.scratchFn = u.scratchSlot
+	return u
 }
 
 // Reset restarts fetch at prog's entry. The attached branch predictor is
@@ -97,15 +104,47 @@ func (u *Unit) Redirect(pc uint64) {
 // can run past program boundaries the way real hardware runs into arbitrary
 // cache lines.
 func (u *Unit) NextBlock() (Block, bool) {
-	if u.stalled {
+	blk, n, ok := u.NextBlockInto(u.scratchFn)
+	if !ok {
 		return Block{}, false
 	}
-	blk := Block{StartPC: u.pc}
+	blk.Instrs = u.instrs[:n]
+	return blk, true
+}
+
+// scratchSlot hands NextBlockInto successive slots of the Unit's scratch
+// buffer; u.scratch is reset by NextBlockInto before block formation.
+func (u *Unit) scratchSlot() *FetchedInstr {
+	fi := &u.instrs[u.scratch]
+	u.scratch++
+	return fi
+}
+
+// NextBlockInto forms one prediction block exactly like NextBlock, but
+// writes each instruction directly into the destination returned by next —
+// typically the core's fetch-queue slots — instead of the scratch buffer,
+// eliminating the 96-byte copy-out per fetched instruction on the hot
+// path. next is called once per instruction, in fetch order, at most
+// isa.FetchBlockInstrs times; the destination's previous contents are
+// fully overwritten. The returned Block carries the PC metadata only
+// (Instrs stays nil); n is the number of instructions produced.
+func (u *Unit) NextBlockInto(next func() *FetchedInstr) (blk Block, n int, ok bool) {
+	if u.stalled {
+		return Block{}, 0, false
+	}
+	u.scratch = 0
+	blk = Block{StartPC: u.pc}
 	pc := u.pc
-	n := 0
 	for n < isa.FetchBlockInstrs {
 		in, onPath := u.prog.At(pc)
-		fi := FetchedInstr{PC: pc, Instr: in, OnPath: onPath, Snapshot: u.bp.Snapshot()}
+		fi := next()
+		fi.PC = pc
+		fi.Instr = in
+		fi.OnPath = onPath
+		fi.Snapshot = u.bp.Snapshot()
+		fi.PredTaken = false
+		fi.IsCall = false
+		fi.IsReturn = false
 		end := false
 		switch in.Class() {
 		case isa.ClassBranch:
@@ -158,7 +197,6 @@ func (u *Unit) NextBlock() (Block, bool) {
 		default:
 			fi.PredNextPC = pc + isa.InstrBytes
 		}
-		u.instrs[n] = fi
 		n++
 		blk.EndPC = pc
 		pc = fi.PredNextPC
@@ -166,8 +204,7 @@ func (u *Unit) NextBlock() (Block, bool) {
 			break
 		}
 	}
-	blk.Instrs = u.instrs[:n]
 	blk.NextPC = pc
 	u.pc = pc
-	return blk, true
+	return blk, n, true
 }

@@ -181,9 +181,10 @@ type Instruction struct {
 	Target uint64
 }
 
-// Class reports the functional-unit class of the instruction.
-func (in Instruction) Class() Class {
-	switch in.Op {
+// classOf is the switch-based classifier the decode tables are built
+// from; the hot-path helpers below read the tables instead.
+func classOf(op Op) Class {
+	switch op {
 	case MUL:
 		return ClassMul
 	case DIV, REM:
@@ -207,17 +208,55 @@ func (in Instruction) Class() Class {
 	}
 }
 
+func numSourcesOf(op Op) uint8 {
+	switch op {
+	case NOP, HALT, LI, JAL:
+		return 0
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LD, JALR:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Per-opcode decode tables. The classifiers run for every instruction
+// in every pipeline stage of the timing core, several times each; a
+// 256-entry table turns them into a single L1-resident load (Op is a
+// uint8, so indexing needs no bounds check) with answers identical to
+// the switches above, including the ALU/2-source defaults for opcode
+// values outside the defined set.
+var (
+	opClassTab [256]Class
+	opNSrcTab  [256]uint8
+	opCtlTab   [256]bool
+	opDestTab  [256]bool // the class allows a destination (Rd still decides)
+)
+
+func init() {
+	for i := range opClassTab {
+		c := classOf(Op(i))
+		opClassTab[i] = c
+		opNSrcTab[i] = numSourcesOf(Op(i))
+		switch c {
+		case ClassBranch, ClassJump, ClassJumpR, ClassHalt:
+			opCtlTab[i] = true
+		}
+		switch c {
+		case ClassStore, ClassBranch, ClassHalt, ClassNop:
+		default:
+			opDestTab[i] = true
+		}
+	}
+}
+
+// Class reports the functional-unit class of the instruction.
+func (in Instruction) Class() Class { return opClassTab[in.Op] }
+
 // IsBranch reports whether the instruction is a conditional branch.
-func (in Instruction) IsBranch() bool { return in.Class() == ClassBranch }
+func (in Instruction) IsBranch() bool { return opClassTab[in.Op] == ClassBranch }
 
 // IsControl reports whether the instruction can redirect the PC.
-func (in Instruction) IsControl() bool {
-	switch in.Class() {
-	case ClassBranch, ClassJump, ClassJumpR, ClassHalt:
-		return true
-	}
-	return false
-}
+func (in Instruction) IsControl() bool { return opCtlTab[in.Op] }
 
 // IsLoad reports whether the instruction reads data memory.
 func (in Instruction) IsLoad() bool { return in.Op == LD }
@@ -227,27 +266,12 @@ func (in Instruction) IsStore() bool { return in.Op == ST }
 
 // HasDest reports whether the instruction architecturally writes Rd. Writes
 // to the zero register are discarded and treated as having no destination.
-func (in Instruction) HasDest() bool {
-	switch in.Class() {
-	case ClassStore, ClassBranch, ClassHalt, ClassNop:
-		return false
-	}
-	return in.Rd != Zero
-}
+func (in Instruction) HasDest() bool { return opDestTab[in.Op] && in.Rd != Zero }
 
 // NumSources reports how many register sources the instruction reads.
 // Sources always occupy Rs1 first: an instruction with one source reads
 // Rs1 only.
-func (in Instruction) NumSources() int {
-	switch in.Op {
-	case NOP, HALT, LI, JAL:
-		return 0
-	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LD, JALR:
-		return 1
-	default:
-		return 2
-	}
-}
+func (in Instruction) NumSources() int { return int(opNSrcTab[in.Op]) }
 
 // Src returns the i-th source register (0-based). It panics when i is out
 // of range for the instruction; use NumSources to bound the iteration.

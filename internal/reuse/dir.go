@@ -77,7 +77,33 @@ type DIR struct {
 	st   *stats.Stats
 	sets [][]dirEntry
 
+	// nameRefs[r] counts how many valid entries name architectural
+	// register r as a source. The name scheme's eager invalidation runs
+	// for every renamed destination; the count lets the overwhelmingly
+	// common no-match case return in O(1) while a scan that does run is
+	// unchanged — entry deaths, their order and every counter stay
+	// bit-identical to the always-scan implementation.
+	nameRefs [256]uint32
+	occupied int
+
 	bloom *bloomFilter
+}
+
+// noteInsert and noteDrop keep nameRefs and the occupancy in step with
+// entry lifetimes. Every transition of an entry's valid flag goes
+// through exactly one of them.
+func (d *DIR) noteInsert(e *dirEntry) {
+	d.occupied++
+	for i := 0; i < e.nsrc; i++ {
+		d.nameRefs[e.srcRegs[i]]++
+	}
+}
+
+func (d *DIR) noteDrop(e *dirEntry) {
+	d.occupied--
+	for i := 0; i < e.nsrc; i++ {
+		d.nameRefs[e.srcRegs[i]]--
+	}
 }
 
 // NewDIR builds the engine. st may be nil.
@@ -115,9 +141,15 @@ func (d *DIR) BeginStream(uint64) {
 }
 
 func (d *DIR) invalidateEntries() {
+	if d.occupied == 0 {
+		return
+	}
 	for set := range d.sets {
 		for w := range d.sets[set] {
-			d.sets[set][w].valid = false
+			if e := &d.sets[set][w]; e.valid {
+				e.valid = false
+				d.noteDrop(e)
+			}
 		}
 	}
 }
@@ -180,7 +212,11 @@ func (d *DIR) Capture(si SquashedInstr) {
 			d.st.RIReplacements[set%len(d.st.RIReplacements)]++
 		}
 	}
+	if ways[victim].valid {
+		d.noteDrop(&ways[victim])
+	}
 	ways[victim] = e
+	d.noteInsert(&ways[victim])
 	d.touch(set, victim)
 }
 
@@ -243,17 +279,20 @@ func (d *DIR) TryReuse(req Request) (Grant, bool) {
 			case LoadNoReuse:
 				d.st.ReuseFailKind++
 				e.valid = false
+				d.noteDrop(e)
 				return Grant{}, false
 			case LoadBloom:
 				if d.bloom.MayContain(e.memAddr) {
 					d.st.BloomFilterRejects++
 					e.valid = false
+					d.noteDrop(e)
 					return Grant{}, false
 				}
 			}
 		}
 		g := Grant{ByValue: true, Value: e.result, DestGen: rename.NullRGID, IsLoad: e.isLoad, MemAddr: e.memAddr}
 		e.valid = false // consumed; the buffer stores one context per entry
+		d.noteDrop(e)
 		d.st.ReuseHits++
 		if e.isLoad {
 			d.st.ReusedLoads++
@@ -264,8 +303,13 @@ func (d *DIR) TryReuse(req Request) (Grant, bool) {
 }
 
 // invalidateName drops entries whose sources read rd (the name scheme's
-// eager invalidation on architectural overwrite).
+// eager invalidation on architectural overwrite). The reference counts
+// make the no-match case — almost every renamed destination — a
+// constant-time return.
 func (d *DIR) invalidateName(rd isa.Reg) {
+	if d.nameRefs[rd] == 0 {
+		return
+	}
 	for set := range d.sets {
 		for w := range d.sets[set] {
 			e := &d.sets[set][w]
@@ -275,6 +319,7 @@ func (d *DIR) invalidateName(rd isa.Reg) {
 			for i := 0; i < e.nsrc; i++ {
 				if e.srcRegs[i] == rd {
 					e.valid = false
+					d.noteDrop(e)
 					d.st.RIInvalidates++
 					break
 				}
@@ -322,19 +367,12 @@ func (d *DIR) Reset() {
 	for set := range d.sets {
 		clear(d.sets[set])
 	}
+	clear(d.nameRefs[:])
+	d.occupied = 0
 	if d.bloom != nil {
 		d.bloom.Reset()
 	}
 }
 
 // Occupied implements Engine.
-func (d *DIR) Occupied() bool {
-	for set := range d.sets {
-		for w := range d.sets[set] {
-			if d.sets[set][w].valid {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (d *DIR) Occupied() bool { return d.occupied > 0 }

@@ -52,6 +52,16 @@ type RegisterIntegration struct {
 	st   *stats.Stats
 	sets [][]riEntry
 
+	// srcRefs[p] counts how many valid entries name physical register p
+	// as a source (an entry naming p twice counts twice). The transitive
+	// invalidation walk only scans the table when the freed register is
+	// actually referenced — the common free touches nothing and returns
+	// in O(1) — while the scan itself, when it runs, is unchanged, so the
+	// modelled behaviour (which entries die, in which order, and every
+	// counter) is bit-identical to the always-scan implementation.
+	srcRefs  []uint32
+	occupied int
+
 	bloom *bloomFilter
 }
 
@@ -60,7 +70,7 @@ func NewRegisterIntegration(cfg RIConfig, k Kernel, st *stats.Stats) *RegisterIn
 	if cfg.Sets < 1 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways < 1 {
 		panic(fmt.Sprintf("reuse: invalid RIConfig %+v", cfg))
 	}
-	r := &RegisterIntegration{cfg: cfg, k: k, st: statsOf(st)}
+	r := &RegisterIntegration{cfg: cfg, k: k, st: statsOf(st), srcRefs: make([]uint32, 512)}
 	r.sets = make([][]riEntry, cfg.Sets)
 	for i := range r.sets {
 		r.sets[i] = make([]riEntry, cfg.Ways)
@@ -122,7 +132,34 @@ func (r *RegisterIntegration) Capture(si SquashedInstr) {
 	}
 	r.k.HoldPreg(e.destPreg)
 	ways[victim] = e
+	r.noteInsert(&ways[victim])
 	r.touch(set, victim)
+}
+
+// noteInsert and noteDrop keep the source-reference counts and the
+// occupancy in step with entry lifetimes. Every transition of an
+// entry's valid flag goes through exactly one of them.
+func (r *RegisterIntegration) noteInsert(e *riEntry) {
+	r.occupied++
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcPregs[i]; p != rename.NoPreg {
+			if int(p) >= len(r.srcRefs) {
+				grown := make([]uint32, int(p)+64)
+				copy(grown, r.srcRefs)
+				r.srcRefs = grown
+			}
+			r.srcRefs[p]++
+		}
+	}
+}
+
+func (r *RegisterIntegration) noteDrop(e *riEntry) {
+	r.occupied--
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcPregs[i]; p != rename.NoPreg {
+			r.srcRefs[p]--
+		}
+	}
 }
 
 // EndStream implements Engine.
@@ -139,12 +176,18 @@ func (r *RegisterIntegration) evict(set, way int) {
 	}
 	dest := e.destPreg
 	e.valid = false
+	r.noteDrop(e)
 	r.k.ReleasePreg(dest)
 	r.invalidateSourceRefs(dest)
 }
 
 // invalidateSourceRefs evicts every entry whose sources reference p.
+// The reference counts make the no-match case — almost every freed
+// register — a constant-time return.
 func (r *RegisterIntegration) invalidateSourceRefs(p rename.PhysReg) {
+	if int(p) >= len(r.srcRefs) || r.srcRefs[p] == 0 {
+		return
+	}
 	for set := range r.sets {
 		for way := range r.sets[set] {
 			e := &r.sets[set][way]
@@ -224,6 +267,7 @@ func (r *RegisterIntegration) TryReuse(req Request) (Grant, bool) {
 		// reservation to the core.
 		g := Grant{DestPreg: e.destPreg, DestGen: rename.NullRGID, IsLoad: e.isLoad, MemAddr: e.memAddr}
 		e.valid = false
+		r.noteDrop(e)
 		r.st.ReuseHits++
 		r.st.RIHits++
 		if e.isLoad {
@@ -254,6 +298,9 @@ func (r *RegisterIntegration) OnPregFreed(p rename.PhysReg) {
 // Reclaim implements Engine: under free-list pressure, drop one valid
 // entry (oldest-LRU of the first occupied set).
 func (r *RegisterIntegration) Reclaim() bool {
+	if r.occupied == 0 {
+		return false
+	}
 	for set := range r.sets {
 		for way := range r.sets[set] {
 			if r.sets[set][way].valid {
@@ -267,12 +314,15 @@ func (r *RegisterIntegration) Reclaim() bool {
 
 // InvalidateAll implements Engine.
 func (r *RegisterIntegration) InvalidateAll() {
-	for set := range r.sets {
-		for way := range r.sets[set] {
-			if r.sets[set][way].valid {
-				e := &r.sets[set][way]
-				e.valid = false
-				r.k.ReleasePreg(e.destPreg)
+	if r.occupied > 0 {
+		for set := range r.sets {
+			for way := range r.sets[set] {
+				if r.sets[set][way].valid {
+					e := &r.sets[set][way]
+					e.valid = false
+					r.noteDrop(e)
+					r.k.ReleasePreg(e.destPreg)
+				}
 			}
 		}
 	}
@@ -289,16 +339,9 @@ func (r *RegisterIntegration) Reset() {
 	for set := range r.sets {
 		clear(r.sets[set])
 	}
+	clear(r.srcRefs)
+	r.occupied = 0
 }
 
 // Occupied implements Engine.
-func (r *RegisterIntegration) Occupied() bool {
-	for set := range r.sets {
-		for way := range r.sets[set] {
-			if r.sets[set][way].valid {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (r *RegisterIntegration) Occupied() bool { return r.occupied > 0 }

@@ -55,6 +55,14 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// JobTimeout bounds a whole job's execution (0 = unbounded).
 	JobTimeout time.Duration
+	// Batch enables lockstep batch admission: a job's leader specs that
+	// share a workload+scale execute as one batch group over a shared
+	// instruction stream (sim.Runner.Batching). Per-job accounting,
+	// dedup/caching (keyed on CanonicalKey) and the interval endpoints
+	// are unaffected on the wire — results are bit-identical to
+	// unbatched execution, and each job still reports its own wall time
+	// and MIPS.
+	Batch bool
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (0 = 1s).
 	RetryAfter time.Duration
@@ -289,8 +297,9 @@ func (s *Server) runJob(j *job) {
 		backend := s.cfg.Backend
 		if backend == nil {
 			backend = &sim.Runner{
-				Jobs:    s.cfg.SimJobs,
-				Timeout: s.cfg.DefaultTimeout,
+				Jobs:     s.cfg.SimJobs,
+				Timeout:  s.cfg.DefaultTimeout,
+				Batching: s.cfg.Batch,
 				Observer: &flightObserver{
 					s: s, j: j, idx: leaderIdx, flights: leaderFlights,
 				},

@@ -154,6 +154,55 @@ func TestSubmitRunAndStatus(t *testing.T) {
 	}
 }
 
+// TestBatchAdmissionMatchesUnbatched pins that enabling lockstep batch
+// admission changes nothing on the wire: the same submission served by a
+// batching daemon returns results in the same order, from the same
+// source, with identical simulation counters.
+func TestBatchAdmissionMatchesUnbatched(t *testing.T) {
+	ctx := context.Background()
+	_, _, plain := newTestDaemon(t, server.Config{})
+	_, _, batched := newTestDaemon(t, server.Config{Batch: true})
+
+	specs := []api.Spec{
+		{Workload: "nested-mispred", Scale: 0},
+		{Workload: "linear-mispred", Scale: 0},
+		{Workload: "nested-mispred", Scale: 0, Engine: "rgid", Streams: 4, Entries: 64},
+		{Workload: "linear-mispred", Scale: 0, Engine: "ri"},
+	}
+	run := func(c *client.Client) *api.JobStatus {
+		sub, err := c.Submit(ctx, specs)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		st, err := c.Wait(ctx, sub.JobID)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if st.State != api.StateDone || st.Error != "" {
+			t.Fatalf("job did not finish cleanly: %+v", st)
+		}
+		return st
+	}
+	want, got := run(plain), run(batched)
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("batched daemon returned %d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		w, g := want.Results[i], got.Results[i]
+		if g.Index != i || g.CacheKey != w.CacheKey {
+			t.Errorf("result %d: batched key/order (%d, %q) diverges from (%d, %q)",
+				i, g.Index, g.CacheKey, w.Index, w.CacheKey)
+		}
+		if g.Cycles != w.Cycles || g.Retired != w.Retired {
+			t.Errorf("result %d (%s): batched counters cycles=%d retired=%d, want cycles=%d retired=%d",
+				i, w.CacheKey, g.Cycles, g.Retired, w.Cycles, w.Retired)
+		}
+		if g.Error != "" {
+			t.Errorf("result %d: batched error %q", i, g.Error)
+		}
+	}
+}
+
 func TestUnknownJob404(t *testing.T) {
 	_, ts, c := newTestDaemon(t, server.Config{})
 	if _, err := c.Job(context.Background(), "nope"); err == nil {

@@ -68,6 +68,54 @@ func TestPooledDeterminism(t *testing.T) {
 			t.Errorf("job %d: parallel pooled stats diverge", i)
 		}
 	}
+
+	// Batched: the alternating sweep forms two lockstep groups (the even
+	// jobs share one workload, the odd jobs the other), served by pooled
+	// cores and one shared VerifyArch reference per group. Every result
+	// must stay byte-identical to the unbatched fresh run.
+	batched, err := (&Runner{Jobs: 1, Batching: true}).Run(ctx, poolSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batched {
+		if string(statsBytes(t, batched[i])) != string(statsBytes(t, fresh[i])) {
+			t.Errorf("job %d: batched stats diverge from fresh core:\nfresh:   %s\nbatched: %s",
+				i, statsBytes(t, fresh[i]), statsBytes(t, batched[i]))
+		}
+		if batched[i].Arch.Retired == 0 || batched[i].Arch != fresh[i].Arch {
+			t.Errorf("job %d: architectural state diverged under batching", i)
+		}
+		if batched[i].MIPS <= 0 {
+			t.Errorf("job %d: batched MIPS not computed: %v", i, batched[i].MIPS)
+		}
+	}
+}
+
+// TestBatchedRunSubmissionOrder pins the ordering contract under batch
+// grouping: grouping pulls non-adjacent specs (same workload) into one
+// execution unit, but Run must still return results positionally — the
+// i-th result describes the i-th submitted spec.
+func TestBatchedRunSubmissionOrder(t *testing.T) {
+	specs := poolSweep() // workloads interleave A,B,A,B,... so groups reorder execution
+	r := &Runner{Jobs: 2, Batching: true}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for i := range results {
+		if results[i].Index != i {
+			t.Errorf("result %d carries Index %d", i, results[i].Index)
+		}
+		if results[i].Key != specs[i].Key() {
+			t.Errorf("result %d keyed %q, want %q", i, results[i].Key, specs[i].Key())
+		}
+		if results[i].Program == "" || results[i].Stats == nil {
+			t.Errorf("result %d incomplete: program=%q stats=%v", i, results[i].Program, results[i].Stats)
+		}
+	}
 }
 
 // TestPoolKeyTracerUnpoolable pins the one spec class that must bypass

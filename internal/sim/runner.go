@@ -78,6 +78,20 @@ type Runner struct {
 	// through Core.Reset), so this exists for benchmarking the pooling
 	// win, not for correctness escape hatches.
 	FreshCores bool
+	// Batching groups compatible specs — same workload+scale (or the same
+	// pre-built Program), no tracer, no per-spec timeout — into lockstep
+	// batch groups executed by core.Batch: the program is built once per
+	// group, every member core steps the shared instruction stream in
+	// retire-count strides, commit-time checking consumes one shared
+	// architectural replay, and VerifyArch runs the reference emulation
+	// once per group. Per-spec results are bit-identical to unbatched
+	// execution (the members are fully independent cores) and come back
+	// in submission order regardless of how grouping reorders execution.
+	// Result.Wall for a batch member is its own in-pipeline time, so
+	// per-job MIPS accounting stays truthful. When the Runner has a
+	// default Timeout it bounds each batch group at Timeout × group size
+	// (members share one clock, so the per-job budget is pooled).
+	Batching bool
 
 	// pools caches fully-built cores per pool key (engine + geometry +
 	// config modifiers) so successive jobs with the same configuration
@@ -117,12 +131,13 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	}
 
 	results := make([]Result, len(specs))
+	jobs := r.groupJobs(specs)
 	workers := r.Jobs
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 
 	idx := make(chan int)
@@ -131,14 +146,19 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				key := specs[i].Key()
-				if r.Observer != nil {
-					r.Observer.OnStart(i, len(specs), key)
-				}
-				results[i] = r.runOne(ctx, i, specs[i])
-				if r.Observer != nil {
-					r.Observer.OnFinish(i, len(specs), results[i])
+			for j := range idx {
+				if job := jobs[j]; len(job) == 1 {
+					i := job[0]
+					key := specs[i].Key()
+					if r.Observer != nil {
+						r.Observer.OnStart(i, len(specs), key)
+					}
+					results[i] = r.runOne(ctx, i, specs[i])
+					if r.Observer != nil {
+						r.Observer.OnFinish(i, len(specs), results[i])
+					}
+				} else {
+					r.runBatch(ctx, specs, job, results)
 				}
 			}
 		}()
@@ -146,7 +166,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 
 	next := 0
 dispatch:
-	for ; next < len(specs); next++ {
+	for ; next < len(jobs); next++ {
 		select {
 		case idx <- next:
 		case <-ctx.Done():
@@ -158,8 +178,10 @@ dispatch:
 
 	// Jobs the cancellation prevented from starting still get a keyed
 	// result so the output stays positional.
-	for i := next; i < len(specs); i++ {
-		results[i] = Result{Index: i, Key: specs[i].Key(), Spec: specs[i], Err: ctx.Err()}
+	for j := next; j < len(jobs); j++ {
+		for _, i := range jobs[j] {
+			results[i] = Result{Index: i, Key: specs[i].Key(), Spec: specs[i], Err: ctx.Err()}
+		}
 	}
 
 	var errs []error
@@ -169,6 +191,166 @@ dispatch:
 		}
 	}
 	return results, errors.Join(errs...)
+}
+
+// groupJobs partitions the spec indices into execution jobs: singleton
+// jobs run through runOne exactly as an unbatched Runner would, and
+// multi-member jobs run as one lockstep batch group. Without Batching
+// every spec is its own job. Grouping never changes result positions —
+// each job carries the original submission indices and results are
+// written positionally.
+func (r *Runner) groupJobs(specs []Spec) [][]int {
+	jobs := make([][]int, 0, len(specs))
+	if !r.Batching {
+		for i := range specs {
+			jobs = append(jobs, []int{i})
+		}
+		return jobs
+	}
+	groups := make(map[string]int) // batch key -> index into jobs
+	for i := range specs {
+		key, ok := specs[i].batchKey()
+		if !ok {
+			jobs = append(jobs, []int{i})
+			continue
+		}
+		if j, seen := groups[key]; seen {
+			jobs[j] = append(jobs[j], i)
+			continue
+		}
+		groups[key] = len(jobs)
+		jobs = append(jobs, []int{i})
+	}
+	return jobs
+}
+
+// runBatch executes one batch group — specs that share a program — in
+// lockstep on a core.Batch, writing each member's Result at its original
+// submission index. Per-member semantics match runOne: stats are cloned
+// before pooled cores return, errors stay per-member, a member's MIPS is
+// derived from its own in-pipeline wall time, and VerifyArch compares
+// against a reference emulation that runs once for the whole group.
+func (r *Runner) runBatch(ctx context.Context, specs []Spec, idxs []int, results []Result) {
+	for _, i := range idxs {
+		results[i] = Result{Index: i, Key: specs[i].Key(), Spec: specs[i]}
+		if r.Observer != nil {
+			r.Observer.OnStart(i, len(specs), results[i].Key)
+		}
+	}
+	if t := r.Timeout; t > 0 {
+		// Members share one clock, so the group pools its per-job budgets.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t*time.Duration(len(idxs)))
+		defer cancel()
+	}
+	defer func() {
+		p := recover()
+		for _, i := range idxs {
+			res := &results[i]
+			if p != nil && res.Err == nil && res.Stats == nil {
+				// A panic aborts the whole group; members without a
+				// completed result share the failure.
+				res.Err = fmt.Errorf("batch panic: %v\n%s", p, debug.Stack())
+			}
+			if res.Stats != nil && res.Wall > 0 {
+				res.MIPS = float64(res.Stats.Retired) / res.Wall.Seconds() / 1e6
+			}
+			if r.Observer != nil {
+				r.Observer.OnFinish(i, len(specs), *res)
+			}
+		}
+	}()
+
+	prog, err := specs[idxs[0]].BuildProgram()
+	if err != nil {
+		for _, i := range idxs {
+			results[i].Err = err
+		}
+		return
+	}
+	cores := make([]*core.Core, 0, len(idxs))
+	members := make([]int, 0, len(idxs))
+	pools := make([]*sync.Pool, 0, len(idxs))
+	for _, i := range idxs {
+		s := &specs[i]
+		results[i].Program = prog.Name
+		cfg, err := s.Config()
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		var pl *sync.Pool
+		if !r.FreshCores {
+			if key := s.poolKey(); key != "" {
+				pl = r.pool(key)
+			}
+		}
+		var c *core.Core
+		if pl != nil {
+			if v := pl.Get(); v != nil {
+				c = v.(*core.Core)
+				c.Reset(prog)
+			}
+		}
+		if c == nil {
+			c = core.New(prog, cfg)
+		}
+		results[i].EngineName = c.EngineName()
+		cores = append(cores, c)
+		members = append(members, i)
+		pools = append(pools, pl)
+	}
+	if len(cores) == 0 {
+		return
+	}
+	b, err := core.NewBatch(cores, 0)
+	if err != nil {
+		for _, i := range members {
+			results[i].Err = err
+		}
+		return
+	}
+	errs := b.Run(ctx)
+	walls := b.Walls()
+
+	var want emu.Result
+	var wantErr error
+	verified := false
+	for k, i := range members {
+		c := cores[k]
+		res := &results[i]
+		res.Stats = c.Stats.Clone()
+		res.Intervals = c.Intervals()
+		res.IntervalsDropped = c.IntervalsDropped()
+		res.Wall = walls[k]
+		runErr := errs[k]
+		var got emu.Result
+		if runErr == nil && specs[i].VerifyArch {
+			got = c.Result()
+		}
+		if pools[k] != nil {
+			pools[k].Put(c)
+		}
+		if runErr != nil {
+			res.Err = runErr
+			continue
+		}
+		if specs[i].VerifyArch {
+			if !verified {
+				want, wantErr = emu.RunProgram(prog, 1<<40)
+				verified = true
+			}
+			if wantErr != nil {
+				res.Err = fmt.Errorf("emulator: %w", wantErr)
+				continue
+			}
+			if got != want {
+				res.Err = fmt.Errorf("architectural mismatch:\ncore: %+v\nemu:  %+v", got, want)
+				continue
+			}
+			res.Arch = got
+		}
+	}
 }
 
 // runOne executes a single spec, converting panics into job errors.

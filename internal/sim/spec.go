@@ -344,6 +344,28 @@ func (s *Spec) poolKey() string {
 	return sb.String()
 }
 
+// batchKey identifies which lockstep batch group the spec may join: all
+// specs with the same key run the same instruction stream (one built
+// program, one shared architectural replay, one VerifyArch reference)
+// and are free to differ in everything per-variant — engine, geometry,
+// load policy, sampling, tuning. ok=false marks the spec unbatchable:
+// traced specs carry per-run state, and per-spec timeouts have no
+// meaning inside a group that shares a clock.
+func (s *Spec) batchKey() (string, bool) {
+	if s.Tracer != nil || s.Timeout != 0 {
+		return "", false
+	}
+	switch {
+	case s.Workload != "":
+		return fmt.Sprintf("%s@s%d", s.Workload, s.Scale), true
+	case s.Program != nil:
+		// Pointer identity: two distinct Program values are never assumed
+		// equal, even with matching names.
+		return fmt.Sprintf("prog:%p", s.Program), true
+	}
+	return "", false
+}
+
 func (s *Spec) streams() int {
 	if s.Streams > 0 {
 		return s.Streams
