@@ -10,6 +10,9 @@
 //	msrbench -remote :8371        # submit every sweep to an msrd daemon;
 //	                              # repeated regenerations are served from
 //	                              # its content-addressed result cache
+//	msrbench -remote :8370        # the same flag pointed at an msrfleet
+//	                              # coordinator shards the sweeps across
+//	                              # the whole worker ring transparently
 //	msrbench -exp perf            # simulator-throughput benchmark; writes
 //	                              # BENCH_PR6.json (see -perf-out); use
 //	                              # -perf-min-mcf to fail on regression
@@ -49,7 +52,7 @@ func run() int {
 		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
 		jsonOut  = flag.String("json", "", `append one JSON object per simulation to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-time limit (0 = none)")
-		remote   = flag.String("remote", "", "msrd daemon address; sweeps are submitted there instead of simulating locally")
+		remote   = flag.String("remote", "", "msrd daemon or msrfleet coordinator address; sweeps are submitted there instead of simulating locally")
 		batch    = flag.Bool("batch", true, "group a sweep's same-workload specs into lockstep batch runs over a shared instruction stream (in-process runs; for -remote see msrd -batch)")
 		statsIv  = flag.Uint64("stats-interval", 0, "attach interval telemetry to every sweep, sampled every N cycles (0 = off; implied 4096 by -stats-out)")
 		statsOut = flag.String("stats-out", "", `write the per-interval telemetry of every run to this file: NDJSON, or CSV when the name ends in .csv ("-" = stdout)`)

@@ -7,6 +7,8 @@
 //	msrd                            # serve on :8371
 //	msrd -addr 127.0.0.1:9000 -jobs 8 -queue 128 -cache 8192
 //	msrd -timeout 2m -job-timeout 30m -drain 1m
+//	msrd -store /var/lib/msrd -store-max-mb 2048   # persistent result store, warm restarts
+//	msrd -addr 127.0.0.1:9001 -register http://coord:8370   # join an msrfleet ring
 //	msrd -selfbench                 # in-process cold-vs-cache benchmark, JSON on stdout
 //
 // Submit work with `msrbench -remote host:port` or POST /v1/jobs
@@ -20,7 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,8 +32,10 @@ import (
 	"time"
 
 	"mssr/internal/api"
+	"mssr/internal/cli"
 	"mssr/internal/client"
 	"mssr/internal/server"
+	"mssr/internal/store"
 )
 
 func main() {
@@ -47,6 +50,10 @@ func main() {
 		batch      = flag.Bool("batch", true, "group a job's same-workload specs into lockstep batch runs over a shared instruction stream")
 		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
+		storeDir   = flag.String("store", "", "persistent result store directory (empty disables; survives restarts warm)")
+		storeMaxMB = flag.Int64("store-max-mb", 1024, "result store size bound in MiB before LRU eviction")
+		register   = flag.String("register", "", "msrfleet coordinator URL to register with (empty disables)")
+		advertise  = flag.String("advertise", "", "address workers advertise to the coordinator (default derives from -addr; required when -addr has no host)")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
 		withPprof  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
@@ -54,7 +61,7 @@ func main() {
 	)
 	flag.Parse()
 
-	logger, err := buildLogger(*logLevel, *logFormat)
+	logger, err := cli.BuildLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msrd:", err)
 		os.Exit(2)
@@ -78,6 +85,18 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, *storeMaxMB<<20, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrd: opening result store:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+		log.Printf("msrd: result store %s (%d results, %.1f MiB, bound %d MiB)",
+			*storeDir, st.Len(), float64(st.Size())/(1<<20), *storeMaxMB)
 	}
 
 	srv := server.New(cfg)
@@ -111,38 +130,70 @@ func main() {
 		_ = httpSrv.Shutdown(context.Background())
 	}()
 
+	if *register != "" {
+		adv, err := advertiseAddr(*advertise, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrd:", err)
+			os.Exit(2)
+		}
+		go registerLoop(*register, adv)
+	}
+
 	log.Printf("msrd: serving on %s (sim jobs %d, queue %d, cache %d)", *addr, *jobs, *queue, *cacheSize)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("msrd: %v", err)
 	}
+	if st != nil {
+		// The server's drain already flushed the write-behind queue;
+		// Close joins the writer so nothing is torn mid-rename.
+		st.Close()
+	}
 }
 
-// buildLogger constructs the daemon's structured logger from the
-// -log-level and -log-format flags. "off" discards everything.
-func buildLogger(level, format string) (*slog.Logger, error) {
-	var lv slog.Level
-	switch level {
-	case "debug":
-		lv = slog.LevelDebug
-	case "info", "":
-		lv = slog.LevelInfo
-	case "warn":
-		lv = slog.LevelWarn
-	case "error":
-		lv = slog.LevelError
-	case "off":
-		return nil, nil // server.Config treats nil as discard
-	default:
-		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error, off)", level)
+// advertiseAddr resolves the address this daemon announces to the
+// coordinator: the explicit -advertise, else -addr when it names a host.
+func advertiseAddr(advertise, addr string) (string, error) {
+	if advertise != "" {
+		return advertise, nil
 	}
-	opts := &slog.HandlerOptions{Level: lv}
-	switch format {
-	case "text", "":
-		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
-	case "json":
-		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" || host == "0.0.0.0" || host == "::" {
+		return "", fmt.Errorf("-register needs -advertise: listen address %q has no dialable host", addr)
 	}
-	return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+	return addr, nil
+}
+
+// registerLoop announces this worker to the fleet coordinator and keeps
+// re-announcing so a restarted coordinator rediscovers the worker
+// (registration is idempotent on the coordinator side).
+func registerLoop(coordinator, advertise string) {
+	const (
+		retryEvery      = 2 * time.Second
+		reannounceEvery = 30 * time.Second
+	)
+	cl := client.New(coordinator)
+	announced, warned := false, false
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := cl.RegisterWorker(ctx, advertise)
+		cancel()
+		if err != nil {
+			// Log the first failure of each outage, not every retry.
+			if !warned {
+				log.Printf("msrd: fleet registration with %s failing (retrying): %v", coordinator, err)
+				warned = true
+			}
+			announced = false
+			time.Sleep(retryEvery)
+			continue
+		}
+		warned = false
+		if !announced {
+			log.Printf("msrd: registered with fleet coordinator %s as %s", coordinator, advertise)
+			announced = true
+		}
+		time.Sleep(reannounceEvery)
+	}
 }
 
 // selfbenchReport is the JSON the -selfbench mode emits; CI archives it

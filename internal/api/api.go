@@ -132,6 +132,9 @@ const (
 	SourceCache = "cache"
 	// SourceDedup: joined an identical in-flight simulation.
 	SourceDedup = "dedup"
+	// SourceStore: served from the persistent content-addressed store
+	// (typically a result computed before the daemon's last restart).
+	SourceStore = "store"
 )
 
 // Result is the wire form of one completed simulation.
@@ -266,6 +269,34 @@ type JobStatus struct {
 	// Error is the job-level failure (shutdown, timeout), distinct from
 	// per-result errors.
 	Error string `json:"error,omitempty"`
+}
+
+// RegisterWorkerRequest is the body of POST /fleet/v1/workers on the
+// coordinator: a worker daemon announcing the address the coordinator
+// should dial it back on.
+type RegisterWorkerRequest struct {
+	Addr string `json:"addr"`
+}
+
+// WorkerInfo describes one fleet worker as the coordinator sees it.
+type WorkerInfo struct {
+	Addr string `json:"addr"`
+	// Healthy reflects the coordinator's liveness probing; unhealthy
+	// workers hold no queue and receive no new work.
+	Healthy bool `json:"healthy"`
+	// Queue is the coordinator-side count of specs sharded to this
+	// worker and not yet dispatched.
+	Queue int `json:"queue"`
+	// Inflight is the count of specs dispatched and not yet resolved.
+	Inflight int `json:"inflight"`
+	// Dispatched and Completed count specs over the worker's lifetime.
+	Dispatched uint64 `json:"dispatched"`
+	Completed  uint64 `json:"completed"`
+}
+
+// WorkersResponse is the body of GET /fleet/v1/workers.
+type WorkersResponse struct {
+	Workers []WorkerInfo `json:"workers"`
 }
 
 // Error is the body of every non-2xx response.

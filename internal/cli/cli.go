@@ -1,0 +1,37 @@
+// Package cli holds the small helpers the msr* commands share.
+package cli
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// BuildLogger constructs a daemon's structured logger from -log-level
+// and -log-format flag values. Level "off" returns nil, which the
+// daemons treat as discard.
+func BuildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error, off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+}

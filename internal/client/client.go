@@ -249,6 +249,47 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.getJSON(ctx, "/healthz", &map[string]string{})
 }
 
+// Ready checks /readyz; nil means the daemon is accepting new work
+// (not draining, admission queue below its readiness threshold).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.getJSON(ctx, "/readyz", &map[string]interface{}{})
+}
+
+// Workers lists a fleet coordinator's workers (GET /fleet/v1/workers).
+// Only coordinators serve this; a plain msrd daemon returns 404.
+func (c *Client) Workers(ctx context.Context) ([]api.WorkerInfo, error) {
+	var out api.WorkersResponse
+	if err := c.getJSON(ctx, "/fleet/v1/workers", &out); err != nil {
+		return nil, err
+	}
+	return out.Workers, nil
+}
+
+// RegisterWorker announces a worker daemon to a fleet coordinator
+// (POST /fleet/v1/workers). The addr must be dialable from the
+// coordinator; registration is idempotent, so workers re-announce
+// themselves periodically to survive coordinator restarts.
+func (c *Client) RegisterWorker(ctx context.Context, addr string) error {
+	body, err := json.Marshal(api.RegisterWorkerRequest{Addr: addr})
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/fleet/v1/workers", strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: register: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: register: %s: %s", resp.Status, apiError(resp))
+	}
+	return nil
+}
+
 // Metrics fetches the raw Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)

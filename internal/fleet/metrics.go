@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fleetMetrics are the coordinator's own counters, exposed as
+// msrfleet_* series alongside the aggregated worker exposition.
+type fleetMetrics struct {
+	jobsSubmitted   atomic.Uint64
+	jobsRejected    atomic.Uint64
+	jobsCompleted   atomic.Uint64
+	jobsFailed      atomic.Uint64
+	unitsDispatched atomic.Uint64
+	unitsCompleted  atomic.Uint64
+	retries         atomic.Uint64
+	unitFailures    atomic.Uint64
+	steals          atomic.Uint64
+	unitsStolen     atomic.Uint64
+	registrations   atomic.Uint64
+}
+
+// workerGauges is one worker's point-in-time shard state for exposition.
+type workerGauges struct {
+	addr     string
+	healthy  bool
+	queue    int
+	inflight int
+}
+
+func (m *fleetMetrics) write(w io.Writer, workers []workerGauges, pending, orphans int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("msrfleet_jobs_submitted_total", "Jobs accepted by the coordinator.", m.jobsSubmitted.Load())
+	counter("msrfleet_jobs_rejected_total", "Jobs shed (queue full or no healthy workers).", m.jobsRejected.Load())
+	counter("msrfleet_jobs_completed_total", "Jobs finished with every spec resolved cleanly.", m.jobsCompleted.Load())
+	counter("msrfleet_jobs_failed_total", "Jobs finished with at least one errored spec.", m.jobsFailed.Load())
+	counter("msrfleet_units_dispatched_total", "Specs handed to workers (retries re-count).", m.unitsDispatched.Load())
+	counter("msrfleet_units_completed_total", "Specs resolved (including fleet-side errors).", m.unitsCompleted.Load())
+	counter("msrfleet_retries_total", "Specs re-queued after a worker failure.", m.retries.Load())
+	counter("msrfleet_unit_failures_total", "Specs that exhausted their attempt budget.", m.unitFailures.Load())
+	counter("msrfleet_steals_total", "Work-stealing events between shard queues.", m.steals.Load())
+	counter("msrfleet_units_stolen_total", "Specs moved by work stealing.", m.unitsStolen.Load())
+	counter("msrfleet_worker_registrations_total", "Workers added to the ring (static and dynamic).", m.registrations.Load())
+
+	fmt.Fprintf(w, "# HELP msrfleet_pending_units Specs admitted and not yet resolved.\n# TYPE msrfleet_pending_units gauge\nmsrfleet_pending_units %d\n", pending)
+	fmt.Fprintf(w, "# HELP msrfleet_orphan_units Specs parked with no healthy worker to queue on.\n# TYPE msrfleet_orphan_units gauge\nmsrfleet_orphan_units %d\n", orphans)
+
+	healthy := 0
+	for _, wk := range workers {
+		if wk.healthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(w, "# HELP msrfleet_workers Workers in the ring.\n# TYPE msrfleet_workers gauge\nmsrfleet_workers %d\n", len(workers))
+	fmt.Fprintf(w, "# HELP msrfleet_workers_healthy Workers passing health checks.\n# TYPE msrfleet_workers_healthy gauge\nmsrfleet_workers_healthy %d\n", healthy)
+
+	fmt.Fprintf(w, "# HELP msrfleet_worker_up Whether the worker passes health checks.\n# TYPE msrfleet_worker_up gauge\n")
+	for _, wk := range workers {
+		up := 0
+		if wk.healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "msrfleet_worker_up{worker=%q} %d\n", wk.addr, up)
+	}
+	fmt.Fprintf(w, "# HELP msrfleet_worker_queue_depth Specs queued on the worker's shard.\n# TYPE msrfleet_worker_queue_depth gauge\n")
+	for _, wk := range workers {
+		fmt.Fprintf(w, "msrfleet_worker_queue_depth{worker=%q} %d\n", wk.addr, wk.queue)
+	}
+	fmt.Fprintf(w, "# HELP msrfleet_worker_inflight Specs dispatched to the worker and unresolved.\n# TYPE msrfleet_worker_inflight gauge\n")
+	for _, wk := range workers {
+		fmt.Fprintf(w, "msrfleet_worker_inflight{worker=%q} %d\n", wk.addr, wk.inflight)
+	}
+}
+
+// handleMetrics serves the fleet-wide exposition: the coordinator's own
+// msrfleet_* series followed by every reachable worker's /metrics with a
+// worker="addr" label injected into each sample, HELP/TYPE headers
+// deduplicated across workers. One Prometheus scrape of the coordinator
+// observes the whole fleet.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	workers := make([]*worker, 0, len(c.workers))
+	gauges := make([]workerGauges, 0, len(c.workers))
+	for _, wk := range c.workers {
+		workers = append(workers, wk)
+		gauges = append(gauges, workerGauges{addr: wk.addr, healthy: wk.healthy, queue: len(wk.queue), inflight: wk.inflight})
+	}
+	pending, orphans := c.pending, len(c.orphans)
+	c.mu.Unlock()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].addr < workers[j].addr })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].addr < gauges[j].addr })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.write(w, gauges, pending, orphans)
+
+	// Union the workers' expositions under per-worker labels. Fetch
+	// concurrently (a down worker costs one timeout, not a serial stall)
+	// but emit in stable address order.
+	texts := make([]string, len(workers))
+	var wg sync.WaitGroup
+	for i, wk := range workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+			defer cancel()
+			if text, err := wk.cl.Metrics(ctx); err == nil {
+				texts[i] = text
+			}
+		}(i, wk)
+	}
+	wg.Wait()
+
+	seenHeader := make(map[string]bool)
+	for i, wk := range workers {
+		if texts[i] == "" {
+			continue
+		}
+		relabelExposition(w, texts[i], wk.addr, seenHeader)
+	}
+}
+
+// relabelExposition rewrites one worker's Prometheus text exposition,
+// injecting worker="addr" into every sample and deduplicating HELP/TYPE
+// headers across workers (Prometheus rejects repeated headers for a
+// metric name).
+func relabelExposition(w io.Writer, text, addr string, seenHeader map[string]bool) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# HELP name ..." / "# TYPE name ..." — keep the first
+			// worker's copy only.
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key := fields[1] + " " + fields[2]
+				if seenHeader[key] {
+					continue
+				}
+				seenHeader[key] = true
+			}
+			fmt.Fprintln(w, line)
+			continue
+		}
+		fmt.Fprintln(w, injectLabel(line, addr))
+	}
+}
+
+// injectLabel adds worker="addr" to one exposition sample line:
+// `name 3` -> `name{worker="addr"} 3`,
+// `name{a="b"} 3` -> `name{worker="addr",a="b"} 3`.
+func injectLabel(line, addr string) string {
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return line
+	}
+	series, rest := line[:sp], line[sp:]
+	label := fmt.Sprintf("worker=%q", addr)
+	if brace := strings.IndexByte(series, '{'); brace >= 0 {
+		return series[:brace+1] + label + "," + series[brace+1:] + rest
+	}
+	return series + "{" + label + "}" + rest
+}

@@ -19,6 +19,11 @@ type resultCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+	// onEvict, when set, receives every entry the LRU bound pushes out.
+	// The server points it at the persistent store's write-behind queue,
+	// which makes the disk store a strict backing layer: nothing leaves
+	// memory without a chance to land on disk.
+	onEvict func(key string, res api.Result)
 }
 
 type cacheEntry struct {
@@ -50,23 +55,35 @@ func (c *resultCache) get(key string) (api.Result, bool) {
 }
 
 // put stores a result under its canonical key, evicting the least
-// recently used entry when the bound is exceeded.
+// recently used entries when the bound is exceeded.
 func (c *resultCache) put(key string, res api.Result) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	var evicted []*cacheEntry
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		evicted = append(evicted, e)
+	}
+	cb := c.onEvict
+	c.mu.Unlock()
+	// Deliver evictions outside the lock: the callback crosses into the
+	// store layer and must not hold the hot-path cache mutex.
+	if cb != nil {
+		for _, e := range evicted {
+			cb(e.key, e.res)
+		}
 	}
 }
 

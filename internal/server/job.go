@@ -69,7 +69,9 @@ func (j *job) complete(i int, r api.Result) bool {
 	j.results[i] = r
 	j.done++
 	switch r.Source {
-	case api.SourceCache:
+	case api.SourceCache, api.SourceStore:
+		// Both tiers served the spec without running a simulation; the
+		// wire JobStatus counts them together as cache hits.
 		j.cacheHits++
 	case api.SourceDedup:
 		j.dedupJoins++

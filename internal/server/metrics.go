@@ -69,9 +69,10 @@ type metrics struct {
 	jobsFailed    atomic.Uint64 // finished with >= 1 failed simulation
 	jobsRunning   atomic.Int64  // gauge: currently executing
 
-	cacheHits   atomic.Uint64 // specs served from the result cache
-	cacheMisses atomic.Uint64 // specs that missed the cache
-	dedupJoins  atomic.Uint64 // specs that joined an identical in-flight run
+	cacheHits      atomic.Uint64 // specs served from the in-memory result cache
+	cacheMisses    atomic.Uint64 // specs that missed the in-memory cache
+	cacheEvictions atomic.Uint64 // entries the in-memory LRU bound pushed out
+	dedupJoins     atomic.Uint64 // specs that joined an identical in-flight run
 
 	simsRun     atomic.Uint64 // simulations actually executed
 	simsFailed  atomic.Uint64 // executed simulations that returned an error
@@ -101,9 +102,18 @@ func (m *metrics) init() {
 	m.simDur = newHistogram(durationBuckets)
 }
 
-// write renders every metric. queueDepth and cacheLen are sampled by the
-// caller (they are gauges owned by other structures).
-func (m *metrics) write(w io.Writer, queueDepth, cacheLen int) {
+// storeStats is the persistent store's state sampled for one scrape;
+// the zero value (store disabled) still emits every series at zero so
+// dashboards see constant time series either way.
+type storeStats struct {
+	entries                          int
+	bytes                            int64
+	hits, misses, evictions, corrupt uint64
+}
+
+// write renders every metric. queueDepth, cacheLen and st are sampled by
+// the caller (they are gauges owned by other structures).
+func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats) {
 	emit := func(name, help, typ string, value interface{}) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
 	}
@@ -116,6 +126,13 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int) {
 	emit("msrd_cache_hits_total", "Specs served from the content-addressed result cache.", "counter", m.cacheHits.Load())
 	emit("msrd_cache_misses_total", "Specs that missed the result cache.", "counter", m.cacheMisses.Load())
 	emit("msrd_cache_entries", "Results currently cached.", "gauge", cacheLen)
+	emit("msrd_cache_evictions_total", "Results the in-memory LRU bound evicted (written behind to the store when one is configured).", "counter", m.cacheEvictions.Load())
+	emit("msrd_store_hits_total", "Specs served from the persistent content-addressed store.", "counter", st.hits)
+	emit("msrd_store_misses_total", "Persistent-store lookups that missed.", "counter", st.misses)
+	emit("msrd_store_evictions_total", "Results the persistent store's size bound evicted from disk.", "counter", st.evictions)
+	emit("msrd_store_corrupt_total", "Persistent-store entries dropped after failing verification.", "counter", st.corrupt)
+	emit("msrd_store_entries", "Results currently persisted on disk.", "gauge", st.entries)
+	emit("msrd_store_bytes", "Total bytes of persisted result files.", "gauge", st.bytes)
 	emit("msrd_dedup_joins_total", "Specs deduplicated onto an identical in-flight simulation.", "counter", m.dedupJoins.Load())
 	emit("msrd_sims_run_total", "Simulations executed (cache hits and dedup joins excluded).", "counter", m.simsRun.Load())
 	emit("msrd_sims_failed_total", "Executed simulations that returned an error.", "counter", m.simsFailed.Load())

@@ -34,6 +34,7 @@ import (
 
 	"mssr/internal/api"
 	"mssr/internal/sim"
+	"mssr/internal/store"
 )
 
 // Config tunes the daemon. The zero value is usable: NumCPU-parallel
@@ -50,6 +51,18 @@ type Config struct {
 	QueueLimit int
 	// CacheEntries bounds the result cache (0 = 4096; < 0 disables).
 	CacheEntries int
+	// Store, when set, is the persistent content-addressed result store
+	// backing the in-memory cache: completed results are written behind
+	// asynchronously, in-memory evictions drain into it, and a spec that
+	// misses the memory cache is served from disk (and promoted) before
+	// any simulation runs — which is what keeps the daemon warm across
+	// restarts. The server flushes the store's write-behind queue on
+	// Shutdown; the owner (cmd/msrd) closes it.
+	Store *store.Store
+	// ReadyThreshold is the /readyz queue-depth bound: the daemon reports
+	// not-ready once this many jobs are queued (0 = QueueLimit, i.e.
+	// ready while a submission could still be admitted).
+	ReadyThreshold int
 	// DefaultTimeout bounds each simulation's wall time unless the spec
 	// carries its own (0 = unbounded).
 	DefaultTimeout time.Duration
@@ -86,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
+	}
+	if c.ReadyThreshold <= 0 {
+		c.ReadyThreshold = c.QueueLimit
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -143,6 +159,12 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 	}
 	s.metrics.init()
+	s.cache.onEvict = func(key string, res api.Result) {
+		s.metrics.cacheEvictions.Add(1)
+		if cfg.Store != nil {
+			cfg.Store.PutAsync(key, res)
+		}
+	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -153,6 +175,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/intervals", s.handleIntervals)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -220,14 +243,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.cfg.Store != nil {
+		// Every completed result has been queued behind PutAsync by now;
+		// the flush makes them durable before the process exits.
+		s.cfg.Store.Flush()
+	}
+	return err
 }
 
 func (s *Server) worker() {
@@ -278,6 +307,17 @@ func (s *Server) runJob(j *job) {
 			continue
 		}
 		s.metrics.cacheMisses.Add(1)
+		if s.cfg.Store != nil {
+			if res, ok := s.cfg.Store.Get(ck); ok {
+				// A previous process (or an evicted memory entry) already
+				// computed this spec: serve it from disk, promote it back
+				// into memory, and run nothing.
+				s.cache.put(ck, res)
+				res.Index, res.Key, res.Source, res.WallNS = i, sp.Key(), api.SourceStore, 0
+				j.complete(i, res)
+				continue
+			}
+		}
 		s.flightMu.Lock()
 		if f, ok := s.flights[ck]; ok {
 			s.flightMu.Unlock()
@@ -393,6 +433,11 @@ func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
 		canonical.Key = res.CacheKey
 		if res.Error == "" {
 			s.cache.put(res.CacheKey, canonical)
+			if s.cfg.Store != nil {
+				// Write-behind: the result heads for disk immediately so a
+				// restart stays warm even if the memory LRU never evicts it.
+				s.cfg.Store.PutAsync(res.CacheKey, canonical)
+			}
 		}
 		f.res = canonical
 		s.flightMu.Lock()
@@ -578,9 +623,41 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the orchestration readiness probe: 200 only when the
+// daemon is not draining and its admission queue is below the readiness
+// threshold. The fleet coordinator treats liveness (/healthz) and
+// readiness separately — a saturated worker is alive but should not be
+// handed new work.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	depth := len(s.queue)
+	switch {
+	case closed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "draining"})
+	case depth >= s.cfg.ReadyThreshold:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "saturated", "queue_depth": depth})
+	default:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ready", "queue_depth": depth})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), s.cache.len())
+	var st storeStats
+	if s.cfg.Store != nil {
+		c := s.cfg.Store.Counters()
+		st = storeStats{
+			entries:   s.cfg.Store.Len(),
+			bytes:     s.cfg.Store.Size(),
+			hits:      c.Hits,
+			misses:    c.Misses,
+			evictions: c.Evictions,
+			corrupt:   c.Corrupt,
+		}
+	}
+	s.metrics.write(w, len(s.queue), s.cache.len(), st)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCanonicalKeyGolden pins the exact canonical-key strings for a
+// representative spec grid. These strings are a persistence format, not
+// just an in-memory identity: the daemon's result cache, the on-disk
+// store (internal/store) and the fleet's shard placement
+// (internal/fleet) are all keyed on them, so changing how a key renders
+// silently invalidates every stored result and re-homes every shard.
+// Any diff here must be deliberate and release-noted; it is never a
+// harmless refactor.
+func TestCanonicalKeyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"workload only, smoke scale", Spec{Workload: "mcf"}, "mcf@s0/none"},
+		{"paper scale elides the suffix", Spec{Workload: "mcf", Scale: 1}, "mcf/none"},
+		{"explicit larger scale", Spec{Workload: "mcf", Scale: 3}, "mcf@s3/none"},
+		{"rgid default geometry", Spec{Workload: "bfs", Engine: EngineRGID}, "bfs@s0/rgid-4x64"},
+		{"rgid explicit default geometry renders identically",
+			Spec{Workload: "bfs", Engine: EngineRGID, Streams: 4, Entries: 64}, "bfs@s0/rgid-4x64"},
+		{"rgid wide geometry", Spec{Workload: "bfs", Engine: EngineRGID, Streams: 8, Entries: 128}, "bfs@s0/rgid-8x128"},
+		{"ri default geometry", Spec{Workload: "pr", Engine: EngineRI}, "pr@s0/ri-64s4w"},
+		{"dir-value", Spec{Workload: "astar", Engine: EngineDIRValue, Sets: 32, Ways: 2}, "astar@s0/dir-value-32s2w"},
+		{"dir-name", Spec{Workload: "astar", Engine: EngineDIRName, Sets: 32, Ways: 2}, "astar@s0/dir-name-32s2w"},
+		{"verified loads", Spec{Workload: "mcf", Engine: EngineRGID, Loads: LoadVerify}, "mcf@s0/rgid-4x64+loads=verify"},
+		{"bloom loads", Spec{Workload: "mcf", Engine: EngineRGID, Loads: LoadBloom}, "mcf@s0/rgid-4x64+loads=bloom"},
+		{"no load reuse", Spec{Workload: "mcf", Engine: EngineRGID, Loads: LoadNoReuse}, "mcf@s0/rgid-4x64+loads=none"},
+		{"lockstep checker", Spec{Workload: "mcf", Engine: EngineRGID, Check: true}, "mcf@s0/rgid-4x64+check"},
+		{"architectural verify", Spec{Workload: "mcf", Engine: EngineRGID, VerifyArch: true}, "mcf@s0/rgid-4x64+verify"},
+		{"sampled", Spec{Workload: "mcf", Engine: EngineRGID, SampleInterval: 4096}, "mcf@s0/rgid-4x64+iv4096"},
+		{"sampled with window",
+			Spec{Workload: "mcf", Engine: EngineRGID, SampleInterval: 4096, SampleWindow: 32}, "mcf@s0/rgid-4x64+iv4096w32"},
+		{"every modifier at once",
+			Spec{Workload: "nested-mispred", Scale: 2, Engine: EngineRGID, Streams: 4, Entries: 64,
+				Loads: LoadVerify, Check: true, VerifyArch: true, SampleInterval: 1024, SampleWindow: 8},
+			"nested-mispred@s2/rgid-4x64+loads=verify+check+verify+iv1024w8"},
+		{"label never leaks into the key",
+			Spec{Label: "table1-row3", Workload: "mcf", Engine: EngineRGID}, "mcf@s0/rgid-4x64"},
+		{"timeout never leaks into the key",
+			Spec{Workload: "mcf", Engine: EngineRGID, Timeout: time.Minute}, "mcf@s0/rgid-4x64"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.CanonicalKey(); got != tc.want {
+			t.Errorf("%s: CanonicalKey() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
