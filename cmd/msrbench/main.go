@@ -22,6 +22,10 @@
 //	                              # phase-behaviour table plus the raw
 //	                              # per-interval telemetry stream (CSV when
 //	                              # the file name ends in .csv)
+//	msrbench -exp fidelity        # multi-fidelity accuracy/throughput
+//	                              # benchmark; writes BENCH_PR8.json (see
+//	                              # -fidelity-out); -fidelity-max-err and
+//	                              # -fidelity-min-speedup gate the result
 package main
 
 import (
@@ -45,7 +49,7 @@ func main() { os.Exit(run()) }
 // os.Exit inline) lets the deferred profile writers run on every path.
 func run() int {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,phases,perf or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,phases,perf,fidelity or all")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		asCSV    = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations")
@@ -58,6 +62,9 @@ func run() int {
 		statsOut = flag.String("stats-out", "", `write the per-interval telemetry of every run to this file: NDJSON, or CSV when the name ends in .csv ("-" = stdout)`)
 		perfOut  = flag.String("perf-out", "BENCH_PR6.json", "write the perf experiment's JSON document here")
 		perfMin  = flag.Float64("perf-min-mcf", 0, "fail the perf experiment if mcf's pooled MIPS falls below this floor (0 = no check)")
+		fidOut   = flag.String("fidelity-out", "BENCH_PR8.json", "write the fidelity experiment's JSON document here")
+		fidErr   = flag.Float64("fidelity-max-err", 0, "fail the fidelity experiment if any workload's sampled IPC misses full detail by more than this many percent (0 = no check)")
+		fidSpd   = flag.Float64("fidelity-min-speedup", 0, "fail the fidelity experiment if the same-host effective-throughput multiple over full detail falls below this floor (0 = no check)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -123,9 +130,11 @@ func run() int {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	// perf is a host-throughput benchmark, not a paper artifact, so
-	// "all" does not imply it.
-	sel := func(name string) bool { return (all && name != "perf") || want[name] }
+	// perf and fidelity are host-throughput benchmarks, not paper
+	// artifacts, so "all" does not imply them.
+	sel := func(name string) bool {
+		return (all && name != "perf" && name != "fidelity") || want[name]
+	}
 
 	type experiment struct {
 		name string
@@ -175,6 +184,29 @@ func run() int {
 					return out, err
 				}
 				out += fmt.Sprintf("mcf throughput floor %.3f MIPS: ok\n", *perfMin)
+			}
+			return out, nil
+		}},
+		{"fidelity", func() (string, error) {
+			r, err := experiments.Fidelity(*scale)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*fidOut, []byte(r.JSON()), 0o644); err != nil {
+				return "", err
+			}
+			out := r.Render() + "wrote " + *fidOut + "\n"
+			if *fidErr > 0 {
+				if err := r.CheckError(*fidErr); err != nil {
+					return out, err
+				}
+				out += fmt.Sprintf("IPC error bound %.2f%%: ok\n", *fidErr)
+			}
+			if *fidSpd > 0 {
+				if err := r.CheckSpeedup(*fidSpd); err != nil {
+					return out, err
+				}
+				out += fmt.Sprintf("effective-throughput floor %.2fx full detail: ok\n", *fidSpd)
 			}
 			return out, nil
 		}},

@@ -49,6 +49,15 @@ type Spec struct {
 	// (0 = disabled); SampleWindow bounds the retained interval ring.
 	SampleInterval uint64 `json:"sample_interval,omitempty"`
 	SampleWindow   int    `json:"sample_window,omitempty"`
+	// Multi-fidelity execution (sim.Spec.FastForward and friends): skip
+	// FastForward instructions functionally before each detailed window of
+	// DetailedWindow instructions, SamplePeriods times, optionally warming
+	// caches and branch predictor during the skip. All four are part of
+	// the canonical cache key.
+	FastForward    uint64 `json:"fast_forward,omitempty"`
+	DetailedWindow uint64 `json:"detailed_window,omitempty"`
+	SamplePeriods  int    `json:"sample_periods,omitempty"`
+	Warm           bool   `json:"warm,omitempty"`
 	// TimeoutMS bounds the simulation's wall time (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -79,6 +88,10 @@ func (s Spec) Sim() (sim.Spec, error) {
 		VerifyArch:     s.VerifyArch,
 		SampleInterval: s.SampleInterval,
 		SampleWindow:   s.SampleWindow,
+		FastForward:    s.FastForward,
+		DetailedWindow: s.DetailedWindow,
+		SamplePeriods:  s.SamplePeriods,
+		Warm:           s.Warm,
 		Timeout:        time.Duration(s.TimeoutMS) * time.Millisecond,
 	}, nil
 }
@@ -113,6 +126,10 @@ func FromSim(s sim.Spec) (Spec, error) {
 		VerifyArch:     s.VerifyArch,
 		SampleInterval: s.SampleInterval,
 		SampleWindow:   s.SampleWindow,
+		FastForward:    s.FastForward,
+		DetailedWindow: s.DetailedWindow,
+		SamplePeriods:  s.SamplePeriods,
+		Warm:           s.Warm,
 		TimeoutMS:      s.Timeout.Milliseconds(),
 	}
 	if s.Engine != sim.EngineNone {
@@ -169,6 +186,14 @@ type Result struct {
 	// IntervalsDropped counts intervals lost to the sampler's bounded
 	// ring (0 = complete stream).
 	IntervalsDropped int `json:"intervals_dropped,omitempty"`
+	// Multi-fidelity outcome (sim.Result fields of the same names); all
+	// omitted for full-detail runs so their wire form is unchanged.
+	Extrapolated    bool    `json:"extrapolated,omitempty"`
+	Windows         int     `json:"windows,omitempty"`
+	FastForwarded   uint64  `json:"fast_forwarded,omitempty"`
+	TotalRetired    uint64  `json:"total_retired,omitempty"`
+	ExtrapolatedIPC float64 `json:"extrapolated_ipc,omitempty"`
+	IPCErrorEst     float64 `json:"ipc_error_est,omitempty"`
 }
 
 // IntervalRecord is one line of the NDJSON interval endpoints
@@ -196,6 +221,12 @@ func ResultFromSim(r sim.Result, source string) Result {
 		Stats:            r.Stats,
 		Intervals:        r.Intervals,
 		IntervalsDropped: r.IntervalsDropped,
+		Extrapolated:     r.Extrapolated,
+		Windows:          r.Windows,
+		FastForwarded:    r.FastForwarded,
+		TotalRetired:     r.TotalRetired,
+		ExtrapolatedIPC:  r.ExtrapolatedIPC,
+		IPCErrorEst:      r.IPCErrorEst,
 	}
 	if r.Stats != nil {
 		out.Cycles = r.Stats.Cycles
@@ -221,6 +252,12 @@ func (r Result) Sim() sim.Result {
 		MIPS:             r.MIPS,
 		Intervals:        r.Intervals,
 		IntervalsDropped: r.IntervalsDropped,
+		Extrapolated:     r.Extrapolated,
+		Windows:          r.Windows,
+		FastForwarded:    r.FastForwarded,
+		TotalRetired:     r.TotalRetired,
+		ExtrapolatedIPC:  r.ExtrapolatedIPC,
+		IPCErrorEst:      r.IPCErrorEst,
 	}
 	if r.Error != "" {
 		out.Err = errors.New(r.Error)

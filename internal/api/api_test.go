@@ -17,16 +17,20 @@ import (
 
 func TestSpecRoundTrip(t *testing.T) {
 	orig := sim.Spec{
-		Label:      "bfs/rgid-sweep",
-		Workload:   "bfs",
-		Scale:      2,
-		Engine:     sim.EngineRGID,
-		Streams:    8,
-		Entries:    128,
-		Loads:      sim.LoadBloom,
-		Check:      true,
-		VerifyArch: true,
-		Timeout:    1500 * time.Millisecond,
+		Label:          "bfs/rgid-sweep",
+		Workload:       "bfs",
+		Scale:          2,
+		Engine:         sim.EngineRGID,
+		Streams:        8,
+		Entries:        128,
+		Loads:          sim.LoadBloom,
+		Check:          true,
+		VerifyArch:     true,
+		Timeout:        1500 * time.Millisecond,
+		FastForward:    50000,
+		DetailedWindow: 5000,
+		SamplePeriods:  8,
+		Warm:           true,
 	}
 	if err := orig.Validate(); err != nil {
 		t.Fatalf("test spec invalid: %v", err)
@@ -43,6 +47,10 @@ func TestSpecRoundTrip(t *testing.T) {
 	if back.Label != orig.Label || back.Timeout != orig.Timeout ||
 		back.Check != orig.Check || back.VerifyArch != orig.VerifyArch {
 		t.Errorf("round trip changed the spec:\n  got  %+v\n  want %+v", back, orig)
+	}
+	if back.FastForward != orig.FastForward || back.DetailedWindow != orig.DetailedWindow ||
+		back.SamplePeriods != orig.SamplePeriods || back.Warm != orig.Warm {
+		t.Errorf("fidelity fields did not survive the wire:\n  got  %+v\n  want %+v", back, orig)
 	}
 	if back.CanonicalKey() != orig.CanonicalKey() {
 		t.Errorf("round trip changed the canonical key: %q vs %q", back.CanonicalKey(), orig.CanonicalKey())
@@ -104,13 +112,19 @@ func TestSpecSimRejectsBadNames(t *testing.T) {
 func TestResultRoundTrip(t *testing.T) {
 	st := &stats.Stats{Cycles: 4200, Retired: 3150}
 	sr := sim.Result{
-		Index:      3,
-		Key:        "bfs/rgid-4x64",
-		Program:    "bfs",
-		EngineName: "rgid",
-		Stats:      st,
-		Wall:       7 * time.Millisecond,
-		Spec:       sim.Spec{Workload: "bfs", Engine: sim.EngineRGID, Streams: 4, Entries: 64},
+		Index:           3,
+		Key:             "bfs/rgid-4x64",
+		Program:         "bfs",
+		EngineName:      "rgid",
+		Stats:           st,
+		Wall:            7 * time.Millisecond,
+		Spec:            sim.Spec{Workload: "bfs", Engine: sim.EngineRGID, Streams: 4, Entries: 64},
+		Extrapolated:    true,
+		Windows:         5,
+		FastForwarded:   120000,
+		TotalRetired:    123150,
+		ExtrapolatedIPC: 1.875,
+		IPCErrorEst:     0.013,
 	}
 	wr := api.ResultFromSim(sr, api.SourceRun)
 	if wr.Source != api.SourceRun || wr.CacheKey != sr.Spec.CanonicalKey() {
@@ -125,6 +139,11 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 	if back.Err != nil {
 		t.Errorf("successful result grew an error: %v", back.Err)
+	}
+	if !back.Extrapolated || back.Windows != sr.Windows || back.FastForwarded != sr.FastForwarded ||
+		back.TotalRetired != sr.TotalRetired || back.ExtrapolatedIPC != sr.ExtrapolatedIPC ||
+		back.IPCErrorEst != sr.IPCErrorEst {
+		t.Errorf("fidelity fields did not survive the wire:\n  got  %+v\n  want %+v", back, sr)
 	}
 
 	sr.Err = errors.New("deadline exceeded")

@@ -178,9 +178,13 @@ type Core struct {
 	sampler  *obs.Sampler
 	sampleAt uint64
 
-	// Run state.
-	cycle  uint64
-	halted bool
+	// Run state. retiredBase is the number of instructions the functional
+	// emulator already retired before this core was seeded mid-program
+	// (Core.SeedFrom); 0 for a from-entry run. Result folds it in so a
+	// seeded window reports program-relative retirement counts.
+	cycle       uint64
+	halted      bool
+	retiredBase uint64
 
 	tracer trace.Tracer
 
@@ -443,7 +447,7 @@ func (c *Core) Result() emu.Result {
 	}
 	r.Regs[isa.Zero] = 0
 	r.MemDigest = c.mem.Hash()
-	r.Retired = c.Stats.Retired
+	r.Retired = c.retiredBase + c.Stats.Retired
 	return r
 }
 

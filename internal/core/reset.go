@@ -38,13 +38,31 @@ var _ = []Resettable{
 // which is what makes the pooling contract hold by construction rather
 // than by parallel bookkeeping.
 func (c *Core) Reset(prog *isa.Program) {
+	c.bp.Reset()
+	c.hier.Reset()
+	c.resetPipeline(prog)
+	c.mem.Clear()
+	c.mem.Load(prog)
+	if c.checker != nil {
+		c.checker.Reset(prog)
+	}
+}
+
+// resetPipeline is Reset minus the timing-only substrates (branch
+// predictor, cache hierarchy) and minus the committed-memory and checker
+// reload: it clears the pipeline, rename state, register state and
+// counters. ResetWindow (internal/core fidelity.go) exposes it so a
+// multi-fidelity run's sample periods keep their accumulated cache and
+// predictor contents, the way a contiguous run would — and skip the
+// program-image reload that the SeedFrom following every ResetWindow
+// would overwrite anyway (for memory-heavy workloads that reload
+// dominates the period).
+func (c *Core) resetPipeline(prog *isa.Program) {
 	c.prog = prog
 	// The engine resets first: it releases its held physical registers
 	// through the tracker, which must still be in the matching state.
 	c.engine.Reset()
-	c.bp.Reset()
 	c.fu.Reset(prog)
-	c.hier.Reset()
 	c.rat.Reset()
 	c.alloc.Reset()
 	c.tracker.Reset()
@@ -73,8 +91,6 @@ func (c *Core) Reset(prog *isa.Program) {
 	for i := range c.squashDests {
 		c.squashDests[i] = false
 	}
-	c.mem.Clear()
-	c.mem.Load(prog)
 	c.suspendCommits = 0
 	c.sampleAt = ^uint64(0)
 	if c.sampler != nil {
@@ -83,9 +99,7 @@ func (c *Core) Reset(prog *isa.Program) {
 	}
 	c.cycle = 0
 	c.halted = false
-	if c.checker != nil {
-		c.checker.Reset(prog)
-	}
+	c.retiredBase = 0
 	// Any batch-shared check stream belongs to the previous run; the
 	// batch driver re-attaches after Reset.
 	c.checkStream = nil

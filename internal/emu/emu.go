@@ -56,16 +56,29 @@ type StepInfo struct {
 // Step executes the instruction at the current PC. Calling Step on a halted
 // emulator is a no-op that returns the final state of the HALT.
 func (e *Emulator) Step() StepInfo {
+	var info StepInfo
+	e.stepInto(&info)
+	return info
+}
+
+// stepInto is Step writing its record through a caller-owned pointer, so a
+// hot loop (FastForward with a warming hook) reuses one StepInfo instead of
+// copying the ~80-byte struct twice per instruction.
+func (e *Emulator) stepInto(info *StepInfo) {
 	if e.Halted {
-		return StepInfo{PC: e.PC, Instr: isa.Instruction{Op: isa.HALT}, NextPC: e.PC}
+		*info = StepInfo{PC: e.PC, Instr: isa.Instruction{Op: isa.HALT}, NextPC: e.PC}
+		return
 	}
 	in := e.Prog.MustAt(e.PC)
 	var rs1v, rs2v uint64
-	if n := in.NumSources(); n > 0 {
-		rs1v = e.Regs[in.Src(0)]
-		if n > 1 {
-			rs2v = e.Regs[in.Src(1)]
-		}
+	// Sources occupy Rs1 first (isa.Instruction.Src); reading the fields
+	// directly keeps the per-instruction cost a pair of loads.
+	switch in.NumSources() {
+	case 2:
+		rs2v = e.Regs[in.Rs2]
+		fallthrough
+	case 1:
+		rs1v = e.Regs[in.Rs1]
 	}
 	out := isa.Evaluate(in, e.PC, rs1v, rs2v)
 	switch {
@@ -77,7 +90,7 @@ func (e *Emulator) Step() StepInfo {
 	if in.HasDest() {
 		e.Regs[in.Rd] = out.Result
 	}
-	info := StepInfo{PC: e.PC, Instr: in, Outcome: out}
+	info.PC, info.Instr, info.Outcome = e.PC, in, out
 	switch {
 	case out.Halt:
 		e.Halted = true
@@ -90,7 +103,41 @@ func (e *Emulator) Step() StepInfo {
 		info.NextPC = e.PC
 	}
 	e.Retired++
-	return info
+}
+
+// step is Step without the StepInfo: the fast path for Run and hook-free
+// FastForward, where the caller discards the per-instruction record and
+// materializing the ~80-byte struct is pure copy cost. It must stay
+// semantically identical to Step.
+func (e *Emulator) step() {
+	in := e.Prog.MustAt(e.PC)
+	var rs1v, rs2v uint64
+	switch in.NumSources() {
+	case 2:
+		rs2v = e.Regs[in.Rs2]
+		fallthrough
+	case 1:
+		rs1v = e.Regs[in.Rs1]
+	}
+	out := isa.Evaluate(in, e.PC, rs1v, rs2v)
+	switch {
+	case in.IsLoad():
+		out.Result = e.Mem.Read(out.MemAddr)
+	case in.IsStore():
+		e.Mem.Write(out.MemAddr, out.Result)
+	}
+	if in.HasDest() {
+		e.Regs[in.Rd] = out.Result
+	}
+	switch {
+	case out.Halt:
+		e.Halted = true
+	case out.Taken:
+		e.PC = out.Target
+	default:
+		e.PC += isa.InstrBytes
+	}
+	e.Retired++
 }
 
 // Run executes until HALT or until maxInstrs instructions have retired,
@@ -100,9 +147,64 @@ func (e *Emulator) Run(maxInstrs uint64) error {
 		if e.Retired >= maxInstrs {
 			return fmt.Errorf("%w (%d instructions, PC=0x%x)", ErrInstructionLimit, maxInstrs, e.PC)
 		}
-		e.Step()
+		e.step()
 	}
 	return nil
+}
+
+// ArchState is an exported architectural machine state: everything a
+// consumer needs to resume execution of the same program mid-stream. It is
+// the handoff format between functional fast-forward and a detailed core
+// window (Core.SeedFrom).
+type ArchState struct {
+	Regs    [isa.NumArchRegs]uint64
+	Mem     *Memory
+	PC      uint64
+	Retired uint64
+	Halted  bool
+}
+
+// State exports the current architectural state. Mem aliases the
+// emulator's live memory — no copy is made, so a consumer that keeps the
+// state across further emulator steps must deep-copy it (Memory.CopyFrom
+// or Memory.Clone).
+func (e *Emulator) State() ArchState {
+	return ArchState{Regs: e.Regs, Mem: e.Mem, PC: e.PC, Retired: e.Retired, Halted: e.Halted}
+}
+
+// SetState restores a previously exported architectural state, deep-copying
+// the memory image into the emulator's pooled pages. The loaded program is
+// unchanged; st must describe a point in the same program.
+func (e *Emulator) SetState(st *ArchState) {
+	e.Regs = st.Regs
+	e.Mem.CopyFrom(st.Mem)
+	e.PC = st.PC
+	e.Retired = st.Retired
+	e.Halted = st.Halted
+}
+
+// FastForward architecturally executes up to n instructions, invoking hook
+// (when non-nil) after each one — the seam used for cache and
+// branch-predictor warming during functional skip. The StepInfo the hook
+// receives is only valid for the duration of the call; a hook that keeps
+// it must copy. FastForward returns the number actually retired, which is
+// less than n only if the program halts first.
+func (e *Emulator) FastForward(n uint64, hook func(*StepInfo)) uint64 {
+	var done uint64
+	if hook == nil {
+		for done < n && !e.Halted {
+			e.step()
+			done++
+		}
+		return done
+	}
+	var info StepInfo
+	for done < n && !e.Halted {
+		e.stepInto(&info)
+		hook(&info)
+		done++
+	}
+	return done
 }
 
 // Result is the final architectural state in comparable form.

@@ -180,6 +180,26 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
+// CopyFrom makes m an exact deep copy of o, reusing m's pooled pages.
+// In steady state (same footprint run to run, as when a pooled core is
+// reseeded from successive fast-forward states) it allocates nothing.
+func (m *Memory) CopyFrom(o *Memory) {
+	m.Clear()
+	m.order = append(m.order, o.order...)
+	m.live = o.live
+	for _, pn := range o.order {
+		var p *page
+		if n := len(m.free); n > 0 {
+			p = m.free[n-1]
+			m.free = m.free[:n-1]
+		} else {
+			p = new(page)
+		}
+		*p = *o.pages[pn]
+		m.pages[pn] = p
+	}
+}
+
 // Word is one (address, value) pair of a Snapshot.
 type Word struct {
 	Addr, Val uint64

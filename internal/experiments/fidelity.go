@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"mssr/internal/sim"
+	"mssr/internal/workloads"
+)
+
+// pr6SpecMIPS is the SPEC-like pooled full-detail aggregate recorded in
+// BENCH_PR6.json on the reference host. The multi-fidelity sweep reports
+// its effective throughput as a multiple of this figure; as with the
+// other baseline constants, only the ratio is meaningful off the
+// reference host.
+const pr6SpecMIPS = 1.519
+
+// fidelityPeriods is how many {skip, detailed window} sample periods the
+// sweep spreads over each workload. Many small windows beat few large
+// ones at equal coverage: phase-heavy workloads (mcf, bzip2) need the
+// denser systematic sample to keep the IPC estimate inside the gate.
+const fidelityPeriods = 48
+
+// FidelityWorkload is one workload's multi-fidelity measurement against
+// its full-detail reference run.
+type FidelityWorkload struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	// Retired is the workload's dynamic instruction count; DetailRetired
+	// is the slice of it the fidelity run simulated in detail.
+	Retired       uint64 `json:"retired"`
+	DetailRetired uint64 `json:"detail_retired"`
+	Windows       int    `json:"windows"`
+	// FullIPC is the ground truth from the full-detail run; SampledIPC
+	// is the window-sampled estimate; ErrorPct is their relative
+	// difference in percent — the accuracy the CI gate bounds.
+	FullIPC    float64 `json:"ipc_full"`
+	SampledIPC float64 `json:"ipc_sampled"`
+	ErrorPct   float64 `json:"ipc_error_pct"`
+	// ErrorEstPct is the run's own statistical confidence figure
+	// (relative standard error of the window IPC mean, in percent) —
+	// what a user sees without a reference run.
+	ErrorEstPct float64 `json:"ipc_error_est_pct"`
+	// FullMIPS is full-detail throughput; EffectiveMIPS counts every
+	// program instruction (detailed or fast-forwarded) against the
+	// fidelity run's wall clock; Speedup is their ratio.
+	FullMIPS      float64 `json:"mips_full"`
+	EffectiveMIPS float64 `json:"mips_effective"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// FidelityResult is the multi-fidelity accuracy/throughput benchmark
+// behind BENCH_PR8.json: every SPEC-like workload run full-detail and
+// again as fast-forward + sampled detailed windows, on the same warm
+// core pool.
+type FidelityResult struct {
+	Scale   int    `json:"scale"`
+	Engine  string `json:"engine"`
+	Host    string `json:"host"`
+	Periods int    `json:"periods"`
+	// FullMIPS and EffectiveMIPS are suite aggregates (total retired
+	// over total wall); SpeedupVsFull is their same-host ratio — the
+	// host-independent figure the CI speedup gate checks.
+	FullMIPS      float64 `json:"mips_full"`
+	EffectiveMIPS float64 `json:"mips_effective"`
+	SpeedupVsFull float64 `json:"speedup_vs_full"`
+	// PR6SpecMIPS is the reference-host full-detail aggregate from
+	// BENCH_PR6.json; SpeedupVsPR6 is comparable only on that host.
+	PR6SpecMIPS  float64 `json:"pr6_spec_mips"`
+	SpeedupVsPR6 float64 `json:"speedup_vs_pr6"`
+	// MaxErrorPct is the worst per-workload IPC error.
+	MaxErrorPct float64            `json:"max_ipc_error_pct"`
+	Workloads   []FidelityWorkload `json:"workloads"`
+}
+
+// fidelitySpec derives the multi-fidelity spec for a workload whose
+// full-detail run retired n instructions: fidelityPeriods sample periods
+// tiled across the whole program, each one warmed functional skip plus a
+// detailed window of 0.125% of the program (at least 256 instructions).
+// Measured coverage is therefore ~6%, plus each window's quarter-window
+// detailed-warmup prefix.
+func fidelitySpec(base sim.Spec, n uint64) sim.Spec {
+	dw := n / 800
+	if dw < 256 {
+		dw = 256
+	}
+	ff := n/fidelityPeriods - dw
+	if ff < 1 {
+		ff = 1
+	}
+	base.FastForward = ff
+	base.DetailedWindow = dw
+	base.SamplePeriods = fidelityPeriods
+	base.Warm = true
+	return base
+}
+
+// Fidelity measures the multi-fidelity execution mode. Like Perf it
+// always simulates in-process — wall-clock is the quantity under test —
+// and times warm-pool passes only: each spec list runs once unmeasured
+// to warm the pool, then once measured. The full-detail pass doubles as
+// the parameter probe (each workload's dynamic length sizes its skip and
+// window) and as the accuracy reference.
+func Fidelity(scale int) (*FidelityResult, error) {
+	ctx := context.Background()
+	runner := &sim.Runner{Jobs: 1}
+
+	type work struct {
+		name, suite string
+		full        sim.Spec
+	}
+	var works []work
+	var fullSpecs []sim.Spec
+	for _, suite := range []string{"spec2006", "spec2017"} {
+		for _, w := range workloads.Suite(suite) {
+			p, err := workloads.Build(w.Name, scale)
+			if err != nil {
+				return nil, fmt.Errorf("build %s: %w", w.Name, err)
+			}
+			s := sim.Spec{Label: w.Name, Program: p, Engine: sim.EngineRGID, Streams: 4, Entries: 64}
+			works = append(works, work{w.Name, suite, s})
+			fullSpecs = append(fullSpecs, s)
+		}
+	}
+
+	if _, err := runner.Run(ctx, fullSpecs); err != nil { // warm the pool
+		return nil, err
+	}
+	full, err := runner.Run(ctx, fullSpecs)
+	if err != nil {
+		return nil, err
+	}
+
+	fidSpecs := make([]sim.Spec, len(works))
+	for i := range works {
+		fidSpecs[i] = fidelitySpec(works[i].full, full[i].Stats.Retired)
+	}
+	if _, err := runner.Run(ctx, fidSpecs); err != nil { // warm the fidelity path
+		return nil, err
+	}
+	fid, err := runner.Run(ctx, fidSpecs)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &FidelityResult{
+		Scale:       scale,
+		Engine:      "rgid-4x64",
+		Host:        runtime.GOOS + "/" + runtime.GOARCH,
+		Periods:     fidelityPeriods,
+		PR6SpecMIPS: pr6SpecMIPS,
+	}
+	var fullRetired, fidRetired uint64
+	var fullWall, fidWall float64
+	for i := range works {
+		fr, xr := full[i], fid[i]
+		fullIPC := fr.Stats.IPC()
+		sampled := xr.ExtrapolatedIPC
+		if sampled == 0 && xr.Stats.Cycles > 0 {
+			// Degenerate fallback (window swallowed the program): the
+			// detailed aggregate is the estimate.
+			sampled = fr.Stats.IPC()
+		}
+		errPct := 0.0
+		if fullIPC > 0 {
+			errPct = 100 * (sampled - fullIPC) / fullIPC
+			if errPct < 0 {
+				errPct = -errPct
+			}
+		}
+		w := FidelityWorkload{
+			Name:          works[i].name,
+			Suite:         works[i].suite,
+			Retired:       fr.Stats.Retired,
+			DetailRetired: xr.Stats.Retired,
+			Windows:       xr.Windows,
+			FullIPC:       fullIPC,
+			SampledIPC:    sampled,
+			ErrorPct:      errPct,
+			ErrorEstPct:   100 * xr.IPCErrorEst,
+			FullMIPS:      fr.MIPS,
+			EffectiveMIPS: xr.MIPS,
+		}
+		if w.FullMIPS > 0 {
+			w.Speedup = w.EffectiveMIPS / w.FullMIPS
+		}
+		if w.ErrorPct > r.MaxErrorPct {
+			r.MaxErrorPct = w.ErrorPct
+		}
+		r.Workloads = append(r.Workloads, w)
+		fullRetired += fr.Stats.Retired
+		fullWall += fr.Wall.Seconds()
+		fidRetired += xr.TotalRetired
+		fidWall += xr.Wall.Seconds()
+	}
+	mips := func(retired uint64, wall float64) float64 {
+		if wall <= 0 {
+			return 0
+		}
+		return float64(retired) / wall / 1e6
+	}
+	r.FullMIPS = mips(fullRetired, fullWall)
+	r.EffectiveMIPS = mips(fidRetired, fidWall)
+	if r.FullMIPS > 0 {
+		r.SpeedupVsFull = r.EffectiveMIPS / r.FullMIPS
+	}
+	r.SpeedupVsPR6 = r.EffectiveMIPS / pr6SpecMIPS
+	return r, nil
+}
+
+// JSON renders the BENCH_PR8.json document.
+func (r *FidelityResult) JSON() string {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return string(b) + "\n"
+}
+
+// CheckError fails when any workload's sampled IPC misses its
+// full-detail reference by more than maxPct percent. The comparison is
+// between two deterministic simulations, so the gate is host-independent.
+func (r *FidelityResult) CheckError(maxPct float64) error {
+	for _, w := range r.Workloads {
+		if w.ErrorPct > maxPct {
+			return fmt.Errorf("fidelity error gate: %s sampled IPC %.4f vs full %.4f (%.2f%% > %.2f%% bound)",
+				w.Name, w.SampledIPC, w.FullIPC, w.ErrorPct, maxPct)
+		}
+	}
+	return nil
+}
+
+// CheckSpeedup fails when the same-host effective-throughput multiple
+// over full detail falls below min.
+func (r *FidelityResult) CheckSpeedup(min float64) error {
+	if r.SpeedupVsFull < min {
+		return fmt.Errorf("fidelity speedup gate: %.2fx effective over full detail, below the %.2fx floor (%.3f vs %.3f MIPS)",
+			r.SpeedupVsFull, min, r.EffectiveMIPS, r.FullMIPS)
+	}
+	return nil
+}
+
+// Render prints the accuracy/throughput table.
+func (r *FidelityResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Multi-fidelity execution (scale %d, %s, %s; %d warmed sample periods per workload)\n",
+		r.Scale, r.Engine, r.Host, r.Periods)
+	fmt.Fprintf(&sb, "%-14s%10s%10s%10s%9s%9s%11s%11s%9s\n",
+		"benchmark", "retired", "detail", "ipc-full", "sampled", "err%", "full-MIPS", "eff-MIPS", "speedup")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&sb, "%-14s%10d%10d%10.4f%9.4f%9.2f%11.2f%11.2f%8.1fx\n",
+			w.Name, w.Retired, w.DetailRetired, w.FullIPC, w.SampledIPC, w.ErrorPct,
+			w.FullMIPS, w.EffectiveMIPS, w.Speedup)
+	}
+	fmt.Fprintf(&sb, "aggregate: %.3f MIPS full detail, %.3f effective (%.2fx); worst IPC error %.2f%%\n",
+		r.FullMIPS, r.EffectiveMIPS, r.SpeedupVsFull, r.MaxErrorPct)
+	fmt.Fprintf(&sb, "vs BENCH_PR6 SPEC aggregate (%.3f MIPS on the reference host): %.2fx\n",
+		r.PR6SpecMIPS, r.SpeedupVsPR6)
+	return sb.String()
+}

@@ -195,6 +195,16 @@ func (h *Hierarchy) Access(addr uint64) uint64 {
 	return lat
 }
 
+// ResetCounters zeroes the hit/miss/eviction/DRAM counters of both levels
+// while keeping every cached line. After functional warming has primed the
+// tag arrays, this draws the statistics baseline at the start of a detailed
+// window so warm-up traffic is not attributed to the measured region.
+func (h *Hierarchy) ResetCounters() {
+	h.L1.Hits, h.L1.Misses, h.L1.Evictions = 0, 0, 0
+	h.L2.Hits, h.L2.Misses, h.L2.Evictions = 0, 0, 0
+	h.DRAMAccesses = 0
+}
+
 // Reset clears both levels and counters.
 func (h *Hierarchy) Reset() {
 	h.L1.Reset()

@@ -30,6 +30,7 @@ var csvColumns = []string{
 	"reuse_tests", "reuse_hits", "squashed_streams", "reconvergences", "rgid_resets",
 	"l1d_hits", "l1d_misses", "l2_hits", "l2_misses", "dram_accesses",
 	"ipc", "reuse_rate", "mpki", "l1d_miss_rate",
+	"mode", "window",
 }
 
 // CSVHeader returns the comma-joined column names of CSVRow.
@@ -71,6 +72,10 @@ func (iv *Interval) CSVRow() string {
 	f(iv.MPKI)
 	sb.WriteByte(',')
 	f(iv.L1DMissRate)
+	sb.WriteByte(',')
+	sb.WriteString(iv.Mode) // bare token, never quoted ("", "detail")
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(iv.Window))
 	return sb.String()
 }
 

@@ -102,7 +102,20 @@ type Interval struct {
 	ReuseRate   float64 `json:"reuse_rate"`
 	MPKI        float64 `json:"mpki"`
 	L1DMissRate float64 `json:"l1d_miss_rate"`
+
+	// Execution-mode annotation, set by the multi-fidelity orchestration
+	// (internal/sim): Mode names how the enclosing region was executed
+	// (ModeDetail for a sampled detailed window) and Window is the
+	// 1-based sample-period number the interval belongs to. Both stay
+	// zero-valued — and absent from the JSON — for full-detail runs, so
+	// their interval streams are byte-identical to earlier versions.
+	Mode   string `json:"mode,omitempty"`
+	Window int    `json:"window,omitempty"`
 }
+
+// ModeDetail annotates intervals recorded inside a detailed window of a
+// multi-fidelity run.
+const ModeDetail = "detail"
 
 // Cycles returns the window length.
 func (iv *Interval) Cycles() uint64 { return iv.End - iv.Start }

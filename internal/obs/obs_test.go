@@ -174,7 +174,7 @@ func TestCSVMatchesHeader(t *testing.T) {
 	if len(cols) != len(row) {
 		t.Fatalf("header has %d columns, row has %d", len(cols), len(row))
 	}
-	if cols[0] != "index" || cols[len(cols)-1] != "l1d_miss_rate" {
+	if cols[0] != "index" || cols[len(cols)-1] != "window" {
 		t.Errorf("unexpected column order: %v", cols)
 	}
 }

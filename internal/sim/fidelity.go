@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mssr/internal/core"
+	"mssr/internal/emu"
+	"mssr/internal/isa"
+	"mssr/internal/obs"
+	"mssr/internal/stats"
+)
+
+// runFidelity executes one multi-fidelity job (Spec.FastForward > 0) on an
+// already-acquired core: for each sample period it fast-forwards the
+// functional emulator (optionally warming the core's caches and branch
+// predictor through the hook), seeds the core with the emulator's
+// architectural state, runs one detailed window behind a measurement-
+// excluded detailed-warmup prefix, folds the measured counters into the
+// aggregate, and replays the period's detailed retirements on the
+// emulator to keep the two in sync. Caches and predictors persist across
+// periods (ResetWindow), as they would in a contiguous run. With
+// DetailedWindow == 0 the single window runs to HALT and the run is
+// exact; otherwise the remaining tail finishes on the emulator and the
+// result is an extrapolation from the sampled windows.
+//
+// The caller (runOne) owns core pooling, wall-clock accounting and the
+// observer; runFidelity fills res in place.
+func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c *core.Core, res *Result) {
+	em := emu.New(prog)
+	periods := s.SamplePeriods
+	if periods <= 0 {
+		periods = 1
+	}
+	var hook func(*emu.StepInfo)
+	if s.Warm {
+		hook = c.WarmStep
+	}
+
+	agg := &stats.Stats{}
+	var intervals []obs.Interval
+	var winIPC []float64
+	var pre, win stats.Stats
+	var detailRetired, detailCycles uint64
+	windows, dropped := 0, 0
+	detailedToEnd := false
+	// A quarter-window detailed-warmup prefix runs in full detail before
+	// each measured window but is excluded from its counters (and lumped
+	// into FastForwarded), so short windows are not biased by their
+	// cold-pipeline transient.
+	warmup := s.DetailedWindow / 4
+
+	for k := 0; k < periods; k++ {
+		if k > 0 {
+			// Keep the caches and predictors warmed so far; only the
+			// pipeline, architectural state and counters restart.
+			c.ResetWindow(prog)
+		}
+		em.FastForward(s.FastForward, hook)
+		if em.Halted {
+			break // the program ended inside the skip; nothing left to measure
+		}
+		c.EndWarmup()
+		st := em.State()
+		c.SeedFrom(&st)
+		runErr := c.RunWindow(ctx, warmup, s.DetailedWindow, &pre, &win)
+		agg.Add(&win)
+		windows++
+		detailRetired += win.Retired
+		detailCycles += win.Cycles
+		if win.Cycles > 0 {
+			winIPC = append(winIPC, float64(win.Retired)/float64(win.Cycles))
+		}
+		for _, iv := range c.Intervals() {
+			iv.Mode = obs.ModeDetail
+			iv.Window = windows
+			intervals = append(intervals, iv)
+		}
+		dropped += c.IntervalsDropped()
+		if runErr != nil {
+			res.Stats, res.Intervals, res.IntervalsDropped = agg, intervals, dropped
+			res.Windows = windows
+			res.Err = runErr
+			return
+		}
+		if c.Halted() {
+			detailedToEnd = true
+			break
+		}
+		// Replay the period's detailed retirements (warmup prefix included)
+		// functionally so the emulator sits exactly where the next skip
+		// starts (or where the tail resumes).
+		em.FastForward(c.Stats.Retired, nil)
+	}
+
+	res.Stats, res.Intervals, res.IntervalsDropped = agg, intervals, dropped
+	res.Windows = windows
+
+	if detailedToEnd {
+		// The detailed core committed HALT: the end state is exact.
+		got := c.Result()
+		res.TotalRetired = got.Retired
+		res.FastForwarded = got.Retired - detailRetired
+		if s.DetailedWindow > 0 && detailCycles > 0 {
+			// The final bounded window happened to reach HALT: the totals
+			// are exact, but the IPC figures are still window samples, so
+			// keep reporting the sampled estimate and its error bar.
+			res.ExtrapolatedIPC = float64(detailRetired) / float64(detailCycles)
+			res.IPCErrorEst = relStdErr(winIPC)
+		}
+		if s.VerifyArch {
+			want, err := emu.RunProgram(prog, 1<<40)
+			if err != nil {
+				res.Err = fmt.Errorf("emulator: %w", err)
+				return
+			}
+			if got != want {
+				res.Err = fmt.Errorf("architectural mismatch:\ncore: %+v\nemu:  %+v", got, want)
+				return
+			}
+			res.Arch = got
+		}
+		return
+	}
+
+	// Sampled mode: finish the program functionally and extrapolate from
+	// the measured windows.
+	if err := em.Run(1 << 40); err != nil {
+		res.Err = fmt.Errorf("emulator: %w", err)
+		return
+	}
+	res.Extrapolated = true
+	res.TotalRetired = em.Retired
+	res.FastForwarded = em.Retired - detailRetired
+	if detailCycles > 0 {
+		res.ExtrapolatedIPC = float64(detailRetired) / float64(detailCycles)
+	}
+	res.IPCErrorEst = relStdErr(winIPC)
+	if s.VerifyArch {
+		// No mid-pipeline core state exists to compare in sampled mode; the
+		// commit-time checker (Spec.Check) covers the windows. Record the
+		// program's final architectural state from the emulator.
+		res.Arch = em.Result()
+	}
+}
+
+// relStdErr returns the relative standard error of the sample mean
+// (stddev / sqrt(n) / mean), the reported confidence figure for the
+// window-sampled IPC estimate. 0 with fewer than two samples or a zero
+// mean.
+func relStdErr(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/(n-1)) / math.Sqrt(n) / mean
+}

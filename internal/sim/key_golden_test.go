@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"mssr/internal/core"
 )
 
 // TestCanonicalKeyGolden pins the exact canonical-key strings for a
@@ -41,6 +43,24 @@ func TestCanonicalKeyGolden(t *testing.T) {
 			Spec{Workload: "nested-mispred", Scale: 2, Engine: EngineRGID, Streams: 4, Entries: 64,
 				Loads: LoadVerify, Check: true, VerifyArch: true, SampleInterval: 1024, SampleWindow: 8},
 			"nested-mispred@s2/rgid-4x64+loads=verify+check+verify+iv1024w8"},
+		{"fast-forward only (exact skip-then-detail)",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000}, "mcf@s0/rgid-4x64+ff50000"},
+		{"fast-forward with one bounded window",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000},
+			"mcf@s0/rgid-4x64+ff50000+dw5000"},
+		{"sampled periods",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000, SamplePeriods: 8},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp8"},
+		{"single period elides the sp suffix",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000, SamplePeriods: 1},
+			"mcf@s0/rgid-4x64+ff50000+dw5000"},
+		{"warmed fast-forward",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000, SamplePeriods: 8, Warm: true},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp8+warm"},
+		{"fidelity composes after sampling, before tune",
+			Spec{Workload: "mcf", Engine: EngineRGID, SampleInterval: 4096, FastForward: 50000,
+				DetailedWindow: 5000, SamplePeriods: 4, Warm: true, TuneKey: "wide", Tune: func(c *core.Config) {}},
+			"mcf@s0/rgid-4x64+iv4096+ff50000+dw5000+sp4+warm+wide"},
 		{"label never leaks into the key",
 			Spec{Label: "table1-row3", Workload: "mcf", Engine: EngineRGID}, "mcf@s0/rgid-4x64"},
 		{"timeout never leaks into the key",

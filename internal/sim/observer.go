@@ -102,6 +102,14 @@ type jobJSON struct {
 	Stats            *stats.Stats   `json:"stats,omitempty"`
 	Intervals        []obs.Interval `json:"intervals,omitempty"`
 	IntervalsDropped int            `json:"intervals_dropped,omitempty"`
+	// Multi-fidelity outcome; all omitted for full-detail runs, keeping
+	// their stream records byte-identical to earlier versions.
+	Extrapolated    bool    `json:"extrapolated,omitempty"`
+	Windows         int     `json:"windows,omitempty"`
+	FastForwarded   uint64  `json:"fast_forwarded,omitempty"`
+	TotalRetired    uint64  `json:"total_retired,omitempty"`
+	ExtrapolatedIPC float64 `json:"extrapolated_ipc,omitempty"`
+	IPCErrorEst     float64 `json:"ipc_error_est,omitempty"`
 }
 
 // OnStart implements Observer.
@@ -118,6 +126,12 @@ func (j *JSONStream) OnFinish(index, total int, r Result) {
 		Stats:            r.Stats,
 		Intervals:        r.Intervals,
 		IntervalsDropped: r.IntervalsDropped,
+		Extrapolated:     r.Extrapolated,
+		Windows:          r.Windows,
+		FastForwarded:    r.FastForwarded,
+		TotalRetired:     r.TotalRetired,
+		ExtrapolatedIPC:  r.ExtrapolatedIPC,
+		IPCErrorEst:      r.IPCErrorEst,
 	}
 	if r.Stats != nil {
 		rec.Cycles = r.Stats.Cycles

@@ -44,6 +44,27 @@ type Result struct {
 	Arch emu.Result
 	// Wall is the job's wall-clock duration.
 	Wall time.Duration
+	// Multi-fidelity outcome, populated only when the spec set FastForward
+	// (all zero-valued otherwise, so full-detail results — and their JSON —
+	// are unchanged). Stats then covers the measured detailed windows
+	// only; TotalRetired is the whole program's dynamic instruction count
+	// and FastForwarded the rest — the functional skips plus each window's
+	// measurement-excluded detailed-warmup prefix — so Stats.Retired +
+	// FastForwarded == TotalRetired always holds.
+	//
+	// Extrapolated marks a sampled run (DetailedWindow > 0): the program
+	// finished on the functional emulator and ExtrapolatedIPC is the
+	// window-sampled IPC estimate with IPCErrorEst its relative standard
+	// error (0 with fewer than two windows). A fast-forward-only run
+	// (DetailedWindow == 0) is exact, not extrapolated: the detailed core
+	// ran to HALT and the architectural end state is bit-for-bit the
+	// full-detail one.
+	Extrapolated    bool
+	Windows         int
+	FastForwarded   uint64
+	TotalRetired    uint64
+	ExtrapolatedIPC float64
+	IPCErrorEst     float64
 	// MIPS is the job's simulated throughput: retired instructions per
 	// host wall-clock microsecond (millions of simulated instructions
 	// per second). Zero when the job failed before producing stats.
@@ -363,7 +384,14 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 		}
 		res.Wall = time.Since(start)
 		if res.Stats != nil && res.Wall > 0 {
-			res.MIPS = float64(res.Stats.Retired) / res.Wall.Seconds() / 1e6
+			// Multi-fidelity jobs report effective throughput: every
+			// program instruction retired (functionally or in detail) per
+			// wall second, which is the figure the mode exists to improve.
+			retired := res.Stats.Retired
+			if res.TotalRetired > 0 {
+				retired = res.TotalRetired
+			}
+			res.MIPS = float64(retired) / res.Wall.Seconds() / 1e6
 		}
 	}()
 
@@ -411,6 +439,13 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 	// resets: clone the stats, and read the architectural state before
 	// the core returns to the pool.
 	res.EngineName = c.EngineName()
+	if s.FastForward > 0 {
+		r.runFidelity(ctx, &s, prog, c, &res)
+		if pl != nil {
+			pl.Put(c)
+		}
+		return res
+	}
 	runErr := c.RunContext(ctx)
 	res.Stats = c.Stats.Clone()
 	res.Intervals = c.Intervals()

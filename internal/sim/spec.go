@@ -176,6 +176,24 @@ type Spec struct {
 	// SampleWindow bounds the retained interval ring (0 = obs.DefaultWindow).
 	SampleWindow int
 
+	// Multi-fidelity execution (gem5-style mode switching). FastForward,
+	// when positive, architecturally executes that many instructions on the
+	// functional emulator before each detailed window instead of simulating
+	// them cycle by cycle. DetailedWindow bounds each detailed window to
+	// that many retired instructions; zero means the single window runs to
+	// completion (an exact skip-then-measure run, still bit-for-bit
+	// equivalent to full detail at the end state). SamplePeriods repeats
+	// the {fast-forward, window} pair SimPoint-style (0 or 1 = one period);
+	// with windows the run's Result is Extrapolated from the sampled
+	// windows and carries an IPC-error estimate. Warm replays fast-forward
+	// instructions into the cache hierarchy and branch predictor so each
+	// window starts warm. All four are part of CanonicalKey: cached,
+	// stored and fleet-sharded results stay content-sound.
+	FastForward    uint64
+	DetailedWindow uint64
+	SamplePeriods  int
+	Warm           bool
+
 	// Timeout bounds the job's wall time (0 = the Runner's default).
 	Timeout time.Duration
 	// Tracer, when set, receives pipeline events.
@@ -227,6 +245,18 @@ func (s *Spec) Validate() error {
 	}
 	if s.SampleWindow > 0 && s.SampleInterval == 0 {
 		errs = append(errs, errors.New("SampleWindow set without SampleInterval"))
+	}
+	if s.DetailedWindow > 0 && s.FastForward == 0 {
+		errs = append(errs, errors.New("DetailedWindow set without FastForward"))
+	}
+	if s.SamplePeriods < 0 {
+		errs = append(errs, fmt.Errorf("negative sample periods %d", s.SamplePeriods))
+	}
+	if s.SamplePeriods > 1 && s.DetailedWindow == 0 {
+		errs = append(errs, errors.New("SamplePeriods set without DetailedWindow"))
+	}
+	if s.Warm && s.FastForward == 0 {
+		errs = append(errs, errors.New("Warm set without FastForward"))
 	}
 	if s.Timeout < 0 {
 		errs = append(errs, fmt.Errorf("negative timeout %s", s.Timeout))
@@ -297,6 +327,22 @@ func (s *Spec) CanonicalKey() string {
 			fmt.Fprintf(&sb, "w%d", s.SampleWindow)
 		}
 	}
+	// Fidelity parameters change what the result means (sampled windows vs
+	// full detail), so they are content identity too: a cached full-detail
+	// result must never satisfy a fast-forwarded request, and distinct
+	// window geometries shard to their own fleet homes.
+	if s.FastForward > 0 {
+		fmt.Fprintf(&sb, "+ff%d", s.FastForward)
+		if s.DetailedWindow > 0 {
+			fmt.Fprintf(&sb, "+dw%d", s.DetailedWindow)
+		}
+		if s.SamplePeriods > 1 {
+			fmt.Fprintf(&sb, "+sp%d", s.SamplePeriods)
+		}
+		if s.Warm {
+			sb.WriteString("+warm")
+		}
+	}
 	if s.TuneKey != "" {
 		sb.WriteString("+" + s.TuneKey)
 	}
@@ -349,10 +395,13 @@ func (s *Spec) poolKey() string {
 // program, one shared architectural replay, one VerifyArch reference)
 // and are free to differ in everything per-variant — engine, geometry,
 // load policy, sampling, tuning. ok=false marks the spec unbatchable:
-// traced specs carry per-run state, and per-spec timeouts have no
-// meaning inside a group that shares a clock.
+// traced specs carry per-run state, per-spec timeouts have no meaning
+// inside a group that shares a clock, and fast-forwarded specs do not
+// retire the program from its entry (the lockstep batch shares one
+// from-the-start architectural replay stream), so they always run as
+// singletons through the sequential path even with Batching enabled.
 func (s *Spec) batchKey() (string, bool) {
-	if s.Tracer != nil || s.Timeout != 0 {
+	if s.Tracer != nil || s.Timeout != 0 || s.FastForward > 0 {
 		return "", false
 	}
 	switch {

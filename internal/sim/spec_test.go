@@ -48,6 +48,10 @@ func TestSpecValidate(t *testing.T) {
 		{"negative scale", Spec{Workload: "bfs", Scale: -2}},
 		{"negative timeout", Spec{Workload: "bfs", Timeout: -1}},
 		{"tune without key", Spec{Workload: "bfs", Tune: func(*core.Config) {}}},
+		{"window without fast-forward", Spec{Workload: "bfs", DetailedWindow: 1000}},
+		{"periods without window", Spec{Workload: "bfs", FastForward: 1000, SamplePeriods: 4}},
+		{"negative sample periods", Spec{Workload: "bfs", FastForward: 1000, DetailedWindow: 100, SamplePeriods: -1}},
+		{"warm without fast-forward", Spec{Workload: "bfs", Warm: true}},
 	}
 	for _, c := range bad {
 		if err := c.spec.Validate(); err == nil {
@@ -58,6 +62,9 @@ func TestSpecValidate(t *testing.T) {
 		{Workload: "bfs"},
 		{Program: p, Engine: EngineRGID, Streams: 2, Entries: 32},
 		{Workload: "cc", Engine: EngineDIRName, Loads: LoadNoReuse, Check: true},
+		{Workload: "bfs", FastForward: 1000}, // exact skip-then-detail
+		{Workload: "bfs", FastForward: 1000, DetailedWindow: 100, SamplePeriods: 8, Warm: true},
+		{Workload: "bfs", FastForward: 1000, SamplePeriods: 1}, // 1 == the default single period
 	}
 	for i, s := range good {
 		if err := s.Validate(); err != nil {

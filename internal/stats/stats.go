@@ -123,6 +123,119 @@ func (s *Stats) Clone() *Stats {
 	return &c
 }
 
+// Add accumulates o's counters into s field by field — the aggregation a
+// multi-fidelity run uses to fold successive detailed windows into one
+// result. Histograms add element-wise; RIReplacements grows to o's length
+// if needed (the engine sizes it identically for every window of a run).
+func (s *Stats) Add(o *Stats) {
+	if len(o.RIReplacements) > len(s.RIReplacements) {
+		grown := make([]uint64, len(o.RIReplacements))
+		copy(grown, s.RIReplacements)
+		s.RIReplacements = grown
+	}
+	for i, v := range o.RIReplacements {
+		s.RIReplacements[i] += v
+	}
+	s.Cycles += o.Cycles
+	s.Retired += o.Retired
+	s.Fetched += o.Fetched
+	s.Flushes += o.Flushes
+	s.Branches += o.Branches
+	s.BranchMispredicts += o.BranchMispredicts
+	s.JumpMispredicts += o.JumpMispredicts
+	s.SquashedStreams += o.SquashedStreams
+	s.Reconvergences += o.Reconvergences
+	s.ReuseTests += o.ReuseTests
+	s.ReuseHits += o.ReuseHits
+	s.ReusedLoads += o.ReusedLoads
+	s.ReuseFailRGID += o.ReuseFailRGID
+	s.ReuseFailNotDone += o.ReuseFailNotDone
+	s.ReuseFailKind += o.ReuseFailKind
+	s.Divergences += o.Divergences
+	s.StreamTimeouts += o.StreamTimeouts
+	s.RGIDResets += o.RGIDResets
+	s.LoadVerifications += o.LoadVerifications
+	s.MemOrderViolations += o.MemOrderViolations
+	s.BloomFilterRejects += o.BloomFilterRejects
+	s.StoreSetPredictions += o.StoreSetPredictions
+	s.L1DHits += o.L1DHits
+	s.L1DMisses += o.L1DMisses
+	s.L1DEvictions += o.L1DEvictions
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.L2Evictions += o.L2Evictions
+	s.DRAMAccesses += o.DRAMAccesses
+	for i := range s.ReconvByType {
+		s.ReconvByType[i] += o.ReconvByType[i]
+	}
+	for i := range s.ReconvDistance {
+		s.ReconvDistance[i] += o.ReconvDistance[i]
+	}
+	s.RIHits += o.RIHits
+	s.RIInvalidates += o.RIInvalidates
+}
+
+// CopyFrom makes s a deep copy of o, reusing s's histogram capacity when
+// it suffices — the snapshot a multi-fidelity run takes at a measurement
+// boundary without allocating in the steady state.
+func (s *Stats) CopyFrom(o *Stats) {
+	ri := s.RIReplacements
+	*s = *o
+	if cap(ri) < len(o.RIReplacements) {
+		ri = make([]uint64, len(o.RIReplacements))
+	}
+	ri = ri[:len(o.RIReplacements)]
+	copy(ri, o.RIReplacements)
+	s.RIReplacements = ri
+}
+
+// Sub removes o's counters from s field by field — the inverse of Add,
+// used to exclude a detailed-warmup prefix from a sample window's
+// measurement. o must be an earlier snapshot of the same run, so every
+// counter in s is at least its counterpart in o.
+func (s *Stats) Sub(o *Stats) {
+	for i, v := range o.RIReplacements {
+		s.RIReplacements[i] -= v
+	}
+	s.Cycles -= o.Cycles
+	s.Retired -= o.Retired
+	s.Fetched -= o.Fetched
+	s.Flushes -= o.Flushes
+	s.Branches -= o.Branches
+	s.BranchMispredicts -= o.BranchMispredicts
+	s.JumpMispredicts -= o.JumpMispredicts
+	s.SquashedStreams -= o.SquashedStreams
+	s.Reconvergences -= o.Reconvergences
+	s.ReuseTests -= o.ReuseTests
+	s.ReuseHits -= o.ReuseHits
+	s.ReusedLoads -= o.ReusedLoads
+	s.ReuseFailRGID -= o.ReuseFailRGID
+	s.ReuseFailNotDone -= o.ReuseFailNotDone
+	s.ReuseFailKind -= o.ReuseFailKind
+	s.Divergences -= o.Divergences
+	s.StreamTimeouts -= o.StreamTimeouts
+	s.RGIDResets -= o.RGIDResets
+	s.LoadVerifications -= o.LoadVerifications
+	s.MemOrderViolations -= o.MemOrderViolations
+	s.BloomFilterRejects -= o.BloomFilterRejects
+	s.StoreSetPredictions -= o.StoreSetPredictions
+	s.L1DHits -= o.L1DHits
+	s.L1DMisses -= o.L1DMisses
+	s.L1DEvictions -= o.L1DEvictions
+	s.L2Hits -= o.L2Hits
+	s.L2Misses -= o.L2Misses
+	s.L2Evictions -= o.L2Evictions
+	s.DRAMAccesses -= o.DRAMAccesses
+	for i := range s.ReconvByType {
+		s.ReconvByType[i] -= o.ReconvByType[i]
+	}
+	for i := range s.ReconvDistance {
+		s.ReconvDistance[i] -= o.ReconvDistance[i]
+	}
+	s.RIHits -= o.RIHits
+	s.RIInvalidates -= o.RIInvalidates
+}
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -69,4 +69,29 @@ echo "$METRICS" | grep -q 'msrd_jobs_submitted_total{worker="http://'"$W2"'"}' |
 HITS=$(echo "$METRICS" | awk '/^msrd_cache_hits_total\{/ {sum += $2} END {print sum+0}')
 [ "${HITS:-0}" -ge 1 ] || { echo "no cache hits across the fleet" >&2; exit 1; }
 
+echo "== multi-fidelity spec through the coordinator"
+# A fast-forwarded sampled spec exercises the fidelity fields of the wire
+# format end to end: the canonical key (distinct from the full-detail
+# run's), sharding, and the extrapolated result round-trip.
+FIDSPEC='{"specs":[{"workload":"mcf","scale":0,"engine":"rgid","fast_forward":400,"detailed_window":200,"sample_periods":4,"warm":true}]}'
+JOB=$(curl -fsS -X POST -d "$FIDSPEC" "http://$COORD/v1/jobs" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "fidelity job submission failed" >&2; exit 1; }
+job_done() {
+  curl -fsS "http://$COORD/v1/jobs/$JOB" | grep -q '"state":"done"'
+}
+wait_until 30 job_done
+FIDRES=$(curl -fsS "http://$COORD/v1/jobs/$JOB")
+echo "$FIDRES" | grep -q '"extrapolated":true' || {
+  echo "fidelity result not extrapolated: $FIDRES" >&2; exit 1; }
+echo "$FIDRES" | grep -q '"fast_forwarded":' || {
+  echo "fidelity result missing fast_forwarded count: $FIDRES" >&2; exit 1; }
+# Resubmitting the identical spec must be a cache hit somewhere in the ring.
+JOB2=$(curl -fsS -X POST -d "$FIDSPEC" "http://$COORD/v1/jobs" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+job2_done() {
+  curl -fsS "http://$COORD/v1/jobs/$JOB2" | grep -q '"state":"done"'
+}
+wait_until 30 job2_done
+curl -fsS "http://$COORD/v1/jobs/$JOB2" | grep -q '"cache_hits":1' || {
+  echo "repeated fidelity spec was not served from cache" >&2; exit 1; }
+
 echo "== fleet smoke OK (fleet-wide cache hits: $HITS)"
