@@ -34,6 +34,7 @@ import (
 	"mssr/internal/api"
 	"mssr/internal/cli"
 	"mssr/internal/client"
+	"mssr/internal/dash"
 	"mssr/internal/server"
 	"mssr/internal/store"
 )
@@ -55,6 +56,7 @@ func main() {
 		register   = flag.String("register", "", "msrfleet coordinator URL to register with (empty disables)")
 		advertise  = flag.String("advertise", "", "address workers advertise to the coordinator (default derives from -addr; required when -addr has no host)")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
+		dashboard  = flag.Bool("dashboard", false, "serve the live telemetry dashboard at /dashboard")
 		withPprof  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
@@ -101,6 +103,15 @@ func main() {
 
 	srv := server.New(cfg)
 	var handler http.Handler = srv
+	if *dashboard {
+		// Same pattern as pprof below: the page exists only when asked
+		// for, mounted on a wrapping mux in front of the API.
+		mux := http.NewServeMux()
+		mux.Handle("/dashboard", dash.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("msrd: dashboard enabled at /dashboard")
+	}
 	if *withPprof {
 		// Mount the pprof handlers explicitly on our own mux rather than
 		// importing the package for its DefaultServeMux side effect: the
@@ -111,7 +122,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/", srv)
+		mux.Handle("/", handler)
 		handler = mux
 		log.Printf("msrd: pprof endpoints enabled under /debug/pprof/")
 	}

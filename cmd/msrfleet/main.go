@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mssr/internal/cli"
+	"mssr/internal/dash"
 	"mssr/internal/fleet"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		retryBackoff   = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before re-dispatching after a worker failure")
 		healthInterval = flag.Duration("health-interval", time.Second, "worker liveness probe period")
 		healthFailures = flag.Int("health-failures", 2, "consecutive probe failures that demote a worker")
+		ready          = flag.Int("ready-threshold", 0, "pending specs that flip /readyz to saturated (0 = queue limit)")
+		dashboard      = flag.Bool("dashboard", false, "serve the live telemetry dashboard at /dashboard")
 		drain          = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
 		logLevel       = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
@@ -68,9 +71,18 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		HealthInterval: *healthInterval,
 		HealthFailures: *healthFailures,
+		ReadyThreshold: *ready,
 		Logger:         logger,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: co}
+	var handler http.Handler = co
+	if *dashboard {
+		mux := http.NewServeMux()
+		mux.Handle("/dashboard", dash.Handler())
+		mux.Handle("/", co)
+		handler = mux
+		log.Printf("msrfleet: dashboard enabled at /dashboard")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -174,9 +174,11 @@ type Core struct {
 
 	// Interval telemetry. sampleAt is the next sampling boundary; with
 	// no sampler it parks at MaxUint64 so the cycle loop pays a single
-	// never-taken compare.
-	sampler  *obs.Sampler
-	sampleAt uint64
+	// never-taken compare. onInterval, when set, observes each interval
+	// the sampler records, live from the cycle loop (SetIntervalHook).
+	sampler    *obs.Sampler
+	sampleAt   uint64
+	onInterval func(*obs.Interval)
 
 	// Run state. retiredBase is the number of instructions the functional
 	// emulator already retired before this core was seeded mid-program
@@ -396,7 +398,9 @@ func (c *Core) finishRun() {
 	c.Stats.Cycles = c.cycle
 	c.syncMemStats()
 	if c.sampler != nil {
-		c.sampler.Flush(obs.SnapshotOf(c.cycle, c.Stats))
+		if c.sampler.Flush(obs.SnapshotOf(c.cycle, c.Stats)) && c.onInterval != nil {
+			c.onInterval(c.sampler.Last())
+		}
 	}
 }
 
@@ -406,7 +410,26 @@ func (c *Core) finishRun() {
 func (c *Core) takeSample() {
 	c.syncMemStats()
 	c.sampler.Record(obs.SnapshotOf(c.cycle, c.Stats))
+	if c.onInterval != nil {
+		c.onInterval(c.sampler.Last())
+	}
 	c.sampleAt += c.cfg.SampleInterval
+}
+
+// SetIntervalHook installs fn to observe every interval the sampler
+// records, at the moment it is recorded — the live-telemetry tap. The
+// pointer aliases the sampler's ring; fn must copy the record if it
+// outlives the call (publishing it by value through an events.Hub
+// does). fn runs on the simulation goroutine: it must not block, and a
+// nil-subscriber hub publish keeps the cycle loop allocation-free. A
+// full Reset clears the hook (pooled cores never leak one run's hook
+// into the next job); ResetWindow preserves it, so one hook covers all
+// sample periods of a multi-fidelity run. No-op without a sampler.
+func (c *Core) SetIntervalHook(fn func(*obs.Interval)) {
+	if c.sampler == nil {
+		return
+	}
+	c.onInterval = fn
 }
 
 // syncMemStats mirrors the memory-hierarchy counters into Stats. The

@@ -38,6 +38,11 @@ var _ = []Resettable{
 // which is what makes the pooling contract hold by construction rather
 // than by parallel bookkeeping.
 func (c *Core) Reset(prog *isa.Program) {
+	// The live-interval tap belongs to one run's owner: a pooled core
+	// must not fire a stale hook for the next job. ResetWindow
+	// (resetPipeline alone) deliberately keeps it so one hook spans all
+	// sample periods of a multi-fidelity run.
+	c.onInterval = nil
 	c.bp.Reset()
 	c.hier.Reset()
 	c.resetPipeline(prog)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mssr/internal/emu"
+	"mssr/internal/events"
 	"mssr/internal/isa"
 	"mssr/internal/obs"
 )
@@ -106,8 +107,12 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 				if c.Stats.Flushes < 100 {
 					t.Fatalf("workload not squash-heavy enough to pin recovery allocations: %d flushes", c.Stats.Flushes)
 				}
+				// 10 runs: AllocsPerRun's integer division absorbs the
+				// occasional stray GC-internal allocation landing
+				// mid-measurement under suite heap pressure; a real per-run
+				// allocation still reads >= 1.
 				var runErr error
-				allocs := testing.AllocsPerRun(2, func() {
+				allocs := testing.AllocsPerRun(10, func() {
 					c.Reset(prog)
 					if err := c.Run(); err != nil {
 						runErr = err
@@ -155,7 +160,8 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			}
 		}
 		run() // warm-up: grow every structure, stream ring included
-		allocs := testing.AllocsPerRun(2, run)
+		// 10 runs for the same GC-noise absorption as the per-config loop.
+		allocs := testing.AllocsPerRun(10, run)
 		if len(runErrs) > 0 {
 			t.Fatalf("batched runs failed: %v", runErrs)
 		}
@@ -163,6 +169,56 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			t.Errorf("steady-state batched run allocated %.1f objects; want 0", allocs)
 		}
 	})
+}
+
+// TestSteadyStateZeroAllocsWithHub extends the allocation guard to the
+// live-telemetry tap: a sampled core whose interval hook publishes onto
+// an events.Hub with no subscribers must still run allocation-free —
+// the hub's fast path is one atomic load, and the Event is passed by
+// value. This is the contract that lets the daemon keep the hub
+// attached unconditionally.
+func TestSteadyStateZeroAllocsWithHub(t *testing.T) {
+	prog := hashyProgram(500)
+	hub := &events.Hub{}
+	for name, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cfg.MaxCycles = 50_000_000
+			cfg.SampleInterval = 4096
+			c := New(prog, cfg)
+			// The hook is hoisted so the measured loop only re-installs an
+			// existing func value after each Reset (as the runner's pooled
+			// path does), rather than allocating a fresh closure.
+			hook := func(iv *obs.Interval) {
+				hub.Publish(events.Event{Type: events.TypeInterval, Key: prog.Name, Interval: *iv})
+			}
+			c.SetIntervalHook(hook)
+			if err := c.Run(); err != nil {
+				t.Fatalf("warm-up: %v", err)
+			}
+			// 10 runs (vs the 2 elsewhere): AllocsPerRun's integer division
+			// then absorbs the occasional stray GC-internal allocation that
+			// lands mid-measurement under full-suite heap pressure, while a
+			// real per-run allocation still reads >= 1.
+			var runErr error
+			allocs := testing.AllocsPerRun(10, func() {
+				c.Reset(prog) // clears the hook, as pooling does
+				c.SetIntervalHook(hook)
+				if err := c.Run(); err != nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				t.Fatalf("measured run: %v", runErr)
+			}
+			if allocs != 0 {
+				t.Errorf("hub-attached steady-state run allocated %.1f objects; want 0", allocs)
+			}
+			if hub.Published() != 0 {
+				t.Errorf("no-subscriber publishes were counted as broadcast: %d", hub.Published())
+			}
+		})
+	}
 }
 
 // TestSampledIntervalsPooledVsFresh extends the fresh==Reset contract to

@@ -1,0 +1,173 @@
+package events
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeWSRoundTrip covers the full path: HTTP upgrade, hub
+// subscription, deterministic JSON frames over the wire, clean close.
+func TestServeWSRoundTrip(t *testing.T) {
+	h := &Hub{Clock: func() int64 { return 7 }}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = ServeWS(h, w, r, ServeOptions{Job: r.URL.Query().Get("job")})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, srv.URL+"/v1/ws?job=j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Subscription registration races the dial returning; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h.Publish(Event{Type: TypeJobQueued, Job: "j2"}) // filtered out
+	h.Publish(Event{Type: TypeSpecDone, Job: "j1", Key: "k", IPC: 1.5})
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(msg, &ev); err != nil {
+		t.Fatalf("decoding frame %q: %v", msg, err)
+	}
+	if ev.Type != TypeSpecDone || ev.Job != "j1" || ev.IPC != 1.5 || ev.TimeNS != 7 {
+		t.Fatalf("wrong frame: %+v", ev)
+	}
+	// The wire bytes are the deterministic encoding, not encoding/json's.
+	if want := string(ev.AppendJSON(nil)); string(msg) != want {
+		t.Fatalf("wire frame %q != deterministic encoding %q", msg, want)
+	}
+}
+
+// TestWSLargeFrame exercises the 16-bit and stays under the 64-bit
+// extended-length paths in both directions.
+func TestWSLargeFrame(t *testing.T) {
+	big := strings.Repeat("x", 70_000) // > 65535: 8-byte extended length
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Echo one message back, then send the oversized payload.
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		conn.WriteText(msg)
+		conn.WriteText([]byte(big))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+
+	mid := strings.Repeat("y", 300) // 126..65535: 2-byte extended length
+	if err := conn.WriteText([]byte(mid)); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(echo) != mid {
+		t.Fatalf("echo corrupted: %d bytes", len(echo))
+	}
+	huge, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(huge) != big {
+		t.Fatalf("large frame corrupted: %d bytes", len(huge))
+	}
+}
+
+// TestWSPingClose: pings are answered transparently mid-stream and a
+// close frame surfaces as io.EOF.
+func TestWSPingClose(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.conn.Close()
+		conn.writeFrame(opPing, []byte("hb"))
+		// The client's ReadMessage must answer the ping without
+		// surfacing it; wait for the pong before closing.
+		for {
+			var hdr [2]byte
+			if _, err := io.ReadFull(conn.br, hdr[:]); err != nil {
+				return
+			}
+			n := int(hdr[1] & 0x7f)
+			var mask [4]byte
+			if hdr[1]&0x80 != 0 {
+				io.ReadFull(conn.br, mask[:])
+			}
+			payload := make([]byte, n)
+			io.ReadFull(conn.br, payload)
+			if hdr[0]&0x0f == opPong {
+				conn.writeFrame(opClose, nil)
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.ReadMessage(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF after ping+close, got %v", err)
+	}
+}
+
+// TestUpgradeRejectsPlainGET: a non-upgrade request gets an HTTP error,
+// not a hijacked socket.
+func TestUpgradeRejectsPlainGET(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); err == nil {
+			t.Error("Upgrade accepted a plain GET")
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET got %d, want 400", resp.StatusCode)
+	}
+}

@@ -43,6 +43,8 @@ import (
 
 	"mssr/internal/api"
 	"mssr/internal/client"
+	"mssr/internal/events"
+	"mssr/internal/obs"
 	"mssr/internal/sim"
 )
 
@@ -72,6 +74,13 @@ type Config struct {
 	QueueLimit int
 	// RetryAfter is the backoff hint attached to 429 responses (0 = 1s).
 	RetryAfter time.Duration
+	// ReadyThreshold marks the fleet "saturated" on /readyz once this
+	// many specs are pending (0 = QueueLimit). Load balancers use it to
+	// rotate traffic away before submissions start bouncing with 429.
+	ReadyThreshold int
+	// RelayBackoff is the base delay between reconnect attempts when a
+	// worker's event stream drops (0 = 200ms, capped at 2s).
+	RelayBackoff time.Duration
 	// Logger receives the coordinator's structured logs; nil discards.
 	Logger *slog.Logger
 	// NewClient overrides worker client construction (tests inject
@@ -100,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.ReadyThreshold <= 0 {
+		c.ReadyThreshold = c.QueueLimit
+	}
+	if c.RelayBackoff <= 0 {
+		c.RelayBackoff = 200 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
@@ -144,6 +159,13 @@ type Coordinator struct {
 	log *slog.Logger
 	met fleetMetrics
 
+	// hub is the fleet-wide event bus: coordinator lifecycle events
+	// (dispatch, retries, ring membership) plus telemetry frames relayed
+	// from every worker's own /v1/ws stream, re-labeled worker="addr".
+	hub      *events.Hub
+	started  time.Time
+	probeDur *obs.Histogram
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers map[string]*worker
@@ -151,6 +173,11 @@ type Coordinator struct {
 	orphans []*unit // units with no healthy worker to queue on
 	pending int     // units admitted and not yet resolved
 	closed  bool
+	// subJobs maps "workerAddr subJobID" to the chunk's units, so the
+	// relay can re-label a worker's job-scoped frames with the owning
+	// fleet job. Entries are dropped (after a grace for in-flight frames)
+	// when the dispatch that registered them returns.
+	subJobs map[string][]*unit
 
 	nextJob atomic.Uint64
 	baseCtx context.Context
@@ -163,12 +190,17 @@ type Coordinator struct {
 func New(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		log:     cfg.Logger,
-		workers: make(map[string]*worker),
-		jobs:    make(map[string]*job),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		log:      cfg.Logger,
+		hub:      &events.Hub{},
+		started:  time.Now(),
+		probeDur: obs.NewHistogram(obs.DurationBuckets),
+		workers:  make(map[string]*worker),
+		jobs:     make(map[string]*job),
+		subJobs:  make(map[string][]*unit),
 	}
+	c.met.version, c.met.goVersion, c.met.revision = obs.BuildInfo()
 	c.cond = sync.NewCond(&c.mu)
 	c.baseCtx, c.cancel = context.WithCancel(context.Background())
 	c.mu.Lock()
@@ -183,6 +215,7 @@ func New(cfg Config) *Coordinator {
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/intervals", c.handleIntervals)
+	c.mux.HandleFunc("GET /v1/ws", c.handleWS)
 	c.mux.HandleFunc("POST /fleet/v1/workers", c.handleRegister)
 	c.mux.HandleFunc("GET /fleet/v1/workers", c.handleWorkers)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
@@ -207,7 +240,7 @@ func normalizeAddr(addr string) string {
 }
 
 // addWorkerLocked registers addr (idempotent) and starts its dispatch
-// loop. Callers hold c.mu.
+// and event-relay loops. Callers hold c.mu.
 func (c *Coordinator) addWorkerLocked(addr string) *worker {
 	addr = normalizeAddr(addr)
 	if w, ok := c.workers[addr]; ok {
@@ -216,8 +249,10 @@ func (c *Coordinator) addWorkerLocked(addr string) *worker {
 	w := &worker{addr: addr, cl: c.cfg.NewClient(addr), healthy: true}
 	c.workers[addr] = w
 	c.met.registrations.Add(1)
-	c.wg.Add(1)
+	c.hub.Publish(events.Event{Type: events.TypeWorkerRegistered, Worker: addr})
+	c.wg.Add(2)
 	go c.workerLoop(w)
+	go c.relayLoop(w)
 	c.cond.Broadcast()
 	return w
 }
@@ -281,7 +316,7 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}
 	c.mu.Unlock()
 	for _, u := range leftovers {
-		c.completeUnit(u, errorResult(u, "coordinator shut down"))
+		c.completeUnit(u, errorResult(u, "coordinator shut down"), "")
 	}
 	for _, j := range jobs {
 		for i := range j.wire {
@@ -381,6 +416,7 @@ func (c *Coordinator) stealLocked(w *worker) []*unit {
 	w.inflight += n
 	c.met.steals.Add(1)
 	c.met.unitsStolen.Add(uint64(n))
+	c.hub.Publish(events.Event{Type: events.TypeSteal, Worker: victim.addr, Specs: n})
 	c.log.Info("work stolen", "thief", w.addr, "victim", victim.addr, "units", n, "victim_queue", len(victim.queue))
 	return units
 }
@@ -414,11 +450,28 @@ func (c *Coordinator) dispatch(w *worker, units []*unit) {
 			return
 		}
 		w.completed.Add(1)
-		c.completeUnit(u, r)
+		c.completeUnit(u, r, w.addr)
 	}
 
 	sub, err := w.cl.Submit(ctx, specs)
 	if err == nil {
+		// Register the sub-job so the relay can re-label this worker's
+		// frames with the owning fleet jobs. The mapping outlives the
+		// dispatch by a grace period: relay frames travel on their own
+		// connection and may still be in flight when the result stream
+		// ends.
+		relayKey := w.addr + " " + sub.JobID
+		c.mu.Lock()
+		c.subJobs[relayKey] = units
+		c.mu.Unlock()
+		defer time.AfterFunc(5*time.Second, func() {
+			c.mu.Lock()
+			delete(c.subJobs, relayKey)
+			c.mu.Unlock()
+		})
+		for _, u := range units {
+			c.hub.Publish(events.Event{Type: events.TypeSpecDispatched, Job: u.job.id, Key: u.display, Worker: w.addr})
+		}
 		serr := w.cl.Stream(ctx, sub.JobID, func(r api.Result) error {
 			if r.Index >= 0 && r.Index < len(units) {
 				settle(r.Index, r)
@@ -468,6 +521,7 @@ func (c *Coordinator) dispatch(w *worker, units []*unit) {
 	}
 	retry = append(retry, unresolved...)
 	if len(retry) > 0 {
+		c.hub.Publish(events.Event{Type: events.TypeRetry, Worker: w.addr, Specs: len(retry)})
 		c.requeue(retry)
 	}
 }
@@ -482,7 +536,7 @@ func (c *Coordinator) requeue(units []*unit) {
 		u.attempts++
 		if u.attempts >= c.cfg.MaxAttempts {
 			c.met.unitFailures.Add(uint64(1))
-			c.completeUnit(u, errorResult(u, fmt.Sprintf("dispatch failed after %d attempts: %s", u.attempts, u.lastErr)))
+			c.completeUnit(u, errorResult(u, fmt.Sprintf("dispatch failed after %d attempts: %s", u.attempts, u.lastErr)), "")
 			continue
 		}
 		if u.attempts > maxAttempt {
@@ -504,7 +558,7 @@ func (c *Coordinator) requeue(units []*unit) {
 	if c.closed {
 		c.mu.Unlock()
 		for _, u := range again {
-			c.completeUnit(u, errorResult(u, "coordinator shut down"))
+			c.completeUnit(u, errorResult(u, "coordinator shut down"), "")
 		}
 		return
 	}
@@ -516,23 +570,41 @@ func (c *Coordinator) requeue(units []*unit) {
 }
 
 // completeUnit resolves one unit: the result is re-indexed into the
-// owning job's positions and published.
-func (c *Coordinator) completeUnit(u *unit, r api.Result) {
+// owning job's positions and published. workerAddr labels the bus
+// events with the worker that produced the result ("" for fleet-side
+// completions such as shed or shutdown errors).
+func (c *Coordinator) completeUnit(u *unit, r api.Result, workerAddr string) {
 	r.Index = u.idx
 	c.met.unitsCompleted.Add(1)
 	c.mu.Lock()
 	c.pending--
 	c.mu.Unlock()
-	if u.job.complete(u.idx, r) {
+	first, jobDone := u.job.complete(u.idx, r)
+	if first {
+		c.hub.Publish(events.Event{
+			Type: events.TypeSpecDone, Job: u.job.id, Key: r.Key, Worker: workerAddr,
+			Source: r.Source, Done: u.job.doneCount(),
+			WallMS: float64(r.WallNS) / 1e6, IPC: r.IPC,
+			Extrapolated: r.Extrapolated, ExtrapolatedIPC: r.ExtrapolatedIPC, IPCErrorEst: r.IPCErrorEst,
+			Error: r.Error,
+		})
+	}
+	if jobDone {
 		if u.job.failed() {
 			c.met.jobsFailed.Add(1)
 		} else {
 			c.met.jobsCompleted.Add(1)
 		}
 		st := u.job.status()
+		wallMS := float64(st.Finished.Sub(st.Submitted).Microseconds()) / 1000
+		typ := events.TypeJobDone
+		if st.Error != "" || u.job.failed() {
+			typ = events.TypeJobFailed
+		}
+		c.hub.Publish(events.Event{Type: typ, Job: u.job.id, Specs: st.Total, Done: st.Done, WallMS: wallMS})
 		c.log.Info("fleet job finish", "job_id", u.job.id,
 			"specs", st.Total, "cache_hits", st.CacheHits, "dedup_joins", st.DedupJoins,
-			"duration_ms", float64(st.Finished.Sub(st.Submitted).Microseconds())/1000)
+			"duration_ms", wallMS)
 	}
 	c.cond.Broadcast()
 }
@@ -584,7 +656,9 @@ func (c *Coordinator) healthLoop() {
 		c.mu.Unlock()
 		for _, w := range ws {
 			pctx, cancel := context.WithTimeout(c.baseCtx, probeTimeout)
+			t0 := time.Now()
 			err := w.cl.Health(pctx)
+			c.probeDur.Observe(time.Since(t0))
 			cancel()
 			c.noteProbe(w, err)
 		}
@@ -601,6 +675,7 @@ func (c *Coordinator) noteProbe(w *worker, err error) {
 		w.healthy = true
 		c.mu.Unlock()
 		if revived {
+			c.hub.Publish(events.Event{Type: events.TypeWorkerUp, Worker: w.addr})
 			c.log.Info("worker healthy", "worker", w.addr)
 			c.cond.Broadcast()
 		}
@@ -630,6 +705,7 @@ func (c *Coordinator) markDown(w *worker, reason string) {
 		c.enqueueLocked(u)
 	}
 	c.mu.Unlock()
+	c.hub.Publish(events.Event{Type: events.TypeWorkerDown, Worker: w.addr, Specs: len(moved), Error: reason})
 	c.log.Warn("worker down", "worker", w.addr, "reason", reason, "requeued", len(moved))
 	c.cond.Broadcast()
 }
@@ -704,6 +780,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	c.cond.Broadcast()
 	c.met.jobsSubmitted.Add(1)
+	// Fleet jobs run as soon as they are admitted (units go straight onto
+	// shard queues), so queued and start publish back to back.
+	c.hub.Publish(events.Event{Type: events.TypeJobQueued, Job: j.id, Specs: len(req.Specs)})
+	c.hub.Publish(events.Event{Type: events.TypeJobStart, Job: j.id, Specs: len(req.Specs)})
 	c.log.Info("fleet job submitted", "job_id", j.id, "specs", len(req.Specs))
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: j.id, Total: len(req.Specs)})
 }
@@ -833,21 +913,126 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReady: the fleet is ready when it is not draining and at least
-// one worker is healthy.
+// handleReady: the fleet is ready when it is not draining, at least one
+// worker is healthy, and the pending backlog sits below ReadyThreshold.
+// "saturated" is a 503 distinct from rejection — submissions may still
+// be admitted until QueueLimit, but balancers should rotate away.
 func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	closed := c.closed
 	healthy := len(c.healthyAddrsLocked())
 	total := len(c.workers)
+	pending := c.pending
 	c.mu.Unlock()
 	switch {
 	case closed:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "draining"})
 	case healthy == 0:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "no healthy workers", "workers": total})
+	case pending >= c.cfg.ReadyThreshold:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "saturated", "pending": pending, "threshold": c.cfg.ReadyThreshold, "workers": total, "healthy": healthy})
 	default:
-		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ready", "workers": total, "healthy": healthy})
+		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ready", "workers": total, "healthy": healthy, "pending": pending})
+	}
+}
+
+// handleWS streams the fleet event bus over a WebSocket: coordinator
+// lifecycle events plus worker telemetry frames relayed with
+// worker="addr" labels. ?job=ID filters to one fleet job.
+func (c *Coordinator) handleWS(w http.ResponseWriter, r *http.Request) {
+	c.met.wsConns.Add(1)
+	defer c.met.wsConns.Add(-1)
+	if err := events.ServeWS(c.hub, w, r, events.ServeOptions{Job: r.URL.Query().Get("job")}); err != nil {
+		c.met.streamErrors.Add(1)
+		c.log.Warn("fleet event stream failed", "err", err)
+	}
+}
+
+// Hub returns the fleet event bus (exported for CLIs/tests).
+func (c *Coordinator) Hub() *events.Hub { return c.hub }
+
+// ---------------------------------------------------------------- relay ---
+
+// relayLoop maintains one worker's event-relay connection: it dials the
+// worker's /v1/ws firehose, re-labels each telemetry frame with the
+// owning fleet job and worker="addr", and republishes it on the fleet
+// hub. Connection failures retry with bounded backoff — a worker
+// without the endpoint (or down) costs one cheap dial per backoff and
+// nothing else.
+func (c *Coordinator) relayLoop(w *worker) {
+	defer c.wg.Done()
+	backoff := c.cfg.RelayBackoff
+	for {
+		if c.baseCtx.Err() != nil {
+			return
+		}
+		conn, err := events.Dial(c.baseCtx, w.addr+"/v1/ws")
+		if err != nil {
+			select {
+			case <-time.After(backoff):
+			case <-c.baseCtx.Done():
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = c.cfg.RelayBackoff
+		// ReadMessage cannot watch a context, so a shutdown closes the
+		// connection out from under it.
+		connDone := make(chan struct{})
+		go func() {
+			select {
+			case <-c.baseCtx.Done():
+				conn.Close()
+			case <-connDone:
+			}
+		}()
+		c.relay(w, conn)
+		close(connDone)
+		conn.Close()
+	}
+}
+
+// relay pumps one established worker event stream into the fleet hub
+// until it breaks. Only telemetry frames are forwarded (interval,
+// window, spec_start) — authoritative lifecycle events (dispatched,
+// done, failed) come from the coordinator's own bookkeeping, so the
+// fleet stream never carries duplicates. Frames that cannot be mapped
+// to a fleet job (a client talking to the worker directly, or a frame
+// arriving after its sub-job's grace period) are dropped.
+func (c *Coordinator) relay(w *worker, conn *events.WSConn) {
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		var ev events.Event
+		if json.Unmarshal(msg, &ev) != nil {
+			continue
+		}
+		switch ev.Type {
+		case events.TypeInterval, events.TypeWindow, events.TypeSpecStart:
+		default:
+			continue
+		}
+		c.mu.Lock()
+		units := c.subJobs[w.addr+" "+ev.Job]
+		var owner *job
+		for _, u := range units {
+			if u.display == ev.Key {
+				owner = u.job
+				break
+			}
+		}
+		c.mu.Unlock()
+		if owner == nil {
+			continue
+		}
+		ev.Job = owner.id
+		ev.Worker = w.addr
+		c.hub.Publish(ev) // Publish re-stamps Seq and TimeNS for the fleet bus
 	}
 }
 

@@ -47,12 +47,14 @@ func newJob(id string, wire []api.Spec, keys []string, now time.Time) *job {
 
 // complete records the result for spec index i and publishes it,
 // finishing the job when it was the last outstanding spec. The first
-// completion of a slot wins; returns whether this call finished the job.
-func (j *job) complete(i int, r api.Result) (jobDone bool) {
+// completion of a slot wins: first reports whether this call filled the
+// slot (callers publish per-spec events on it), jobDone whether it
+// finished the job.
+func (j *job) complete(i int, r api.Result) (first, jobDone bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.filled[i] {
-		return false
+		return false, false
 	}
 	j.filled[i] = true
 	j.results[i] = r
@@ -70,7 +72,14 @@ func (j *job) complete(i int, r api.Result) (jobDone bool) {
 	}
 	close(j.notify)
 	j.notify = make(chan struct{})
-	return j.done == len(j.wire)
+	return true, j.done == len(j.wire)
+}
+
+// doneCount reports how many specs have resolved so far.
+func (j *job) doneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
 }
 
 // failed reports whether any recorded result carries an error.

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mssr/internal/obs"
 )
 
 // fleetMetrics are the coordinator's own counters, exposed as
@@ -27,6 +29,11 @@ type fleetMetrics struct {
 	steals          atomic.Uint64
 	unitsStolen     atomic.Uint64
 	registrations   atomic.Uint64
+	wsConns         atomic.Int64
+	streamErrors    atomic.Uint64
+
+	// Build identity for msrfleet_build_info, set once at New.
+	version, goVersion, revision string
 }
 
 // workerGauges is one worker's point-in-time shard state for exposition.
@@ -37,10 +44,13 @@ type workerGauges struct {
 	inflight int
 }
 
-func (m *fleetMetrics) write(w io.Writer, workers []workerGauges, pending, orphans int) {
+func (m *fleetMetrics) write(w io.Writer, workers []workerGauges, pending, orphans int, probe *obs.Histogram, hubDropped uint64, uptime float64) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	fmt.Fprintf(w, "# HELP msrfleet_build_info Build identity of the running coordinator.\n# TYPE msrfleet_build_info gauge\nmsrfleet_build_info{version=%q,go_version=%q,revision=%q} 1\n",
+		m.version, m.goVersion, m.revision)
+	fmt.Fprintf(w, "# HELP msrfleet_uptime_seconds Seconds since the coordinator started.\n# TYPE msrfleet_uptime_seconds gauge\nmsrfleet_uptime_seconds %.3f\n", uptime)
 	counter("msrfleet_jobs_submitted_total", "Jobs accepted by the coordinator.", m.jobsSubmitted.Load())
 	counter("msrfleet_jobs_rejected_total", "Jobs shed (queue full or no healthy workers).", m.jobsRejected.Load())
 	counter("msrfleet_jobs_completed_total", "Jobs finished with every spec resolved cleanly.", m.jobsCompleted.Load())
@@ -52,6 +62,11 @@ func (m *fleetMetrics) write(w io.Writer, workers []workerGauges, pending, orpha
 	counter("msrfleet_steals_total", "Work-stealing events between shard queues.", m.steals.Load())
 	counter("msrfleet_units_stolen_total", "Specs moved by work stealing.", m.unitsStolen.Load())
 	counter("msrfleet_worker_registrations_total", "Workers added to the ring (static and dynamic).", m.registrations.Load())
+	counter("msrfleet_ws_dropped_total", "Event frames dropped on full fleet subscriber buffers.", hubDropped)
+	counter("msrfleet_stream_errors_total", "Fleet event streams torn down mid-write (slow consumers).", m.streamErrors.Load())
+
+	fmt.Fprintf(w, "# HELP msrfleet_ws_connections Open fleet event-stream WebSockets.\n# TYPE msrfleet_ws_connections gauge\nmsrfleet_ws_connections %d\n", m.wsConns.Load())
+	probe.Write(w, "msrfleet_probe_duration_seconds", "Worker health probe round-trip time.")
 
 	fmt.Fprintf(w, "# HELP msrfleet_pending_units Specs admitted and not yet resolved.\n# TYPE msrfleet_pending_units gauge\nmsrfleet_pending_units %d\n", pending)
 	fmt.Fprintf(w, "# HELP msrfleet_orphan_units Specs parked with no healthy worker to queue on.\n# TYPE msrfleet_orphan_units gauge\nmsrfleet_orphan_units %d\n", orphans)
@@ -102,7 +117,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].addr < gauges[j].addr })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	c.met.write(w, gauges, pending, orphans)
+	c.met.write(w, gauges, pending, orphans, c.probeDur, c.hub.Dropped(), time.Since(c.started).Seconds())
 
 	// Union the workers' expositions under per-worker labels. Fetch
 	// concurrently (a down worker costs one timeout, not a serial stall)

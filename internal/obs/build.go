@@ -1,0 +1,26 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo reports the running binary's identity for the *_build_info
+// gauges: module version, Go toolchain version, and VCS revision (empty
+// when the binary was built outside a checkout, e.g. under `go test`).
+func BuildInfo() (version, goVersion, revision string) {
+	version, goVersion = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return
+}

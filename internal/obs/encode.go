@@ -91,3 +91,69 @@ func WriteCSV(w io.Writer, ivs []Interval) error {
 	}
 	return nil
 }
+
+// AppendJSONFields appends the interval's fields as `"k":v` pairs —
+// without enclosing braces — to dst and returns the extended slice. The
+// field order matches the struct's JSON tags and floats use the shortest
+// round-trippable representation, so identical intervals always produce
+// identical bytes (the live event stream's golden pins rely on this).
+// Mode and Window are omitted when zero, mirroring their omitempty tags.
+// Mode never needs escaping ("" or "detail").
+func (iv *Interval) AppendJSONFields(dst []byte) []byte {
+	u := func(k string, v uint64) {
+		dst = append(dst, '"')
+		dst = append(dst, k...)
+		dst = append(dst, '"', ':')
+		dst = strconv.AppendUint(dst, v, 10)
+		dst = append(dst, ',')
+	}
+	f := func(k string, v float64) {
+		dst = append(dst, '"')
+		dst = append(dst, k...)
+		dst = append(dst, '"', ':')
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		dst = append(dst, ',')
+	}
+	u("index", uint64(iv.Index))
+	u("start_cycle", iv.Start)
+	u("end_cycle", iv.End)
+	u("retired", iv.Retired)
+	u("fetched", iv.Fetched)
+	u("flushes", iv.Flushes)
+	u("branches", iv.Branches)
+	u("branch_mispredicts", iv.BranchMispredicts)
+	u("jump_mispredicts", iv.JumpMispredicts)
+	u("reuse_tests", iv.ReuseTests)
+	u("reuse_hits", iv.ReuseHits)
+	u("squashed_streams", iv.SquashedStreams)
+	u("reconvergences", iv.Reconvergences)
+	u("rgid_resets", iv.RGIDResets)
+	u("l1d_hits", iv.L1DHits)
+	u("l1d_misses", iv.L1DMisses)
+	u("l2_hits", iv.L2Hits)
+	u("l2_misses", iv.L2Misses)
+	u("dram_accesses", iv.DRAMAccesses)
+	f("ipc", iv.IPC)
+	f("reuse_rate", iv.ReuseRate)
+	f("mpki", iv.MPKI)
+	f("l1d_miss_rate", iv.L1DMissRate)
+	if iv.Mode != "" {
+		dst = append(dst, `"mode":"`...)
+		dst = append(dst, iv.Mode...)
+		dst = append(dst, '"', ',')
+	}
+	if iv.Window != 0 {
+		dst = append(dst, `"window":`...)
+		dst = strconv.AppendInt(dst, int64(iv.Window), 10)
+		dst = append(dst, ',')
+	}
+	return dst[:len(dst)-1] // drop the trailing comma
+}
+
+// AppendJSON appends the interval as one JSON object to dst and returns
+// the extended slice. Byte-deterministic; see AppendJSONFields.
+func (iv *Interval) AppendJSON(dst []byte) []byte {
+	dst = append(dst, '{')
+	dst = iv.AppendJSONFields(dst)
+	return append(dst, '}')
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the default histogram upper bounds in seconds,
+// spanning sub-millisecond cache hits (and health probes) to
+// multi-minute SPEC-scale simulations.
+var DurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a Prometheus-style cumulative histogram of durations.
+// Observations and scrapes are concurrent: per-bucket counts, the total
+// and the sum are all atomics (the sum in integer nanoseconds, so no
+// float CAS loop is needed). Rendered counts may be momentarily ahead of
+// the rendered sum under concurrent observation, which Prometheus
+// tolerates between scrapes.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound; observations beyond all bounds land in +Inf (total - sum of counts)
+	total  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given upper bounds in
+// seconds (use DurationBuckets for the standard spread).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	for i, b := range h.bounds {
+		if secs <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Write renders the histogram in Prometheus text exposition format:
+// cumulative {name}_bucket{le="..."} series ending in le="+Inf", then
+// {name}_sum and {name}_count.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total.Load())
+	fmt.Fprintf(w, "%s_sum %.6f\n", name, float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}

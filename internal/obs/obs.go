@@ -193,11 +193,24 @@ func (s *Sampler) Record(snap Snapshot) {
 }
 
 // Flush records the trailing partial interval ending at snap, if any
-// cycles elapsed since the last boundary. Call it once when a run ends.
-func (s *Sampler) Flush(snap Snapshot) {
+// cycles elapsed since the last boundary, and reports whether a record
+// was produced. Call it once when a run ends.
+func (s *Sampler) Flush(snap Snapshot) bool {
 	if snap.Cycle > s.prev.Cycle {
 		s.Record(snap)
+		return true
 	}
+	return false
+}
+
+// Last returns the most recently recorded interval, or nil when none
+// has been recorded since Reset. The pointer aliases the ring: copy the
+// record before the next Record/Reset if it must outlive them.
+func (s *Sampler) Last() *Interval {
+	if s.n == 0 {
+		return nil
+	}
+	return &s.ring[(s.n-1)%len(s.ring)]
 }
 
 // Reset restores the pristine post-construction state in place, keeping

@@ -134,6 +134,30 @@ func (j *job) status() api.JobStatus {
 	return st
 }
 
+// doneCount reports how many specs have resolved so far.
+func (j *job) doneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// peek returns the completion-order event at position i if it already
+// exists. When it does not, the third return is a channel closed at the
+// next publication — nil when the job is done and no further events
+// will come. The non-blocking half of next, for handlers that multiplex
+// completions with a live event subscription.
+func (j *job) peek(i int) (api.Result, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		return j.events[i], true, nil
+	}
+	if j.state == api.StateDone {
+		return api.Result{}, false, nil
+	}
+	return api.Result{}, false, j.notify
+}
+
 // next returns the completion-order event at position i, blocking
 // until it exists, the job finishes, or cancel is closed. The second
 // return is false when no more events will come.

@@ -3,61 +3,10 @@ package server
 import (
 	"fmt"
 	"io"
-	"strconv"
 	"sync/atomic"
-	"time"
+
+	"mssr/internal/obs"
 )
-
-// durationBuckets are the histogram upper bounds in seconds, spanning
-// sub-millisecond cache hits to multi-minute SPEC-scale simulations.
-var durationBuckets = []float64{
-	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
-}
-
-// histogram is a Prometheus-style cumulative histogram of durations.
-// Observations and scrapes are concurrent: per-bucket counts, the total
-// and the sum are all atomics (the sum in integer nanoseconds, so no
-// float CAS loop is needed). Rendered counts may be momentarily ahead of
-// the rendered sum under concurrent observation, which Prometheus
-// tolerates between scrapes.
-type histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // one per bound; observations beyond all bounds land in +Inf (total - sum of counts)
-	total  atomic.Uint64
-	sumNS  atomic.Int64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
-}
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	for i, b := range h.bounds {
-		if secs <= b {
-			h.counts[i].Add(1)
-			break
-		}
-	}
-	h.total.Add(1)
-	h.sumNS.Add(d.Nanoseconds())
-}
-
-// write renders the histogram in Prometheus text exposition format:
-// cumulative {name}_bucket{le="..."} series ending in le="+Inf", then
-// {name}_sum and {name}_count.
-func (h *histogram) write(w io.Writer, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total.Load())
-	fmt.Fprintf(w, "%s_sum %.6f\n", name, float64(h.sumNS.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
-}
 
 // metrics holds the daemon's counters, exported in Prometheus text
 // exposition format on /metrics. All fields are atomics: they are
@@ -82,6 +31,7 @@ type metrics struct {
 	streamConns atomic.Int64  // gauge: open NDJSON streams
 
 	streamErrors atomic.Uint64 // NDJSON stream records lost to encode/write failures
+	wsConns      atomic.Int64  // gauge: open /v1/ws event subscriptions
 
 	// Memory hierarchy totals, mirrored from executed simulations' stats.
 	l1dHits      atomic.Uint64
@@ -92,14 +42,19 @@ type metrics struct {
 	l2Evictions  atomic.Uint64
 	dramAccesses atomic.Uint64
 
-	requestDur *histogram // HTTP request handling latency
-	simDur     *histogram // executed simulation wall time
+	requestDur *obs.Histogram // HTTP request handling latency
+	simDur     *obs.Histogram // executed simulation wall time
+
+	// Build identity, resolved once in init for the build_info gauge.
+	version, goVersion, revision string
 }
 
-// init allocates the histograms; call once before serving.
+// init allocates the histograms and resolves the build identity; call
+// once before serving.
 func (m *metrics) init() {
-	m.requestDur = newHistogram(durationBuckets)
-	m.simDur = newHistogram(durationBuckets)
+	m.requestDur = obs.NewHistogram(obs.DurationBuckets)
+	m.simDur = obs.NewHistogram(obs.DurationBuckets)
+	m.version, m.goVersion, m.revision = obs.BuildInfo()
 }
 
 // storeStats is the persistent store's state sampled for one scrape;
@@ -111,12 +66,17 @@ type storeStats struct {
 	hits, misses, evictions, corrupt uint64
 }
 
-// write renders every metric. queueDepth, cacheLen and st are sampled by
-// the caller (they are gauges owned by other structures).
-func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats) {
+// write renders every metric. queueDepth, cacheLen, st, wsDropped and
+// uptimeSec are sampled by the caller (they are gauges owned by other
+// structures).
+func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats, wsDropped uint64, uptimeSec float64) {
 	emit := func(name, help, typ string, value interface{}) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
 	}
+	fmt.Fprintf(w, "# HELP msrd_build_info Build identity of the running daemon (constant 1).\n# TYPE msrd_build_info gauge\nmsrd_build_info{version=%q,go_version=%q,revision=%q} 1\n",
+		m.version, m.goVersion, m.revision)
+	emit("msrd_uptime_seconds", "Seconds since the daemon started serving.", "gauge",
+		fmt.Sprintf("%.3f", uptimeSec))
 	emit("msrd_jobs_submitted_total", "Jobs accepted into the admission queue.", "counter", m.jobsSubmitted.Load())
 	emit("msrd_jobs_rejected_total", "Jobs shed with 429 because the queue was full.", "counter", m.jobsRejected.Load())
 	emit("msrd_jobs_completed_total", "Jobs finished with every simulation successful.", "counter", m.jobsCompleted.Load())
@@ -147,7 +107,9 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats) {
 	emit("msrd_sim_mips", "Aggregate simulated throughput: retired instructions per simulation wall second, in millions.", "gauge",
 		fmt.Sprintf("%.6f", mips))
 	emit("msrd_stream_connections", "Open NDJSON result streams.", "gauge", m.streamConns.Load())
-	emit("msrd_stream_errors_total", "NDJSON stream records lost to encode or write failures.", "counter", m.streamErrors.Load())
+	emit("msrd_stream_errors_total", "NDJSON stream records or WebSocket subscribers lost to write failures or stalls.", "counter", m.streamErrors.Load())
+	emit("msrd_ws_connections", "Open /v1/ws live-event subscriptions.", "gauge", m.wsConns.Load())
+	emit("msrd_ws_dropped_total", "Live event frames dropped on full subscriber buffers.", "counter", wsDropped)
 	emit("msrd_sim_l1d_hits_total", "Cumulative L1D cache hits across executed simulations.", "counter", m.l1dHits.Load())
 	emit("msrd_sim_l1d_misses_total", "Cumulative L1D cache misses across executed simulations.", "counter", m.l1dMisses.Load())
 	emit("msrd_sim_l1d_evictions_total", "Cumulative L1D cache evictions across executed simulations.", "counter", m.l1dEvictions.Load())
@@ -155,6 +117,6 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats) {
 	emit("msrd_sim_l2_misses_total", "Cumulative L2 cache misses across executed simulations.", "counter", m.l2Misses.Load())
 	emit("msrd_sim_l2_evictions_total", "Cumulative L2 cache evictions across executed simulations.", "counter", m.l2Evictions.Load())
 	emit("msrd_sim_dram_accesses_total", "Cumulative DRAM accesses across executed simulations.", "counter", m.dramAccesses.Load())
-	m.requestDur.write(w, "msrd_request_duration_seconds", "HTTP request handling latency.")
-	m.simDur.write(w, "msrd_sim_duration_seconds", "Executed simulation wall time.")
+	m.requestDur.Write(w, "msrd_request_duration_seconds", "HTTP request handling latency.")
+	m.simDur.Write(w, "msrd_sim_duration_seconds", "Executed simulation wall time.")
 }

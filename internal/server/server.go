@@ -20,12 +20,14 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -33,6 +35,8 @@ import (
 	"time"
 
 	"mssr/internal/api"
+	"mssr/internal/events"
+	"mssr/internal/obs"
 	"mssr/internal/sim"
 	"mssr/internal/store"
 )
@@ -79,6 +83,10 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (0 = 1s).
 	RetryAfter time.Duration
+	// WSWriteTimeout bounds each /v1/ws frame write; a subscriber that
+	// stalls longer is disconnected and counted against
+	// msrd_stream_errors_total (0 = 10s).
+	WSWriteTimeout time.Duration
 	// Backend overrides how leader specs are executed. nil (the normal
 	// case) builds a sim.Runner per job, wired with an observer that
 	// publishes completions live; tests inject controllable fakes.
@@ -106,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.WSWriteTimeout <= 0 {
+		c.WSWriteTimeout = 10 * time.Second
+	}
 	if c.Logger == nil {
 		// A handler at a level no record reaches; slog.DiscardHandler
 		// needs go1.24 and the module declares 1.22.
@@ -129,6 +140,8 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics metrics
 	cache   *resultCache
+	hub     *events.Hub
+	started time.Time
 
 	mu     sync.Mutex // guards jobs, closed, queue sends
 	jobs   map[string]*job
@@ -156,6 +169,8 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueLimit),
 		flights: make(map[string]*flight),
+		hub:     &events.Hub{},
+		started: time.Now(),
 		log:     cfg.Logger,
 	}
 	s.metrics.init()
@@ -174,11 +189,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/intervals", s.handleIntervals)
+	s.mux.HandleFunc("GET /v1/ws", s.handleWS)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// Hub exposes the live event bus, so an embedding process (the fleet
+// coordinator relays from it; tests subscribe directly) can observe the
+// daemon without going through the WebSocket endpoint.
+func (s *Server) Hub() *events.Hub { return s.hub }
 
 // statusWriter captures the response code for the request log and the
 // latency histogram. It passes Flush through so the NDJSON stream
@@ -206,6 +227,19 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Hijack passes through so the /v1/ws upgrade works behind the wrapper;
+// a hijacked connection leaves the status at the 101 the handshake wrote.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("server: underlying writer cannot hijack")
+	}
+	if w.status == 0 {
+		w.status = http.StatusSwitchingProtocols
+	}
+	return hj.Hijack()
+}
+
 // ServeHTTP implements http.Handler: every request gets an id, a latency
 // observation and one structured log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -214,7 +248,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r)
 	dur := time.Since(start)
-	s.metrics.requestDur.observe(dur)
+	s.metrics.requestDur.Observe(dur)
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
@@ -282,10 +316,12 @@ func (s *Server) runJob(j *job) {
 	defer s.metrics.jobsRunning.Add(-1)
 	started := time.Now()
 	j.start(started)
+	queueMS := float64(started.Sub(j.submitted).Microseconds()) / 1000
+	s.hub.Publish(events.Event{Type: events.TypeJobStart, Job: j.id, Specs: len(j.specs), QueueMS: queueMS})
 	s.log.Info("job start",
 		"job_id", j.id,
 		"specs", len(j.specs),
-		"queue_ms", float64(started.Sub(j.submitted).Microseconds())/1000)
+		"queue_ms", queueMS)
 
 	type joined struct {
 		idx int
@@ -303,7 +339,9 @@ func (s *Server) runJob(j *job) {
 		if res, ok := s.cache.get(ck); ok {
 			s.metrics.cacheHits.Add(1)
 			res.Index, res.Key, res.Source, res.WallNS = i, sp.Key(), api.SourceCache, 0
-			j.complete(i, res)
+			if j.complete(i, res) {
+				s.publishSpecDone(j, res)
+			}
 			continue
 		}
 		s.metrics.cacheMisses.Add(1)
@@ -314,7 +352,9 @@ func (s *Server) runJob(j *job) {
 				// into memory, and run nothing.
 				s.cache.put(ck, res)
 				res.Index, res.Key, res.Source, res.WallNS = i, sp.Key(), api.SourceStore, 0
-				j.complete(i, res)
+				if j.complete(i, res) {
+					s.publishSpecDone(j, res)
+				}
 				continue
 			}
 		}
@@ -343,6 +383,16 @@ func (s *Server) runJob(j *job) {
 				Observer: &flightObserver{
 					s: s, j: j, idx: leaderIdx, flights: leaderFlights,
 				},
+				// Live telemetry taps: non-blocking hub publishes straight
+				// from the simulation goroutines. With no subscribers each
+				// is one atomic load, preserving the cycle loop's
+				// zero-allocation discipline.
+				OnInterval: func(index int, key string, iv obs.Interval) {
+					s.hub.Publish(events.Event{Type: events.TypeInterval, Job: j.id, Key: key, Interval: iv})
+				},
+				OnWindow: func(index int, key string, window, windows int) {
+					s.hub.Publish(events.Event{Type: events.TypeWindow, Job: j.id, Key: key, Window: window, Windows: windows})
+				},
 			}
 		}
 		results, _ := backend.Run(ctx, leaders)
@@ -368,27 +418,36 @@ func (s *Server) runJob(j *job) {
 		case <-w.f.done:
 			r := w.f.res
 			r.Index, r.Key, r.Source = w.idx, j.specs[w.idx].Key(), api.SourceDedup
-			j.complete(w.idx, r)
+			if j.complete(w.idx, r) {
+				s.publishSpecDone(j, r)
+			}
 		case <-ctx.Done():
-			j.complete(w.idx, api.Result{
+			res := api.Result{
 				Index:    w.idx,
 				Key:      j.specs[w.idx].Key(),
 				CacheKey: j.specs[w.idx].CanonicalKey(),
 				Source:   api.SourceDedup,
 				Error:    ctx.Err().Error(),
-			})
+			}
+			if j.complete(w.idx, res) {
+				s.publishSpecDone(j, res)
+			}
 		}
 	}
 
 	j.finish(time.Now(), nil)
 	outcome := "completed"
+	evType := events.TypeJobDone
 	if j.failed() {
 		s.metrics.jobsFailed.Add(1)
 		outcome = "failed"
+		evType = events.TypeJobFailed
 	} else {
 		s.metrics.jobsCompleted.Add(1)
 	}
 	st := j.status()
+	s.hub.Publish(events.Event{Type: evType, Job: j.id, Specs: len(j.specs), Done: st.Done,
+		WallMS: float64(st.Finished.Sub(st.Started).Microseconds()) / 1000})
 	s.log.Info("job finish",
 		"job_id", j.id,
 		"outcome", outcome,
@@ -426,7 +485,7 @@ func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
 			s.metrics.dramAccesses.Add(r.Stats.DRAMAccesses)
 		}
 		s.metrics.simWallNS.Add(r.Wall.Nanoseconds())
-		s.metrics.simDur.observe(r.Wall)
+		s.metrics.simDur.Observe(r.Wall)
 
 		canonical := res
 		canonical.Index = -1
@@ -447,7 +506,29 @@ func (s *Server) finishLeader(j *job, idx int, f *flight, r sim.Result) {
 		s.flightMu.Unlock()
 		close(f.done)
 	})
-	j.complete(idx, res)
+	if j.complete(idx, res) {
+		s.publishSpecDone(j, res)
+	}
+}
+
+// publishSpecDone broadcasts one completed spec on the event bus. Call
+// it only after j.complete accepted the result, so the bus sees each
+// slot resolve exactly once and Done counts monotonically.
+func (s *Server) publishSpecDone(j *job, res api.Result) {
+	ev := events.Event{
+		Type:            events.TypeSpecDone,
+		Job:             j.id,
+		Key:             res.Key,
+		Source:          res.Source,
+		Done:            j.doneCount(),
+		WallMS:          float64(res.WallNS) / 1e6,
+		IPC:             res.IPC,
+		Extrapolated:    res.Extrapolated,
+		ExtrapolatedIPC: res.ExtrapolatedIPC,
+		IPCErrorEst:     res.IPCErrorEst,
+		Error:           res.Error,
+	}
+	s.hub.Publish(ev)
 }
 
 // flightObserver publishes leader completions as they happen, so stream
@@ -460,7 +541,9 @@ type flightObserver struct {
 	flights []*flight
 }
 
-func (o *flightObserver) OnStart(index, total int, key string) {}
+func (o *flightObserver) OnStart(index, total int, key string) {
+	o.s.hub.Publish(events.Event{Type: events.TypeSpecStart, Job: o.j.id, Key: key})
+}
 
 func (o *flightObserver) OnFinish(index, total int, r sim.Result) {
 	o.s.finishLeader(o.j, o.idx[index], o.flights[index], r)
@@ -524,6 +607,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	s.hub.Publish(events.Event{Type: events.TypeJobQueued, Job: j.id, Specs: len(specs)})
 	s.log.Info("job submitted", "job_id", j.id, "specs", len(specs))
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: j.id, Total: len(specs)})
 }
@@ -570,10 +654,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleIntervals streams every completed result's interval-telemetry
-// records as NDJSON (api.IntervalRecord), in completion order, blocking
-// like /stream until the job is done. Results without intervals
-// (unsampled specs, failures) contribute nothing.
+// handleWS streams live events over a WebSocket (/v1/ws): the firehose
+// by default, one job's stream with ?job={id}. One deterministic JSON
+// text frame per event. Slow consumers are disconnected (and counted
+// against msrd_stream_errors_total) rather than ever applying
+// backpressure to publishers.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	s.metrics.wsConns.Add(1)
+	defer s.metrics.wsConns.Add(-1)
+	opt := events.ServeOptions{Job: r.URL.Query().Get("job"), WriteTimeout: s.cfg.WSWriteTimeout}
+	if err := events.ServeWS(s.hub, w, r, opt); err != nil {
+		s.streamError(opt.Job, "ws", err)
+	}
+}
+
+// handleIntervals streams interval-telemetry records as NDJSON
+// (api.IntervalRecord lines), incrementally: frames recorded by running
+// leader simulations are forwarded from the event bus the moment the
+// sampler produces them, flushed per frame, and each completed result
+// contributes whatever the live path did not already deliver —
+// everything, for cache/store/dedup results and for subscribers that
+// attached after the run finished. Lines use the deterministic obs
+// float formatting; per key the delivered records match the completed
+// result's Intervals (plus any early frames a bounded ring would have
+// overwritten, minus frames lost to a saturated subscriber buffer,
+// which msrd_ws_dropped_total counts).
 func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -582,24 +687,107 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.streamConns.Add(1)
 	defer s.metrics.streamConns.Add(-1)
+	// Subscribe before scanning completions so no frame falls between
+	// "already completed" and "will arrive live".
+	sub := s.hub.Subscribe(j.id, 4096)
+	defer sub.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for i := 0; ; i++ {
-		e, ok := j.next(i, r.Context().Done())
-		if !ok {
-			return
+
+	var buf []byte
+	writeRec := func(key, source string, iv *obs.Interval) bool {
+		buf = buf[:0]
+		buf = append(buf, `{"key":`...)
+		buf = events.AppendJSONString(buf, key)
+		buf = append(buf, `,"source":`...)
+		buf = events.AppendJSONString(buf, source)
+		buf = append(buf, ',')
+		buf = iv.AppendJSONFields(buf)
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			s.streamError(j.id, "intervals", err)
+			return false
 		}
-		for k := range e.Intervals {
-			rec := api.IntervalRecord{Key: e.Key, Source: e.Source, Interval: e.Intervals[k]}
-			if err := enc.Encode(&rec); err != nil {
-				s.streamError(j.id, "intervals", err)
-				return
-			}
+		return true
+	}
+	// seen tracks the live high-water mark per key as a (window, index)
+	// pair — multi-fidelity windows restart interval indices at zero —
+	// so completion replay emits only the tail the live path missed.
+	type mark struct {
+		win, idx int
+		any      bool
+	}
+	seen := make(map[string]*mark)
+	live := func(ev events.Event) bool {
+		if ev.Type != events.TypeInterval {
+			return true
+		}
+		m := seen[ev.Key]
+		if m == nil {
+			m = &mark{}
+			seen[ev.Key] = m
+		}
+		m.any = true
+		if ev.Interval.Window > m.win || (ev.Interval.Window == m.win && ev.Interval.Index >= m.idx) {
+			m.win, m.idx = ev.Interval.Window, ev.Interval.Index
+		}
+		if !writeRec(ev.Key, api.SourceRun, &ev.Interval) {
+			return false
 		}
 		if flusher != nil {
 			flusher.Flush()
+		}
+		return true
+	}
+	done := r.Context().Done()
+	for i := 0; ; i++ {
+		for {
+			e, ok, ch := j.peek(i)
+			if ok {
+				// A result's frames always precede its completion (the
+				// sampler seals before the observer fires): drain what is
+				// buffered so the tail computation sees the full live
+				// prefix.
+			drain:
+				for {
+					select {
+					case ev, open := <-sub.C():
+						if !open || !live(ev) {
+							return
+						}
+					default:
+						break drain
+					}
+				}
+				m := seen[e.Key]
+				for k := range e.Intervals {
+					iv := &e.Intervals[k]
+					if e.Source == api.SourceRun && m != nil && m.any &&
+						(iv.Window < m.win || (iv.Window == m.win && iv.Index <= m.idx)) {
+						continue // delivered live already
+					}
+					if !writeRec(e.Key, e.Source, iv) {
+						return
+					}
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				break
+			}
+			if ch == nil {
+				return // job done; the stream is complete
+			}
+			select {
+			case ev, open := <-sub.C():
+				if !open || !live(ev) {
+					return
+				}
+			case <-ch:
+			case <-done:
+				return
+			}
 		}
 	}
 }
@@ -657,7 +845,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			corrupt:   c.Corrupt,
 		}
 	}
-	s.metrics.write(w, len(s.queue), s.cache.len(), st)
+	s.metrics.write(w, len(s.queue), s.cache.len(), st, s.hub.Dropped(), time.Since(s.started).Seconds())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {

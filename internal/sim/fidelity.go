@@ -51,6 +51,20 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 	// cold-pipeline transient.
 	warmup := s.DetailedWindow / 4
 
+	// The live tap needs the fidelity annotations the final Result gets
+	// post hoc, so the hook stamps Mode/Window at fire time. curWin is
+	// advanced before each RunWindow; ResetWindow preserves the hook, so
+	// one installation covers every sample period.
+	curWin := 0
+	if r.OnInterval != nil {
+		c.SetIntervalHook(func(iv *obs.Interval) {
+			live := *iv
+			live.Mode = obs.ModeDetail
+			live.Window = curWin
+			r.OnInterval(res.Index, res.Key, live)
+		})
+	}
+
 	for k := 0; k < periods; k++ {
 		if k > 0 {
 			// Keep the caches and predictors warmed so far; only the
@@ -64,6 +78,10 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		c.EndWarmup()
 		st := em.State()
 		c.SeedFrom(&st)
+		curWin = windows + 1
+		if r.OnWindow != nil {
+			r.OnWindow(res.Index, res.Key, curWin, periods)
+		}
 		runErr := c.RunWindow(ctx, warmup, s.DetailedWindow, &pre, &win)
 		agg.Add(&win)
 		windows++

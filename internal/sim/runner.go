@@ -99,6 +99,21 @@ type Runner struct {
 	// through Core.Reset), so this exists for benchmarking the pooling
 	// win, not for correctness escape hatches.
 	FreshCores bool
+	// OnInterval, when set, receives every telemetry interval live, at
+	// the moment the core's sampler records it — before the run (or even
+	// its current sample window) completes. index is the spec's position
+	// in the Run input and key its resolved Spec.Key(). Multi-fidelity
+	// runs arrive already annotated (Mode/Window), matching the records
+	// the final Result carries. The callback fires on simulation worker
+	// goroutines, possibly concurrently for different specs: it must be
+	// thread-safe and must not block (events.Hub.Publish satisfies both).
+	OnInterval func(index int, key string, iv obs.Interval)
+	// OnWindow, when set, fires as each detailed window of a
+	// multi-fidelity run begins: window is the 1-based sample period,
+	// windows the configured period count. Same concurrency contract as
+	// OnInterval.
+	OnWindow func(index int, key string, window, windows int)
+
 	// Batching groups compatible specs — same workload+scale (or the same
 	// pre-built Program), no tracer, no per-spec timeout — into lockstep
 	// batch groups executed by core.Batch: the program is built once per
@@ -317,6 +332,10 @@ func (r *Runner) runBatch(ctx context.Context, specs []Spec, idxs []int, results
 			c = core.New(prog, cfg)
 		}
 		results[i].EngineName = c.EngineName()
+		if r.OnInterval != nil {
+			hi, hk := i, results[i].Key
+			c.SetIntervalHook(func(iv *obs.Interval) { r.OnInterval(hi, hk, *iv) })
+		}
 		cores = append(cores, c)
 		members = append(members, i)
 		pools = append(pools, pl)
@@ -349,6 +368,7 @@ func (r *Runner) runBatch(ctx context.Context, specs []Spec, idxs []int, results
 		if runErr == nil && specs[i].VerifyArch {
 			got = c.Result()
 		}
+		c.SetIntervalHook(nil)
 		if pools[k] != nil {
 			pools[k].Put(c)
 		}
@@ -441,12 +461,18 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) (res Result) {
 	res.EngineName = c.EngineName()
 	if s.FastForward > 0 {
 		r.runFidelity(ctx, &s, prog, c, &res)
+		c.SetIntervalHook(nil)
 		if pl != nil {
 			pl.Put(c)
 		}
 		return res
 	}
+	if r.OnInterval != nil {
+		hi, hk := i, res.Key
+		c.SetIntervalHook(func(iv *obs.Interval) { r.OnInterval(hi, hk, *iv) })
+	}
 	runErr := c.RunContext(ctx)
+	c.SetIntervalHook(nil)
 	res.Stats = c.Stats.Clone()
 	res.Intervals = c.Intervals()
 	res.IntervalsDropped = c.IntervalsDropped()

@@ -23,6 +23,7 @@ echo "== building"
 go build -o "$DIR/msrd" ./cmd/msrd
 go build -o "$DIR/msrfleet" ./cmd/msrfleet
 go build -o "$DIR/msrbench" ./cmd/msrbench
+go build -o "$DIR/msrtail" ./cmd/msrtail
 
 echo "== starting workers and coordinator"
 "$DIR/msrd" -addr "$W1" -store "$DIR/store1" -log-level warn &
@@ -51,6 +52,18 @@ wait_until 30 curl -fsS "http://$COORD/readyz"
 wait_until 30 two_workers_healthy
 echo "== ring has two healthy workers"
 
+echo "== tailing the fleet event bus"
+# A headless subscriber captures the whole run's lifecycle + telemetry
+# stream and asserts queued -> start -> done ordering per job. The
+# archive lands in the repo cwd (not $DIR) so CI can keep it.
+"$DIR/msrtail" -addr "$COORD" -assert-order -out EVENTS_PR9.ndjson &
+TAIL_PID=$!
+PIDS+=($TAIL_PID)
+subscriber_attached() {
+  curl -fsS "http://$COORD/metrics" | grep -q '^msrfleet_ws_connections [1-9]'
+}
+wait_until 30 subscriber_attached
+
 echo "== sharded sweep through the coordinator"
 "$DIR/msrbench" -remote "$COORD" -exp table1 -scale 0 >"$DIR/table1.txt"
 grep -q . "$DIR/table1.txt"
@@ -73,7 +86,9 @@ echo "== multi-fidelity spec through the coordinator"
 # A fast-forwarded sampled spec exercises the fidelity fields of the wire
 # format end to end: the canonical key (distinct from the full-detail
 # run's), sharding, and the extrapolated result round-trip.
-FIDSPEC='{"specs":[{"workload":"mcf","scale":0,"engine":"rgid","fast_forward":400,"detailed_window":200,"sample_periods":4,"warm":true}]}'
+# sample_interval makes the detailed windows emit live interval frames,
+# which must relay up to the coordinator's event bus (asserted below).
+FIDSPEC='{"specs":[{"workload":"mcf","scale":0,"engine":"rgid","fast_forward":400,"detailed_window":200,"sample_periods":4,"sample_interval":64,"warm":true}]}'
 JOB=$(curl -fsS -X POST -d "$FIDSPEC" "http://$COORD/v1/jobs" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
 [ -n "$JOB" ] || { echo "fidelity job submission failed" >&2; exit 1; }
 job_done() {
@@ -93,5 +108,22 @@ job2_done() {
 wait_until 30 job2_done
 curl -fsS "http://$COORD/v1/jobs/$JOB2" | grep -q '"cache_hits":1' || {
   echo "repeated fidelity spec was not served from cache" >&2; exit 1; }
+
+echo "== validating the captured event stream"
+# Give trailing frames a beat to flush, then stop the tail; msrtail
+# exits 1 on any per-job ordering violation, 0 on a clean capture.
+sleep 1
+kill -TERM "$TAIL_PID"
+if ! wait "$TAIL_PID"; then
+  echo "msrtail reported order violations or a broken stream" >&2; exit 1
+fi
+for TYPE in job_queued job_start spec_dispatched spec_done job_done interval; do
+  grep -q '"type":"'"$TYPE"'"' EVENTS_PR9.ndjson || {
+    echo "event archive carries no $TYPE events" >&2; exit 1; }
+done
+grep -q '"worker":"http://'"$W1"'"\|"worker":"http://'"$W2"'"' EVENTS_PR9.ndjson || {
+  echo "event archive carries no worker labels" >&2; exit 1; }
+EVENTS=$(wc -l < EVENTS_PR9.ndjson)
+echo "== event archive OK ($EVENTS frames)"
 
 echo "== fleet smoke OK (fleet-wide cache hits: $HITS)"
