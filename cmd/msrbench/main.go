@@ -26,6 +26,10 @@
 //	                              # benchmark; writes BENCH_PR8.json (see
 //	                              # -fidelity-out); -fidelity-max-err and
 //	                              # -fidelity-min-speedup gate the result
+//	msrbench -exp checkpointed    # checkpoint-warm phase-selected sampling
+//	                              # benchmark; writes BENCH_PR10.json (see
+//	                              # -ckpt-out); -ckpt-max-err and
+//	                              # -ckpt-min-speedup gate the result
 package main
 
 import (
@@ -51,7 +55,7 @@ func main() { os.Exit(run()) }
 // os.Exit inline) lets the deferred profile writers run on every path.
 func run() int {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,phases,perf,fidelity or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig3,fig4,fig10,fig11,fig12,baselines,phases,perf,fidelity,checkpointed or all")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		asCSV    = flag.Bool("csv", false, "emit table1/fig10 in the artifact rollup CSV format (CFG,BM,CYCLES,diff)")
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "max concurrently running simulations")
@@ -68,6 +72,9 @@ func run() int {
 		fidOut   = flag.String("fidelity-out", "BENCH_PR8.json", "write the fidelity experiment's JSON document here")
 		fidErr   = flag.Float64("fidelity-max-err", 0, "fail the fidelity experiment if any workload's sampled IPC misses full detail by more than this many percent (0 = no check)")
 		fidSpd   = flag.Float64("fidelity-min-speedup", 0, "fail the fidelity experiment if the same-host effective-throughput multiple over full detail falls below this floor (0 = no check)")
+		ckptOut  = flag.String("ckpt-out", "BENCH_PR10.json", "write the checkpointed experiment's JSON document here")
+		ckptErr  = flag.Float64("ckpt-max-err", 0, "fail the checkpointed experiment if any workload's phase-selected IPC misses full detail by more than this many percent (0 = no check)")
+		ckptSpd  = flag.Float64("ckpt-min-speedup", 0, "fail the checkpointed experiment if the checkpoint-warm throughput multiple over the uniform warm baseline falls below this floor (0 = no check)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -136,10 +143,10 @@ func run() int {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	// perf and fidelity are host-throughput benchmarks, not paper
-	// artifacts, so "all" does not imply them.
+	// perf, fidelity and checkpointed are host-throughput benchmarks, not
+	// paper artifacts, so "all" does not imply them.
 	sel := func(name string) bool {
-		return (all && name != "perf" && name != "fidelity") || want[name]
+		return (all && name != "perf" && name != "fidelity" && name != "checkpointed") || want[name]
 	}
 
 	type experiment struct {
@@ -213,6 +220,35 @@ func run() int {
 					return out, err
 				}
 				out += fmt.Sprintf("effective-throughput floor %.2fx full detail: ok\n", *fidSpd)
+			}
+			return out, nil
+		}},
+		{"checkpointed", func() (string, error) {
+			r, err := experiments.Checkpointed(*scale)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*ckptOut, []byte(r.JSON()), 0o644); err != nil {
+				return "", err
+			}
+			out := r.Render() + "wrote " + *ckptOut + "\n"
+			// The warm-path contract (every boundary restored, zero
+			// functional re-execution) is structural, so it always gates.
+			if err := r.CheckWarmPath(); err != nil {
+				return out, err
+			}
+			out += "warm path: every checkpoint restored, 0 functional instructions re-executed\n"
+			if *ckptErr > 0 {
+				if err := r.CheckError(*ckptErr); err != nil {
+					return out, err
+				}
+				out += fmt.Sprintf("IPC error bound %.2f%%: ok\n", *ckptErr)
+			}
+			if *ckptSpd > 0 {
+				if err := r.CheckSpeedup(*ckptSpd); err != nil {
+					return out, err
+				}
+				out += fmt.Sprintf("checkpoint-warm floor %.2fx uniform baseline: ok\n", *ckptSpd)
 			}
 			return out, nil
 		}},

@@ -8,6 +8,8 @@
 //	msrd -addr 127.0.0.1:9000 -jobs 8 -queue 128 -cache 8192
 //	msrd -timeout 2m -job-timeout 30m -drain 1m
 //	msrd -store /var/lib/msrd -store-max-mb 2048   # persistent result store, warm restarts
+//	msrd -ckpt /var/lib/msrd-ckpt                  # persistent checkpoint store: multi-fidelity
+//	                                               # sweeps skip their functional fast-forward
 //	msrd -addr 127.0.0.1:9001 -register http://coord:8370   # join an msrfleet ring
 //	msrd -selfbench                 # in-process cold-vs-cache benchmark, JSON on stdout
 //
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"mssr/internal/api"
+	"mssr/internal/ckpt"
 	"mssr/internal/cli"
 	"mssr/internal/client"
 	"mssr/internal/dash"
@@ -53,6 +56,8 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before cancelling running simulations")
 		storeDir   = flag.String("store", "", "persistent result store directory (empty disables; survives restarts warm)")
 		storeMaxMB = flag.Int64("store-max-mb", 1024, "result store size bound in MiB before LRU eviction")
+		ckptDir    = flag.String("ckpt", "", "persistent checkpoint store directory (empty keeps checkpoints in memory only)")
+		ckptMaxMB  = flag.Int64("ckpt-max-mb", 1024, "checkpoint store disk size bound in MiB before LRU eviction")
 		register   = flag.String("register", "", "msrfleet coordinator URL to register with (empty disables)")
 		advertise  = flag.String("advertise", "", "address workers advertise to the coordinator (default derives from -addr; required when -addr has no host)")
 		selfbench  = flag.Bool("selfbench", false, "serve in-process, benchmark cold vs cached sweeps plus a saturating burst, print JSON and exit")
@@ -99,6 +104,18 @@ func main() {
 		cfg.Store = st
 		log.Printf("msrd: result store %s (%d results, %.1f MiB, bound %d MiB)",
 			*storeDir, st.Len(), float64(st.Size())/(1<<20), *storeMaxMB)
+	}
+
+	var ck *ckpt.Store
+	if *ckptDir != "" {
+		ck, err = ckpt.Open(*ckptDir, 0, *ckptMaxMB<<20, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrd: opening checkpoint store:", err)
+			os.Exit(1)
+		}
+		cfg.Checkpoints = ck
+		log.Printf("msrd: checkpoint store %s (%d checkpoints, %.1f MiB on disk, bound %d MiB)",
+			*ckptDir, ck.DiskLen(), float64(ck.DiskSize())/(1<<20), *ckptMaxMB)
 	}
 
 	srv := server.New(cfg)
@@ -158,6 +175,9 @@ func main() {
 		// The server's drain already flushed the write-behind queue;
 		// Close joins the writer so nothing is torn mid-rename.
 		st.Close()
+	}
+	if ck != nil {
+		ck.Close()
 	}
 }
 

@@ -13,6 +13,12 @@
 //	                              # multi-fidelity: functional fast-forward
 //	                              # with cache/predictor warming, sampled
 //	                              # detailed windows, extrapolated IPC
+//	msrsim -workload mcf -ff 4505 -window 287 -periods 48 -phase kmeans
+//	                              # phase-aware sampling: one representative
+//	                              # window per k-means program phase
+//	msrsim -workload mcf -ff 4505 -window 287 -periods 48 -max-err 0.02
+//	                              # adaptive stopping at 2% relative
+//	                              # standard error
 package main
 
 import (
@@ -55,6 +61,9 @@ func run() int {
 		window   = flag.Uint64("window", 0, "detailed-window length in instructions (0 with -ff = run detailed to completion after one skip)")
 		periods  = flag.Int("periods", 1, "number of {fast-forward, detailed window} sample periods")
 		warm     = flag.Bool("warm", false, "warm the caches and branch predictor during fast-forward")
+		phase    = flag.String("phase", "uniform", "sample-window placement: uniform, kmeans (one representative window per program phase)")
+		maxErr   = flag.Float64("max-err", 0, "stop sampling once the IPC estimate's relative standard error reaches this bound (0 = run every period)")
+		noCkpt   = flag.Bool("no-ckpt", false, "disable the checkpoint store: re-emulate every functional prefix")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall time (0 = none)")
 		verbose  = flag.Bool("v", false, "print the full counter set")
 		traceN   = flag.Int("trace", 0, "print a pipeline diagram of the last N instructions")
@@ -88,6 +97,10 @@ func run() int {
 	if err != nil {
 		return fatal(err)
 	}
+	pm, err := sim.ParsePhaseMode(*phase)
+	if err != nil {
+		return fatal(err)
+	}
 	spec := sim.Spec{
 		Workload: *workload,
 		Scale:    *scale,
@@ -106,6 +119,9 @@ func run() int {
 		DetailedWindow: *window,
 		SamplePeriods:  *periods,
 		Warm:           *warm,
+		PhaseSelect:    pm,
+		MaxErr:         *maxErr,
+		NoCheckpoint:   *noCkpt,
 	}
 	if *asmFile != "" {
 		src, err := os.ReadFile(*asmFile)
@@ -160,6 +176,10 @@ func run() int {
 		if res.ExtrapolatedIPC > 0 {
 			fmt.Printf("  extrapolated IPC %.4f (relative standard error %.2f%%)\n",
 				res.ExtrapolatedIPC, 100*res.IPCErrorEst)
+		}
+		if res.CkptHits > 0 || res.CkptMisses > 0 {
+			fmt.Printf("  checkpoints: %d restored, %d missed, %d functional instructions executed\n",
+				res.CkptHits, res.CkptMisses, res.FFExecuted)
 		}
 	}
 	if *statsOut != "" {

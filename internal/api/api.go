@@ -58,6 +58,13 @@ type Spec struct {
 	DetailedWindow uint64 `json:"detailed_window,omitempty"`
 	SamplePeriods  int    `json:"sample_periods,omitempty"`
 	Warm           bool   `json:"warm,omitempty"`
+	// PhaseSelect picks the sampling placement policy ("" or "uniform",
+	// "kmeans"); MaxErr > 0 enables adaptive stopping at that relative
+	// standard error; NoCheckpoint opts a run out of the daemon's
+	// checkpoint store. All three are part of the canonical cache key.
+	PhaseSelect  string  `json:"phase_select,omitempty"`
+	MaxErr       float64 `json:"max_err,omitempty"`
+	NoCheckpoint bool    `json:"no_checkpoint,omitempty"`
 	// TimeoutMS bounds the simulation's wall time (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -71,6 +78,10 @@ func (s Spec) Sim() (sim.Spec, error) {
 		return sim.Spec{}, err
 	}
 	loads, err := sim.ParseLoadPolicy(s.Loads)
+	if err != nil {
+		return sim.Spec{}, err
+	}
+	phase, err := sim.ParsePhaseMode(s.PhaseSelect)
 	if err != nil {
 		return sim.Spec{}, err
 	}
@@ -92,6 +103,9 @@ func (s Spec) Sim() (sim.Spec, error) {
 		DetailedWindow: s.DetailedWindow,
 		SamplePeriods:  s.SamplePeriods,
 		Warm:           s.Warm,
+		PhaseSelect:    phase,
+		MaxErr:         s.MaxErr,
+		NoCheckpoint:   s.NoCheckpoint,
 		Timeout:        time.Duration(s.TimeoutMS) * time.Millisecond,
 	}, nil
 }
@@ -130,10 +144,15 @@ func FromSim(s sim.Spec) (Spec, error) {
 		DetailedWindow: s.DetailedWindow,
 		SamplePeriods:  s.SamplePeriods,
 		Warm:           s.Warm,
+		MaxErr:         s.MaxErr,
+		NoCheckpoint:   s.NoCheckpoint,
 		TimeoutMS:      s.Timeout.Milliseconds(),
 	}
 	if s.Engine != sim.EngineNone {
 		ws.Engine = s.Engine.String()
+	}
+	if s.PhaseSelect != sim.PhaseUniform {
+		ws.PhaseSelect = s.PhaseSelect.String()
 	}
 	if s.Loads != sim.LoadDefault {
 		ws.Loads = s.Loads.String()
@@ -194,6 +213,13 @@ type Result struct {
 	TotalRetired    uint64  `json:"total_retired,omitempty"`
 	ExtrapolatedIPC float64 `json:"extrapolated_ipc,omitempty"`
 	IPCErrorEst     float64 `json:"ipc_error_est,omitempty"`
+	// Checkpoint accounting for the run (sim.Result fields of the same
+	// names): boundary states restored from / missing in the daemon's
+	// checkpoint store, and the functional fast-forward instructions the
+	// run actually executed (0 on a fully checkpoint-warm run).
+	CkptHits   int    `json:"ckpt_hits,omitempty"`
+	CkptMisses int    `json:"ckpt_misses,omitempty"`
+	FFExecuted uint64 `json:"ff_executed,omitempty"`
 }
 
 // IntervalRecord is one line of the NDJSON interval endpoints
@@ -227,6 +253,9 @@ func ResultFromSim(r sim.Result, source string) Result {
 		TotalRetired:     r.TotalRetired,
 		ExtrapolatedIPC:  r.ExtrapolatedIPC,
 		IPCErrorEst:      r.IPCErrorEst,
+		CkptHits:         r.CkptHits,
+		CkptMisses:       r.CkptMisses,
+		FFExecuted:       r.FFExecuted,
 	}
 	if r.Stats != nil {
 		out.Cycles = r.Stats.Cycles
@@ -258,6 +287,9 @@ func (r Result) Sim() sim.Result {
 		TotalRetired:     r.TotalRetired,
 		ExtrapolatedIPC:  r.ExtrapolatedIPC,
 		IPCErrorEst:      r.IPCErrorEst,
+		CkptHits:         r.CkptHits,
+		CkptMisses:       r.CkptMisses,
+		FFExecuted:       r.FFExecuted,
 	}
 	if r.Error != "" {
 		out.Err = errors.New(r.Error)

@@ -1,0 +1,281 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func blob(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := NewMemory(-1)
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	want := blob(1, 100)
+	s.Put("k1", want)
+	got, ok := s.Get("k1")
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get after Put: ok=%v blob mismatch=%v", ok, string(got) != string(want))
+	}
+	if !s.Contains("k1") || s.Contains("k2") {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 1 || s.Size() != 100 {
+		t.Fatalf("Len=%d Size=%d, want 1/100", s.Len(), s.Size())
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.BytesRead != 100 || c.BytesWritten != 100 {
+		t.Fatalf("counters %+v", c)
+	}
+	// Overwrite with a different size adjusts accounting.
+	s.Put("k1", blob(2, 40))
+	if s.Len() != 1 || s.Size() != 40 {
+		t.Fatalf("after overwrite Len=%d Size=%d, want 1/40", s.Len(), s.Size())
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	s := NewMemory(250) // room for two 100-byte blobs, not three
+	s.Put("a", blob(1, 100))
+	s.Put("b", blob(2, 100))
+	s.Get("a") // make "b" the LRU
+	s.Put("c", blob(3, 100))
+	if s.Contains("b") {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if !s.Contains("a") || !s.Contains("c") {
+		t.Fatal("recently used entries evicted")
+	}
+	if got := s.Counters().Evictions; got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	// A blob larger than the bound is still kept (never evict the entry
+	// just inserted), everything else goes.
+	s.Put("huge", blob(4, 400))
+	if !s.Contains("huge") {
+		t.Fatal("oversized insert was evicted immediately")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after oversized insert, want 1", s.Len())
+	}
+}
+
+func TestDiskPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mcf@s2+ff4505+dw287#%d", i)
+		s.Put(keys[i], blob(byte(i), 64+i))
+	}
+	s.Close()
+	if got := s.DiskLen(); got != 20 {
+		t.Fatalf("DiskLen after Close = %d, want 20", got)
+	}
+
+	// A fresh store over the same directory serves every blob (warm
+	// restart), promoting disk hits into memory.
+	s2, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.DiskLen(); got != 20 {
+		t.Fatalf("reloaded DiskLen = %d, want 20", got)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("reloaded memory tier holds %d entries, want 0", s2.Len())
+	}
+	for i, k := range keys {
+		got, ok := s2.Get(k)
+		if !ok || string(got) != string(blob(byte(i), 64+i)) {
+			t.Fatalf("reloaded Get(%q): ok=%v", k, ok)
+		}
+	}
+	if s2.Len() != 20 {
+		t.Fatalf("disk hits not promoted: memory Len = %d", s2.Len())
+	}
+	c := s2.Counters()
+	if c.Hits != 20 || c.Misses != 0 || c.Corrupt != 0 {
+		t.Fatalf("reloaded counters %+v", c)
+	}
+}
+
+func TestDiskCorruptionDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("good", blob(1, 64))
+	s.Put("bad", blob(2, 64))
+	s.Close()
+
+	// Flip a payload byte in "bad"'s file.
+	var badPath string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, fileExt) {
+			if _, blob, e := readEnvelope(path); e == nil && blob[0] == 2 {
+				badPath = path
+			}
+		}
+		return nil
+	})
+	if badPath == "" {
+		t.Fatal("could not locate bad's checkpoint file")
+	}
+	b, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(badPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Counters().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d after reload over tampered file, want 1", got)
+	}
+	if s2.Contains("bad") {
+		t.Fatal("corrupt entry still indexed")
+	}
+	if _, err := os.Stat(badPath); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not removed")
+	}
+	if _, ok := s2.Get("good"); !ok {
+		t.Fatal("intact entry lost")
+	}
+}
+
+func TestDiskBoundEvicts(t *testing.T) {
+	dir := t.TempDir()
+	// Envelope overhead is ~90 bytes on top of each 100-byte blob; a
+	// 450-byte bound keeps about two entries.
+	s, err := Open(dir, -1, 450, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), blob(byte(i), 100))
+	}
+	s.Flush()
+	if got := s.DiskSize(); got > 450 {
+		t.Fatalf("DiskSize = %d exceeds 450-byte bound", got)
+	}
+	if s.DiskLen() >= 5 {
+		t.Fatalf("DiskLen = %d, expected evictions", s.DiskLen())
+	}
+	if s.Counters().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// Evicted files are really gone.
+	n := 0
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, fileExt) {
+			n++
+		}
+		return nil
+	})
+	if n != s.DiskLen() {
+		t.Fatalf("%d files on disk, index holds %d", n, s.DiskLen())
+	}
+}
+
+func TestFlushBarrier(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%d", i), blob(byte(i), 32))
+	}
+	s.Flush()
+	if got := s.DiskLen(); got != 50 {
+		t.Fatalf("DiskLen = %d after Flush, want 50", got)
+	}
+}
+
+func TestCloseIdempotentAndGetAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", blob(9, 16))
+	s.Close()
+	s.Close()
+	s.Flush() // no-op, must not hang
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("Get after Close lost the entry")
+	}
+	s.Put("late", blob(1, 16)) // memory insert still works, persist dropped
+	if _, ok := s.Get("late"); !ok {
+		t.Fatal("post-Close Put not visible in memory tier")
+	}
+	if s.Counters().Dropped == 0 {
+		t.Fatal("post-Close Put persist not counted as dropped")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i%20)
+				s.Put(k, blob(byte(g), 64))
+				if got, ok := s.Get(k); ok && got[0] != byte(g) {
+					t.Errorf("cross-goroutine blob under %q", k)
+				}
+				s.Contains(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Flush()
+}
+
+// TestGetZeroCopy pins the warm-restore property: a memory-tier Get
+// must not copy the blob.
+func TestGetZeroCopy(t *testing.T) {
+	s := NewMemory(-1)
+	s.Put("k", blob(1, 1<<16))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := s.Get("k"); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memory-tier Get allocates %.1f times", allocs)
+	}
+}

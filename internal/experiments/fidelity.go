@@ -87,9 +87,9 @@ func fidelitySpec(base sim.Spec, n uint64) sim.Spec {
 	if dw < 256 {
 		dw = 256
 	}
-	ff := n/fidelityPeriods - dw
-	if ff < 1 {
-		ff = 1
+	ff := uint64(1)
+	if per := n / fidelityPeriods; per > dw {
+		ff = per - dw
 	}
 	base.FastForward = ff
 	base.DetailedWindow = dw

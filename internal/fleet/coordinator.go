@@ -4,12 +4,15 @@
 // daemon does, so every existing client (internal/client, msrbench
 // -remote) points at a fleet unchanged.
 //
-// Sharding is content-addressed: each spec's canonical key
-// (sim.Spec.CanonicalKey) is rendezvous-hashed onto the worker ring, so
-// identical specs — across jobs, across clients — always land on the
-// same worker, whose in-memory cache, persistent store and in-flight
-// dedup then compose into fleet-wide dedup without any coordinator
-// state. The coordinator adds what a single daemon cannot provide:
+// Sharding is content-addressed: each spec's shard key
+// (sim.Spec.ShardKey — the canonical key, except that checkpointable
+// multi-fidelity specs collapse to their program identity) is
+// rendezvous-hashed onto the worker ring, so identical specs — across
+// jobs, across clients — always land on the same worker, whose
+// in-memory cache, persistent store and in-flight dedup then compose
+// into fleet-wide dedup without any coordinator state, and every sweep
+// over one program homes onto the worker whose checkpoint store that
+// program has already warmed. The coordinator adds what a single daemon cannot provide:
 //
 //   - worker registration (static -workers list plus POST
 //     /fleet/v1/workers, which restarted workers use to re-announce
@@ -130,7 +133,8 @@ type unit struct {
 	job      *job
 	idx      int // position in the job
 	spec     api.Spec
-	key      string // canonical key (shard identity)
+	key      string // canonical key (result identity)
+	shard    string // sim.Spec.ShardKey() (worker-placement identity)
 	display  string // Label or canonical key, for error results
 	attempts int
 	lastErr  string
@@ -276,7 +280,7 @@ func (c *Coordinator) enqueueLocked(u *unit) {
 		c.orphans = append(c.orphans, u)
 		return
 	}
-	w := c.workers[pick(addrs, u.key)]
+	w := c.workers[pick(addrs, u.shard)]
 	w.queue = append(w.queue, u)
 }
 
@@ -723,6 +727,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	keys := make([]string, len(req.Specs))
+	shards := make([]string, len(req.Specs))
 	var verrs []error
 	for i, ws := range req.Specs {
 		sp, err := ws.Sim()
@@ -734,6 +739,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		keys[i] = sp.CanonicalKey()
+		shards[i] = sp.ShardKey()
 	}
 	if len(verrs) > 0 {
 		c.writeError(w, http.StatusBadRequest, errors.Join(verrs...))
@@ -774,6 +780,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			idx:     i,
 			spec:    req.Specs[i],
 			key:     keys[i],
+			shard:   shards[i],
 			display: displayKey(req.Specs[i], keys[i]),
 		})
 	}

@@ -66,10 +66,22 @@ type storeStats struct {
 	hits, misses, evictions, corrupt uint64
 }
 
-// write renders every metric. queueDepth, cacheLen, st, wsDropped and
-// uptimeSec are sampled by the caller (they are gauges owned by other
-// structures).
-func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats, wsDropped uint64, uptimeSec float64) {
+// ckptStats is the checkpoint store's state sampled for one scrape;
+// like storeStats, the zero value still emits every series.
+type ckptStats struct {
+	entries                 int
+	bytes                   int64
+	diskEntries             int
+	diskBytes               int64
+	hits, misses            uint64
+	bytesRead, bytesWritten uint64
+	evictions, corrupt      uint64
+}
+
+// write renders every metric. queueDepth, cacheLen, st, ck, wsDropped
+// and uptimeSec are sampled by the caller (they are gauges owned by
+// other structures).
+func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats, ck ckptStats, wsDropped uint64, uptimeSec float64) {
 	emit := func(name, help, typ string, value interface{}) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
 	}
@@ -93,6 +105,16 @@ func (m *metrics) write(w io.Writer, queueDepth, cacheLen int, st storeStats, ws
 	emit("msrd_store_corrupt_total", "Persistent-store entries dropped after failing verification.", "counter", st.corrupt)
 	emit("msrd_store_entries", "Results currently persisted on disk.", "gauge", st.entries)
 	emit("msrd_store_bytes", "Total bytes of persisted result files.", "gauge", st.bytes)
+	emit("msrd_ckpt_hits_total", "Architectural boundary states restored from the checkpoint store.", "counter", ck.hits)
+	emit("msrd_ckpt_misses_total", "Checkpoint lookups that missed and fell back to functional emulation.", "counter", ck.misses)
+	emit("msrd_ckpt_evictions_total", "Checkpoints the store's size bounds evicted.", "counter", ck.evictions)
+	emit("msrd_ckpt_corrupt_total", "Persisted checkpoints dropped after failing verification.", "counter", ck.corrupt)
+	emit("msrd_ckpt_bytes_read_total", "Bytes of checkpoint state served to restores.", "counter", ck.bytesRead)
+	emit("msrd_ckpt_bytes_written_total", "Bytes of checkpoint state captured into the store.", "counter", ck.bytesWritten)
+	emit("msrd_ckpt_entries", "Checkpoints currently held in memory.", "gauge", ck.entries)
+	emit("msrd_ckpt_bytes", "Total bytes of in-memory checkpoint state.", "gauge", ck.bytes)
+	emit("msrd_ckpt_disk_entries", "Checkpoints currently persisted on disk.", "gauge", ck.diskEntries)
+	emit("msrd_ckpt_disk_bytes", "Total bytes of persisted checkpoint files.", "gauge", ck.diskBytes)
 	emit("msrd_dedup_joins_total", "Specs deduplicated onto an identical in-flight simulation.", "counter", m.dedupJoins.Load())
 	emit("msrd_sims_run_total", "Simulations executed (cache hits and dedup joins excluded).", "counter", m.simsRun.Load())
 	emit("msrd_sims_failed_total", "Executed simulations that returned an error.", "counter", m.simsFailed.Load())

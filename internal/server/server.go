@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"mssr/internal/api"
+	"mssr/internal/ckpt"
 	"mssr/internal/events"
 	"mssr/internal/obs"
 	"mssr/internal/sim"
@@ -87,6 +88,14 @@ type Config struct {
 	// stalls longer is disconnected and counted against
 	// msrd_stream_errors_total (0 = 10s).
 	WSWriteTimeout time.Duration
+	// Checkpoints, when set, is the checkpoint store every per-job
+	// sim.Runner shares: architectural boundary states captured by one
+	// job's multi-fidelity runs are restored by later jobs over the same
+	// program, skipping their functional fast-forward entirely. nil gets
+	// a daemon-owned in-memory store (default bound), so /metrics always
+	// reports the store the runners actually use. The owner (cmd/msrd)
+	// flushes and closes a disk-backed store.
+	Checkpoints *ckpt.Store
 	// Backend overrides how leader specs are executed. nil (the normal
 	// case) builds a sim.Runner per job, wired with an observer that
 	// publishes completions live; tests inject controllable fakes.
@@ -116,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WSWriteTimeout <= 0 {
 		c.WSWriteTimeout = 10 * time.Second
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = ckpt.NewMemory(0)
 	}
 	if c.Logger == nil {
 		// A handler at a level no record reaches; slog.DiscardHandler
@@ -377,9 +389,10 @@ func (s *Server) runJob(j *job) {
 		backend := s.cfg.Backend
 		if backend == nil {
 			backend = &sim.Runner{
-				Jobs:     s.cfg.SimJobs,
-				Timeout:  s.cfg.DefaultTimeout,
-				Batching: s.cfg.Batch,
+				Jobs:        s.cfg.SimJobs,
+				Timeout:     s.cfg.DefaultTimeout,
+				Batching:    s.cfg.Batch,
+				Checkpoints: s.cfg.Checkpoints,
 				Observer: &flightObserver{
 					s: s, j: j, idx: leaderIdx, flights: leaderFlights,
 				},
@@ -845,7 +858,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			corrupt:   c.Corrupt,
 		}
 	}
-	s.metrics.write(w, len(s.queue), s.cache.len(), st, s.hub.Dropped(), time.Since(s.started).Seconds())
+	var ck ckptStats
+	if s.cfg.Checkpoints != nil {
+		c := s.cfg.Checkpoints.Counters()
+		ck = ckptStats{
+			entries:      s.cfg.Checkpoints.Len(),
+			bytes:        s.cfg.Checkpoints.Size(),
+			diskEntries:  s.cfg.Checkpoints.DiskLen(),
+			diskBytes:    s.cfg.Checkpoints.DiskSize(),
+			hits:         c.Hits,
+			misses:       c.Misses,
+			bytesRead:    c.BytesRead,
+			bytesWritten: c.BytesWritten,
+			evictions:    c.Evictions,
+			corrupt:      c.Corrupt,
+		}
+	}
+	s.metrics.write(w, len(s.queue), s.cache.len(), st, ck, s.hub.Dropped(), time.Since(s.started).Seconds())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mssr/internal/ckpt"
+	"mssr/internal/emu"
+	"mssr/internal/workloads"
+)
+
+// contentOnly strips the execution-path observables (wall clock, MIPS,
+// checkpoint hit/miss accounting, FFExecuted) and the identity fields
+// that legitimately differ between a checkpoint-enabled spec and its
+// NoCheckpoint reference, leaving exactly the result content the
+// byte-identity contract covers: stats, intervals, windows,
+// extrapolation figures and the architectural end state.
+func contentOnly(r Result) Result {
+	r.Index, r.Key, r.Spec = 0, "", Spec{}
+	r.Wall, r.MIPS = 0, 0
+	r.CkptHits, r.CkptMisses, r.FFExecuted = 0, 0, 0
+	return r
+}
+
+// TestCheckpointDifferentialGrid pins the central soundness claim of
+// checkpointed multi-fidelity sampling: across a 12-config grid (four
+// engines × uniform / phase-selected / adaptive-stopping sampling), a
+// run that restores its boundaries from the checkpoint store is
+// byte-identical — stats, intervals, extrapolation, architectural end
+// state — to the equivalent run that re-emulates every functional
+// prefix, and a fully warm second run re-executes zero fast-forward
+// instructions.
+func TestCheckpointDifferentialGrid(t *testing.T) {
+	engines := []Engine{EngineNone, EngineRGID, EngineRI, EngineDIRValue}
+	modes := []struct {
+		name   string
+		phase  PhaseMode
+		maxErr float64
+	}{
+		{"uniform", PhaseUniform, 0},
+		{"kmeans", PhaseKMeans, 0},
+		{"adaptive", PhaseUniform, 0.05},
+	}
+	for _, eng := range engines {
+		for _, mode := range modes {
+			t.Run(eng.String()+"/"+mode.name, func(t *testing.T) {
+				spec := Spec{
+					Workload: "mcf", Scale: 0, Engine: eng,
+					FastForward: 1000, DetailedWindow: 500, SamplePeriods: 5,
+					PhaseSelect: mode.phase, MaxErr: mode.maxErr,
+					VerifyArch: true,
+				}
+				refSpec := spec
+				refSpec.NoCheckpoint = true
+
+				refRunner := &Runner{Jobs: 1}
+				refRes, err := refRunner.Run(context.Background(), []Spec{refSpec})
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				ref := refRes[0]
+
+				ck := &Runner{Jobs: 1, Checkpoints: ckpt.NewMemory(-1)}
+				coldRes, err := ck.Run(context.Background(), []Spec{spec})
+				if err != nil {
+					t.Fatalf("cold checkpointed run: %v", err)
+				}
+				cold := coldRes[0]
+				warmRes, err := ck.Run(context.Background(), []Spec{spec})
+				if err != nil {
+					t.Fatalf("warm checkpointed run: %v", err)
+				}
+				warm := warmRes[0]
+
+				if !reflect.DeepEqual(contentOnly(ref), contentOnly(cold)) {
+					t.Errorf("cold checkpointed result differs from re-emulated reference:\nref:  %+v\ncold: %+v",
+						contentOnly(ref), contentOnly(cold))
+				}
+				if !reflect.DeepEqual(contentOnly(ref), contentOnly(warm)) {
+					t.Errorf("warm checkpointed result differs from re-emulated reference:\nref:  %+v\nwarm: %+v",
+						contentOnly(ref), contentOnly(warm))
+				}
+				if ref.CkptHits != 0 || ref.CkptMisses != 0 || warm.Windows == 0 {
+					t.Fatalf("reference touched the checkpoint store (hits %d, misses %d) or warm run measured nothing",
+						ref.CkptHits, ref.CkptMisses)
+				}
+				if warm.CkptHits == 0 {
+					t.Errorf("warm run restored no checkpoints")
+				}
+				if warm.CkptMisses != 0 {
+					t.Errorf("warm run missed %d boundaries the cold run should have captured", warm.CkptMisses)
+				}
+				if warm.FFExecuted != 0 {
+					t.Errorf("warm run re-executed %d functional fast-forward instructions, want 0", warm.FFExecuted)
+				}
+			})
+		}
+	}
+}
+
+// TestSelectPhasesDeterministic pins the clustering: same profile, same
+// representatives, weights that partition the tile count, and the
+// most-populous-first order adaptive stopping relies on.
+func TestSelectPhasesDeterministic(t *testing.T) {
+	p := &phaseProfile{
+		Pos:        []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120},
+		IPC:        []float64{1.0, 1.1, 1.0, 3.0, 3.1, 3.0, 1.05, 3.05, 1.0, 0.2, 0.21, 0.2},
+		Reuse:      []float64{0.1, 0.1, 0.1, 0.5, 0.5, 0.5, 0.1, 0.5, 0.1, 0.0, 0.0, 0.0},
+		MPKI:       []float64{5, 5, 5, 1, 1, 1, 5, 1, 5, 20, 20, 20},
+		BranchMPKI: []float64{4, 4, 4, 1, 1, 1, 4, 1, 4, 18, 18, 18},
+	}
+	a := selectPhases(p, phaseK)
+	b := selectPhases(p, phaseK)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("selectPhases is nondeterministic:\n%v\n%v", a, b)
+	}
+	total := 0
+	for i, rep := range a {
+		total += rep.Weight
+		if rep.Weight <= 0 || rep.Tile < 0 || rep.Tile >= len(p.Pos) {
+			t.Fatalf("rep %d out of range: %+v", i, rep)
+		}
+		if i > 0 && a[i-1].Weight < rep.Weight {
+			t.Fatalf("reps not in weight order: %v", a)
+		}
+	}
+	if total != len(p.Pos) {
+		t.Fatalf("cluster weights sum to %d, want %d (a partition of the tiles)", total, len(p.Pos))
+	}
+	// The three synthetic phases are well separated: clustering must not
+	// collapse them into one.
+	if len(a) < 3 {
+		t.Fatalf("expected at least 3 clusters for 3 well-separated phases, got %d: %v", len(a), a)
+	}
+}
+
+// TestAdaptiveStoppingStopsEarly: a loose error target must end a
+// sampled run before all periods, and the reported estimate must meet
+// the target it stopped at.
+func TestAdaptiveStoppingStopsEarly(t *testing.T) {
+	spec := Spec{
+		Workload: "mcf", Scale: 0, Engine: EngineRGID,
+		FastForward: 500, DetailedWindow: 250, SamplePeriods: 16,
+		MaxErr: 0.5, // essentially "stop as soon as the floor allows"
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows >= 16 {
+		t.Fatalf("adaptive stopping never fired: %d windows of 16", res.Windows)
+	}
+	if res.IPCErrorEst > spec.MaxErr {
+		t.Fatalf("stopped with IPCErrorEst %.4f above the %.2f target", res.IPCErrorEst, spec.MaxErr)
+	}
+	if !res.Extrapolated || res.TotalRetired == 0 {
+		t.Fatalf("early-stopped run lost its extrapolation: %+v", res)
+	}
+}
+
+// TestCheckpointRestoreZeroAlloc is the sim-level allocation guard on
+// the warm restore path: fetching a boundary from the store's memory
+// tier and installing it into a warm emulator must not allocate, so
+// checkpoint-warm sweeps cannot regress the core's steady-state
+// discipline (TestSteadyStateZeroAllocs).
+func TestCheckpointRestoreZeroAlloc(t *testing.T) {
+	prog, err := workloads.Build("mcf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := emu.New(prog)
+	em.FastForward(2000, nil)
+	st := em.State()
+	store := ckpt.NewMemory(-1)
+	store.Put("mcf@s0#2000", st.AppendBinary(nil))
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		blob, ok := store.Get("mcf@s0#2000")
+		if !ok {
+			t.Fatal("miss")
+		}
+		if err := em.RestoreBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm checkpoint restore allocates %.1f times per boundary", allocs)
+	}
+}
+
+// BenchmarkCheckpointRestore measures the end-to-end warm boundary
+// restore — store lookup plus emulator install — the operation that
+// replaces O(instructions) of functional fast-forward on warm sweeps.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	prog, err := workloads.Build("mcf", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := emu.New(prog)
+	em.FastForward(2000, nil)
+	st := em.State()
+	blob := st.AppendBinary(nil)
+	store := ckpt.NewMemory(-1)
+	store.Put("mcf@s0#2000", blob)
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, ok := store.Get("mcf@s0#2000")
+		if !ok {
+			b.Fatal("miss")
+		}
+		if err := em.RestoreBinary(got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

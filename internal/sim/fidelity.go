@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
+	"mssr/internal/ckpt"
 	"mssr/internal/core"
 	"mssr/internal/emu"
 	"mssr/internal/isa"
@@ -13,21 +15,87 @@ import (
 )
 
 // runFidelity executes one multi-fidelity job (Spec.FastForward > 0) on an
-// already-acquired core: for each sample period it fast-forwards the
-// functional emulator (optionally warming the core's caches and branch
-// predictor through the hook), seeds the core with the emulator's
-// architectural state, runs one detailed window behind a measurement-
-// excluded detailed-warmup prefix, folds the measured counters into the
-// aggregate, and replays the period's detailed retirements on the
-// emulator to keep the two in sync. Caches and predictors persist across
-// periods (ResetWindow), as they would in a contiguous run. With
-// DetailedWindow == 0 the single window runs to HALT and the run is
-// exact; otherwise the remaining tail finishes on the emulator and the
-// result is an extrapolation from the sampled windows.
+// already-acquired core. Uniform runs tile {fast-forward, detailed window}
+// pairs across the program sequentially; phase-selected runs (PhaseKMeans)
+// jump straight to k-means-chosen representative windows of a one-time
+// profiling pass. Both restore sample-period boundary states from the
+// Runner's checkpoint store when they can and capture the states they had
+// to emulate, so repeated sweeps over the same program skip the functional
+// prefix entirely (Result.FFExecuted == 0 on a fully warm run).
 //
 // The caller (runOne) owns core pooling, wall-clock accounting and the
 // observer; runFidelity fills res in place.
 func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c *core.Core, res *Result) {
+	store := r.ckptStore(s)
+	if s.PhaseSelect == PhaseKMeans {
+		prof, err := r.profileFor(ctx, s, prog, store)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		r.runPhased(ctx, s, prog, c, res, store, prof)
+		return
+	}
+	r.runSequential(ctx, s, prog, c, res, store, nil)
+}
+
+// boundaryKey names the checkpoint of the architectural state reached
+// after pos functionally executed instructions. The deterministic
+// emulator makes that state a function of (program, pos) alone, so the
+// key carries nothing else.
+func boundaryKey(ckey string, pos uint64) string {
+	return ckey + "#" + strconv.FormatUint(pos, 10)
+}
+
+// endKey names the checkpoint of the program's final state.
+func endKey(ckey string) string { return ckey + "#end" }
+
+// restoreBoundary restores em from the named checkpoint, counting the
+// hit or miss on res. A blob that fails verification counts as a miss
+// and the caller re-emulates.
+func restoreBoundary(store *ckpt.Store, key string, em *emu.Emulator, res *Result) bool {
+	if blob, ok := store.Get(key); ok {
+		if err := em.RestoreBinary(blob); err == nil {
+			res.CkptHits++
+			return true
+		}
+	}
+	res.CkptMisses++
+	return false
+}
+
+// captureBoundary writes em's current state into the store unless it is
+// already present (checkpoint contents are deterministic per key, so a
+// re-encode would be pure churn).
+func captureBoundary(store *ckpt.Store, key string, em *emu.Emulator) {
+	if store == nil || store.Contains(key) {
+		return
+	}
+	st := em.State()
+	store.Put(key, st.AppendBinary(nil))
+}
+
+// runSequential is the uniform-tiling execution path: for each sample
+// period it obtains the boundary state — restored from the checkpoint
+// store, or emulated by replaying the previous window's detailed
+// retirements and fast-forwarding the skip (optionally warming the
+// core's caches and branch predictor through the hook) — seeds the core,
+// runs one detailed window behind a measurement-excluded detailed-warmup
+// prefix, and folds the measured counters into the aggregate. Caches and
+// predictors persist across periods (ResetWindow), as they would in a
+// contiguous run. With DetailedWindow == 0 the single window runs to
+// HALT and the run is exact; otherwise the remaining tail finishes on
+// the emulator (or restores the program-end checkpoint) and the result
+// is an extrapolation from the sampled windows.
+//
+// sample, when non-nil, marks a profiling pass: it receives each
+// window's warmup-checkpoint position, boundary position and measured
+// counters, and the live OnInterval/OnWindow hooks stay quiet (the pass
+// is internal, not a job the caller submitted). A profiling pass also
+// captures a checkpoint warmupLead instructions before each boundary,
+// where phase-selected runs restore to re-train the core before
+// measuring.
+func (r *Runner) runSequential(ctx context.Context, s *Spec, prog *isa.Program, c *core.Core, res *Result, store *ckpt.Store, sample func(pre, pos uint64, win *stats.Stats)) {
 	em := emu.New(prog)
 	periods := s.SamplePeriods
 	if periods <= 0 {
@@ -37,6 +105,12 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 	if s.Warm {
 		hook = c.WarmStep
 	}
+	// Warm runs must execute every skip — warming the core is the skip's
+	// point — so they capture boundaries for later runs but never
+	// restore. Cold runs restore freely: a restored boundary is
+	// byte-identical to the emulated one.
+	useRestore := store != nil && !s.Warm
+	ckey := s.CheckpointKey()
 
 	agg := &stats.Stats{}
 	var intervals []obs.Interval
@@ -50,13 +124,17 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 	// into FastForwarded), so short windows are not biased by their
 	// cold-pipeline transient.
 	warmup := s.DetailedWindow / 4
+	minWin := 8
+	if periods < minWin {
+		minWin = periods
+	}
 
 	// The live tap needs the fidelity annotations the final Result gets
 	// post hoc, so the hook stamps Mode/Window at fire time. curWin is
 	// advanced before each RunWindow; ResetWindow preserves the hook, so
 	// one installation covers every sample period.
 	curWin := 0
-	if r.OnInterval != nil {
+	if r.OnInterval != nil && sample == nil {
 		c.SetIntervalHook(func(iv *obs.Interval) {
 			live := *iv
 			live.Mode = obs.ModeDetail
@@ -65,13 +143,55 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		})
 	}
 
+	// pendingReplay defers the functional replay of the previous
+	// window's detailed retirements until a boundary actually has to
+	// emulate forward; a restored boundary skips replay and skip alike.
+	var pendingReplay uint64
+	pos := uint64(0) // the emulator's current functional position
 	for k := 0; k < periods; k++ {
 		if k > 0 {
 			// Keep the caches and predictors warmed so far; only the
 			// pipeline, architectural state and counters restart.
 			c.ResetWindow(prog)
 		}
-		em.FastForward(s.FastForward, hook)
+		want := pos + pendingReplay + s.FastForward
+		// prePos is where a phase-selected run will restore to warm up
+		// before measuring this tile's window; the profiling pass captures
+		// it on the way past.
+		lead := warmupLead(s)
+		if avail := want - pos; lead > avail {
+			lead = avail
+		}
+		prePos := want - lead
+		seeded := false
+		if useRestore {
+			seeded = restoreBoundary(store, boundaryKey(ckey, want), em, res)
+		}
+		if !seeded {
+			if pendingReplay > 0 {
+				// Replay the previous period's detailed retirements
+				// (warmup prefix included) so the emulator sits exactly
+				// where this skip starts.
+				em.FastForward(pendingReplay, nil)
+				res.FFExecuted += pendingReplay
+			}
+			before := em.Retired
+			if sample != nil && prePos > em.Retired {
+				em.FastForward(prePos-em.Retired, hook)
+				if !em.Halted && em.Retired == prePos {
+					captureBoundary(store, boundaryKey(ckey, prePos), em)
+				}
+			}
+			if want > em.Retired {
+				em.FastForward(want-em.Retired, hook)
+			}
+			res.FFExecuted += em.Retired - before
+			if !em.Halted && em.Retired == want {
+				captureBoundary(store, boundaryKey(ckey, want), em)
+			}
+		}
+		pendingReplay = 0
+		pos = em.Retired
 		if em.Halted {
 			break // the program ended inside the skip; nothing left to measure
 		}
@@ -79,7 +199,7 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		st := em.State()
 		c.SeedFrom(&st)
 		curWin = windows + 1
-		if r.OnWindow != nil {
+		if r.OnWindow != nil && sample == nil {
 			r.OnWindow(res.Index, res.Key, curWin, periods)
 		}
 		runErr := c.RunWindow(ctx, warmup, s.DetailedWindow, &pre, &win)
@@ -89,6 +209,9 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		detailCycles += win.Cycles
 		if win.Cycles > 0 {
 			winIPC = append(winIPC, float64(win.Retired)/float64(win.Cycles))
+		}
+		if sample != nil {
+			sample(prePos, pos, &win)
 		}
 		for _, iv := range c.Intervals() {
 			iv.Mode = obs.ModeDetail
@@ -106,10 +229,10 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 			detailedToEnd = true
 			break
 		}
-		// Replay the period's detailed retirements (warmup prefix included)
-		// functionally so the emulator sits exactly where the next skip
-		// starts (or where the tail resumes).
-		em.FastForward(c.Stats.Retired, nil)
+		pendingReplay = c.Stats.Retired
+		if converged(s.MaxErr, winIPC, minWin) {
+			break // the estimate already meets the requested error bound
+		}
 	}
 
 	res.Stats, res.Intervals, res.IntervalsDropped = agg, intervals, dropped
@@ -120,12 +243,11 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		got := c.Result()
 		res.TotalRetired = got.Retired
 		res.FastForwarded = got.Retired - detailRetired
-		if s.DetailedWindow > 0 && detailCycles > 0 {
+		if s.DetailedWindow > 0 {
 			// The final bounded window happened to reach HALT: the totals
 			// are exact, but the IPC figures are still window samples, so
 			// keep reporting the sampled estimate and its error bar.
-			res.ExtrapolatedIPC = float64(detailRetired) / float64(detailCycles)
-			res.IPCErrorEst = relStdErr(winIPC)
+			finalizeSampling(res, winIPC, nil, detailRetired, detailCycles)
 		}
 		if s.VerifyArch {
 			want, err := emu.RunProgram(prog, 1<<40)
@@ -142,25 +264,74 @@ func (r *Runner) runFidelity(ctx context.Context, s *Spec, prog *isa.Program, c 
 		return
 	}
 
-	// Sampled mode: finish the program functionally and extrapolate from
-	// the measured windows.
-	if err := em.Run(1 << 40); err != nil {
-		res.Err = fmt.Errorf("emulator: %w", err)
-		return
+	// Sampled mode: obtain the program's end state — restored when the
+	// store holds it, finished functionally otherwise — and extrapolate
+	// from the measured windows.
+	seededEnd := false
+	if useRestore {
+		seededEnd = restoreBoundary(store, endKey(ckey), em, res)
+	}
+	if !seededEnd {
+		if pendingReplay > 0 {
+			em.FastForward(pendingReplay, nil)
+			res.FFExecuted += pendingReplay
+		}
+		before := em.Retired
+		if err := em.Run(1 << 40); err != nil {
+			res.Err = fmt.Errorf("emulator: %w", err)
+			return
+		}
+		res.FFExecuted += em.Retired - before
+		captureBoundary(store, endKey(ckey), em)
 	}
 	res.Extrapolated = true
 	res.TotalRetired = em.Retired
 	res.FastForwarded = em.Retired - detailRetired
-	if detailCycles > 0 {
-		res.ExtrapolatedIPC = float64(detailRetired) / float64(detailCycles)
-	}
-	res.IPCErrorEst = relStdErr(winIPC)
+	finalizeSampling(res, winIPC, nil, detailRetired, detailCycles)
 	if s.VerifyArch {
 		// No mid-pipeline core state exists to compare in sampled mode; the
 		// commit-time checker (Spec.Check) covers the windows. Record the
 		// program's final architectural state from the emulator.
 		res.Arch = em.Result()
 	}
+}
+
+// finalizeSampling fills the sampled-estimate fields every sampled
+// completion path shares — the single place the IPC estimate and its
+// confidence figure are defined. With weights (phase-selected runs) the
+// estimate is the cluster-population-weighted harmonic mean of the
+// window IPC samples — tiles hold equal instruction counts, so their
+// cycles (and the aggregate IPC) add harmonically, matching the pooled
+// ratio the uniform path computes; without weights, it is the pooled
+// retire/cycle ratio of the uniform windows directly. IPCErrorEst is
+// the relative standard error of the (unweighted) window samples in
+// both cases — the figure adaptive stopping drives to the requested
+// bound.
+func finalizeSampling(res *Result, winIPC, weights []float64, detailRetired, detailCycles uint64) {
+	if weights != nil {
+		var cpi, wsum float64
+		for i, ipc := range winIPC {
+			if ipc <= 0 {
+				continue
+			}
+			cpi += weights[i] / ipc
+			wsum += weights[i]
+		}
+		if cpi > 0 {
+			res.ExtrapolatedIPC = wsum / cpi
+		}
+	} else if detailCycles > 0 {
+		res.ExtrapolatedIPC = float64(detailRetired) / float64(detailCycles)
+	}
+	res.IPCErrorEst = relStdErr(winIPC)
+}
+
+// converged is the adaptive-stopping predicate: sampling may stop once
+// at least minWindows IPC samples exist and their relative standard
+// error has reached the requested bound. maxErr == 0 (no bound) never
+// stops early.
+func converged(maxErr float64, winIPC []float64, minWindows int) bool {
+	return maxErr > 0 && len(winIPC) >= minWindows && relStdErr(winIPC) <= maxErr
 }
 
 // relStdErr returns the relative standard error of the sample mean

@@ -65,10 +65,69 @@ func TestCanonicalKeyGolden(t *testing.T) {
 			Spec{Label: "table1-row3", Workload: "mcf", Engine: EngineRGID}, "mcf@s0/rgid-4x64"},
 		{"timeout never leaks into the key",
 			Spec{Workload: "mcf", Engine: EngineRGID, Timeout: time.Minute}, "mcf@s0/rgid-4x64"},
+		{"phase-selected sampling",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, PhaseSelect: PhaseKMeans},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp48+phase=kmeans"},
+		{"uniform phase mode elides the suffix",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, PhaseSelect: PhaseUniform},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp48"},
+		{"adaptive stopping bound",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, MaxErr: 0.02},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp48+maxerr0.02"},
+		{"checkpoints disabled",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, Warm: true, NoCheckpoint: true},
+			"mcf@s0/rgid-4x64+ff50000+dw5000+sp48+warm+nockpt"},
+		{"every fidelity modifier at once",
+			Spec{Workload: "mcf", Scale: 2, Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, Warm: true, PhaseSelect: PhaseKMeans, MaxErr: 0.015, NoCheckpoint: true},
+			"mcf@s2/rgid-4x64+ff50000+dw5000+sp48+warm+phase=kmeans+maxerr0.015+nockpt"},
 	}
 	for _, tc := range cases {
 		if got := tc.spec.CanonicalKey(); got != tc.want {
 			t.Errorf("%s: CanonicalKey() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCheckpointKeyGolden pins the checkpoint-family and shard keys.
+// CheckpointKey names persisted functional states (the daemon's disk
+// tier outlives processes), and ShardKey decides fleet placement, so
+// both render formats are as frozen as the canonical key itself.
+func TestCheckpointKeyGolden(t *testing.T) {
+	cases := []struct {
+		name                string
+		spec                Spec
+		wantCkpt, wantShard string
+	}{
+		{"program identity only, config stripped",
+			Spec{Workload: "mcf", Engine: EngineRGID, Streams: 8, Entries: 128,
+				FastForward: 50000, DetailedWindow: 5000, SamplePeriods: 48, Warm: true},
+			"mcf@s0", "mcf@s0"},
+		{"paper scale elides the suffix",
+			Spec{Workload: "mcf", Scale: 1, Engine: EngineRGID, FastForward: 50000},
+			"mcf", "mcf"},
+		{"phase selection and bounds stay out of the checkpoint family",
+			Spec{Workload: "astar", Scale: 2, Engine: EngineRI, FastForward: 50000,
+				DetailedWindow: 5000, SamplePeriods: 48, PhaseSelect: PhaseKMeans, MaxErr: 0.02},
+			"astar@s2", "astar@s2"},
+		{"full-detail work shards on the canonical key",
+			Spec{Workload: "mcf", Engine: EngineRGID},
+			"mcf@s0", "mcf@s0/rgid-4x64"},
+		{"opting out of checkpoints shards on the canonical key",
+			Spec{Workload: "mcf", Engine: EngineRGID, FastForward: 50000, DetailedWindow: 5000,
+				SamplePeriods: 48, NoCheckpoint: true},
+			"mcf@s0", "mcf@s0/rgid-4x64+ff50000+dw5000+sp48+nockpt"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.CheckpointKey(); got != tc.wantCkpt {
+			t.Errorf("%s: CheckpointKey() = %q, want %q", tc.name, got, tc.wantCkpt)
+		}
+		if got := tc.spec.ShardKey(); got != tc.wantShard {
+			t.Errorf("%s: ShardKey() = %q, want %q", tc.name, got, tc.wantShard)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mssr/internal/ckpt"
 	"mssr/internal/core"
 	"mssr/internal/emu"
 	"mssr/internal/obs"
@@ -65,6 +66,20 @@ type Result struct {
 	TotalRetired    uint64
 	ExtrapolatedIPC float64
 	IPCErrorEst     float64
+	// Checkpoint accounting for multi-fidelity runs. CkptHits counts
+	// sample-period boundaries (and the program-end state) restored from
+	// the checkpoint store; CkptMisses counts lookups that had to
+	// re-emulate instead. FFExecuted counts the functional instructions
+	// this run actually emulated — skips, window replays and the tail —
+	// as opposed to FastForwarded, which counts the instructions the
+	// result did not measure in detail regardless of how their state was
+	// obtained. A fully checkpoint-warm run reports FFExecuted == 0.
+	// These are execution-path observables, not result content: byte
+	// identity between cold and warm runs is defined over everything
+	// else.
+	CkptHits   int
+	CkptMisses int
+	FFExecuted uint64
 	// MIPS is the job's simulated throughput: retired instructions per
 	// host wall-clock microsecond (millions of simulated instructions
 	// per second). Zero when the job failed before producing stats.
@@ -129,12 +144,52 @@ type Runner struct {
 	// (members share one clock, so the per-job budget is pooled).
 	Batching bool
 
+	// Checkpoints is the store multi-fidelity jobs restore sample-period
+	// boundary states from (and capture them into), keyed by
+	// Spec.CheckpointKey. Nil selects a process-wide default bounded
+	// in-memory store, created lazily and shared by every Runner, so
+	// repeated sweeps warm each other even through the per-job Runners
+	// the server constructs. Point it at a ckpt.Open store to persist
+	// checkpoints across processes.
+	Checkpoints *ckpt.Store
+
 	// pools caches fully-built cores per pool key (engine + geometry +
 	// config modifiers) so successive jobs with the same configuration
 	// reuse the core's PRF/ROB/predictor-table allocations. Workers own
 	// a core exclusively between Get and Put, which keeps the pooling
 	// race-free.
 	pools sync.Map // string -> *sync.Pool of *core.Core
+
+	// profiles caches phase profiles (one per program + fidelity
+	// geometry) with single-flight computation, backed by the checkpoint
+	// store for cross-process reuse.
+	profMu   sync.Mutex
+	profiles map[string]*phaseProfile
+	profRuns map[string]chan struct{}
+}
+
+// defaultCkpt is the process-wide fallback checkpoint store. Sharing one
+// bounded in-memory store across Runners is what makes checkpoints
+// effective under the server, which builds a fresh Runner per job.
+var (
+	defaultCkptOnce sync.Once
+	defaultCkpt     *ckpt.Store
+)
+
+// ckptStore resolves the checkpoint store a spec's run uses: nil when
+// the spec opted out or has no stable program identity to key off.
+func (r *Runner) ckptStore(s *Spec) *ckpt.Store {
+	if s.NoCheckpoint {
+		return nil
+	}
+	if s.Workload == "" && (s.Program == nil || s.Program.Name == "") {
+		return nil // anonymous programs would collide in the store
+	}
+	if r.Checkpoints != nil {
+		return r.Checkpoints
+	}
+	defaultCkptOnce.Do(func() { defaultCkpt = ckpt.NewMemory(0) })
+	return defaultCkpt
 }
 
 // pool returns the core pool for key, creating it on first use.

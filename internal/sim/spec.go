@@ -14,6 +14,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -133,6 +134,45 @@ func (p LoadPolicy) reuse() (reuse.LoadPolicy, bool) {
 	return 0, false
 }
 
+// PhaseMode selects how a multi-fidelity run places its sample windows.
+// The zero value is the uniform tiling every release before phase
+// selection used.
+type PhaseMode int
+
+// Phase-selection modes.
+const (
+	// PhaseUniform tiles SamplePeriods windows uniformly across the
+	// program (one {fast-forward, window} pair per period).
+	PhaseUniform PhaseMode = iota
+	// PhaseKMeans clusters the uniform tiles' signature vectors (IPC,
+	// reuse rate, MPKI, branch MPKI, from a one-time checkpointed
+	// profiling pass) with small-k k-means and simulates one
+	// representative window per cluster, weighted by cluster population —
+	// SimPoint-style region selection.
+	PhaseKMeans
+)
+
+func (m PhaseMode) String() string {
+	switch m {
+	case PhaseUniform:
+		return "uniform"
+	case PhaseKMeans:
+		return "kmeans"
+	}
+	return fmt.Sprintf("phase(%d)", int(m))
+}
+
+// ParsePhaseMode maps the command-line mode names onto PhaseMode values.
+func ParsePhaseMode(s string) (PhaseMode, error) {
+	switch s {
+	case "", "uniform":
+		return PhaseUniform, nil
+	case "kmeans":
+		return PhaseKMeans, nil
+	}
+	return 0, fmt.Errorf("sim: unknown phase mode %q (uniform, kmeans)", s)
+}
+
 // Spec is one fully-described simulation: which program to run and how to
 // configure the core. A Spec is a value — copying it is cheap and safe —
 // and Key() derives a canonical string identity used for result keying
@@ -193,6 +233,24 @@ type Spec struct {
 	DetailedWindow uint64
 	SamplePeriods  int
 	Warm           bool
+
+	// PhaseSelect places the sample windows: uniformly (the default), or
+	// on k-means-selected representative phases weighted by cluster
+	// population (PhaseKMeans, requiring SamplePeriods > 1). Part of
+	// CanonicalKey: phase-selected results extrapolate differently.
+	PhaseSelect PhaseMode
+	// MaxErr, when positive, enables adaptive stopping: the run grows
+	// sample windows in confidence order only until its own IPCErrorEst
+	// (the relative standard error of the window IPC samples) drops to
+	// MaxErr or below, instead of always running all SamplePeriods.
+	// Requires SamplePeriods > 1. Part of CanonicalKey: the stopping
+	// target changes which windows a result measured.
+	MaxErr float64
+	// NoCheckpoint opts the run out of the Runner's checkpoint store:
+	// no boundary state is restored or captured and the functional
+	// prefix is always re-emulated. Requires FastForward > 0. Part of
+	// CanonicalKey so checkpoint accounting stays truthful per key.
+	NoCheckpoint bool
 
 	// Timeout bounds the job's wall time (0 = the Runner's default).
 	Timeout time.Duration
@@ -258,6 +316,24 @@ func (s *Spec) Validate() error {
 	if s.Warm && s.FastForward == 0 {
 		errs = append(errs, errors.New("Warm set without FastForward"))
 	}
+	switch s.PhaseSelect {
+	case PhaseUniform:
+	case PhaseKMeans:
+		if s.SamplePeriods <= 1 {
+			errs = append(errs, errors.New("PhaseKMeans needs SamplePeriods > 1"))
+		}
+	default:
+		errs = append(errs, fmt.Errorf("unknown phase mode %d", int(s.PhaseSelect)))
+	}
+	if s.MaxErr < 0 {
+		errs = append(errs, fmt.Errorf("negative max error %g", s.MaxErr))
+	}
+	if s.MaxErr > 0 && s.SamplePeriods <= 1 {
+		errs = append(errs, errors.New("MaxErr needs SamplePeriods > 1"))
+	}
+	if s.NoCheckpoint && s.FastForward == 0 {
+		errs = append(errs, errors.New("NoCheckpoint set without FastForward"))
+	}
 	if s.Timeout < 0 {
 		errs = append(errs, fmt.Errorf("negative timeout %s", s.Timeout))
 	}
@@ -289,17 +365,7 @@ func (s *Spec) Key() string {
 // results safe to share across jobs.
 func (s *Spec) CanonicalKey() string {
 	var sb strings.Builder
-	switch {
-	case s.Workload != "":
-		sb.WriteString(s.Workload)
-		if s.Scale != 1 {
-			fmt.Fprintf(&sb, "@s%d", s.Scale)
-		}
-	case s.Program != nil && s.Program.Name != "":
-		sb.WriteString(s.Program.Name)
-	default:
-		sb.WriteString("?")
-	}
+	s.writeProgramKey(&sb)
 	sb.WriteByte('/')
 	switch s.Engine {
 	case EngineRGID:
@@ -342,11 +408,68 @@ func (s *Spec) CanonicalKey() string {
 		if s.Warm {
 			sb.WriteString("+warm")
 		}
+		if s.PhaseSelect != PhaseUniform {
+			fmt.Fprintf(&sb, "+phase=%s", s.PhaseSelect)
+		}
+		if s.MaxErr > 0 {
+			fmt.Fprintf(&sb, "+maxerr%s", strconv.FormatFloat(s.MaxErr, 'g', -1, 64))
+		}
+		if s.NoCheckpoint {
+			sb.WriteString("+nockpt")
+		}
 	}
 	if s.TuneKey != "" {
 		sb.WriteString("+" + s.TuneKey)
 	}
 	return sb.String()
+}
+
+// writeProgramKey writes the spec's program identity — the leading
+// component every derived key shares.
+func (s *Spec) writeProgramKey(sb *strings.Builder) {
+	switch {
+	case s.Workload != "":
+		sb.WriteString(s.Workload)
+		if s.Scale != 1 {
+			fmt.Fprintf(sb, "@s%d", s.Scale)
+		}
+	case s.Program != nil && s.Program.Name != "":
+		sb.WriteString(s.Program.Name)
+	default:
+		sb.WriteString("?")
+	}
+}
+
+// CheckpointKey returns the identity the checkpoint store keys off: the
+// canonical key minus everything that varies within a sweep — engine,
+// geometry, load policy, checking, sampling, warming and the fidelity
+// suffix itself. A checkpoint is a functional architectural state at an
+// absolute instruction position, and the deterministic emulator makes
+// that state a function of the program alone, so every config of a
+// batch, every re-run and every fidelity geometry over the same
+// program+scale shares one checkpoint family. Individual entries append
+// "#<position>" (the functional instruction count at the boundary) or
+// "#end" (the program's final state).
+//
+// Like CanonicalKey, pre-built Programs are identified by Name: two
+// distinct programs sharing a name would collide, so checkpointing is
+// disabled for anonymous programs (see Runner).
+func (s *Spec) CheckpointKey() string {
+	var sb strings.Builder
+	s.writeProgramKey(&sb)
+	return sb.String()
+}
+
+// ShardKey returns the key fleet coordinators rendezvous-hash on: the
+// CheckpointKey for checkpoint-eligible multi-fidelity specs, so every
+// config sweeping the same program+scale homes to the same worker and
+// warms that worker's checkpoint store, and the CanonicalKey for
+// everything else (full-detail work keeps spreading across the fleet).
+func (s *Spec) ShardKey() string {
+	if s.FastForward > 0 && !s.NoCheckpoint {
+		return s.CheckpointKey()
+	}
+	return s.CanonicalKey()
 }
 
 // poolKey identifies the spec's core construction for the Runner's core

@@ -109,6 +109,32 @@ wait_until 30 job2_done
 curl -fsS "http://$COORD/v1/jobs/$JOB2" | grep -q '"cache_hits":1' || {
   echo "repeated fidelity spec was not served from cache" >&2; exit 1; }
 
+echo "== checkpoint-sharded sweep through the coordinator"
+# Two cold fast-forwarded specs over the same program but different
+# engine geometries: distinct canonical keys (no result-cache reuse),
+# one shard key. Both must home to the same worker, the first filling
+# that worker's checkpoint store and the second restoring from it —
+# cross-config checkpoint sharing, asserted on the aggregated
+# per-worker msrd_ckpt_* series.
+CKSPEC1='{"specs":[{"workload":"mcf","scale":0,"engine":"rgid","fast_forward":400,"detailed_window":200,"sample_periods":4}]}'
+CKSPEC2='{"specs":[{"workload":"mcf","scale":0,"engine":"rgid","streams":8,"entries":128,"fast_forward":400,"detailed_window":200,"sample_periods":4}]}'
+for SPEC in "$CKSPEC1" "$CKSPEC2"; do
+  CKJOB=$(curl -fsS -X POST -d "$SPEC" "http://$COORD/v1/jobs" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+  [ -n "$CKJOB" ] || { echo "checkpointed job submission failed" >&2; exit 1; }
+  ckjob_done() {
+    curl -fsS "http://$COORD/v1/jobs/$CKJOB" | grep -q '"state":"done"'
+  }
+  wait_until 30 ckjob_done
+done
+METRICS=$(curl -fsS "http://$COORD/metrics")
+CKHITS=$(echo "$METRICS" | awk '/^msrd_ckpt_hits_total\{/ {sum += $2} END {print sum+0}')
+[ "${CKHITS:-0}" -ge 1 ] || { echo "no checkpoint hits across the fleet" >&2; exit 1; }
+# The hits must sit on the worker that owns the mcf@s0 shard — i.e. on
+# exactly one worker, the same one whose store the first sweep filled.
+OWNERS=$(echo "$METRICS" | awk '/^msrd_ckpt_hits_total\{/ && $2 > 0' | wc -l)
+[ "$OWNERS" -eq 1 ] || { echo "checkpoint hits spread across $OWNERS workers (shard homing broken)" >&2; exit 1; }
+echo "== checkpoint sharing OK ($CKHITS restores on the owning worker)"
+
 echo "== validating the captured event stream"
 # Give trailing frames a beat to flush, then stop the tail; msrtail
 # exits 1 on any per-job ordering violation, 0 on a clean capture.
